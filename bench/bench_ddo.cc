@@ -1,0 +1,107 @@
+// Experiment E12 — document-order / duplicate-elimination elision (paper:
+// "sorting by document order and duplicate elimination required by the
+// XQuery semantics but very expensive") plus the shared-subexpression
+// buffering of let bindings.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace xqp {
+namespace {
+
+void RunQueryWithDdo(benchmark::State& state, const std::string& query,
+                     bool elide, double scale) {
+  auto engine = bench::MakeXMarkEngine(scale);
+  XQueryEngine::CompileOptions copts;
+  copts.rewriter.ddo_elision = elide;
+  auto compiled = bench::MustCompile(engine.get(), query, copts);
+  size_t items = 0;
+  for (auto _ : state) {
+    auto result = compiled->Execute();
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    items = result.ok() ? result.value().size() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["items"] = static_cast<double>(items);
+}
+
+// The paper's four path classes.
+const char* kChildChain =
+    "doc('xmark.xml')/site/open_auctions/open_auction/bidder/increase";
+const char* kChildDesc = "doc('xmark.xml')/site/regions//item";
+const char* kDescChild = "doc('xmark.xml')//item/name";
+const char* kDescDesc = "doc('xmark.xml')//description//keyword";
+
+void BM_ChildChain_Elided(benchmark::State& state) {
+  RunQueryWithDdo(state, kChildChain, true, 0.2);
+}
+BENCHMARK(BM_ChildChain_Elided);
+void BM_ChildChain_Full(benchmark::State& state) {
+  RunQueryWithDdo(state, kChildChain, false, 0.2);
+}
+BENCHMARK(BM_ChildChain_Full);
+
+void BM_ChildDesc_Elided(benchmark::State& state) {
+  RunQueryWithDdo(state, kChildDesc, true, 0.2);
+}
+BENCHMARK(BM_ChildDesc_Elided);
+void BM_ChildDesc_Full(benchmark::State& state) {
+  RunQueryWithDdo(state, kChildDesc, false, 0.2);
+}
+BENCHMARK(BM_ChildDesc_Full);
+
+void BM_DescChild_Elided(benchmark::State& state) {
+  RunQueryWithDdo(state, kDescChild, true, 0.2);
+}
+BENCHMARK(BM_DescChild_Elided);
+void BM_DescChild_Full(benchmark::State& state) {
+  RunQueryWithDdo(state, kDescChild, false, 0.2);
+}
+BENCHMARK(BM_DescChild_Full);
+
+void BM_DescDesc_Elided(benchmark::State& state) {
+  RunQueryWithDdo(state, kDescDesc, true, 0.2);
+}
+BENCHMARK(BM_DescDesc_Elided);
+void BM_DescDesc_Full(benchmark::State& state) {
+  RunQueryWithDdo(state, kDescDesc, false, 0.2);
+}
+BENCHMARK(BM_DescDesc_Full);
+
+/// Shared let binding consumed twice: the LazySeq buffer evaluates the
+/// expensive path once (the buffer-iterator-factory / memoization claim).
+void BM_SharedLet_BufferedOnce(benchmark::State& state) {
+  auto engine = bench::MakeXMarkEngine(0.2);
+  auto compiled = bench::MustCompile(
+      engine.get(),
+      "let $items := doc('xmark.xml')/site/regions//item "
+      "return count($items) + count($items)");
+  for (auto _ : state) {
+    auto result = compiled->Execute();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SharedLet_BufferedOnce);
+
+/// The same computation without sharing: the path is written out twice.
+void BM_SharedLet_RecomputedTwice(benchmark::State& state) {
+  auto engine = bench::MakeXMarkEngine(0.2);
+  XQueryEngine::CompileOptions copts;
+  copts.rewriter.cse = false;  // Keep the duplication.
+  auto compiled = bench::MustCompile(
+      engine.get(),
+      "count(doc('xmark.xml')/site/regions//item) + "
+      "count(doc('xmark.xml')/site/regions//item)",
+      copts);
+  for (auto _ : state) {
+    auto result = compiled->Execute();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SharedLet_RecomputedTwice);
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Experiment E9 — "generate node ids only if really needed": decoupling
+// node construction from node-id generation. A transform whose result goes
+// straight to serialization can skip building identified node tables; one
+// that re-queries its output cannot.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tokens/token_iterator.h"
+#include "tokens/token_stream.h"
+
+namespace xqp {
+namespace {
+
+/// Path A (ids): tokens -> DocumentSink (node table, identities) -> then
+/// serialize the built document.
+void BM_Transform_WithNodeIds(benchmark::State& state) {
+  auto doc = bench::XMarkDoc(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    DocumentTokenIterator it(doc);
+    DocumentSink sink;
+    (void)it.Open();
+    Status st = PumpTokens(&it, &sink);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    auto copy = sink.Finish();
+    std::string out;
+    st = SerializeNode(Node(copy.value(), 0), SerializeOptions{}, &out);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(out);
+    state.counters["out_bytes"] = static_cast<double>(out.size());
+  }
+}
+BENCHMARK(BM_Transform_WithNodeIds)->Arg(50)->Arg(200);
+
+/// Path B (no ids): tokens -> XmlTextSink directly. No node table, no
+/// identities, no intermediate materialization.
+void BM_Transform_Streaming(benchmark::State& state) {
+  auto doc = bench::XMarkDoc(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    DocumentTokenIterator it(doc);
+    std::string out;
+    XmlTextSink sink(&out);
+    (void)it.Open();
+    Status st = PumpTokens(&it, &sink);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(out);
+    state.counters["out_bytes"] = static_cast<double>(out.size());
+  }
+}
+BENCHMARK(BM_Transform_Streaming)->Arg(50)->Arg(200);
+
+/// TokenStream construction with and without id stamping.
+void BM_TokenStream_WithIds(benchmark::State& state) {
+  auto doc = bench::XMarkDoc(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    TokenStreamOptions options;
+    options.with_node_ids = true;
+    TokenStream ts = TokenStream::FromDocument(*doc, options);
+    benchmark::DoNotOptimize(ts);
+    state.counters["bytes"] = static_cast<double>(ts.MemoryUsage());
+  }
+}
+BENCHMARK(BM_TokenStream_WithIds)->Arg(50)->Arg(200);
+
+void BM_TokenStream_WithoutIds(benchmark::State& state) {
+  auto doc = bench::XMarkDoc(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    TokenStreamOptions options;
+    options.with_node_ids = false;
+    TokenStream ts = TokenStream::FromDocument(*doc, options);
+    benchmark::DoNotOptimize(ts);
+    state.counters["bytes"] = static_cast<double>(ts.MemoryUsage());
+  }
+}
+BENCHMARK(BM_TokenStream_WithoutIds)->Arg(50)->Arg(200);
+
+/// End-to-end query whose result is serialized: constructing result
+/// elements (which builds identified documents) vs. emitting the source
+/// values directly. Quantifies what constructor materialization costs.
+void BM_Query_ConstructingResult(benchmark::State& state) {
+  auto engine = bench::MakeXMarkEngine(0.1);
+  auto compiled = bench::MustCompile(
+      engine.get(),
+      "for $p in doc('xmark.xml')/site/people/person "
+      "return <person name=\"{string($p/name)}\"/>");
+  for (auto _ : state) {
+    auto out = compiled->ExecuteToXml();
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Query_ConstructingResult);
+
+void BM_Query_ValuesOnly(benchmark::State& state) {
+  auto engine = bench::MakeXMarkEngine(0.1);
+  auto compiled = bench::MustCompile(
+      engine.get(),
+      "for $p in doc('xmark.xml')/site/people/person "
+      "return string($p/name)");
+  for (auto _ : state) {
+    auto out = compiled->ExecuteToXml();
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Query_ValuesOnly);
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Experiment E11 — parsing and data-model generation (DM1/DM2 of the
+// paper's life-cycle figure): raw event throughput, node-table build,
+// token-stream build, and serialization (DM4).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tokens/token_iterator.h"
+#include "tokens/token_stream.h"
+#include "xml/pull_parser.h"
+#include "xml/serializer.h"
+
+namespace xqp {
+namespace {
+
+void BM_PullParser_EventsOnly(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  int64_t events = 0;
+  for (auto _ : state) {
+    XmlPullParser parser(xml, ParseOptions{});
+    events = 0;
+    while (true) {
+      auto e = parser.Next();
+      if (!e.ok() || e.value() == nullptr) break;
+      ++events;
+    }
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["events"] = static_cast<double>(events);
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_PullParser_EventsOnly)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_Parse_ToDocument(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto doc = Document::Parse(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Parse_ToDocument)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_Parse_ToTokenStream(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto ts = TokenStream::FromXml(xml);
+    benchmark::DoNotOptimize(ts);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Parse_ToTokenStream)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_Parse_WhitespaceStripped(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  ParseOptions options;
+  options.strip_whitespace = true;
+  for (auto _ : state) {
+    auto doc = Document::Parse(xml, options);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Parse_WhitespaceStripped)->Arg(200);
+
+void BM_Serialize_FromDocument(benchmark::State& state) {
+  auto doc = bench::XMarkDoc(bench::ScaleFromArg(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto out = SerializeToString(Node(doc, 0));
+    bytes = out.value().size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_Serialize_FromDocument)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_Serialize_FromTokens(benchmark::State& state) {
+  auto doc = bench::XMarkDoc(bench::ScaleFromArg(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    DocumentTokenIterator it(doc);
+    auto out = SerializeTokens(&it);
+    bytes = out.value().size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_Serialize_FromTokens)->Arg(50)->Arg(200)->Arg(500);
+
+/// Round trip: parse + serialize (the full DM life cycle minus queries).
+void BM_RoundTrip(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto doc = Document::Parse(xml);
+    auto out = SerializeToString(Node(doc.value(), 0));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_RoundTrip)->Arg(200);
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

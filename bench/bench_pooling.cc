@@ -1,0 +1,104 @@
+// Experiment E4 — string pooling ("Pooling: store strings only once,
+// dictionary-based compression; works for all QNames and text"). Parse the
+// same XMark document with pooling on and off and compare time and memory.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tokens/token_stream.h"
+
+namespace xqp {
+namespace {
+
+void BM_Parse_Pooled(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  size_t bytes = 0;
+  size_t distinct = 0;
+  for (auto _ : state) {
+    ParseOptions options;
+    options.pool_strings = true;
+    auto doc = Document::Parse(xml, options);
+    bytes = doc.value()->MemoryUsage();
+    distinct = doc.value()->pool().size();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.counters["doc_bytes"] = static_cast<double>(bytes);
+  state.counters["pool_entries"] = static_cast<double>(distinct);
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Parse_Pooled)->Arg(50)->Arg(200);
+
+void BM_Parse_Unpooled(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  size_t bytes = 0;
+  size_t entries = 0;
+  for (auto _ : state) {
+    ParseOptions options;
+    options.pool_strings = false;
+    auto doc = Document::Parse(xml, options);
+    bytes = doc.value()->MemoryUsage();
+    entries = doc.value()->pool().size();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.counters["doc_bytes"] = static_cast<double>(bytes);
+  state.counters["pool_entries"] = static_cast<double>(entries);
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Parse_Unpooled)->Arg(50)->Arg(200);
+
+void BM_TokenStream_Pooled(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    TokenStreamOptions options;
+    options.pool_strings = true;
+    auto ts = TokenStream::FromXml(xml, options);
+    bytes = ts.value().MemoryUsage();
+    benchmark::DoNotOptimize(ts);
+  }
+  state.counters["stream_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_TokenStream_Pooled)->Arg(50)->Arg(200);
+
+void BM_TokenStream_Unpooled(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    TokenStreamOptions options;
+    options.pool_strings = false;
+    auto ts = TokenStream::FromXml(xml, options);
+    bytes = ts.value().MemoryUsage();
+    benchmark::DoNotOptimize(ts);
+  }
+  state.counters["stream_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_TokenStream_Unpooled)->Arg(50)->Arg(200);
+
+/// Pooling shines on repetitive documents (many identical tags/values):
+/// a synthetic log-like document with 20 distinct strings repeated.
+void BM_RepetitiveDoc(benchmark::State& state) {
+  bool pooled = state.range(0) == 1;
+  std::string xml = "<log>";
+  for (int i = 0; i < 20000; ++i) {
+    xml += "<entry level=\"info\"><msg>connection accepted</msg></entry>";
+  }
+  xml += "</log>";
+  size_t bytes = 0;
+  for (auto _ : state) {
+    ParseOptions options;
+    options.pool_strings = pooled;
+    auto doc = Document::Parse(xml, options);
+    bytes = doc.value()->MemoryUsage();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.counters["doc_bytes"] = static_cast<double>(bytes);
+  state.SetLabel(pooled ? "pooled" : "unpooled");
+}
+BENCHMARK(BM_RepetitiveDoc)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

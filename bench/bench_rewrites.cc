@@ -1,0 +1,171 @@
+// Experiment E7 — payoff of the rewrite-rule library, rule by rule (the
+// paper's "~100 rewriting rules" with named families). Each benchmark runs
+// a query crafted to exercise one rule, compiled with the rule on vs. off.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace xqp {
+namespace {
+
+void RunWithOptions(benchmark::State& state, const std::string& query,
+                    const RewriterOptions& rewriter, double scale = 0.1) {
+  auto engine = bench::MakeXMarkEngine(scale);
+  XQueryEngine::CompileOptions copts;
+  copts.rewriter = rewriter;
+  auto compiled = bench::MustCompile(engine.get(), query, copts);
+  for (auto _ : state) {
+    auto result = compiled->Execute();
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+// --- Common subexpression factorization ---
+
+const char* kCseQuery =
+    "for $i in (1 to 200) "
+    "return count(doc('xmark.xml')/site/people/person/profile) "
+    "+ count(doc('xmark.xml')/site/people/person/profile)";
+
+void BM_Cse_On(benchmark::State& state) {
+  RunWithOptions(state, kCseQuery, RewriterOptions{});
+}
+BENCHMARK(BM_Cse_On);
+
+void BM_Cse_Off(benchmark::State& state) {
+  RewriterOptions options;
+  options.cse = false;
+  RunWithOptions(state, kCseQuery, options);
+}
+BENCHMARK(BM_Cse_Off);
+
+// --- Function inlining ---
+
+const char* kInlineQuery =
+    "declare function local:price($i) { $i/price * 1.0 }; "
+    "sum(for $c in doc('xmark.xml')/site/closed_auctions/closed_auction "
+    "return local:price($c))";
+
+void BM_Inlining_On(benchmark::State& state) {
+  RunWithOptions(state, kInlineQuery, RewriterOptions{});
+}
+BENCHMARK(BM_Inlining_On);
+
+void BM_Inlining_Off(benchmark::State& state) {
+  RewriterOptions options;
+  options.function_inlining = false;
+  RunWithOptions(state, kInlineQuery, options);
+}
+BENCHMARK(BM_Inlining_Off);
+
+// --- Constant folding ---
+
+const char* kConstQuery =
+    "sum(for $c in doc('xmark.xml')/site/closed_auctions/closed_auction "
+    "where $c/price > (10 * 2 + 5) return 1)";
+
+void BM_ConstFold_On(benchmark::State& state) {
+  RunWithOptions(state, kConstQuery, RewriterOptions{});
+}
+BENCHMARK(BM_ConstFold_On);
+
+void BM_ConstFold_Off(benchmark::State& state) {
+  RewriterOptions options;
+  options.constant_folding = false;
+  RunWithOptions(state, kConstQuery, options);
+}
+BENCHMARK(BM_ConstFold_Off);
+
+// --- LET folding / dead-let elimination ---
+
+const char* kLetQuery =
+    "for $p in doc('xmark.xml')/site/people/person "
+    "let $unused := doc('xmark.xml')/site/regions//item "
+    "let $name := $p/name "
+    "return string($name)";
+
+void BM_LetFolding_On(benchmark::State& state) {
+  RunWithOptions(state, kLetQuery, RewriterOptions{});
+}
+BENCHMARK(BM_LetFolding_On);
+
+void BM_LetFolding_Off(benchmark::State& state) {
+  RewriterOptions options;
+  options.let_folding = false;
+  RunWithOptions(state, kLetQuery, options);
+}
+BENCHMARK(BM_LetFolding_Off);
+
+// --- FLWOR unnesting ---
+
+const char* kUnnestQuery =
+    "count(for $x in (for $a in doc('xmark.xml')/site/open_auctions/"
+    "open_auction where $a/bidder return $a) "
+    "where $x/current > 50 return $x)";
+
+void BM_Unnesting_On(benchmark::State& state) {
+  RunWithOptions(state, kUnnestQuery, RewriterOptions{});
+}
+BENCHMARK(BM_Unnesting_On);
+
+void BM_Unnesting_Off(benchmark::State& state) {
+  RewriterOptions options;
+  options.flwor_unnesting = false;
+  RunWithOptions(state, kUnnestQuery, options);
+}
+BENCHMARK(BM_Unnesting_Off);
+
+// --- Everything on vs. everything off, end to end ---
+
+const char* kKitchenSink =
+    "declare function local:hot($a) { count($a/bidder) >= 3 }; "
+    "for $a in (for $x in doc('xmark.xml')/site/open_auctions/open_auction "
+    "           return $x) "
+    "let $seller := $a/seller "
+    "let $ignored := doc('xmark.xml')//person "
+    "where local:hot($a) and count(doc('xmark.xml')//person) > (2 + 3) "
+    "return <hot seller=\"{string($seller/@person)}\">{string($a/current)}"
+    "</hot>";
+
+void BM_AllRules_On(benchmark::State& state) {
+  RunWithOptions(state, kKitchenSink, RewriterOptions{});
+}
+BENCHMARK(BM_AllRules_On);
+
+void BM_AllRules_Off(benchmark::State& state) {
+  RunWithOptions(state, kKitchenSink, RewriterOptions::AllOff());
+}
+BENCHMARK(BM_AllRules_Off);
+
+// --- Inter-query memoization (the paper's "Memoization" slide) ---
+
+void BM_Memoization_Hit(benchmark::State& state) {
+  auto engine = bench::MakeXMarkEngine(0.1);
+  const char* query = "count(doc('xmark.xml')/site/regions//item)";
+  // Warm the cache once.
+  auto warm = engine->ExecuteCached(query);
+  if (!warm.ok()) state.SkipWithError(warm.status().ToString().c_str());
+  for (auto _ : state) {
+    auto result = engine->ExecuteCached(query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["hits"] = static_cast<double>(engine->cache_stats().hits);
+}
+BENCHMARK(BM_Memoization_Hit);
+
+void BM_Memoization_Miss(benchmark::State& state) {
+  auto engine = bench::MakeXMarkEngine(0.1);
+  const char* query = "count(doc('xmark.xml')/site/regions//item)";
+  for (auto _ : state) {
+    auto result = engine->Execute(query);  // Uncached: full compile + run.
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Memoization_Miss);
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Experiment E10 — the skip() granularity remedy (paper: "$x[3]" walkthrough
+// and 'special methods (i.e., skip()) to remedy granularity'): positional
+// access over a token stream with O(1) subtree skip links vs. token-by-token
+// scanning.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tokens/token_iterator.h"
+#include "tokens/token_stream.h"
+
+namespace xqp {
+namespace {
+
+/// A wide document: `n` children each with a bulky subtree; the benchmark
+/// fetches child k, skipping the first k-1 subtrees.
+std::string WideXml(int children, int payload) {
+  std::string xml = "<r>";
+  for (int i = 0; i < children; ++i) {
+    xml += "<row>";
+    for (int p = 0; p < payload; ++p) {
+      xml += "<cell attr=\"v\">data-" + std::to_string(p) + "</cell>";
+    }
+    xml += "</row>";
+  }
+  xml += "</r>";
+  return xml;
+}
+
+const TokenStream& WideStream() {
+  static const TokenStream* stream = [] {
+    auto ts = new TokenStream(
+        std::move(TokenStream::FromXml(WideXml(2000, 40))).ValueOrDie());
+    return ts;
+  }();
+  return *stream;
+}
+
+/// Returns the serialized content of the k-th <row>, using Skip() on the
+/// provided iterator to jump over preceding rows.
+template <typename Iterator>
+int64_t NthRow(Iterator* it, int64_t k) {
+  (void)it->Open();
+  int64_t seen = 0;
+  int64_t cells = 0;
+  while (true) {
+    auto t = it->Next();
+    if (!t.ok() || t.value() == nullptr) break;
+    const Token& tok = *t.value();
+    if (tok.kind != TokenKind::kStartElement) continue;
+    if (it->name(tok).local != "row") continue;
+    ++seen;
+    if (seen < k) {
+      (void)it->Skip();  // Jump the whole subtree.
+      continue;
+    }
+    // Found: consume the subtree, counting cells.
+    int depth = 1;
+    while (depth > 0) {
+      auto inner = it->Next();
+      if (!inner.ok() || inner.value() == nullptr) break;
+      if (inner.value()->kind == TokenKind::kStartElement) {
+        ++depth;
+        ++cells;
+      }
+      if (inner.value()->kind == TokenKind::kEndElement) --depth;
+    }
+    break;
+  }
+  return cells;
+}
+
+void BM_PositionalAccess_WithSkipLinks(benchmark::State& state) {
+  const TokenStream& ts = WideStream();
+  int64_t k = state.range(0);
+  for (auto _ : state) {
+    StreamTokenIterator it(&ts);
+    benchmark::DoNotOptimize(NthRow(&it, k));
+  }
+}
+BENCHMARK(BM_PositionalAccess_WithSkipLinks)
+    ->Arg(10)->Arg(500)->Arg(1999);
+
+void BM_PositionalAccess_ScanOnly(benchmark::State& state) {
+  const TokenStream& ts = WideStream();
+  int64_t k = state.range(0);
+  for (auto _ : state) {
+    ScanOnlyTokenIterator it(&ts);
+    benchmark::DoNotOptimize(NthRow(&it, k));
+  }
+}
+BENCHMARK(BM_PositionalAccess_ScanOnly)->Arg(10)->Arg(500)->Arg(1999);
+
+/// The same positional access through the query engine: the lazy engine's
+/// constant-positional-predicate early exit is the expression-level analog.
+void BM_PositionalAccess_QueryEngine(benchmark::State& state) {
+  static XQueryEngine* engine = [] {
+    auto* e = new XQueryEngine();
+    if (!e->ParseAndRegister("wide.xml", WideXml(2000, 40)).ok()) std::abort();
+    return e;
+  }();
+  auto compiled = bench::MustCompile(
+      engine, "count(doc('wide.xml')/r/row[" +
+                  std::to_string(state.range(0)) + "]/cell)");
+  for (auto _ : state) {
+    auto result = compiled->Execute();
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PositionalAccess_QueryEngine)->Arg(10)->Arg(500)->Arg(1999);
+
+/// Document-table skip (region end labels) for reference.
+void BM_PositionalAccess_NodeTable(benchmark::State& state) {
+  static std::shared_ptr<const Document>* doc = [] {
+    return new std::shared_ptr<const Document>(
+        std::move(Document::Parse(WideXml(2000, 40))).ValueOrDie());
+  }();
+  int64_t k = state.range(0);
+  for (auto _ : state) {
+    DocumentTokenIterator it(*doc);
+    benchmark::DoNotOptimize(NthRow(&it, k));
+  }
+}
+BENCHMARK(BM_PositionalAccess_NodeTable)->Arg(10)->Arg(500)->Arg(1999);
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Experiment E3 — XML storage modes (paper: "Possible XML Storage Modes"):
+// plain text vs. tree/node-table vs. token array. We measure build time and
+// bytes-per-node for each representation over XMark data.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tokens/token_iterator.h"
+#include "tokens/token_stream.h"
+
+namespace xqp {
+namespace {
+
+void BM_Build_NodeTable(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  size_t nodes = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto doc = Document::Parse(xml);
+    nodes = doc.value()->NumNodes();
+    bytes = doc.value()->MemoryUsage();
+    benchmark::DoNotOptimize(doc);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["bytes_per_node"] =
+      static_cast<double>(bytes) / static_cast<double>(nodes);
+  state.counters["xml_bytes"] = static_cast<double>(xml.size());
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Build_NodeTable)->Arg(50)->Arg(200);
+
+void BM_Build_TokenStream(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  size_t tokens = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto ts = TokenStream::FromXml(xml);
+    tokens = ts.value().size();
+    bytes = ts.value().MemoryUsage();
+    benchmark::DoNotOptimize(ts);
+  }
+  state.counters["tokens"] = static_cast<double>(tokens);
+  state.counters["bytes_per_token"] =
+      static_cast<double>(bytes) / static_cast<double>(tokens);
+  state.counters["xml_bytes"] = static_cast<double>(xml.size());
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Build_TokenStream)->Arg(50)->Arg(200);
+
+/// Plain text "storage" is free to build but must re-parse on every use
+/// (paper: "need to re-parse all the time; not an option for XQuery
+/// processing"). This measures one forced re-parse per access.
+void BM_Access_PlainText_Reparse(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    // Access = count all <item> elements, which requires a parse.
+    ParserTokenIterator it(xml);
+    (void)it.Open();
+    int64_t items = 0;
+    while (true) {
+      auto t = it.Next();
+      if (!t.ok() || t.value() == nullptr) break;
+      if (t.value()->kind == TokenKind::kStartElement &&
+          it.name(*t.value()).local == "item") {
+        ++items;
+      }
+    }
+    benchmark::DoNotOptimize(items);
+  }
+}
+BENCHMARK(BM_Access_PlainText_Reparse)->Arg(50)->Arg(200);
+
+void BM_Access_NodeTable(benchmark::State& state) {
+  auto doc = bench::XMarkDoc(bench::ScaleFromArg(state.range(0)));
+  uint32_t name_id = doc->FindNameId("", "item");
+  for (auto _ : state) {
+    int64_t items = 0;
+    for (NodeIndex i = 0; i < doc->NumNodes(); ++i) {
+      const NodeRecord& n = doc->node(i);
+      if (n.kind == NodeKind::kElement && n.name_id == name_id) ++items;
+    }
+    benchmark::DoNotOptimize(items);
+  }
+}
+BENCHMARK(BM_Access_NodeTable)->Arg(50)->Arg(200);
+
+void BM_Access_TokenStream(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  TokenStream ts = std::move(TokenStream::FromXml(xml)).ValueOrDie();
+  for (auto _ : state) {
+    StreamTokenIterator it(&ts);
+    (void)it.Open();
+    int64_t items = 0;
+    while (true) {
+      auto t = it.Next();
+      if (!t.ok() || t.value() == nullptr) break;
+      if (t.value()->kind == TokenKind::kStartElement &&
+          it.name(*t.value()).local == "item") {
+        ++items;
+      }
+    }
+    benchmark::DoNotOptimize(items);
+  }
+}
+BENCHMARK(BM_Access_TokenStream)->Arg(50)->Arg(200);
+
+/// Memory-footprint summary row (single iteration, counters only).
+void BM_MemoryFootprint(benchmark::State& state) {
+  double scale = bench::ScaleFromArg(state.range(0));
+  const std::string& xml = bench::XMarkXml(scale);
+  auto doc = Document::Parse(xml).value();
+  TokenStream ts = TokenStream::FromDocument(*doc);
+  TokenStreamOptions no_ids;
+  no_ids.with_node_ids = false;
+  TokenStream ts_no_ids = TokenStream::FromDocument(*doc, no_ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc);
+  }
+  state.counters["text_bytes"] = static_cast<double>(xml.size());
+  state.counters["node_table_bytes"] = static_cast<double>(doc->MemoryUsage());
+  state.counters["token_stream_bytes"] =
+      static_cast<double>(ts.MemoryUsage());
+  state.counters["token_stream_noid_bytes"] =
+      static_cast<double>(ts_no_ids.MemoryUsage());
+}
+BENCHMARK(BM_MemoryFootprint)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// Experiment E5 — the structural-join primitive (Al-Khalifa et al., from
+// the paper's query-evaluation reading list): Stack-Tree joins vs. the
+// MPMGJN merge baseline vs. nested loops vs. navigation, over both XMark
+// data and synthetic recursive documents with controlled nesting.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "join/navigation.h"
+#include "join/structural_join.h"
+#include "join/tag_index.h"
+
+namespace xqp {
+namespace {
+
+struct JoinInput {
+  std::shared_ptr<const Document> doc;
+  std::unique_ptr<TagIndex> index;
+  const std::vector<NodeIndex>* ancestors;
+  const std::vector<NodeIndex>* descendants;
+};
+
+/// XMark: ancestors = <item>, descendants = <keyword> (inside mixed-content
+/// descriptions).
+JoinInput XMarkInput(double scale) {
+  JoinInput in;
+  in.doc = bench::XMarkDoc(scale);
+  in.index = std::make_unique<TagIndex>(in.doc);
+  in.ancestors = in.index->Lookup("", "item");
+  in.descendants = in.index->Lookup("", "keyword");
+  if (in.ancestors == nullptr || in.descendants == nullptr) std::abort();
+  return in;
+}
+
+/// Synthetic: <a> chains `depth` deep (stress for the merge rescans).
+JoinInput RecursiveInput(int depth) {
+  JoinInput in;
+  auto doc = Document::Parse(bench::RecursiveXml(400, depth, 4));
+  in.doc = std::move(doc).ValueOrDie();
+  in.index = std::make_unique<TagIndex>(in.doc);
+  in.ancestors = in.index->Lookup("", "a");
+  in.descendants = in.index->Lookup("", "b");
+  return in;
+}
+
+template <typename Fn>
+void RunJoin(benchmark::State& state, const JoinInput& in, Fn join) {
+  size_t pairs = 0;
+  for (auto _ : state) {
+    auto result = join(*in.doc, *in.ancestors, *in.descendants);
+    pairs = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["anc"] = static_cast<double>(in.ancestors->size());
+  state.counters["desc"] = static_cast<double>(in.descendants->size());
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_XMark_StackTreeDesc(benchmark::State& state) {
+  auto in = XMarkInput(bench::ScaleFromArg(state.range(0)));
+  RunJoin(state, in, [](const Document& d, const auto& a, const auto& b) {
+    return StackTreeDesc(d, a, b);
+  });
+}
+BENCHMARK(BM_XMark_StackTreeDesc)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_XMark_StackTreeAnc(benchmark::State& state) {
+  auto in = XMarkInput(bench::ScaleFromArg(state.range(0)));
+  RunJoin(state, in, [](const Document& d, const auto& a, const auto& b) {
+    return StackTreeAnc(d, a, b);
+  });
+}
+BENCHMARK(BM_XMark_StackTreeAnc)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_XMark_Mpmg(benchmark::State& state) {
+  auto in = XMarkInput(bench::ScaleFromArg(state.range(0)));
+  RunJoin(state, in, [](const Document& d, const auto& a, const auto& b) {
+    return MpmgJoin(d, a, b);
+  });
+}
+BENCHMARK(BM_XMark_Mpmg)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_XMark_NestedLoop(benchmark::State& state) {
+  auto in = XMarkInput(bench::ScaleFromArg(state.range(0)));
+  RunJoin(state, in, [](const Document& d, const auto& a, const auto& b) {
+    return NestedLoopJoin(d, a, b);
+  });
+}
+BENCHMARK(BM_XMark_NestedLoop)->Arg(50)->Arg(200);
+
+void BM_XMark_Navigation(benchmark::State& state) {
+  auto in = XMarkInput(bench::ScaleFromArg(state.range(0)));
+  size_t count = 0;
+  for (auto _ : state) {
+    auto pairs = NavigatePairs(*in.doc, "", "item", "", "keyword");
+    count = pairs.size();
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["pairs"] = static_cast<double>(count);
+}
+BENCHMARK(BM_XMark_Navigation)->Arg(50)->Arg(200)->Arg(500);
+
+/// Deep recursion is where Stack-Tree's stack beats MPMGJN's rescans.
+void BM_Recursive_StackTreeDesc(benchmark::State& state) {
+  auto in = RecursiveInput(static_cast<int>(state.range(0)));
+  RunJoin(state, in, [](const Document& d, const auto& a, const auto& b) {
+    return StackTreeDesc(d, a, b);
+  });
+}
+BENCHMARK(BM_Recursive_StackTreeDesc)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Recursive_Mpmg(benchmark::State& state) {
+  auto in = RecursiveInput(static_cast<int>(state.range(0)));
+  RunJoin(state, in, [](const Document& d, const auto& a, const auto& b) {
+    return MpmgJoin(d, a, b);
+  });
+}
+BENCHMARK(BM_Recursive_Mpmg)->Arg(4)->Arg(16)->Arg(64);
+
+/// The adversarial case for the merge join: an umbrella ancestor keeps the
+/// cursor pinned while closed ancestors are rescanned for every descendant
+/// — O(closed * tail) for MPMGJN vs. O(closed + tail + output) for the
+/// stack join.
+JoinInput UmbrellaInput(int closed) {
+  JoinInput in;
+  auto doc = Document::Parse(bench::UmbrellaXml(closed, 2000));
+  in.doc = std::move(doc).ValueOrDie();
+  in.index = std::make_unique<TagIndex>(in.doc);
+  in.ancestors = in.index->Lookup("", "a");
+  in.descendants = in.index->Lookup("", "b");
+  return in;
+}
+
+void BM_Umbrella_StackTreeDesc(benchmark::State& state) {
+  auto in = UmbrellaInput(static_cast<int>(state.range(0)));
+  RunJoin(state, in, [](const Document& d, const auto& a, const auto& b) {
+    return StackTreeDesc(d, a, b);
+  });
+}
+BENCHMARK(BM_Umbrella_StackTreeDesc)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_Umbrella_Mpmg(benchmark::State& state) {
+  auto in = UmbrellaInput(static_cast<int>(state.range(0)));
+  RunJoin(state, in, [](const Document& d, const auto& a, const auto& b) {
+    return MpmgJoin(d, a, b);
+  });
+}
+BENCHMARK(BM_Umbrella_Mpmg)->Arg(100)->Arg(1000)->Arg(4000);
+
+/// Semi-join projections (what XPath steps actually consume).
+void BM_SemiJoin_Descendants(benchmark::State& state) {
+  auto in = XMarkInput(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto result = JoinDescendants(*in.doc, *in.ancestors, *in.descendants);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SemiJoin_Descendants)->Arg(200)->Arg(500);
+
+void BM_SemiJoin_Ancestors(benchmark::State& state) {
+  auto in = XMarkInput(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto result = JoinAncestors(*in.doc, *in.ancestors, *in.descendants);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SemiJoin_Ancestors)->Arg(200)->Arg(500);
+
+/// Index build cost, amortized over queries.
+void BM_TagIndexBuild(benchmark::State& state) {
+  auto doc = bench::XMarkDoc(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    TagIndex index(doc);
+    benchmark::DoNotOptimize(index.NumTags());
+  }
+}
+BENCHMARK(BM_TagIndexBuild)->Arg(50)->Arg(200)->Arg(500);
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

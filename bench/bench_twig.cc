@@ -1,0 +1,137 @@
+// Experiment E6 — holistic twig joins (Bruno et al., from the paper's
+// reading list): TwigStack vs. a binary-structural-join pipeline vs.
+// navigation, on XMark twig patterns. The headline metric besides time is
+// the number of intermediate pairs each strategy materializes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "join/twig.h"
+
+namespace xqp {
+namespace {
+
+/// XMark twig patterns of increasing branchiness.
+TwigPattern MakePattern(int which) {
+  TwigPattern p;
+  switch (which) {
+    case 0: {  // //item//keyword (path)
+      p.Add("item");
+      p.output = p.Add("keyword", 0, false);
+      break;
+    }
+    case 1: {  // //open_auction[bidder]/seller
+      int a = p.Add("open_auction");
+      p.Add("bidder", a, true);
+      p.output = p.Add("seller", a, true);
+      break;
+    }
+    case 2: {  // //item[mailbox//date]//keyword
+      int item = p.Add("item");
+      int mail = p.Add("mailbox", item, true);
+      p.Add("date", mail, false);
+      p.output = p.Add("keyword", item, false);
+      break;
+    }
+    default: {  // //listitem[bold]//keyword
+      int li = p.Add("listitem");
+      p.Add("bold", li, false);
+      p.output = p.Add("keyword", li, false);
+      break;
+    }
+  }
+  return p;
+}
+
+struct Fixture {
+  std::shared_ptr<const Document> doc;
+  std::unique_ptr<TagIndex> index;
+};
+
+Fixture MakeFixture(double scale) {
+  Fixture f;
+  f.doc = bench::XMarkDoc(scale);
+  f.index = std::make_unique<TagIndex>(f.doc);
+  return f;
+}
+
+void BM_TwigStack(benchmark::State& state) {
+  auto f = MakeFixture(bench::ScaleFromArg(state.range(0)));
+  TwigPattern pattern = MakePattern(static_cast<int>(state.range(1)));
+  TwigStats stats{};
+  for (auto _ : state) {
+    stats = TwigStats{};
+    auto result = TwigStackMatch(*f.index, pattern, &stats);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["matches"] = static_cast<double>(stats.output_matches);
+  state.counters["intermediate_pairs"] =
+      static_cast<double>(stats.intermediate_pairs);
+  state.SetLabel(pattern.ToString());
+}
+BENCHMARK(BM_TwigStack)
+    ->Args({200, 0})->Args({200, 1})->Args({200, 2})->Args({200, 3})
+    ->Args({500, 1})->Args({500, 2});
+
+void BM_BinaryJoins(benchmark::State& state) {
+  auto f = MakeFixture(bench::ScaleFromArg(state.range(0)));
+  TwigPattern pattern = MakePattern(static_cast<int>(state.range(1)));
+  TwigStats stats{};
+  for (auto _ : state) {
+    stats = TwigStats{};
+    auto result = BinaryJoinMatch(*f.index, pattern, &stats);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["matches"] = static_cast<double>(stats.output_matches);
+  state.counters["intermediate_pairs"] =
+      static_cast<double>(stats.intermediate_pairs);
+  state.SetLabel(pattern.ToString());
+}
+BENCHMARK(BM_BinaryJoins)
+    ->Args({200, 0})->Args({200, 1})->Args({200, 2})->Args({200, 3})
+    ->Args({500, 1})->Args({500, 2});
+
+void BM_NavigationTwig(benchmark::State& state) {
+  auto f = MakeFixture(bench::ScaleFromArg(state.range(0)));
+  TwigPattern pattern = MakePattern(static_cast<int>(state.range(1)));
+  TwigStats stats{};
+  for (auto _ : state) {
+    stats = TwigStats{};
+    auto result = NavigationMatch(*f.doc, pattern, &stats);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["matches"] = static_cast<double>(stats.output_matches);
+  state.SetLabel(pattern.ToString());
+}
+BENCHMARK(BM_NavigationTwig)
+    ->Args({200, 0})->Args({200, 1})->Args({200, 2})->Args({200, 3})
+    ->Args({500, 1})->Args({500, 2});
+
+/// The query engine evaluating the same pattern navigationally through the
+/// full XQuery stack (for scale: what the twig machinery buys end to end).
+void BM_EngineEquivalent(benchmark::State& state) {
+  auto engine = bench::MakeXMarkEngine(bench::ScaleFromArg(state.range(0)));
+  static const char* kQueries[] = {
+      "doc('xmark.xml')//item//keyword",
+      "doc('xmark.xml')//open_auction[bidder]/seller",
+      "doc('xmark.xml')//item[mailbox//date]//keyword",
+      "doc('xmark.xml')//listitem[bold]//keyword",
+  };
+  auto compiled = bench::MustCompile(
+      engine.get(), kQueries[static_cast<int>(state.range(1))]);
+  for (auto _ : state) {
+    auto result = compiled->Execute();
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EngineEquivalent)
+    ->Args({200, 0})->Args({200, 1})->Args({200, 2})->Args({200, 3});
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

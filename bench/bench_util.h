@@ -1,0 +1,94 @@
+#ifndef XQP_BENCH_BENCH_UTIL_H_
+#define XQP_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine.h"
+#include "xmark/generator.h"
+
+namespace xqp {
+namespace bench {
+
+/// Scale arguments are passed to benchmarks as integer permille of XMark
+/// scale 1.0 (e.g. Arg(50) = scale 0.05).
+inline double ScaleFromArg(int64_t arg) { return static_cast<double>(arg) / 1000.0; }
+
+/// Cached XMark XML text per scale (generation is deterministic).
+inline const std::string& XMarkXml(double scale) {
+  static auto* cache = new std::map<double, std::string>();
+  auto it = cache->find(scale);
+  if (it == cache->end()) {
+    XMarkOptions options;
+    options.scale = scale;
+    it = cache->emplace(scale, GenerateXMarkXml(options)).first;
+  }
+  return it->second;
+}
+
+/// Cached parsed XMark document per scale.
+inline std::shared_ptr<const Document> XMarkDoc(double scale) {
+  static auto* cache =
+      new std::map<double, std::shared_ptr<const Document>>();
+  auto it = cache->find(scale);
+  if (it == cache->end()) {
+    auto doc = Document::Parse(XMarkXml(scale));
+    it = cache->emplace(scale, std::move(doc).ValueOrDie()).first;
+  }
+  return it->second;
+}
+
+/// An engine with the XMark document registered as "xmark.xml".
+inline std::unique_ptr<XQueryEngine> MakeXMarkEngine(double scale) {
+  auto engine = std::make_unique<XQueryEngine>();
+  Status st = engine->RegisterDocument("xmark.xml", XMarkDoc(scale));
+  if (!st.ok()) std::abort();
+  return engine;
+}
+
+/// Compiles or dies (benchmark setup).
+inline std::unique_ptr<CompiledQuery> MustCompile(
+    XQueryEngine* engine, const std::string& query,
+    const XQueryEngine::CompileOptions& options = {}) {
+  auto compiled = engine->Compile(query, options);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n  %s\n",
+                 compiled.status().ToString().c_str(), query.c_str());
+    std::abort();
+  }
+  return std::move(compiled).value();
+}
+
+/// Builds a synthetic recursive document: `width` chains, each nesting
+/// <a> `depth` deep with a <b> leaf; plus `noise` unrelated siblings.
+/// Knobs for the structural-join selectivity sweeps.
+inline std::string RecursiveXml(int width, int depth, int noise) {
+  std::string xml = "<root>";
+  for (int w = 0; w < width; ++w) {
+    for (int d = 0; d < depth; ++d) xml += "<a>";
+    xml += "<b/>";
+    for (int d = 0; d < depth; ++d) xml += "</a>";
+    for (int n = 0; n < noise; ++n) xml += "<x/>";
+  }
+  xml += "</root>";
+  return xml;
+}
+
+/// The MPMGJN adversary (Al-Khalifa et al., figure 6 shape): one umbrella
+/// <a> containing `closed` small closed <a> subtrees followed by `tail`
+/// <b> descendants. The merge join rescans every closed <a> for each <b>
+/// (its cursor cannot advance past the still-open umbrella), O(closed *
+/// tail); the stack join pops each closed <a> exactly once.
+inline std::string UmbrellaXml(int closed, int tail) {
+  std::string xml = "<root><a>";
+  for (int i = 0; i < closed; ++i) xml += "<a><x/></a>";
+  for (int i = 0; i < tail; ++i) xml += "<b/>";
+  xml += "</a></root>";
+  return xml;
+}
+
+}  // namespace bench
+}  // namespace xqp
+
+#endif  // XQP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,128 @@
+#include "base/string_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace xqp {
+
+bool IsAllXmlWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlWhitespace(c)) return false;
+  }
+  return true;
+}
+
+std::string_view TrimXmlWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsXmlWhitespace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsXmlWhitespace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string NormalizeSpace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_ws = true;  // Swallow leading whitespace.
+  for (char c : s) {
+    if (IsXmlWhitespace(c)) {
+      if (!in_ws) out.push_back(' ');
+      in_ws = true;
+    } else {
+      out.push_back(c);
+      in_ws = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsNCName(std::string_view name) {
+  if (name.empty() || !IsNameStartChar(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!IsNameChar(name[i])) return false;
+  }
+  return true;
+}
+
+void SplitQName(std::string_view lexical, std::string_view* prefix,
+                std::string_view* local) {
+  size_t colon = lexical.find(':');
+  if (colon == std::string_view::npos) {
+    *prefix = std::string_view();
+    *local = lexical;
+  } else {
+    *prefix = lexical.substr(0, colon);
+    *local = lexical.substr(colon + 1);
+  }
+}
+
+void AppendEscapedText(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void AppendEscapedAttribute(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '"':
+        out->append("&quot;");
+        break;
+      case '\n':
+        out->append("&#10;");
+        break;
+      case '\t':
+        out->append("&#9;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "INF" : "-INF";
+  if (v == 0.0) return std::signbit(v) ? "-0" : "0";
+  // Integral values within the int64 range print without a decimal point,
+  // matching how XPath serializes xs:double values like 3.0e0 => "3".
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace xqp

@@ -1,0 +1,238 @@
+#include "engine.h"
+
+#include "exec/interpreter.h"
+#include "exec/iterators.h"
+#include "join/twig.h"
+#include "join/twig_planner.h"
+#include "opt/properties.h"
+#include "opt/static_types.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+
+namespace xqp {
+
+void XQueryEngine::InvalidateCaches() {
+  if (!result_cache_.empty()) ++cache_stats_.invalidations;
+  result_cache_.clear();
+  tag_indexes_.clear();
+}
+
+Status XQueryEngine::RegisterDocument(const std::string& uri,
+                                      std::shared_ptr<const Document> doc) {
+  if (doc == nullptr) return Status::InvalidArgument("null document");
+  documents_[uri] = std::move(doc);
+  InvalidateCaches();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Document>> XQueryEngine::ParseAndRegister(
+    const std::string& uri, std::string_view xml, const ParseOptions& options) {
+  XQP_ASSIGN_OR_RETURN(std::shared_ptr<Document> doc,
+                       Document::Parse(xml, options));
+  doc->set_base_uri(uri);
+  documents_[uri] = doc;
+  InvalidateCaches();
+  return std::shared_ptr<const Document>(doc);
+}
+
+Status XQueryEngine::RegisterCollection(const std::string& uri,
+                                        Sequence items) {
+  collections_[uri] = std::move(items);
+  InvalidateCaches();
+  return Status::OK();
+}
+
+Result<Sequence> XQueryEngine::ExecuteCached(std::string_view query) {
+  auto hit = result_cache_.find(query);
+  if (hit != result_cache_.end()) {
+    ++cache_stats_.hits;
+    return hit->second;
+  }
+  XQP_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> compiled, Compile(query));
+  XQP_ASSIGN_OR_RETURN(Sequence result, compiled->Execute());
+  // Node-constructing queries must produce fresh identities per run, so
+  // their results are not shareable across calls.
+  if (compiled->module().body->props.creates_nodes) {
+    ++cache_stats_.uncacheable;
+    return result;
+  }
+  ++cache_stats_.misses;
+  result_cache_.emplace(std::string(query), result);
+  return result;
+}
+
+Result<std::shared_ptr<const Document>> XQueryEngine::GetDocument(
+    const std::string& uri) {
+  auto it = documents_.find(uri);
+  if (it == documents_.end()) {
+    return Status::DynamicError("document not found: " + uri);
+  }
+  return it->second;
+}
+
+Result<Sequence> XQueryEngine::GetCollection(const std::string& uri) {
+  auto it = collections_.find(uri);
+  if (it == collections_.end()) {
+    return Status::DynamicError("collection not found: " + uri);
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<const TagIndex>> XQueryEngine::GetTagIndex(
+    const std::string& uri) {
+  auto cached = tag_indexes_.find(uri);
+  if (cached != tag_indexes_.end()) return cached->second;
+  XQP_ASSIGN_OR_RETURN(std::shared_ptr<const Document> doc, GetDocument(uri));
+  auto index = std::make_shared<const TagIndex>(doc);
+  tag_indexes_[uri] = index;
+  return std::shared_ptr<const TagIndex>(index);
+}
+
+Result<std::unique_ptr<CompiledQuery>> XQueryEngine::Compile(
+    std::string_view query, const CompileOptions& options) {
+  auto compiled = std::unique_ptr<CompiledQuery>(new CompiledQuery());
+  XQP_ASSIGN_OR_RETURN(compiled->module_, ParseQuery(query));
+  XQP_RETURN_NOT_OK(NormalizeModule(compiled->module_.get()));
+  if (options.static_typing) {
+    XQP_RETURN_NOT_OK(StaticTypeCheck(compiled->module_.get()));
+  }
+  if (options.optimize) {
+    XQP_ASSIGN_OR_RETURN(
+        compiled->rewrite_stats_,
+        OptimizeModule(compiled->module_.get(), options.rewriter));
+  }
+  // Final analysis pass: the lazy compiler consults properties (uses_last
+  // and friends) even when optimization is disabled.
+  ParsedModule* m = compiled->module_.get();
+  for (UserFunction& fn : m->functions) {
+    if (fn.body != nullptr) AnalyzeExpr(fn.body.get(), m);
+  }
+  for (GlobalVariable& g : m->globals) {
+    if (g.init != nullptr) AnalyzeExpr(g.init.get(), m);
+  }
+  AnalyzeExpr(m->body.get(), m);
+  compiled->engine_ = this;
+  return compiled;
+}
+
+Result<Sequence> XQueryEngine::Execute(std::string_view query) {
+  XQP_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> compiled, Compile(query));
+  return compiled->Execute();
+}
+
+Status CompiledQuery::SetupContext(const ExecOptions& options,
+                                   DynamicContext* ctx) const {
+  ctx->module = module_.get();
+  ctx->provider = engine_;
+  if (options.has_context_item) {
+    ctx->initial_context = LazySeq::FromItem(options.context_item);
+  }
+  for (const auto& [name, value] : options.variables) {
+    ctx->external_variables[name] = LazySeq::FromVector(value);
+  }
+  // Globals, in declaration order.
+  ctx->globals.resize(module_->globals.size());
+  for (const GlobalVariable& g : module_->globals) {
+    if (g.init != nullptr) {
+      ctx->slots.assign(g.num_slots, nullptr);
+      XQP_ASSIGN_OR_RETURN(Sequence value, EvalExpr(g.init.get(), ctx));
+      ctx->globals[g.slot] = LazySeq::FromVector(std::move(value));
+    } else {
+      auto it = ctx->external_variables.find(g.name.local);
+      if (it == ctx->external_variables.end()) {
+        return Status::DynamicError("external variable not bound: $" +
+                                    g.name.Lexical());
+      }
+      ctx->globals[g.slot] = it->second;
+    }
+  }
+  ctx->slots.assign(module_->num_slots, nullptr);
+  return Status::OK();
+}
+
+Result<Sequence> CompiledQuery::Execute(const ExecOptions& options) const {
+  DynamicContext ctx;
+  XQP_RETURN_NOT_OK(SetupContext(options, &ctx));
+  if (options.use_lazy_engine) {
+    return ExecuteLazy(module_->body.get(), &ctx);
+  }
+  return EvalExpr(module_->body.get(), &ctx);
+}
+
+Result<std::string> CompiledQuery::ExecuteToXml(
+    const ExecOptions& options) const {
+  XQP_ASSIGN_OR_RETURN(Sequence result, Execute(options));
+  return SerializeSequence(result);
+}
+
+Result<std::unique_ptr<ResultStream>> CompiledQuery::Open(
+    const ExecOptions& options) const {
+  auto stream = std::unique_ptr<ResultStream>(new ResultStream());
+  stream->ctx_ = std::make_unique<DynamicContext>();
+  XQP_RETURN_NOT_OK(SetupContext(options, stream->ctx_.get()));
+  XQP_ASSIGN_OR_RETURN(stream->iterator_,
+                       OpenLazy(module_->body.get(), stream->ctx_.get()));
+  return stream;
+}
+
+Result<std::string> ResultStream::DrainToXml() {
+  std::string out;
+  bool prev_atomic = false;
+  Item item;
+  while (true) {
+    XQP_ASSIGN_OR_RETURN(bool got, iterator_->Next(&item));
+    if (!got) break;
+    if (item.IsNode()) {
+      XQP_RETURN_NOT_OK(SerializeNode(item.AsNode(), SerializeOptions{}, &out));
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) out.push_back(' ');
+      out += item.AsAtomic().Lexical();
+      prev_atomic = true;
+    }
+  }
+  return out;
+}
+
+bool CompiledQuery::IsTwigConvertible() const {
+  return TwigPlanner::IsConvertible(*module_->body);
+}
+
+Result<Sequence> CompiledQuery::ExecuteViaTwigJoin() const {
+  XQP_ASSIGN_OR_RETURN(TwigPattern pattern,
+                       TwigPlanner::Compile(*module_->body));
+  if (pattern.anchor_uri.empty()) {
+    return Status::InvalidArgument(
+        "twig execution requires a doc('uri')-anchored path");
+  }
+  if (engine_ == nullptr) return Status::Internal("query has no engine");
+  XQP_ASSIGN_OR_RETURN(std::shared_ptr<const TagIndex> index,
+                       engine_->GetTagIndex(pattern.anchor_uri));
+  XQP_ASSIGN_OR_RETURN(std::vector<NodeIndex> matches,
+                       TwigStackMatch(*index, pattern));
+  Sequence out;
+  out.reserve(matches.size());
+  for (NodeIndex n : matches) {
+    out.push_back(Item(Node(index->doc_ptr(), n)));
+  }
+  return out;
+}
+
+Result<std::string> SerializeSequence(const Sequence& seq,
+                                      const SerializeOptions& options) {
+  std::string out;
+  bool prev_atomic = false;
+  for (const Item& item : seq) {
+    if (item.IsNode()) {
+      XQP_RETURN_NOT_OK(SerializeNode(item.AsNode(), options, &out));
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) out.push_back(' ');
+      out += item.AsAtomic().Lexical();
+      prev_atomic = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace xqp

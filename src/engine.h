@@ -1,0 +1,192 @@
+#ifndef XQP_ENGINE_H_
+#define XQP_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "exec/dynamic_context.h"
+#include "exec/lazy_seq.h"
+#include "join/tag_index.h"
+#include "opt/rewriter.h"
+#include "query/static_context.h"
+#include "xml/document.h"
+#include "xml/serializer.h"
+
+namespace xqp {
+
+class CompiledQuery;
+
+/// The public facade: an in-memory XML store plus the XQuery compiler and
+/// its two execution engines (eager reference interpreter and lazy
+/// streaming iterator engine). Typical use:
+///
+///   XQueryEngine engine;
+///   engine.ParseAndRegister("bib.xml", xml_text);
+///   auto query = engine.Compile(
+///       "for $b in doc('bib.xml')//book where $b/@year = 1998 "
+///       "return $b/title");
+///   auto result = query.value()->Execute();
+class XQueryEngine : public DocumentProvider {
+ public:
+  XQueryEngine() = default;
+
+  /// Registers an already-built document under `uri` for fn:doc.
+  Status RegisterDocument(const std::string& uri,
+                          std::shared_ptr<const Document> doc);
+
+  /// Parses `xml` and registers the document under `uri`.
+  Result<std::shared_ptr<const Document>> ParseAndRegister(
+      const std::string& uri, std::string_view xml,
+      const ParseOptions& options = {});
+
+  /// Registers a named collection for fn:collection.
+  Status RegisterCollection(const std::string& uri, Sequence items);
+
+  // DocumentProvider:
+  Result<std::shared_ptr<const Document>> GetDocument(
+      const std::string& uri) override;
+  Result<Sequence> GetCollection(const std::string& uri) override;
+
+  struct CompileOptions {
+    /// Run the rewrite-rule optimizer (SQ5/optimization step).
+    bool optimize = true;
+    /// The optional XQuery *static typing feature* (strict: rejects e.g.
+    /// untyped-vs-numeric value comparisons at compile time).
+    bool static_typing = false;
+    RewriterOptions rewriter;
+  };
+
+  /// Compiles a query: parse -> normalize -> optimize.
+  Result<std::unique_ptr<CompiledQuery>> Compile(std::string_view query,
+                                                 const CompileOptions& options);
+  Result<std::unique_ptr<CompiledQuery>> Compile(std::string_view query) {
+    return Compile(query, CompileOptions());
+  }
+
+  /// One-shot convenience: compile with defaults and execute.
+  Result<Sequence> Execute(std::string_view query);
+
+  /// Memoizing execution (paper: "Memoization — cache results of
+  /// expressions: inter-query (multi-query optimization)"). Results are
+  /// cached by query text and invalidated whenever a document or
+  /// collection is (re)registered. Only queries that construct no new
+  /// nodes are cached — constructor results must have fresh identities on
+  /// every evaluation.
+  Result<Sequence> ExecuteCached(std::string_view query);
+
+  /// Cache statistics for the memoization experiment/tests.
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t uncacheable = 0;
+    uint64_t invalidations = 0;
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+
+  /// Tag index for a registered document, built on first use and cached
+  /// (substrate for the structural/twig join execution strategy).
+  Result<std::shared_ptr<const TagIndex>> GetTagIndex(const std::string& uri);
+
+ private:
+  void InvalidateCaches();
+
+  std::map<std::string, std::shared_ptr<const Document>> documents_;
+  std::map<std::string, Sequence> collections_;
+  std::map<std::string, std::shared_ptr<const TagIndex>> tag_indexes_;
+  std::map<std::string, Sequence, std::less<>> result_cache_;
+  CacheStats cache_stats_;
+};
+
+/// An open, incrementally consumable query result: the engine-level
+/// embodiment of the paper's streaming requirement ("output parts of the
+/// result BEFORE the entire data input is received"). Owns the dynamic
+/// context; pull items with Next().
+class ResultStream {
+ public:
+  /// Produces the next result item; false at end.
+  Result<bool> Next(Item* out) { return iterator_->Next(out); }
+
+  /// Serializes the remaining items to XML text (nodes as markup, atomics
+  /// space-separated), pulling lazily.
+  Result<std::string> DrainToXml();
+
+ private:
+  friend class CompiledQuery;
+  ResultStream() = default;
+
+  std::unique_ptr<DynamicContext> ctx_;
+  std::unique_ptr<ItemIterator> iterator_;
+};
+
+/// A compiled, optimized query ready for (repeated) execution.
+class CompiledQuery {
+ public:
+  struct ExecOptions {
+    /// Bindings for "declare variable ... external", keyed by local name.
+    std::map<std::string, Sequence> variables;
+    /// Initial context item (".").
+    bool has_context_item = false;
+    Item context_item;
+    /// Engine selection: the lazy streaming iterator engine (default) or
+    /// the eager materializing interpreter.
+    bool use_lazy_engine = true;
+  };
+
+  /// Runs the query and materializes the full result.
+  Result<Sequence> Execute(const ExecOptions& options) const;
+  Result<Sequence> Execute() const { return Execute(ExecOptions()); }
+
+  /// Runs the query and serializes the result sequence as XML text.
+  Result<std::string> ExecuteToXml(const ExecOptions& options) const;
+  Result<std::string> ExecuteToXml() const {
+    return ExecuteToXml(ExecOptions());
+  }
+
+  /// Opens the query for streaming consumption on the lazy engine: items
+  /// are computed as the caller pulls them (minimal time-to-first-answer).
+  Result<std::unique_ptr<ResultStream>> Open(const ExecOptions& options) const;
+  Result<std::unique_ptr<ResultStream>> Open() const {
+    return Open(ExecOptions());
+  }
+
+  /// True when this query's body is a pure tree pattern that the
+  /// structural-join executor can evaluate (see join/twig_planner.h).
+  bool IsTwigConvertible() const;
+
+  /// Evaluates the query through the holistic twig-join executor instead of
+  /// the navigational engines. Requires IsTwigConvertible() and a
+  /// doc('uri')-anchored path; results are identical to Execute() for the
+  /// supported fragment. InvalidArgument otherwise.
+  Result<Sequence> ExecuteViaTwigJoin() const;
+
+  const ParsedModule& module() const { return *module_; }
+
+  /// Expression-tree dump after optimization (plan explanation).
+  std::string Explain() const { return module_->body->ToString(); }
+
+  /// Rule-application counts from compilation.
+  const RewriteStats& rewrite_stats() const { return rewrite_stats_; }
+
+ private:
+  friend class XQueryEngine;
+  CompiledQuery() = default;
+
+  /// Binds globals and prepares a dynamic context for one run.
+  Status SetupContext(const ExecOptions& options, DynamicContext* ctx) const;
+
+  std::unique_ptr<ParsedModule> module_;
+  XQueryEngine* engine_ = nullptr;
+  RewriteStats rewrite_stats_;
+};
+
+/// Serializes a result sequence: nodes as XML, atomics as lexical values
+/// separated by spaces (the DM4 serialization step).
+Result<std::string> SerializeSequence(const Sequence& seq,
+                                      const SerializeOptions& options = {});
+
+}  // namespace xqp
+
+#endif  // XQP_ENGINE_H_

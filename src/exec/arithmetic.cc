@@ -1,0 +1,124 @@
+#include "exec/arithmetic.h"
+
+#include <cmath>
+
+namespace xqp {
+
+namespace {
+
+/// Numeric tower rank: integer(0) < decimal(1) < double(2).
+int Rank(XsType t) {
+  switch (t) {
+    case XsType::kInteger:
+      return 0;
+    case XsType::kDecimal:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+Result<AtomicValue> ToNumeric(const AtomicValue& v) {
+  if (v.IsNumeric()) return v;
+  if (v.type() == XsType::kUntypedAtomic) return v.CastTo(XsType::kDouble);
+  return Status::TypeError("arithmetic on non-numeric operand (" +
+                           std::string(XsTypeName(v.type())) + ")");
+}
+
+}  // namespace
+
+Result<Sequence> EvalArithmetic(ArithOp op, const Sequence& lhs,
+                                const Sequence& rhs) {
+  if (lhs.empty() || rhs.empty()) return Sequence{};
+  if (lhs.size() != 1 || rhs.size() != 1) {
+    return Status::TypeError("arithmetic requires singleton operands");
+  }
+  XQP_ASSIGN_OR_RETURN(AtomicValue a, ToNumeric(lhs[0].AsAtomic()));
+  XQP_ASSIGN_OR_RETURN(AtomicValue b, ToNumeric(rhs[0].AsAtomic()));
+
+  if (op == ArithOp::kIDiv) {
+    double y = b.NumericAsDouble();
+    if (y == 0.0) return Status::DynamicError("integer division by zero");
+    double x = a.NumericAsDouble();
+    if (std::isnan(x) || std::isnan(y) || std::isinf(x)) {
+      return Status::DynamicError("idiv with NaN or INF operand");
+    }
+    return Sequence{Item(AtomicValue::Integer(
+        static_cast<int64_t>(std::trunc(x / y))))};
+  }
+
+  int rank = std::max(Rank(a.type()), Rank(b.type()));
+  // "div" on integers produces a decimal.
+  if (op == ArithOp::kDiv && rank == 0) rank = 1;
+
+  if (rank == 0) {
+    int64_t x = a.AsInt();
+    int64_t y = b.AsInt();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Sequence{Item(AtomicValue::Integer(x + y))};
+      case ArithOp::kSub:
+        return Sequence{Item(AtomicValue::Integer(x - y))};
+      case ArithOp::kMul:
+        return Sequence{Item(AtomicValue::Integer(x * y))};
+      case ArithOp::kMod:
+        if (y == 0) return Status::DynamicError("modulus by zero");
+        return Sequence{Item(AtomicValue::Integer(x % y))};
+      default:
+        break;
+    }
+  }
+
+  double x = a.NumericAsDouble();
+  double y = b.NumericAsDouble();
+  double r = 0;
+  switch (op) {
+    case ArithOp::kAdd:
+      r = x + y;
+      break;
+    case ArithOp::kSub:
+      r = x - y;
+      break;
+    case ArithOp::kMul:
+      r = x * y;
+      break;
+    case ArithOp::kDiv:
+      if (rank < 2 && y == 0.0) {
+        return Status::DynamicError("decimal division by zero");
+      }
+      r = x / y;
+      break;
+    case ArithOp::kMod:
+      if (rank < 2 && y == 0.0) return Status::DynamicError("modulus by zero");
+      r = std::fmod(x, y);
+      break;
+    case ArithOp::kIDiv:
+      return Status::Internal("idiv handled above");
+  }
+  if (rank == 1) {
+    if (std::isnan(r) || std::isinf(r)) {
+      return Status::DynamicError("decimal overflow");
+    }
+    return Sequence{Item(AtomicValue::Decimal(r))};
+  }
+  return Sequence{Item(AtomicValue::Double(r))};
+}
+
+Result<Sequence> EvalUnary(bool negate, const Sequence& operand) {
+  if (operand.empty()) return Sequence{};
+  if (operand.size() != 1) {
+    return Status::TypeError("unary arithmetic requires a singleton operand");
+  }
+  XQP_ASSIGN_OR_RETURN(AtomicValue v, ToNumeric(operand[0].AsAtomic()));
+  if (!negate) return Sequence{Item(v)};
+  switch (v.type()) {
+    case XsType::kInteger:
+      return Sequence{Item(AtomicValue::Integer(-v.AsInt()))};
+    case XsType::kDecimal:
+      return Sequence{Item(AtomicValue::Decimal(-v.AsRawDouble()))};
+    default:
+      return Sequence{Item(AtomicValue::Double(-v.AsRawDouble()))};
+  }
+}
+
+}  // namespace xqp

@@ -1,0 +1,21 @@
+#ifndef XQP_EXEC_ARITHMETIC_H_
+#define XQP_EXEC_ARITHMETIC_H_
+
+#include "exec/item.h"
+#include "query/expr.h"
+
+namespace xqp {
+
+/// Evaluates an arithmetic operation on two already-atomized operand
+/// sequences, applying the paper's rules: () operand => (); untyped casts
+/// to xs:double; numeric promotion integer -> decimal -> double; type
+/// errors otherwise.
+Result<Sequence> EvalArithmetic(ArithOp op, const Sequence& lhs,
+                                const Sequence& rhs);
+
+/// Unary +/-: atomized singleton (or () => ()).
+Result<Sequence> EvalUnary(bool negate, const Sequence& operand);
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_ARITHMETIC_H_

@@ -1,0 +1,192 @@
+#include "exec/axes.h"
+
+namespace xqp {
+
+AxisCursor::AxisCursor(const Node& origin, Axis axis, const NodeTest* test)
+    : origin_(origin), axis_(axis), test_(test) {
+  if (origin.IsNull()) {
+    done_ = true;
+    return;
+  }
+  const Document& doc = origin.doc();
+  const NodeRecord& rec = doc.node(origin.index());
+  switch (axis_) {
+    case Axis::kChild:
+      current_ = rec.first_child;
+      break;
+    case Axis::kAttribute:
+      current_ = rec.first_attr;
+      break;
+    case Axis::kSelf:
+      include_self_pending_ = true;
+      break;
+    case Axis::kParent:
+      current_ = rec.parent;
+      break;
+    case Axis::kAncestor:
+      current_ = rec.parent;
+      break;
+    case Axis::kAncestorOrSelf:
+      include_self_pending_ = true;
+      current_ = rec.parent;
+      break;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      include_self_pending_ = axis_ == Axis::kDescendantOrSelf;
+      // Descendants occupy rows (origin, rec.end]; attributes are skipped
+      // during the scan.
+      scan_ = origin.index() + 1;
+      scan_end_ = rec.end;
+      break;
+    }
+    case Axis::kFollowingSibling:
+      current_ = rec.kind == NodeKind::kAttribute ? kNullNode
+                                                  : rec.next_sibling;
+      break;
+    case Axis::kPrecedingSibling: {
+      // Walk later; handled in Next() by scanning parent's children.
+      current_ = kNullNode;
+      if (rec.parent != kNullNode && rec.kind != NodeKind::kAttribute) {
+        scan_ = doc.node(rec.parent).first_child;
+        scan_end_ = origin.index();
+      } else {
+        done_ = true;
+      }
+      break;
+    }
+    case Axis::kFollowing: {
+      // All nodes after the subtree, minus attributes.
+      scan_ = rec.kind == NodeKind::kAttribute
+                  ? origin.index() + 1  // Attribute: following starts after it.
+                  : rec.end + 1;
+      scan_end_ = static_cast<NodeIndex>(doc.NumNodes() - 1);
+      if (scan_ > scan_end_ || doc.NumNodes() == 0) done_ = true;
+      break;
+    }
+    case Axis::kPreceding: {
+      // Scan backwards from origin-1 to 1, excluding ancestors/attributes.
+      scan_ = origin.index() == 0 ? kNullNode : origin.index() - 1;
+      scan_end_ = 1;
+      if (origin.index() <= 1) done_ = true;
+      break;
+    }
+  }
+}
+
+bool AxisCursor::Matches(NodeIndex i) const {
+  if (test_ == nullptr) return true;
+  return test_->Matches(origin_.doc(), i, axis_ == Axis::kAttribute);
+}
+
+bool AxisCursor::Candidate(Node* out) {
+  const Document& doc = origin_.doc();
+  switch (axis_) {
+    case Axis::kSelf:
+      if (!include_self_pending_) return false;
+      include_self_pending_ = false;
+      *out = origin_;
+      return true;
+    case Axis::kChild:
+    case Axis::kAttribute:
+    case Axis::kFollowingSibling: {
+      if (current_ == kNullNode) return false;
+      *out = Node(origin_.doc_ptr(), current_);
+      current_ = doc.node(current_).next_sibling;
+      return true;
+    }
+    case Axis::kParent:
+      if (current_ == kNullNode) return false;
+      *out = Node(origin_.doc_ptr(), current_);
+      current_ = kNullNode;
+      return true;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      if (include_self_pending_) {
+        include_self_pending_ = false;
+        *out = origin_;
+        return true;
+      }
+      if (current_ == kNullNode) return false;
+      *out = Node(origin_.doc_ptr(), current_);
+      current_ = doc.node(current_).parent;
+      return true;
+    }
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      if (include_self_pending_) {
+        include_self_pending_ = false;
+        *out = origin_;
+        return true;
+      }
+      while (scan_ != kNullNode && scan_ <= scan_end_ &&
+             scan_ < doc.NumNodes()) {
+        NodeIndex i = scan_++;
+        if (doc.node(i).kind == NodeKind::kAttribute) continue;
+        *out = Node(origin_.doc_ptr(), i);
+        return true;
+      }
+      return false;
+    }
+    case Axis::kPrecedingSibling: {
+      // Siblings before origin, in reverse document order. Collect lazily:
+      // walk forward each time from scan_ to find the last sibling before
+      // scan_end_. Sibling lists are short; O(k^2) worst case is fine.
+      if (done_ || scan_ == kNullNode) return false;
+      NodeIndex last = kNullNode;
+      for (NodeIndex c = scan_; c != kNullNode && c < scan_end_;
+           c = doc.node(c).next_sibling) {
+        last = c;
+      }
+      if (last == kNullNode) {
+        done_ = true;
+        return false;
+      }
+      scan_end_ = last;
+      *out = Node(origin_.doc_ptr(), last);
+      return true;
+    }
+    case Axis::kFollowing: {
+      while (!done_ && scan_ <= scan_end_ && scan_ < doc.NumNodes()) {
+        NodeIndex i = scan_++;
+        if (doc.node(i).kind == NodeKind::kAttribute) continue;
+        *out = Node(origin_.doc_ptr(), i);
+        return true;
+      }
+      return false;
+    }
+    case Axis::kPreceding: {
+      while (!done_ && scan_ != kNullNode && scan_ >= scan_end_) {
+        NodeIndex i = scan_;
+        scan_ = (scan_ == scan_end_) ? kNullNode : scan_ - 1;
+        const NodeRecord& rec = doc.node(i);
+        if (rec.kind == NodeKind::kAttribute) continue;
+        // Exclude ancestors of the origin.
+        if (i < origin_.index() && origin_.index() <= rec.end) continue;
+        *out = Node(origin_.doc_ptr(), i);
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool AxisCursor::Next(Node* out) {
+  Node candidate;
+  while (Candidate(&candidate)) {
+    if (Matches(candidate.index())) {
+      *out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CollectAxis(const Node& origin, Axis axis, const NodeTest& test,
+                 Sequence* out) {
+  AxisCursor cursor(origin, axis, &test);
+  Node node;
+  while (cursor.Next(&node)) out->push_back(Item(node));
+}
+
+}  // namespace xqp

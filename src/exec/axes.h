@@ -1,0 +1,43 @@
+#ifndef XQP_EXEC_AXES_H_
+#define XQP_EXEC_AXES_H_
+
+#include "exec/item.h"
+#include "query/expr.h"
+#include "xml/node.h"
+
+namespace xqp {
+
+/// Streaming cursor over one axis from one origin node, filtered by a node
+/// test. Forward axes deliver document order; reverse axes deliver reverse
+/// document order (the order XPath predicates count in). The caller owns
+/// origin's document for the cursor's lifetime.
+class AxisCursor {
+ public:
+  AxisCursor(const Node& origin, Axis axis, const NodeTest* test);
+
+  /// Advances to the next matching node. Returns false at axis end.
+  bool Next(Node* out);
+
+ private:
+  bool Candidate(Node* out);
+  bool Matches(NodeIndex i) const;
+
+  Node origin_;
+  Axis axis_;
+  const NodeTest* test_;
+  // Walk state.
+  NodeIndex current_ = kNullNode;
+  NodeIndex scan_ = kNullNode;       // For range-scan axes.
+  NodeIndex scan_end_ = kNullNode;   // Inclusive.
+  bool done_ = false;
+  bool include_self_pending_ = false;
+};
+
+/// Appends all nodes selected by `axis`/`test` from `origin` to `out`
+/// (convenience for the eager interpreter and the navigation baseline).
+void CollectAxis(const Node& origin, Axis axis, const NodeTest& test,
+                 Sequence* out);
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_AXES_H_

@@ -1,0 +1,29 @@
+#ifndef XQP_EXEC_BUILTINS_H_
+#define XQP_EXEC_BUILTINS_H_
+
+#include <vector>
+
+#include "exec/dynamic_context.h"
+#include "exec/functions.h"
+#include "exec/item.h"
+
+namespace xqp {
+
+/// The focus (context item / position / size) at a call site, needed by
+/// position(), last(), and the zero-argument string functions.
+struct FocusInfo {
+  bool has_focus = false;
+  Item item;
+  int64_t position = 0;
+  int64_t size = 0;
+};
+
+/// Evaluates builtin `id` over materialized argument sequences. Both
+/// engines share this; the lazy engine special-cases the short-circuiting
+/// builtins (empty/exists/head/boolean/not) before falling back here.
+Result<Sequence> CallBuiltin(Builtin id, std::vector<Sequence>& args,
+                             DynamicContext* ctx, const FocusInfo& focus);
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_BUILTINS_H_

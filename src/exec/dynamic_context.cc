@@ -1,0 +1,5 @@
+#include "exec/dynamic_context.h"
+
+namespace xqp {
+// Header-only; anchors the translation unit.
+}  // namespace xqp

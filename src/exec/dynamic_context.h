@@ -1,0 +1,85 @@
+#ifndef XQP_EXEC_DYNAMIC_CONTEXT_H_
+#define XQP_EXEC_DYNAMIC_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/lazy_seq.h"
+#include "query/static_context.h"
+
+namespace xqp {
+
+/// Supplies documents and collections to fn:doc / fn:collection ("available
+/// documents and collections" of the paper's dynamic context). The engine
+/// provides an in-memory registry implementation.
+class DocumentProvider {
+ public:
+  virtual ~DocumentProvider() = default;
+  virtual Result<std::shared_ptr<const Document>> GetDocument(
+      const std::string& uri) = 0;
+  virtual Result<Sequence> GetCollection(const std::string& uri) = 0;
+};
+
+/// The dynamic (evaluation-time) context: variable frames, external
+/// variable bindings, the initial context item, and document access.
+class DynamicContext {
+ public:
+  DynamicContext() = default;
+
+  /// Values of global variables, indexed by GlobalVariable::slot.
+  std::vector<LazySeqPtr> globals;
+
+  /// Current frame (main body or active function call).
+  std::vector<LazySeqPtr> slots;
+
+  /// Externally bound variables by expanded name — consulted when a global
+  /// is declared "external".
+  std::map<std::string, LazySeqPtr> external_variables;
+
+  /// The initial context item ("." at the top level), if any.
+  LazySeqPtr initial_context;
+
+  /// Document access; may be null (fn:doc then errors).
+  DocumentProvider* provider = nullptr;
+
+  /// The module being evaluated (for user function lookup).
+  const ParsedModule* module = nullptr;
+
+  /// Guard against runaway recursion in user functions.
+  int call_depth = 0;
+  static constexpr int kMaxCallDepth = 4096;
+
+  /// Counters the experiments report (node-id elision, buffer usage).
+  struct Stats {
+    uint64_t documents_built = 0;
+    uint64_t nodes_constructed = 0;
+    uint64_t items_produced = 0;
+  };
+  Stats stats;
+};
+
+/// RAII frame swap for user-function calls.
+class FrameGuard {
+ public:
+  FrameGuard(DynamicContext* ctx, std::vector<LazySeqPtr> new_frame)
+      : ctx_(ctx), saved_(std::move(ctx->slots)) {
+    ctx_->slots = std::move(new_frame);
+    ++ctx_->call_depth;
+  }
+  ~FrameGuard() {
+    ctx_->slots = std::move(saved_);
+    --ctx_->call_depth;
+  }
+  FrameGuard(const FrameGuard&) = delete;
+  FrameGuard& operator=(const FrameGuard&) = delete;
+
+ private:
+  DynamicContext* ctx_;
+  std::vector<LazySeqPtr> saved_;
+};
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_DYNAMIC_CONTEXT_H_

@@ -1,0 +1,89 @@
+#ifndef XQP_EXEC_FUNCTIONS_H_
+#define XQP_EXEC_FUNCTIONS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace xqp {
+
+/// Builtin function identifiers (the F&O subset of the paper's "built-in
+/// function sampler" plus the functions the XMark queries need).
+enum class Builtin : uint8_t {
+  kDoc,            // fn:doc / fn:document (paper-era alias)
+  kCollection,
+  kRoot,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kEmpty,
+  kExists,
+  kNot,
+  kTrue,
+  kFalse,
+  kBoolean,
+  kString,
+  kData,
+  kNumber,
+  kStringLength,
+  kConcat,
+  kContains,
+  kStartsWith,
+  kEndsWith,
+  kSubstring,
+  kSubstringBefore,
+  kSubstringAfter,
+  kNormalizeSpace,
+  kUpperCase,
+  kLowerCase,
+  kTranslate,
+  kStringJoin,
+  kPosition,
+  kLast,
+  kDistinctValues,
+  kDistinctNodes,  // Paper's xf:distinct-nodes.
+  kReverse,
+  kSubsequence,
+  kIndexOf,
+  kInsertBefore,
+  kRemove,
+  kZeroOrOne,
+  kOneOrMore,
+  kExactlyOne,
+  kDeepEqual,
+  kName,
+  kLocalName,
+  kNamespaceUri,
+  kNodeName,
+  kNodeKind,
+  kFloor,
+  kCeiling,
+  kRound,
+  kAbs,
+  kError,
+  kTrace,
+  kHead,
+  kTail,
+};
+
+struct BuiltinDesc {
+  Builtin id;
+  const char* local;  // Local name within the fn namespace.
+  int min_args;
+  int max_args;  // -1 = unbounded (fn:concat).
+};
+
+/// Looks up a builtin by namespace URI + local name + arity. Returns nullptr
+/// when no such builtin exists (or the arity does not fit). The empty URI is
+/// accepted as an alias for the fn namespace.
+const BuiltinDesc* LookupBuiltin(std::string_view uri, std::string_view local,
+                                 size_t arity);
+
+/// Looks up by name only (any arity); used for better error messages.
+const BuiltinDesc* LookupBuiltinByName(std::string_view uri,
+                                       std::string_view local);
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_FUNCTIONS_H_

@@ -1,0 +1,96 @@
+#include "exec/functions.h"
+
+#include "query/static_context.h"
+
+namespace xqp {
+
+namespace {
+
+constexpr BuiltinDesc kBuiltins[] = {
+    {Builtin::kDoc, "doc", 1, 1},
+    {Builtin::kDoc, "document", 1, 1},  // Paper-era alias.
+    {Builtin::kCollection, "collection", 1, 1},
+    {Builtin::kRoot, "root", 0, 1},
+    {Builtin::kCount, "count", 1, 1},
+    {Builtin::kSum, "sum", 1, 2},
+    {Builtin::kAvg, "avg", 1, 1},
+    {Builtin::kMin, "min", 1, 1},
+    {Builtin::kMax, "max", 1, 1},
+    {Builtin::kEmpty, "empty", 1, 1},
+    {Builtin::kExists, "exists", 1, 1},
+    {Builtin::kNot, "not", 1, 1},
+    {Builtin::kTrue, "true", 0, 0},
+    {Builtin::kFalse, "false", 0, 0},
+    {Builtin::kBoolean, "boolean", 1, 1},
+    {Builtin::kString, "string", 0, 1},
+    {Builtin::kData, "data", 1, 1},
+    {Builtin::kNumber, "number", 0, 1},
+    {Builtin::kStringLength, "string-length", 0, 1},
+    {Builtin::kConcat, "concat", 2, -1},
+    {Builtin::kContains, "contains", 2, 2},
+    {Builtin::kStartsWith, "starts-with", 2, 2},
+    {Builtin::kEndsWith, "ends-with", 2, 2},
+    {Builtin::kSubstring, "substring", 2, 3},
+    {Builtin::kSubstringBefore, "substring-before", 2, 2},
+    {Builtin::kSubstringAfter, "substring-after", 2, 2},
+    {Builtin::kNormalizeSpace, "normalize-space", 0, 1},
+    {Builtin::kUpperCase, "upper-case", 1, 1},
+    {Builtin::kLowerCase, "lower-case", 1, 1},
+    {Builtin::kTranslate, "translate", 3, 3},
+    {Builtin::kStringJoin, "string-join", 2, 2},
+    {Builtin::kPosition, "position", 0, 0},
+    {Builtin::kLast, "last", 0, 0},
+    {Builtin::kDistinctValues, "distinct-values", 1, 1},
+    {Builtin::kDistinctNodes, "distinct-nodes", 1, 1},
+    {Builtin::kReverse, "reverse", 1, 1},
+    {Builtin::kSubsequence, "subsequence", 2, 3},
+    {Builtin::kIndexOf, "index-of", 2, 2},
+    {Builtin::kInsertBefore, "insert-before", 3, 3},
+    {Builtin::kRemove, "remove", 2, 2},
+    {Builtin::kZeroOrOne, "zero-or-one", 1, 1},
+    {Builtin::kOneOrMore, "one-or-more", 1, 1},
+    {Builtin::kExactlyOne, "exactly-one", 1, 1},
+    {Builtin::kDeepEqual, "deep-equal", 2, 2},
+    {Builtin::kName, "name", 0, 1},
+    {Builtin::kLocalName, "local-name", 0, 1},
+    {Builtin::kNamespaceUri, "namespace-uri", 0, 1},
+    {Builtin::kNodeName, "node-name", 1, 1},
+    {Builtin::kNodeKind, "node-kind", 1, 1},
+    {Builtin::kFloor, "floor", 1, 1},
+    {Builtin::kCeiling, "ceiling", 1, 1},
+    {Builtin::kRound, "round", 1, 1},
+    {Builtin::kAbs, "abs", 1, 1},
+    {Builtin::kError, "error", 0, 2},
+    {Builtin::kTrace, "trace", 2, 2},
+    {Builtin::kHead, "head", 1, 1},
+    {Builtin::kTail, "tail", 1, 1},
+};
+
+bool UriIsFn(std::string_view uri) {
+  return uri.empty() || uri == kFnNamespace;
+}
+
+}  // namespace
+
+const BuiltinDesc* LookupBuiltin(std::string_view uri, std::string_view local,
+                                 size_t arity) {
+  if (!UriIsFn(uri)) return nullptr;
+  for (const BuiltinDesc& desc : kBuiltins) {
+    if (local == desc.local && static_cast<int>(arity) >= desc.min_args &&
+        (desc.max_args < 0 || static_cast<int>(arity) <= desc.max_args)) {
+      return &desc;
+    }
+  }
+  return nullptr;
+}
+
+const BuiltinDesc* LookupBuiltinByName(std::string_view uri,
+                                       std::string_view local) {
+  if (!UriIsFn(uri)) return nullptr;
+  for (const BuiltinDesc& desc : kBuiltins) {
+    if (local == desc.local) return &desc;
+  }
+  return nullptr;
+}
+
+}  // namespace xqp

@@ -1,0 +1,611 @@
+#include "exec/interpreter.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/string_util.h"
+#include "exec/arithmetic.h"
+#include "exec/axes.h"
+#include "exec/compare.h"
+#include "exec/constructor.h"
+#include "exec/type_match.h"
+
+namespace xqp {
+
+Result<QName> ComputedName(const Sequence& name_value) {
+  if (name_value.size() != 1) {
+    return Status::TypeError("computed constructor name must be a single item");
+  }
+  AtomicValue v = name_value[0].Atomized();
+  std::string s = v.AsString();
+  if (v.type() == XsType::kQName && !s.empty() && s[0] == '{') {
+    size_t close = s.find('}');
+    if (close != std::string::npos) {
+      return QName(s.substr(1, close - 1), s.substr(close + 1));
+    }
+  }
+  std::string_view prefix, local;
+  SplitQName(s, &prefix, &local);
+  if (!IsNCName(local)) {
+    return Status::TypeError("invalid computed name: " + s);
+  }
+  // No runtime prefix resolution in this engine: unprefixed names land in
+  // no namespace; prefixed names keep the prefix with an empty URI.
+  return QName("", std::string(prefix), std::string(local));
+}
+
+Result<Item> Interpreter::ContextItem() const {
+  if (!focus_.empty()) return focus_.back().item;
+  if (ctx_->initial_context != nullptr) {
+    auto* self = const_cast<Interpreter*>(this);
+    XQP_ASSIGN_OR_RETURN(const Item* item, self->ctx_->initial_context->Get(0));
+    if (item != nullptr) return *item;
+  }
+  return Status::DynamicError("context item is not defined");
+}
+
+FocusInfo Interpreter::CurrentFocusInfo() const {
+  FocusInfo info;
+  if (!focus_.empty()) {
+    info.has_focus = true;
+    info.item = focus_.back().item;
+    info.position = focus_.back().position;
+    info.size = focus_.back().size;
+  } else if (ctx_->initial_context != nullptr) {
+    auto* seq = ctx_->initial_context.get();
+    auto item = seq->Get(0);
+    if (item.ok() && item.value() != nullptr) {
+      info.has_focus = true;
+      info.item = *item.value();
+      info.position = 1;
+      info.size = 1;
+    }
+  }
+  return info;
+}
+
+Result<Sequence> Interpreter::Eval(const Expr* e) {
+  switch (e->kind()) {
+    case ExprKind::kLiteral:
+      return Sequence{Item(static_cast<const LiteralExpr*>(e)->value)};
+
+    case ExprKind::kVarRef: {
+      const auto* var = static_cast<const VarRefExpr*>(e);
+      const auto& frame = var->is_global ? ctx_->globals : ctx_->slots;
+      if (var->slot < 0 || var->slot >= static_cast<int>(frame.size()) ||
+          frame[var->slot] == nullptr) {
+        return Status::DynamicError("unbound variable: $" + var->name.Lexical());
+      }
+      XQP_ASSIGN_OR_RETURN(const Sequence* items,
+                           frame[var->slot]->Materialize());
+      return *items;
+    }
+
+    case ExprKind::kContextItem: {
+      XQP_ASSIGN_OR_RETURN(Item item, ContextItem());
+      return Sequence{std::move(item)};
+    }
+
+    case ExprKind::kRoot: {
+      XQP_ASSIGN_OR_RETURN(Item item, ContextItem());
+      if (!item.IsNode()) {
+        return Status::TypeError("leading '/' requires a node context item");
+      }
+      return Sequence{Item(item.AsNode().Root())};
+    }
+
+    case ExprKind::kSequence: {
+      Sequence out;
+      for (size_t i = 0; i < e->NumChildren(); ++i) {
+        XQP_ASSIGN_OR_RETURN(Sequence part, Eval(e->child(i)));
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      }
+      return out;
+    }
+
+    case ExprKind::kRange: {
+      XQP_ASSIGN_OR_RETURN(Sequence lo_s, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(Sequence hi_s, Eval(e->child(1)));
+      if (lo_s.empty() || hi_s.empty()) return Sequence{};
+      if (lo_s.size() != 1 || hi_s.size() != 1) {
+        return Status::TypeError("range operands must be singletons");
+      }
+      XQP_ASSIGN_OR_RETURN(AtomicValue lo,
+                           lo_s[0].Atomized().CastTo(XsType::kInteger));
+      XQP_ASSIGN_OR_RETURN(AtomicValue hi,
+                           hi_s[0].Atomized().CastTo(XsType::kInteger));
+      Sequence out;
+      for (int64_t v = lo.AsInt(); v <= hi.AsInt(); ++v) {
+        out.push_back(Item(AtomicValue::Integer(v)));
+      }
+      return out;
+    }
+
+    case ExprKind::kArithmetic: {
+      XQP_ASSIGN_OR_RETURN(Sequence lhs, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(Sequence rhs, Eval(e->child(1)));
+      return EvalArithmetic(static_cast<const ArithmeticExpr*>(e)->op,
+                            Atomize(lhs), Atomize(rhs));
+    }
+
+    case ExprKind::kUnary: {
+      XQP_ASSIGN_OR_RETURN(Sequence operand, Eval(e->child(0)));
+      return EvalUnary(static_cast<const UnaryExpr*>(e)->negate,
+                       Atomize(operand));
+    }
+
+    case ExprKind::kComparison: {
+      const auto* cmp = static_cast<const ComparisonExpr*>(e);
+      XQP_ASSIGN_OR_RETURN(Sequence lhs, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(Sequence rhs, Eval(e->child(1)));
+      if (IsValueComp(cmp->op)) {
+        return EvalValueComparison(cmp->op, Atomize(lhs), Atomize(rhs));
+      }
+      if (IsGeneralComp(cmp->op)) {
+        XQP_ASSIGN_OR_RETURN(
+            bool b, EvalGeneralComparison(cmp->op, Atomize(lhs), Atomize(rhs)));
+        return Sequence{Item(AtomicValue::Boolean(b))};
+      }
+      return EvalNodeComparison(cmp->op, lhs, rhs);
+    }
+
+    case ExprKind::kLogical: {
+      const auto* logic = static_cast<const LogicalExpr*>(e);
+      XQP_ASSIGN_OR_RETURN(Sequence lhs, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(bool lv, EffectiveBooleanValue(lhs));
+      // Short-circuit (the spec's non-determinism permits this).
+      if (logic->is_and && !lv) {
+        return Sequence{Item(AtomicValue::Boolean(false))};
+      }
+      if (!logic->is_and && lv) {
+        return Sequence{Item(AtomicValue::Boolean(true))};
+      }
+      XQP_ASSIGN_OR_RETURN(Sequence rhs, Eval(e->child(1)));
+      XQP_ASSIGN_OR_RETURN(bool rv, EffectiveBooleanValue(rhs));
+      return Sequence{Item(AtomicValue::Boolean(rv))};
+    }
+
+    case ExprKind::kPath:
+      return EvalPath(static_cast<const PathExpr*>(e));
+    case ExprKind::kStep:
+      return EvalStep(static_cast<const StepExpr*>(e));
+    case ExprKind::kFilter:
+      return EvalFilter(static_cast<const FilterExpr*>(e));
+    case ExprKind::kFlwor:
+      return EvalFlwor(static_cast<const FlworExpr*>(e));
+    case ExprKind::kQuantified:
+      return EvalQuantified(static_cast<const QuantifiedExpr*>(e));
+
+    case ExprKind::kIf: {
+      XQP_ASSIGN_OR_RETURN(Sequence cond, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+      return Eval(e->child(b ? 1 : 2));
+    }
+
+    case ExprKind::kTypeswitch:
+      return EvalTypeswitch(static_cast<const TypeswitchExpr*>(e));
+
+    case ExprKind::kInstanceOf: {
+      const auto* inst = static_cast<const InstanceOfExpr*>(e);
+      XQP_ASSIGN_OR_RETURN(Sequence v, Eval(e->child(0)));
+      return Sequence{
+          Item(AtomicValue::Boolean(MatchesSequenceType(v, inst->type)))};
+    }
+
+    case ExprKind::kTreatAs: {
+      const auto* treat = static_cast<const TreatExpr*>(e);
+      XQP_ASSIGN_OR_RETURN(Sequence v, Eval(e->child(0)));
+      if (!MatchesSequenceType(v, treat->type)) {
+        return Status::TypeError("treat as " + treat->type.ToString() +
+                                 " failed");
+      }
+      return v;
+    }
+
+    case ExprKind::kCastAs: {
+      const auto* cast = static_cast<const CastExpr*>(e);
+      XQP_ASSIGN_OR_RETURN(Sequence v, Eval(e->child(0)));
+      Sequence atomized = Atomize(v);
+      if (atomized.empty()) {
+        if (cast->optional) return Sequence{};
+        return Status::TypeError("cast of empty sequence to non-optional type");
+      }
+      if (atomized.size() != 1) {
+        return Status::TypeError("cast requires a singleton");
+      }
+      XQP_ASSIGN_OR_RETURN(AtomicValue out,
+                           atomized[0].AsAtomic().CastTo(cast->target));
+      return Sequence{Item(std::move(out))};
+    }
+
+    case ExprKind::kCastableAs: {
+      const auto* cast = static_cast<const CastableExpr*>(e);
+      XQP_ASSIGN_OR_RETURN(Sequence v, Eval(e->child(0)));
+      Sequence atomized = Atomize(v);
+      bool ok;
+      if (atomized.empty()) {
+        ok = cast->optional;
+      } else if (atomized.size() != 1) {
+        ok = false;
+      } else {
+        ok = atomized[0].AsAtomic().CastTo(cast->target).ok();
+      }
+      return Sequence{Item(AtomicValue::Boolean(ok))};
+    }
+
+    case ExprKind::kUnion: {
+      XQP_ASSIGN_OR_RETURN(Sequence lhs, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(Sequence rhs, Eval(e->child(1)));
+      lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+      XQP_RETURN_NOT_OK(SortDocOrderDistinct(&lhs));
+      return lhs;
+    }
+
+    case ExprKind::kIntersectExcept: {
+      const auto* ie = static_cast<const IntersectExceptExpr*>(e);
+      XQP_ASSIGN_OR_RETURN(Sequence lhs, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(Sequence rhs, Eval(e->child(1)));
+      XQP_RETURN_NOT_OK(SortDocOrderDistinct(&lhs));
+      XQP_RETURN_NOT_OK(SortDocOrderDistinct(&rhs));
+      Sequence out;
+      for (const Item& item : lhs) {
+        bool in_rhs = false;
+        for (const Item& r : rhs) {
+          if (item.AsNode().SameNode(r.AsNode())) {
+            in_rhs = true;
+            break;
+          }
+        }
+        if (in_rhs != ie->is_except) out.push_back(item);
+      }
+      return out;
+    }
+
+    case ExprKind::kFunctionCall:
+      return EvalCall(static_cast<const FunctionCallExpr*>(e));
+
+    case ExprKind::kElementCtor:
+      return EvalElementCtor(static_cast<const ElementCtorExpr*>(e));
+
+    case ExprKind::kAttributeCtor: {
+      const auto* ctor = static_cast<const AttributeCtorExpr*>(e);
+      QName name = ctor->name;
+      size_t start = 0;
+      if (ctor->computed_name) {
+        XQP_ASSIGN_OR_RETURN(Sequence name_v, Eval(e->child(0)));
+        XQP_ASSIGN_OR_RETURN(name, ComputedName(name_v));
+        start = 1;
+      }
+      std::vector<Sequence> parts;
+      for (size_t i = start; i < e->NumChildren(); ++i) {
+        XQP_ASSIGN_OR_RETURN(Sequence part, Eval(e->child(i)));
+        parts.push_back(std::move(part));
+      }
+      XQP_ASSIGN_OR_RETURN(Item item, construct::Attribute(name, parts, ctx_));
+      return Sequence{std::move(item)};
+    }
+
+    case ExprKind::kTextCtor: {
+      XQP_ASSIGN_OR_RETURN(Sequence content, Eval(e->child(0)));
+      return construct::Text(content, ctx_);
+    }
+
+    case ExprKind::kCommentCtor: {
+      XQP_ASSIGN_OR_RETURN(Sequence content, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(Item item, construct::Comment(content, ctx_));
+      return Sequence{std::move(item)};
+    }
+
+    case ExprKind::kPiCtor: {
+      const auto* pi = static_cast<const PiCtorExpr*>(e);
+      XQP_ASSIGN_OR_RETURN(Sequence content, Eval(e->child(0)));
+      XQP_ASSIGN_OR_RETURN(Item item,
+                           construct::Pi(pi->target, content, ctx_));
+      return Sequence{std::move(item)};
+    }
+
+    case ExprKind::kTryCatch: {
+      auto attempt = Eval(e->child(0));
+      if (attempt.ok()) return attempt;
+      StatusCode code = attempt.status().code();
+      if (code != StatusCode::kDynamicError && code != StatusCode::kTypeError) {
+        return attempt;  // Only dynamic/type errors are catchable.
+      }
+      return Eval(e->child(1));
+    }
+
+    case ExprKind::kDocumentCtor: {
+      XQP_ASSIGN_OR_RETURN(Sequence content, Eval(e->child(0)));
+      std::vector<Sequence> parts;
+      parts.push_back(std::move(content));
+      XQP_ASSIGN_OR_RETURN(Item item, construct::DocumentNode(parts, ctx_));
+      return Sequence{std::move(item)};
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Sequence> Interpreter::EvalPath(const PathExpr* e) {
+  XQP_ASSIGN_OR_RETURN(Sequence input, Eval(e->child(0)));
+  Sequence out;
+  bool saw_node = false;
+  bool saw_atomic = false;
+  int64_t size = static_cast<int64_t>(input.size());
+  for (int64_t i = 0; i < size; ++i) {
+    focus_.push_back(Focus{input[i], i + 1, size});
+    auto part = Eval(e->child(1));
+    focus_.pop_back();
+    XQP_RETURN_NOT_OK(part.status());
+    for (Item& item : part.value()) {
+      (item.IsNode() ? saw_node : saw_atomic) = true;
+      out.push_back(std::move(item));
+    }
+  }
+  if (saw_node && saw_atomic) {
+    return Status::TypeError(
+        "path result mixes nodes and atomic values");
+  }
+  if (saw_node) {
+    if (e->needs_sort) {
+      XQP_RETURN_NOT_OK(SortDocOrderDistinct(&out));
+    } else if (e->needs_dedup) {
+      XQP_RETURN_NOT_OK(DedupNodesPreservingOrder(&out));
+    }
+  }
+  return out;
+}
+
+Result<Sequence> Interpreter::EvalStep(const StepExpr* e) {
+  XQP_ASSIGN_OR_RETURN(Item ctx_item, ContextItem());
+  if (!ctx_item.IsNode()) {
+    return Status::TypeError("axis step requires a node context item");
+  }
+  Sequence out;
+  CollectAxis(ctx_item.AsNode(), e->axis, e->test, &out);
+  return out;
+}
+
+Result<Sequence> Interpreter::EvalFilter(const FilterExpr* e) {
+  XQP_ASSIGN_OR_RETURN(Sequence current, Eval(e->child(0)));
+  for (size_t p = 1; p < e->NumChildren(); ++p) {
+    const Expr* pred = e->child(p);
+    Sequence next;
+    int64_t size = static_cast<int64_t>(current.size());
+    for (int64_t i = 0; i < size; ++i) {
+      focus_.push_back(Focus{current[i], i + 1, size});
+      auto value = Eval(pred);
+      focus_.pop_back();
+      XQP_RETURN_NOT_OK(value.status());
+      const Sequence& v = value.value();
+      bool keep;
+      if (v.size() == 1 && v[0].IsAtomic() && v[0].AsAtomic().IsNumeric()) {
+        keep = v[0].AsAtomic().NumericAsDouble() == static_cast<double>(i + 1);
+      } else {
+        XQP_ASSIGN_OR_RETURN(keep, EffectiveBooleanValue(v));
+      }
+      if (keep) next.push_back(current[i]);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<Sequence> Interpreter::EvalFlwor(const FlworExpr* e) {
+  struct Tuple {
+    std::vector<std::pair<bool, AtomicValue>> keys;  // (present, value).
+    Sequence result;
+  };
+  std::vector<Tuple> tuples;
+  bool has_order = false;
+  for (const auto& c : e->clauses) {
+    if (c.type == FlworExpr::Clause::Type::kOrderSpec) has_order = true;
+  }
+  Sequence out;
+
+  // Recursive tuple-stream evaluation over clauses.
+  std::function<Status(size_t, Tuple*)> run = [&](size_t ci,
+                                                  Tuple* tuple) -> Status {
+    if (ci == e->clauses.size()) {
+      XQP_ASSIGN_OR_RETURN(Sequence result, Eval(e->return_expr()));
+      if (has_order) {
+        Tuple done = *tuple;
+        done.result = std::move(result);
+        tuples.push_back(std::move(done));
+      } else {
+        out.insert(out.end(), std::make_move_iterator(result.begin()),
+                   std::make_move_iterator(result.end()));
+      }
+      return Status::OK();
+    }
+    const FlworExpr::Clause& c = e->clauses[ci];
+    switch (c.type) {
+      case FlworExpr::Clause::Type::kFor: {
+        XQP_ASSIGN_OR_RETURN(Sequence domain, Eval(e->child(ci)));
+        for (size_t i = 0; i < domain.size(); ++i) {
+          ctx_->slots[c.var_slot] = LazySeq::FromItem(domain[i]);
+          if (c.pos_slot >= 0) {
+            ctx_->slots[c.pos_slot] = LazySeq::FromItem(
+                Item(AtomicValue::Integer(static_cast<int64_t>(i + 1))));
+          }
+          XQP_RETURN_NOT_OK(run(ci + 1, tuple));
+        }
+        return Status::OK();
+      }
+      case FlworExpr::Clause::Type::kLet: {
+        XQP_ASSIGN_OR_RETURN(Sequence value, Eval(e->child(ci)));
+        ctx_->slots[c.var_slot] = LazySeq::FromVector(std::move(value));
+        return run(ci + 1, tuple);
+      }
+      case FlworExpr::Clause::Type::kWhere: {
+        XQP_ASSIGN_OR_RETURN(Sequence cond, Eval(e->child(ci)));
+        XQP_ASSIGN_OR_RETURN(bool b, EffectiveBooleanValue(cond));
+        if (!b) return Status::OK();
+        return run(ci + 1, tuple);
+      }
+      case FlworExpr::Clause::Type::kOrderSpec: {
+        XQP_ASSIGN_OR_RETURN(Sequence key, Eval(e->child(ci)));
+        Sequence atomized = Atomize(key);
+        if (atomized.size() > 1) {
+          return Status::TypeError("order-by key must be () or a single item");
+        }
+        if (atomized.empty()) {
+          tuple->keys.emplace_back(false, AtomicValue());
+        } else {
+          AtomicValue v = atomized[0].AsAtomic();
+          if (v.type() == XsType::kUntypedAtomic) {
+            v = AtomicValue::String(v.AsString());
+          }
+          tuple->keys.emplace_back(true, std::move(v));
+        }
+        Status st = run(ci + 1, tuple);
+        tuple->keys.pop_back();
+        return st;
+      }
+    }
+    return Status::Internal("unknown clause");
+  };
+
+  Tuple scratch;
+  XQP_RETURN_NOT_OK(run(0, &scratch));
+
+  if (!has_order) return out;
+
+  // Sort tuples by their order keys.
+  std::vector<const FlworExpr::Clause*> specs;
+  for (const auto& c : e->clauses) {
+    if (c.type == FlworExpr::Clause::Type::kOrderSpec) specs.push_back(&c);
+  }
+  Status sort_error;
+  std::stable_sort(
+      tuples.begin(), tuples.end(), [&](const Tuple& a, const Tuple& b) {
+        for (size_t k = 0; k < specs.size(); ++k) {
+          const auto& [a_has, a_val] = a.keys[k];
+          const auto& [b_has, b_val] = b.keys[k];
+          int c;
+          if (!a_has && !b_has) {
+            c = 0;
+          } else if (!a_has) {
+            c = specs[k]->empty_least ? -1 : 1;
+          } else if (!b_has) {
+            c = specs[k]->empty_least ? 1 : -1;
+          } else {
+            auto r = CompareForOrdering(a_val, b_val);
+            if (!r.ok()) {
+              if (sort_error.ok()) sort_error = r.status();
+              return false;
+            }
+            c = r.value() == CmpResult::kUnordered ? 0
+                                                   : static_cast<int>(r.value());
+          }
+          if (specs[k]->descending) c = -c;
+          if (c != 0) return c < 0;
+        }
+        return false;
+      });
+  XQP_RETURN_NOT_OK(sort_error);
+  for (Tuple& t : tuples) {
+    out.insert(out.end(), std::make_move_iterator(t.result.begin()),
+               std::make_move_iterator(t.result.end()));
+  }
+  return out;
+}
+
+Result<Sequence> Interpreter::EvalQuantified(const QuantifiedExpr* e) {
+  // Nested loops with early exit (lazy evaluation of quantifiers).
+  std::function<Result<bool>(size_t)> run = [&](size_t bi) -> Result<bool> {
+    if (bi == e->bindings.size()) {
+      XQP_ASSIGN_OR_RETURN(Sequence sat, Eval(e->child(e->NumChildren() - 1)));
+      return EffectiveBooleanValue(sat);
+    }
+    XQP_ASSIGN_OR_RETURN(Sequence domain, Eval(e->child(bi)));
+    for (const Item& item : domain) {
+      ctx_->slots[e->bindings[bi].var_slot] = LazySeq::FromItem(item);
+      XQP_ASSIGN_OR_RETURN(bool b, run(bi + 1));
+      if (b != e->is_every) return b;  // some: true short-circuits; every: false.
+    }
+    return e->is_every;
+  };
+  XQP_ASSIGN_OR_RETURN(bool result, run(0));
+  return Sequence{Item(AtomicValue::Boolean(result))};
+}
+
+Result<Sequence> Interpreter::EvalTypeswitch(const TypeswitchExpr* e) {
+  XQP_ASSIGN_OR_RETURN(Sequence operand, Eval(e->child(0)));
+  for (size_t i = 0; i < e->cases.size(); ++i) {
+    const auto& c = e->cases[i];
+    if (MatchesSequenceType(operand, c.type)) {
+      if (c.var_slot >= 0) {
+        ctx_->slots[c.var_slot] = LazySeq::FromVector(operand);
+      }
+      return Eval(e->child(i + 1));
+    }
+  }
+  if (e->default_var_slot >= 0) {
+    ctx_->slots[e->default_var_slot] = LazySeq::FromVector(operand);
+  }
+  return Eval(e->child(e->NumChildren() - 1));
+}
+
+Result<Sequence> Interpreter::EvalCall(const FunctionCallExpr* e) {
+  std::vector<Sequence> args;
+  args.reserve(e->NumChildren());
+  for (size_t i = 0; i < e->NumChildren(); ++i) {
+    XQP_ASSIGN_OR_RETURN(Sequence arg, Eval(e->child(i)));
+    args.push_back(std::move(arg));
+  }
+  if (e->user_index >= 0) {
+    const UserFunction& fn = ctx_->module->functions[e->user_index];
+    if (fn.body == nullptr) {
+      return Status::DynamicError("external function has no implementation: " +
+                                  fn.name.Lexical());
+    }
+    if (ctx_->call_depth >= DynamicContext::kMaxCallDepth) {
+      return Status::DynamicError("maximum recursion depth exceeded in " +
+                                  fn.name.Lexical());
+    }
+    std::vector<LazySeqPtr> frame(fn.num_slots);
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!MatchesSequenceType(args[i], fn.param_types[i])) {
+        return Status::TypeError(
+            "argument " + std::to_string(i + 1) + " of " + fn.name.Lexical() +
+            " does not match " + fn.param_types[i].ToString());
+      }
+      frame[fn.param_slots[i]] = LazySeq::FromVector(std::move(args[i]));
+    }
+    FrameGuard guard(ctx_, std::move(frame));
+    // The focus is not visible inside function bodies.
+    std::vector<Focus> saved_focus;
+    saved_focus.swap(focus_);
+    auto result = Eval(fn.body.get());
+    focus_.swap(saved_focus);
+    return result;
+  }
+  return CallBuiltin(static_cast<Builtin>(e->builtin), args, ctx_,
+                     CurrentFocusInfo());
+}
+
+Result<Sequence> Interpreter::EvalElementCtor(const ElementCtorExpr* e) {
+  QName name = e->name;
+  size_t start = 0;
+  if (e->computed_name) {
+    XQP_ASSIGN_OR_RETURN(Sequence name_v, Eval(e->child(0)));
+    XQP_ASSIGN_OR_RETURN(name, ComputedName(name_v));
+    start = 1;
+  }
+  std::vector<Sequence> parts;
+  for (size_t i = start; i < e->NumChildren(); ++i) {
+    XQP_ASSIGN_OR_RETURN(Sequence part, Eval(e->child(i)));
+    parts.push_back(std::move(part));
+  }
+  XQP_ASSIGN_OR_RETURN(Item item,
+                       construct::Element(name, e->ns_decls, parts, ctx_));
+  return Sequence{std::move(item)};
+}
+
+Result<Sequence> EvalExpr(const Expr* e, DynamicContext* ctx) {
+  Interpreter interp(ctx);
+  return interp.Eval(e);
+}
+
+}  // namespace xqp

@@ -1,0 +1,57 @@
+#ifndef XQP_EXEC_INTERPRETER_H_
+#define XQP_EXEC_INTERPRETER_H_
+
+#include "exec/builtins.h"
+#include "exec/dynamic_context.h"
+#include "exec/item.h"
+#include "query/static_context.h"
+
+namespace xqp {
+
+/// The eager, fully materializing reference evaluator: every subexpression
+/// is evaluated to a complete Sequence before its parent continues. This is
+/// the baseline against which the streaming/lazy iterator engine is
+/// differential-tested and benchmarked (experiments E1/E2/E8).
+class Interpreter {
+ public:
+  explicit Interpreter(DynamicContext* ctx) : ctx_(ctx) {}
+
+  /// Evaluates `e` under the current context. If the dynamic context has an
+  /// initial context item, it is in scope as "." at the top level.
+  Result<Sequence> Eval(const Expr* e);
+
+ private:
+  struct Focus {
+    Item item;
+    int64_t position = 0;
+    int64_t size = 0;
+  };
+
+  Result<Sequence> EvalPath(const PathExpr* e);
+  Result<Sequence> EvalStep(const StepExpr* e);
+  Result<Sequence> EvalFilter(const FilterExpr* e);
+  Result<Sequence> EvalFlwor(const FlworExpr* e);
+  Result<Sequence> EvalQuantified(const QuantifiedExpr* e);
+  Result<Sequence> EvalTypeswitch(const TypeswitchExpr* e);
+  Result<Sequence> EvalCall(const FunctionCallExpr* e);
+  Result<Sequence> EvalElementCtor(const ElementCtorExpr* e);
+
+  /// Current context item (error when absent).
+  Result<Item> ContextItem() const;
+  FocusInfo CurrentFocusInfo() const;
+
+  DynamicContext* ctx_;
+  std::vector<Focus> focus_;
+};
+
+/// Convenience: evaluates a whole module body (after globals are bound).
+Result<Sequence> EvalExpr(const Expr* e, DynamicContext* ctx);
+
+/// Runtime name resolution for computed element/attribute names: accepts an
+/// xs:QName value (Clark form) or a string/untyped lexical name (no prefix
+/// resolution at runtime — unprefixed names land in no namespace).
+Result<QName> ComputedName(const Sequence& name_value);
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_INTERPRETER_H_

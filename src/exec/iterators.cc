@@ -1,0 +1,1056 @@
+#include "exec/iterators.h"
+
+#include <vector>
+
+#include "exec/arithmetic.h"
+#include "exec/builtins.h"
+#include "exec/compare.h"
+#include "exec/constructor.h"
+#include "exec/interpreter.h"
+#include "exec/type_match.h"
+
+namespace xqp {
+
+namespace lazy_internal {
+
+Result<Sequence> Drain(ItemIterator* it) {
+  Sequence out;
+  Item item;
+  while (true) {
+    XQP_ASSIGN_OR_RETURN(bool got, it->Next(&item));
+    if (!got) break;
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace lazy_internal
+
+using lazy_internal::Drain;
+
+Result<bool> StreamingEbv(ItemIterator* it) {
+  Item first;
+  XQP_ASSIGN_OR_RETURN(bool got, it->Next(&first));
+  if (!got) return false;
+  if (first.IsNode()) return true;  // Laziness: never pull past a node.
+  Item second;
+  XQP_ASSIGN_OR_RETURN(bool more, it->Next(&second));
+  if (more) {
+    return Status::TypeError(
+        "effective boolean value of a multi-item atomic sequence");
+  }
+  Sequence single{first};
+  return EffectiveBooleanValue(single);
+}
+
+namespace {
+
+using lazy_internal::CompileFilter;
+using lazy_internal::CompileFlwor;
+using lazy_internal::CompilePath;
+using lazy_internal::CompileQuantified;
+using lazy_internal::CompileStep;
+
+// ---------------------------------------------------------------------------
+// Trivial sources
+// ---------------------------------------------------------------------------
+
+class LiteralIt : public ItemIterator {
+ public:
+  explicit LiteralIt(AtomicValue value) : value_(std::move(value)) {}
+  Status Reset(DynamicContext* ctx) override {
+    done_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(Item* out) override {
+    if (done_) return false;
+    done_ = true;
+    *out = Item(value_);
+    return true;
+  }
+
+ private:
+  AtomicValue value_;
+  bool done_ = false;
+};
+
+class VarRefIt : public ItemIterator {
+ public:
+  explicit VarRefIt(const VarRefExpr* var) : var_(var) {}
+  Status Reset(DynamicContext* ctx) override {
+    const auto& frame = var_->is_global ? ctx->globals : ctx->slots;
+    if (var_->slot < 0 || var_->slot >= static_cast<int>(frame.size()) ||
+        frame[var_->slot] == nullptr) {
+      return Status::DynamicError("unbound variable: $" + var_->name.Lexical());
+    }
+    seq_ = frame[var_->slot];
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Item* out) override {
+    XQP_ASSIGN_OR_RETURN(const Item* item, seq_->Get(pos_));
+    if (item == nullptr) return false;
+    ++pos_;
+    *out = *item;
+    return true;
+  }
+
+ private:
+  const VarRefExpr* var_;
+  LazySeqPtr seq_;
+  size_t pos_ = 0;
+};
+
+class ContextItemIt : public ItemIterator {
+ public:
+  explicit ContextItemIt(const LazyFocus* focus) : focus_(focus) {}
+  Status Reset(DynamicContext* ctx) override {
+    ctx_ = ctx;
+    done_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(Item* out) override {
+    if (done_) return false;
+    done_ = true;
+    if (focus_ != nullptr && focus_->valid) {
+      *out = focus_->item;
+      return true;
+    }
+    if (ctx_->initial_context != nullptr) {
+      XQP_ASSIGN_OR_RETURN(const Item* item, ctx_->initial_context->Get(0));
+      if (item != nullptr) {
+        *out = *item;
+        return true;
+      }
+    }
+    return Status::DynamicError("context item is not defined");
+  }
+
+ private:
+  const LazyFocus* focus_;
+  DynamicContext* ctx_ = nullptr;
+  bool done_ = false;
+};
+
+class RootIt : public ItemIterator {
+ public:
+  explicit RootIt(const LazyFocus* focus) : inner_(focus) {}
+  Status Reset(DynamicContext* ctx) override { return inner_.Reset(ctx); }
+  Result<bool> Next(Item* out) override {
+    Item item;
+    XQP_ASSIGN_OR_RETURN(bool got, inner_.Next(&item));
+    if (!got) return false;
+    if (!item.IsNode()) {
+      return Status::TypeError("leading '/' requires a node context item");
+    }
+    *out = Item(item.AsNode().Root());
+    return true;
+  }
+
+ private:
+  ContextItemIt inner_;
+};
+
+/// Lazy concatenation (the comma operator).
+class SequenceIt : public ItemIterator {
+ public:
+  explicit SequenceIt(std::vector<std::unique_ptr<ItemIterator>> children)
+      : children_(std::move(children)) {}
+  Status Reset(DynamicContext* ctx) override {
+    ctx_ = ctx;
+    current_ = 0;
+    if (!children_.empty()) {
+      XQP_RETURN_NOT_OK(children_[0]->Reset(ctx));
+    }
+    return Status::OK();
+  }
+  Result<bool> Next(Item* out) override {
+    while (current_ < children_.size()) {
+      XQP_ASSIGN_OR_RETURN(bool got, children_[current_]->Next(out));
+      if (got) return true;
+      ++current_;
+      if (current_ < children_.size()) {
+        XQP_RETURN_NOT_OK(children_[current_]->Reset(ctx_));
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ItemIterator>> children_;
+  DynamicContext* ctx_ = nullptr;
+  size_t current_ = 0;
+};
+
+class RangeIt : public ItemIterator {
+ public:
+  RangeIt(std::unique_ptr<ItemIterator> lo, std::unique_ptr<ItemIterator> hi)
+      : lo_(std::move(lo)), hi_(std::move(hi)) {}
+  Status Reset(DynamicContext* ctx) override {
+    XQP_RETURN_NOT_OK(lo_->Reset(ctx));
+    XQP_RETURN_NOT_OK(hi_->Reset(ctx));
+    started_ = false;
+    empty_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(Item* out) override {
+    if (!started_) {
+      started_ = true;
+      XQP_ASSIGN_OR_RETURN(Sequence lo, Drain(lo_.get()));
+      XQP_ASSIGN_OR_RETURN(Sequence hi, Drain(hi_.get()));
+      if (lo.empty() || hi.empty()) {
+        empty_ = true;
+        return false;
+      }
+      if (lo.size() != 1 || hi.size() != 1) {
+        return Status::TypeError("range operands must be singletons");
+      }
+      XQP_ASSIGN_OR_RETURN(AtomicValue lv,
+                           lo[0].Atomized().CastTo(XsType::kInteger));
+      XQP_ASSIGN_OR_RETURN(AtomicValue hv,
+                           hi[0].Atomized().CastTo(XsType::kInteger));
+      next_ = lv.AsInt();
+      end_ = hv.AsInt();
+    }
+    if (empty_ || next_ > end_) return false;
+    *out = Item(AtomicValue::Integer(next_++));
+    return true;
+  }
+
+ private:
+  std::unique_ptr<ItemIterator> lo_, hi_;
+  bool started_ = false;
+  bool empty_ = false;
+  int64_t next_ = 0, end_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Single-shot wrappers (materialize operands, emit a small result)
+// ---------------------------------------------------------------------------
+
+/// Base for operators producing a whole (small) sequence computed on first
+/// Next.
+class ComputeOnceIt : public ItemIterator {
+ public:
+  Status Reset(DynamicContext* ctx) override {
+    ctx_ = ctx;
+    computed_ = false;
+    pos_ = 0;
+    return ResetChildren(ctx);
+  }
+  Result<bool> Next(Item* out) override {
+    if (!computed_) {
+      XQP_ASSIGN_OR_RETURN(result_, Compute());
+      computed_ = true;
+    }
+    if (pos_ >= result_.size()) return false;
+    *out = result_[pos_++];
+    return true;
+  }
+
+ protected:
+  virtual Status ResetChildren(DynamicContext* ctx) = 0;
+  virtual Result<Sequence> Compute() = 0;
+  DynamicContext* ctx_ = nullptr;
+
+ private:
+  bool computed_ = false;
+  Sequence result_;
+  size_t pos_ = 0;
+};
+
+class ArithmeticIt : public ComputeOnceIt {
+ public:
+  ArithmeticIt(ArithOp op, std::unique_ptr<ItemIterator> lhs,
+               std::unique_ptr<ItemIterator> rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+ protected:
+  Status ResetChildren(DynamicContext* ctx) override {
+    XQP_RETURN_NOT_OK(lhs_->Reset(ctx));
+    return rhs_->Reset(ctx);
+  }
+  Result<Sequence> Compute() override {
+    XQP_ASSIGN_OR_RETURN(Sequence lhs, Drain(lhs_.get()));
+    XQP_ASSIGN_OR_RETURN(Sequence rhs, Drain(rhs_.get()));
+    return EvalArithmetic(op_, Atomize(lhs), Atomize(rhs));
+  }
+
+ private:
+  ArithOp op_;
+  std::unique_ptr<ItemIterator> lhs_, rhs_;
+};
+
+class UnaryIt : public ComputeOnceIt {
+ public:
+  UnaryIt(bool negate, std::unique_ptr<ItemIterator> operand)
+      : negate_(negate), operand_(std::move(operand)) {}
+
+ protected:
+  Status ResetChildren(DynamicContext* ctx) override {
+    return operand_->Reset(ctx);
+  }
+  Result<Sequence> Compute() override {
+    XQP_ASSIGN_OR_RETURN(Sequence v, Drain(operand_.get()));
+    return EvalUnary(negate_, Atomize(v));
+  }
+
+ private:
+  bool negate_;
+  std::unique_ptr<ItemIterator> operand_;
+};
+
+class ComparisonIt : public ComputeOnceIt {
+ public:
+  ComparisonIt(CompOp op, std::unique_ptr<ItemIterator> lhs,
+               std::unique_ptr<ItemIterator> rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+ protected:
+  Status ResetChildren(DynamicContext* ctx) override {
+    XQP_RETURN_NOT_OK(lhs_->Reset(ctx));
+    return rhs_->Reset(ctx);
+  }
+  Result<Sequence> Compute() override {
+    XQP_ASSIGN_OR_RETURN(Sequence lhs, Drain(lhs_.get()));
+    XQP_ASSIGN_OR_RETURN(Sequence rhs, Drain(rhs_.get()));
+    if (IsValueComp(op_)) {
+      return EvalValueComparison(op_, Atomize(lhs), Atomize(rhs));
+    }
+    if (IsGeneralComp(op_)) {
+      XQP_ASSIGN_OR_RETURN(bool b,
+                           EvalGeneralComparison(op_, Atomize(lhs), Atomize(rhs)));
+      return Sequence{Item(AtomicValue::Boolean(b))};
+    }
+    return EvalNodeComparison(op_, lhs, rhs);
+  }
+
+ private:
+  CompOp op_;
+  std::unique_ptr<ItemIterator> lhs_, rhs_;
+};
+
+class LogicalIt : public ItemIterator {
+ public:
+  LogicalIt(bool is_and, std::unique_ptr<ItemIterator> lhs,
+            std::unique_ptr<ItemIterator> rhs)
+      : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Status Reset(DynamicContext* ctx) override {
+    XQP_RETURN_NOT_OK(lhs_->Reset(ctx));
+    XQP_RETURN_NOT_OK(rhs_->Reset(ctx));
+    done_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(Item* out) override {
+    if (done_) return false;
+    done_ = true;
+    XQP_ASSIGN_OR_RETURN(bool lv, StreamingEbv(lhs_.get()));
+    bool value;
+    if (is_and_ && !lv) {
+      value = false;  // Short-circuit: rhs never evaluated (lazy).
+    } else if (!is_and_ && lv) {
+      value = true;
+    } else {
+      XQP_ASSIGN_OR_RETURN(value, StreamingEbv(rhs_.get()));
+    }
+    *out = Item(AtomicValue::Boolean(value));
+    return true;
+  }
+
+ private:
+  bool is_and_;
+  std::unique_ptr<ItemIterator> lhs_, rhs_;
+  bool done_ = false;
+};
+
+class IfIt : public ItemIterator {
+ public:
+  IfIt(std::unique_ptr<ItemIterator> cond, std::unique_ptr<ItemIterator> then_i,
+       std::unique_ptr<ItemIterator> else_i)
+      : cond_(std::move(cond)),
+        then_(std::move(then_i)),
+        else_(std::move(else_i)) {}
+  Status Reset(DynamicContext* ctx) override {
+    ctx_ = ctx;
+    XQP_RETURN_NOT_OK(cond_->Reset(ctx));
+    chosen_ = nullptr;
+    return Status::OK();
+  }
+  Result<bool> Next(Item* out) override {
+    if (chosen_ == nullptr) {
+      XQP_ASSIGN_OR_RETURN(bool b, StreamingEbv(cond_.get()));
+      chosen_ = b ? then_.get() : else_.get();
+      XQP_RETURN_NOT_OK(chosen_->Reset(ctx_));
+    }
+    return chosen_->Next(out);
+  }
+
+ private:
+  std::unique_ptr<ItemIterator> cond_, then_, else_;
+  DynamicContext* ctx_ = nullptr;
+  ItemIterator* chosen_ = nullptr;
+};
+
+class CastIt : public ComputeOnceIt {
+ public:
+  CastIt(const CastExpr* e, std::unique_ptr<ItemIterator> operand)
+      : e_(e), operand_(std::move(operand)) {}
+
+ protected:
+  Status ResetChildren(DynamicContext* ctx) override {
+    return operand_->Reset(ctx);
+  }
+  Result<Sequence> Compute() override {
+    XQP_ASSIGN_OR_RETURN(Sequence v, Drain(operand_.get()));
+    Sequence atomized = Atomize(v);
+    if (atomized.empty()) {
+      if (e_->optional) return Sequence{};
+      return Status::TypeError("cast of empty sequence to non-optional type");
+    }
+    if (atomized.size() != 1) {
+      return Status::TypeError("cast requires a singleton");
+    }
+    XQP_ASSIGN_OR_RETURN(AtomicValue out,
+                         atomized[0].AsAtomic().CastTo(e_->target));
+    return Sequence{Item(std::move(out))};
+  }
+
+ private:
+  const CastExpr* e_;
+  std::unique_ptr<ItemIterator> operand_;
+};
+
+class CastableIt : public ComputeOnceIt {
+ public:
+  CastableIt(const CastableExpr* e, std::unique_ptr<ItemIterator> operand)
+      : e_(e), operand_(std::move(operand)) {}
+
+ protected:
+  Status ResetChildren(DynamicContext* ctx) override {
+    return operand_->Reset(ctx);
+  }
+  Result<Sequence> Compute() override {
+    XQP_ASSIGN_OR_RETURN(Sequence v, Drain(operand_.get()));
+    Sequence atomized = Atomize(v);
+    bool ok;
+    if (atomized.empty()) {
+      ok = e_->optional;
+    } else if (atomized.size() != 1) {
+      ok = false;
+    } else {
+      ok = atomized[0].AsAtomic().CastTo(e_->target).ok();
+    }
+    return Sequence{Item(AtomicValue::Boolean(ok))};
+  }
+
+ private:
+  const CastableExpr* e_;
+  std::unique_ptr<ItemIterator> operand_;
+};
+
+class InstanceOfIt : public ComputeOnceIt {
+ public:
+  InstanceOfIt(const InstanceOfExpr* e, std::unique_ptr<ItemIterator> operand)
+      : e_(e), operand_(std::move(operand)) {}
+
+ protected:
+  Status ResetChildren(DynamicContext* ctx) override {
+    return operand_->Reset(ctx);
+  }
+  Result<Sequence> Compute() override {
+    XQP_ASSIGN_OR_RETURN(Sequence v, Drain(operand_.get()));
+    return Sequence{Item(AtomicValue::Boolean(MatchesSequenceType(v, e_->type)))};
+  }
+
+ private:
+  const InstanceOfExpr* e_;
+  std::unique_ptr<ItemIterator> operand_;
+};
+
+/// treat-as streams through, validating items on the fly.
+class TreatIt : public ItemIterator {
+ public:
+  TreatIt(const TreatExpr* e, std::unique_ptr<ItemIterator> operand)
+      : e_(e), operand_(std::move(operand)) {}
+  Status Reset(DynamicContext* ctx) override {
+    count_ = 0;
+    return operand_->Reset(ctx);
+  }
+  Result<bool> Next(Item* out) override {
+    XQP_ASSIGN_OR_RETURN(bool got, operand_->Next(out));
+    const SequenceType& t = e_->type;
+    if (!got) {
+      if (count_ == 0 && !t.empty_sequence &&
+          (t.occurrence == Occurrence::kOne ||
+           t.occurrence == Occurrence::kPlus)) {
+        return Status::TypeError("treat as " + t.ToString() +
+                                 ": empty sequence");
+      }
+      return false;
+    }
+    ++count_;
+    if (t.empty_sequence) {
+      return Status::TypeError("treat as empty-sequence(): non-empty input");
+    }
+    if (count_ > 1 && (t.occurrence == Occurrence::kOne ||
+                       t.occurrence == Occurrence::kOptional)) {
+      return Status::TypeError("treat as " + t.ToString() +
+                               ": more than one item");
+    }
+    if (!MatchesItemType(*out, t.item)) {
+      return Status::TypeError("treat as " + t.ToString() +
+                               ": item type mismatch");
+    }
+    return true;
+  }
+
+ private:
+  const TreatExpr* e_;
+  std::unique_ptr<ItemIterator> operand_;
+  size_t count_ = 0;
+};
+
+class UnionIt : public ComputeOnceIt {
+ public:
+  UnionIt(const Expr* e, std::unique_ptr<ItemIterator> lhs,
+          std::unique_ptr<ItemIterator> rhs)
+      : e_(e), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+ protected:
+  Status ResetChildren(DynamicContext* ctx) override {
+    XQP_RETURN_NOT_OK(lhs_->Reset(ctx));
+    return rhs_->Reset(ctx);
+  }
+  Result<Sequence> Compute() override {
+    XQP_ASSIGN_OR_RETURN(Sequence lhs, Drain(lhs_.get()));
+    XQP_ASSIGN_OR_RETURN(Sequence rhs, Drain(rhs_.get()));
+    if (e_->kind() == ExprKind::kUnion) {
+      lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+      XQP_RETURN_NOT_OK(SortDocOrderDistinct(&lhs));
+      return lhs;
+    }
+    bool is_except = static_cast<const IntersectExceptExpr*>(e_)->is_except;
+    XQP_RETURN_NOT_OK(SortDocOrderDistinct(&lhs));
+    XQP_RETURN_NOT_OK(SortDocOrderDistinct(&rhs));
+    Sequence out;
+    for (const Item& item : lhs) {
+      bool in_rhs = false;
+      for (const Item& r : rhs) {
+        if (item.AsNode().SameNode(r.AsNode())) {
+          in_rhs = true;
+          break;
+        }
+      }
+      if (in_rhs != is_except) out.push_back(item);
+    }
+    return out;
+  }
+
+ private:
+  const Expr* e_;
+  std::unique_ptr<ItemIterator> lhs_, rhs_;
+};
+
+class TypeswitchIt : public ItemIterator {
+ public:
+  TypeswitchIt(const TypeswitchExpr* e,
+               std::vector<std::unique_ptr<ItemIterator>> children)
+      : e_(e), children_(std::move(children)) {}
+  Status Reset(DynamicContext* ctx) override {
+    ctx_ = ctx;
+    chosen_ = nullptr;
+    return children_[0]->Reset(ctx);
+  }
+  Result<bool> Next(Item* out) override {
+    if (chosen_ == nullptr) {
+      XQP_ASSIGN_OR_RETURN(Sequence operand, Drain(children_[0].get()));
+      size_t branch = e_->NumChildren() - 1;
+      int slot = e_->default_var_slot;
+      for (size_t i = 0; i < e_->cases.size(); ++i) {
+        if (MatchesSequenceType(operand, e_->cases[i].type)) {
+          branch = i + 1;
+          slot = e_->cases[i].var_slot;
+          break;
+        }
+      }
+      if (slot >= 0) {
+        ctx_->slots[slot] = LazySeq::FromVector(std::move(operand));
+      }
+      chosen_ = children_[branch].get();
+      XQP_RETURN_NOT_OK(chosen_->Reset(ctx_));
+    }
+    return chosen_->Next(out);
+  }
+
+ private:
+  const TypeswitchExpr* e_;
+  std::vector<std::unique_ptr<ItemIterator>> children_;
+  DynamicContext* ctx_ = nullptr;
+  ItemIterator* chosen_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Function calls
+// ---------------------------------------------------------------------------
+
+class FunctionCallIt : public ItemIterator {
+ public:
+  FunctionCallIt(const FunctionCallExpr* e, const LazyFocus* focus,
+                 std::vector<std::unique_ptr<ItemIterator>> args)
+      : e_(e), focus_(focus), args_(std::move(args)) {}
+
+  ~FunctionCallIt() override { ReleaseDepth(); }
+
+  Status Reset(DynamicContext* ctx) override {
+    ReleaseDepth();
+    ctx_ = ctx;
+    state_ = State::kInit;
+    pos_ = 0;
+    result_.clear();
+    body_.reset();
+    for (auto& a : args_) {
+      XQP_RETURN_NOT_OK(a->Reset(ctx));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Item* out) override {
+    if (state_ == State::kInit) {
+      XQP_RETURN_NOT_OK(Prepare());
+    }
+    if (state_ == State::kUserStreaming) {
+      // Swap our frame in around every pull so the lazily evaluated body
+      // sees its own bindings even while outer iterators interleave.
+      std::swap(ctx_->slots, frame_);
+      auto got = body_->Next(out);
+      std::swap(ctx_->slots, frame_);
+      return got;
+    }
+    if (pos_ >= result_.size()) return false;
+    *out = result_[pos_++];
+    return true;
+  }
+
+ private:
+  enum class State { kInit, kMaterialized, kUserStreaming };
+
+  Status Prepare() {
+    if (e_->user_index >= 0) return PrepareUser();
+    Builtin id = static_cast<Builtin>(e_->builtin);
+    // Short-circuiting builtins: pull only what is needed (lazy evaluation;
+    // the paper's endlessOnes() example relies on this).
+    switch (id) {
+      case Builtin::kEmpty:
+      case Builtin::kExists: {
+        Item scratch;
+        XQP_ASSIGN_OR_RETURN(bool got, args_[0]->Next(&scratch));
+        bool value = id == Builtin::kEmpty ? !got : got;
+        result_ = {Item(AtomicValue::Boolean(value))};
+        state_ = State::kMaterialized;
+        return Status::OK();
+      }
+      case Builtin::kHead: {
+        Item first;
+        XQP_ASSIGN_OR_RETURN(bool got, args_[0]->Next(&first));
+        if (got) result_ = {std::move(first)};
+        state_ = State::kMaterialized;
+        return Status::OK();
+      }
+      case Builtin::kBoolean:
+      case Builtin::kNot: {
+        XQP_ASSIGN_OR_RETURN(bool b, StreamingEbv(args_[0].get()));
+        if (id == Builtin::kNot) b = !b;
+        result_ = {Item(AtomicValue::Boolean(b))};
+        state_ = State::kMaterialized;
+        return Status::OK();
+      }
+      case Builtin::kCount: {
+        // Streams without buffering items.
+        int64_t n = 0;
+        Item scratch;
+        while (true) {
+          XQP_ASSIGN_OR_RETURN(bool got, args_[0]->Next(&scratch));
+          if (!got) break;
+          ++n;
+        }
+        result_ = {Item(AtomicValue::Integer(n))};
+        state_ = State::kMaterialized;
+        return Status::OK();
+      }
+      default:
+        break;
+    }
+    std::vector<Sequence> args;
+    args.reserve(args_.size());
+    for (auto& a : args_) {
+      XQP_ASSIGN_OR_RETURN(Sequence arg, Drain(a.get()));
+      args.push_back(std::move(arg));
+    }
+    FocusInfo focus;
+    if (focus_ != nullptr && focus_->valid) {
+      focus.has_focus = true;
+      focus.item = focus_->item;
+      focus.position = focus_->position;
+      if (focus_->size < 0 && id == Builtin::kLast) {
+        // The uses_last analysis makes the enclosing path/filter
+        // materialize its input; reaching this means it could not.
+        return Status::DynamicError(
+            "last() requires a materialized context sequence");
+      }
+      focus.size = focus_->size;
+    }
+    XQP_ASSIGN_OR_RETURN(result_, CallBuiltin(id, args, ctx_, focus));
+    state_ = State::kMaterialized;
+    return Status::OK();
+  }
+
+  Status PrepareUser() {
+    const UserFunction& fn = ctx_->module->functions[e_->user_index];
+    if (fn.body == nullptr) {
+      return Status::DynamicError("external function has no implementation: " +
+                                  fn.name.Lexical());
+    }
+    if (ctx_->call_depth >= DynamicContext::kMaxCallDepth) {
+      return Status::DynamicError("maximum recursion depth exceeded in " +
+                                  fn.name.Lexical());
+    }
+    frame_.assign(fn.num_slots, nullptr);
+    for (size_t i = 0; i < args_.size(); ++i) {
+      XQP_ASSIGN_OR_RETURN(Sequence arg, Drain(args_[i].get()));
+      if (!MatchesSequenceType(arg, fn.param_types[i])) {
+        return Status::TypeError(
+            "argument " + std::to_string(i + 1) + " of " + fn.name.Lexical() +
+            " does not match " + fn.param_types[i].ToString());
+      }
+      frame_[fn.param_slots[i]] = LazySeq::FromVector(std::move(arg));
+    }
+    // Compile the body once per call site, on demand, with no focus. The
+    // recursion-depth slot stays held while the body streams.
+    XQP_ASSIGN_OR_RETURN(body_, CompileIterator(fn.body.get(), nullptr));
+    ++ctx_->call_depth;
+    depth_held_ = true;
+    std::swap(ctx_->slots, frame_);
+    Status st = body_->Reset(ctx_);
+    std::swap(ctx_->slots, frame_);
+    XQP_RETURN_NOT_OK(st);
+    state_ = State::kUserStreaming;
+    return Status::OK();
+  }
+
+  void ReleaseDepth() {
+    if (depth_held_ && ctx_ != nullptr) {
+      --ctx_->call_depth;
+      depth_held_ = false;
+    }
+  }
+
+  const FunctionCallExpr* e_;
+  const LazyFocus* focus_;
+  std::vector<std::unique_ptr<ItemIterator>> args_;
+  DynamicContext* ctx_ = nullptr;
+  State state_ = State::kInit;
+  Sequence result_;
+  size_t pos_ = 0;
+  std::unique_ptr<ItemIterator> body_;
+  std::vector<LazySeqPtr> frame_;
+  bool depth_held_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Constructors (materialization points by nature)
+// ---------------------------------------------------------------------------
+
+class CtorIt : public ComputeOnceIt {
+ public:
+  CtorIt(const Expr* e, const LazyFocus* focus) : e_(e), focus_(focus) {}
+
+  Status Init() {
+    for (size_t i = 0; i < e_->NumChildren(); ++i) {
+      XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> child,
+                           CompileIterator(e_->child(i), focus_));
+      children_.push_back(std::move(child));
+    }
+    return Status::OK();
+  }
+
+ protected:
+  Status ResetChildren(DynamicContext* ctx) override {
+    for (auto& c : children_) {
+      XQP_RETURN_NOT_OK(c->Reset(ctx));
+    }
+    return Status::OK();
+  }
+
+  Result<Sequence> Compute() override {
+    std::vector<Sequence> parts;
+    parts.reserve(children_.size());
+    for (auto& c : children_) {
+      XQP_ASSIGN_OR_RETURN(Sequence part, Drain(c.get()));
+      parts.push_back(std::move(part));
+    }
+    switch (e_->kind()) {
+      case ExprKind::kElementCtor: {
+        const auto* ctor = static_cast<const ElementCtorExpr*>(e_);
+        QName name = ctor->name;
+        size_t start = 0;
+        if (ctor->computed_name) {
+          XQP_ASSIGN_OR_RETURN(name, ComputedName(parts[0]));
+          start = 1;
+        }
+        std::vector<Sequence> content(
+            std::make_move_iterator(parts.begin() + start),
+            std::make_move_iterator(parts.end()));
+        XQP_ASSIGN_OR_RETURN(
+            Item item, construct::Element(name, ctor->ns_decls, content, ctx_));
+        return Sequence{std::move(item)};
+      }
+      case ExprKind::kAttributeCtor: {
+        const auto* ctor = static_cast<const AttributeCtorExpr*>(e_);
+        QName name = ctor->name;
+        size_t start = 0;
+        if (ctor->computed_name) {
+          XQP_ASSIGN_OR_RETURN(name, ComputedName(parts[0]));
+          start = 1;
+        }
+        std::vector<Sequence> content(
+            std::make_move_iterator(parts.begin() + start),
+            std::make_move_iterator(parts.end()));
+        XQP_ASSIGN_OR_RETURN(Item item,
+                             construct::Attribute(name, content, ctx_));
+        return Sequence{std::move(item)};
+      }
+      case ExprKind::kTextCtor:
+        return construct::Text(parts[0], ctx_);
+      case ExprKind::kCommentCtor: {
+        XQP_ASSIGN_OR_RETURN(Item item, construct::Comment(parts[0], ctx_));
+        return Sequence{std::move(item)};
+      }
+      case ExprKind::kPiCtor: {
+        const auto* pi = static_cast<const PiCtorExpr*>(e_);
+        XQP_ASSIGN_OR_RETURN(Item item,
+                             construct::Pi(pi->target, parts[0], ctx_));
+        return Sequence{std::move(item)};
+      }
+      case ExprKind::kDocumentCtor: {
+        XQP_ASSIGN_OR_RETURN(Item item, construct::DocumentNode(parts, ctx_));
+        return Sequence{std::move(item)};
+      }
+      default:
+        return Status::Internal("not a constructor");
+    }
+  }
+
+ private:
+  const Expr* e_;
+  const LazyFocus* focus_;
+  std::vector<std::unique_ptr<ItemIterator>> children_;
+};
+
+}  // namespace
+
+/// try/catch: the try branch must be fully evaluated before any item can be
+/// emitted (an error after partial output would be uncatchable), so it is a
+/// materialization point; the catch branch streams.
+class TryCatchIt : public ItemIterator {
+ public:
+  TryCatchIt(std::unique_ptr<ItemIterator> try_it,
+             std::unique_ptr<ItemIterator> catch_it)
+      : try_(std::move(try_it)), catch_(std::move(catch_it)) {}
+
+  Status Reset(DynamicContext* ctx) override {
+    ctx_ = ctx;
+    state_ = State::kInit;
+    pos_ = 0;
+    buffer_.clear();
+    return try_->Reset(ctx);
+  }
+
+  Result<bool> Next(Item* out) override {
+    if (state_ == State::kInit) {
+      auto attempt = Drain(try_.get());
+      if (attempt.ok()) {
+        buffer_ = std::move(attempt).value();
+        state_ = State::kBuffered;
+      } else {
+        StatusCode code = attempt.status().code();
+        if (code != StatusCode::kDynamicError &&
+            code != StatusCode::kTypeError) {
+          return attempt.status();
+        }
+        XQP_RETURN_NOT_OK(catch_->Reset(ctx_));
+        state_ = State::kCatching;
+      }
+    }
+    if (state_ == State::kCatching) return catch_->Next(out);
+    if (pos_ >= buffer_.size()) return false;
+    *out = buffer_[pos_++];
+    return true;
+  }
+
+ private:
+  enum class State { kInit, kBuffered, kCatching };
+  std::unique_ptr<ItemIterator> try_, catch_;
+  DynamicContext* ctx_ = nullptr;
+  State state_ = State::kInit;
+  Sequence buffer_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Compiler dispatch
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ItemIterator>> CompileIterator(const Expr* e,
+                                                      const LazyFocus* focus) {
+  switch (e->kind()) {
+    case ExprKind::kLiteral:
+      return std::unique_ptr<ItemIterator>(
+          std::make_unique<LiteralIt>(static_cast<const LiteralExpr*>(e)->value));
+    case ExprKind::kVarRef:
+      return std::unique_ptr<ItemIterator>(
+          std::make_unique<VarRefIt>(static_cast<const VarRefExpr*>(e)));
+    case ExprKind::kContextItem:
+      return std::unique_ptr<ItemIterator>(
+          std::make_unique<ContextItemIt>(focus));
+    case ExprKind::kRoot:
+      return std::unique_ptr<ItemIterator>(std::make_unique<RootIt>(focus));
+    case ExprKind::kSequence: {
+      std::vector<std::unique_ptr<ItemIterator>> children;
+      for (size_t i = 0; i < e->NumChildren(); ++i) {
+        XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> c,
+                             CompileIterator(e->child(i), focus));
+        children.push_back(std::move(c));
+      }
+      return std::unique_ptr<ItemIterator>(
+          std::make_unique<SequenceIt>(std::move(children)));
+    }
+    case ExprKind::kRange: {
+      XQP_ASSIGN_OR_RETURN(auto lo, CompileIterator(e->child(0), focus));
+      XQP_ASSIGN_OR_RETURN(auto hi, CompileIterator(e->child(1), focus));
+      return std::unique_ptr<ItemIterator>(
+          std::make_unique<RangeIt>(std::move(lo), std::move(hi)));
+    }
+    case ExprKind::kArithmetic: {
+      XQP_ASSIGN_OR_RETURN(auto lhs, CompileIterator(e->child(0), focus));
+      XQP_ASSIGN_OR_RETURN(auto rhs, CompileIterator(e->child(1), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<ArithmeticIt>(
+          static_cast<const ArithmeticExpr*>(e)->op, std::move(lhs),
+          std::move(rhs)));
+    }
+    case ExprKind::kUnary: {
+      XQP_ASSIGN_OR_RETURN(auto operand, CompileIterator(e->child(0), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<UnaryIt>(
+          static_cast<const UnaryExpr*>(e)->negate, std::move(operand)));
+    }
+    case ExprKind::kComparison: {
+      XQP_ASSIGN_OR_RETURN(auto lhs, CompileIterator(e->child(0), focus));
+      XQP_ASSIGN_OR_RETURN(auto rhs, CompileIterator(e->child(1), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<ComparisonIt>(
+          static_cast<const ComparisonExpr*>(e)->op, std::move(lhs),
+          std::move(rhs)));
+    }
+    case ExprKind::kLogical: {
+      XQP_ASSIGN_OR_RETURN(auto lhs, CompileIterator(e->child(0), focus));
+      XQP_ASSIGN_OR_RETURN(auto rhs, CompileIterator(e->child(1), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<LogicalIt>(
+          static_cast<const LogicalExpr*>(e)->is_and, std::move(lhs),
+          std::move(rhs)));
+    }
+    case ExprKind::kIf: {
+      XQP_ASSIGN_OR_RETURN(auto cond, CompileIterator(e->child(0), focus));
+      XQP_ASSIGN_OR_RETURN(auto then_i, CompileIterator(e->child(1), focus));
+      XQP_ASSIGN_OR_RETURN(auto else_i, CompileIterator(e->child(2), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<IfIt>(
+          std::move(cond), std::move(then_i), std::move(else_i)));
+    }
+    case ExprKind::kCastAs: {
+      XQP_ASSIGN_OR_RETURN(auto operand, CompileIterator(e->child(0), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<CastIt>(
+          static_cast<const CastExpr*>(e), std::move(operand)));
+    }
+    case ExprKind::kCastableAs: {
+      XQP_ASSIGN_OR_RETURN(auto operand, CompileIterator(e->child(0), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<CastableIt>(
+          static_cast<const CastableExpr*>(e), std::move(operand)));
+    }
+    case ExprKind::kInstanceOf: {
+      XQP_ASSIGN_OR_RETURN(auto operand, CompileIterator(e->child(0), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<InstanceOfIt>(
+          static_cast<const InstanceOfExpr*>(e), std::move(operand)));
+    }
+    case ExprKind::kTreatAs: {
+      XQP_ASSIGN_OR_RETURN(auto operand, CompileIterator(e->child(0), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<TreatIt>(
+          static_cast<const TreatExpr*>(e), std::move(operand)));
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kIntersectExcept: {
+      XQP_ASSIGN_OR_RETURN(auto lhs, CompileIterator(e->child(0), focus));
+      XQP_ASSIGN_OR_RETURN(auto rhs, CompileIterator(e->child(1), focus));
+      return std::unique_ptr<ItemIterator>(
+          std::make_unique<UnionIt>(e, std::move(lhs), std::move(rhs)));
+    }
+    case ExprKind::kTypeswitch: {
+      std::vector<std::unique_ptr<ItemIterator>> children;
+      for (size_t i = 0; i < e->NumChildren(); ++i) {
+        XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> c,
+                             CompileIterator(e->child(i), focus));
+        children.push_back(std::move(c));
+      }
+      return std::unique_ptr<ItemIterator>(std::make_unique<TypeswitchIt>(
+          static_cast<const TypeswitchExpr*>(e), std::move(children)));
+    }
+    case ExprKind::kFunctionCall: {
+      std::vector<std::unique_ptr<ItemIterator>> args;
+      for (size_t i = 0; i < e->NumChildren(); ++i) {
+        XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> a,
+                             CompileIterator(e->child(i), focus));
+        args.push_back(std::move(a));
+      }
+      return std::unique_ptr<ItemIterator>(std::make_unique<FunctionCallIt>(
+          static_cast<const FunctionCallExpr*>(e), focus, std::move(args)));
+    }
+    case ExprKind::kElementCtor:
+    case ExprKind::kAttributeCtor:
+    case ExprKind::kTextCtor:
+    case ExprKind::kCommentCtor:
+    case ExprKind::kPiCtor:
+    case ExprKind::kDocumentCtor: {
+      auto ctor = std::make_unique<CtorIt>(e, focus);
+      XQP_RETURN_NOT_OK(ctor->Init());
+      return std::unique_ptr<ItemIterator>(std::move(ctor));
+    }
+    case ExprKind::kTryCatch: {
+      XQP_ASSIGN_OR_RETURN(auto try_it, CompileIterator(e->child(0), focus));
+      XQP_ASSIGN_OR_RETURN(auto catch_it, CompileIterator(e->child(1), focus));
+      return std::unique_ptr<ItemIterator>(std::make_unique<TryCatchIt>(
+          std::move(try_it), std::move(catch_it)));
+    }
+    case ExprKind::kPath:
+      return CompilePath(static_cast<const PathExpr*>(e), focus);
+    case ExprKind::kStep:
+      return CompileStep(static_cast<const StepExpr*>(e), focus);
+    case ExprKind::kFilter:
+      return CompileFilter(static_cast<const FilterExpr*>(e), focus);
+    case ExprKind::kFlwor:
+      return CompileFlwor(static_cast<const FlworExpr*>(e), focus);
+    case ExprKind::kQuantified:
+      return CompileQuantified(static_cast<const QuantifiedExpr*>(e), focus);
+  }
+  return Status::Internal("unhandled expression kind in lazy compiler");
+}
+
+Result<std::unique_ptr<ItemIterator>> OpenLazy(const Expr* e,
+                                               DynamicContext* ctx) {
+  XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> it,
+                       CompileIterator(e, nullptr));
+  XQP_RETURN_NOT_OK(it->Reset(ctx));
+  return it;
+}
+
+Result<Sequence> ExecuteLazy(const Expr* e, DynamicContext* ctx) {
+  XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> it, OpenLazy(e, ctx));
+  return Drain(it.get());
+}
+
+}  // namespace xqp

@@ -1,0 +1,63 @@
+#ifndef XQP_EXEC_ITERATORS_H_
+#define XQP_EXEC_ITERATORS_H_
+
+#include <memory>
+
+#include "exec/dynamic_context.h"
+#include "exec/lazy_seq.h"
+#include "query/expr.h"
+
+namespace xqp {
+
+/// The focus a compiled iterator subtree reads: owned by the enclosing
+/// path/filter iterator, bound at compile time by address. `size` is -1
+/// when unknown (fn:last() then forces the owner to materialize its input,
+/// guided by the uses_last analysis).
+struct LazyFocus {
+  bool valid = false;
+  Item item;
+  int64_t position = 0;
+  int64_t size = -1;
+};
+
+/// Compiles an expression into a pull-based iterator tree (the paper's
+/// TokenIterator execution model at item granularity): open/next via
+/// Reset/Next, lazy evaluation throughout, materialization only at the
+/// blocking points (document-order sorts, order by, aggregates, node
+/// construction). `focus` is the statically enclosing focus, or nullptr at
+/// the top level.
+Result<std::unique_ptr<ItemIterator>> CompileIterator(const Expr* e,
+                                                      const LazyFocus* focus);
+
+/// Compiles, resets, and drains `e` under `ctx`.
+Result<Sequence> ExecuteLazy(const Expr* e, DynamicContext* ctx);
+
+/// Compiles and resets `e`, returning the iterator for incremental
+/// consumption (time-to-first-item measurements, experiment E1).
+Result<std::unique_ptr<ItemIterator>> OpenLazy(const Expr* e,
+                                               DynamicContext* ctx);
+
+/// Streaming effective boolean value: pulls at most two items.
+Result<bool> StreamingEbv(ItemIterator* it);
+
+namespace lazy_internal {
+
+Result<std::unique_ptr<ItemIterator>> CompilePath(const PathExpr* e,
+                                                  const LazyFocus* focus);
+Result<std::unique_ptr<ItemIterator>> CompileStep(const StepExpr* e,
+                                                  const LazyFocus* focus);
+Result<std::unique_ptr<ItemIterator>> CompileFilter(const FilterExpr* e,
+                                                    const LazyFocus* focus);
+Result<std::unique_ptr<ItemIterator>> CompileFlwor(const FlworExpr* e,
+                                                   const LazyFocus* focus);
+Result<std::unique_ptr<ItemIterator>> CompileQuantified(
+    const QuantifiedExpr* e, const LazyFocus* focus);
+
+/// Drains `it` into a vector.
+Result<Sequence> Drain(ItemIterator* it);
+
+}  // namespace lazy_internal
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_ITERATORS_H_

@@ -1,0 +1,57 @@
+#include "exec/lazy_seq.h"
+
+namespace xqp {
+
+std::shared_ptr<LazySeq> LazySeq::FromVector(Sequence items) {
+  auto seq = std::shared_ptr<LazySeq>(new LazySeq());
+  seq->buffer_ = std::move(items);
+  return seq;
+}
+
+std::shared_ptr<LazySeq> LazySeq::FromItem(Item item) {
+  auto seq = std::shared_ptr<LazySeq>(new LazySeq());
+  seq->buffer_.push_back(std::move(item));
+  return seq;
+}
+
+std::shared_ptr<LazySeq> LazySeq::Empty() {
+  return std::shared_ptr<LazySeq>(new LazySeq());
+}
+
+std::shared_ptr<LazySeq> LazySeq::FromIterator(
+    std::unique_ptr<ItemIterator> source) {
+  auto seq = std::shared_ptr<LazySeq>(new LazySeq());
+  seq->source_ = std::move(source);
+  return seq;
+}
+
+Status LazySeq::FillTo(size_t i) {
+  while (source_ != nullptr && buffer_.size() <= i) {
+    Item item;
+    XQP_ASSIGN_OR_RETURN(bool got, source_->Next(&item));
+    if (!got) {
+      source_.reset();
+      break;
+    }
+    buffer_.push_back(std::move(item));
+  }
+  return Status::OK();
+}
+
+Result<const Item*> LazySeq::Get(size_t i) {
+  XQP_RETURN_NOT_OK(FillTo(i));
+  if (i >= buffer_.size()) return static_cast<const Item*>(nullptr);
+  return &buffer_[i];
+}
+
+Result<size_t> LazySeq::Size() {
+  XQP_RETURN_NOT_OK(FillTo(SIZE_MAX - 1));
+  return buffer_.size();
+}
+
+Result<const Sequence*> LazySeq::Materialize() {
+  XQP_RETURN_NOT_OK(FillTo(SIZE_MAX - 1));
+  return &buffer_;
+}
+
+}  // namespace xqp

@@ -1,0 +1,17 @@
+#ifndef XQP_EXEC_TYPE_MATCH_H_
+#define XQP_EXEC_TYPE_MATCH_H_
+
+#include "exec/item.h"
+#include "query/sequence_type.h"
+
+namespace xqp {
+
+/// Dynamic "instance of" check for one item against an item type.
+bool MatchesItemType(const Item& item, const ItemTypeTest& test);
+
+/// Dynamic "instance of" check for a whole sequence (occurrence included).
+bool MatchesSequenceType(const Sequence& seq, const SequenceType& type);
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_TYPE_MATCH_H_

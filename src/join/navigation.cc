@@ -1,0 +1,100 @@
+#include "join/navigation.h"
+
+namespace xqp {
+
+namespace {
+
+/// Scans the subtree of `root` (exclusive) for elements with `name_id`,
+/// honoring the parent/child restriction.
+void ScanSubtree(const Document& doc, NodeIndex root, uint32_t name_id,
+                 bool parent_child, std::vector<NodeIndex>* out) {
+  const NodeRecord& r = doc.node(root);
+  for (NodeIndex i = root + 1; i <= r.end && i < doc.NumNodes(); ++i) {
+    const NodeRecord& n = doc.node(i);
+    if (n.kind != NodeKind::kElement || n.name_id != name_id) continue;
+    if (parent_child && n.parent != root) continue;
+    out->push_back(i);
+  }
+}
+
+}  // namespace
+
+std::vector<NodeIndex> NavigateAncestors(const Document& doc,
+                                         std::string_view anc_uri,
+                                         std::string_view anc_local,
+                                         std::string_view desc_uri,
+                                         std::string_view desc_local,
+                                         bool parent_child) {
+  std::vector<NodeIndex> out;
+  uint32_t anc_id = doc.FindNameId(anc_uri, anc_local);
+  uint32_t desc_id = doc.FindNameId(desc_uri, desc_local);
+  if (anc_id == kNoName || desc_id == kNoName) return out;
+  for (NodeIndex i = 0; i < doc.NumNodes(); ++i) {
+    const NodeRecord& n = doc.node(i);
+    if (n.kind != NodeKind::kElement || n.name_id != anc_id) continue;
+    // Probe the subtree for one matching descendant.
+    for (NodeIndex d = i + 1; d <= n.end; ++d) {
+      const NodeRecord& dn = doc.node(d);
+      if (dn.kind != NodeKind::kElement || dn.name_id != desc_id) continue;
+      if (parent_child && dn.parent != i) continue;
+      out.push_back(i);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<NodeIndex> NavigateDescendants(const Document& doc,
+                                           std::string_view anc_uri,
+                                           std::string_view anc_local,
+                                           std::string_view desc_uri,
+                                           std::string_view desc_local,
+                                           bool parent_child) {
+  std::vector<NodeIndex> out;
+  uint32_t anc_id = doc.FindNameId(anc_uri, anc_local);
+  uint32_t desc_id = doc.FindNameId(desc_uri, desc_local);
+  if (anc_id == kNoName || desc_id == kNoName) return out;
+  // One pass with an open-ancestor counter: a matching descendant is
+  // emitted when at least one named ancestor is open.
+  std::vector<NodeIndex> open;  // Open anc-named elements (by end label).
+  for (NodeIndex i = 0; i < doc.NumNodes(); ++i) {
+    const NodeRecord& n = doc.node(i);
+    while (!open.empty() && doc.node(open.back()).end < i) open.pop_back();
+    if (n.kind != NodeKind::kElement) continue;
+    if (n.name_id == desc_id && !open.empty()) {
+      if (!parent_child) {
+        out.push_back(i);
+      } else {
+        for (NodeIndex a : open) {
+          if (n.parent == a) {
+            out.push_back(i);
+            break;
+          }
+        }
+      }
+    }
+    if (n.name_id == anc_id) open.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeIndex, NodeIndex>> NavigatePairs(
+    const Document& doc, std::string_view anc_uri, std::string_view anc_local,
+    std::string_view desc_uri, std::string_view desc_local,
+    bool parent_child) {
+  std::vector<std::pair<NodeIndex, NodeIndex>> out;
+  uint32_t anc_id = doc.FindNameId(anc_uri, anc_local);
+  uint32_t desc_id = doc.FindNameId(desc_uri, desc_local);
+  if (anc_id == kNoName || desc_id == kNoName) return out;
+  std::vector<NodeIndex> matches;
+  for (NodeIndex i = 0; i < doc.NumNodes(); ++i) {
+    const NodeRecord& n = doc.node(i);
+    if (n.kind != NodeKind::kElement || n.name_id != anc_id) continue;
+    matches.clear();
+    ScanSubtree(doc, i, desc_id, parent_child, &matches);
+    for (NodeIndex d : matches) out.emplace_back(i, d);
+  }
+  return out;
+}
+
+}  // namespace xqp

@@ -1,0 +1,44 @@
+#ifndef XQP_JOIN_NAVIGATION_H_
+#define XQP_JOIN_NAVIGATION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace xqp {
+
+/// Tree-traversal baseline for the structural-join experiments: evaluates
+/// "//anc//desc"-style patterns by walking the document (the navigational
+/// strategy the structural-join paper compares against). Name tests are
+/// resolved to name ids once, so the per-node work is an integer compare.
+
+/// Distinct elements named (anc_uri, anc_local) that have at least one
+/// descendant (or child when `parent_child`) named (desc_uri, desc_local).
+std::vector<NodeIndex> NavigateAncestors(const Document& doc,
+                                         std::string_view anc_uri,
+                                         std::string_view anc_local,
+                                         std::string_view desc_uri,
+                                         std::string_view desc_local,
+                                         bool parent_child = false);
+
+/// Distinct elements named (desc_uri, desc_local) with at least one
+/// ancestor (or parent) named (anc_uri, anc_local), in document order.
+std::vector<NodeIndex> NavigateDescendants(const Document& doc,
+                                           std::string_view anc_uri,
+                                           std::string_view anc_local,
+                                           std::string_view desc_uri,
+                                           std::string_view desc_local,
+                                           bool parent_child = false);
+
+/// All (ancestor, descendant) pairs by navigation (for result-equivalence
+/// tests against the join algorithms).
+struct JoinPair;
+std::vector<std::pair<NodeIndex, NodeIndex>> NavigatePairs(
+    const Document& doc, std::string_view anc_uri, std::string_view anc_local,
+    std::string_view desc_uri, std::string_view desc_local,
+    bool parent_child = false);
+
+}  // namespace xqp
+
+#endif  // XQP_JOIN_NAVIGATION_H_

@@ -1,0 +1,208 @@
+#include "join/structural_join.h"
+
+#include <algorithm>
+
+namespace xqp {
+
+namespace {
+
+/// Containment test via region labels: a properly contains d.
+inline bool Contains(const Document& doc, NodeIndex a, NodeIndex d) {
+  return a < d && d <= doc.node(a).end;
+}
+
+inline bool EdgeOk(const Document& doc, NodeIndex a, NodeIndex d,
+                   bool parent_child) {
+  if (!parent_child) return true;
+  return doc.node(d).level == doc.node(a).level + 1;
+}
+
+}  // namespace
+
+std::vector<JoinPair> StackTreeDesc(const Document& doc,
+                                    const std::vector<NodeIndex>& ancestors,
+                                    const std::vector<NodeIndex>& descendants,
+                                    bool parent_child) {
+  std::vector<JoinPair> out;
+  std::vector<NodeIndex> stack;
+  size_t ai = 0;
+  for (NodeIndex d : descendants) {
+    // Push every ancestor candidate that starts before d.
+    while (ai < ancestors.size() && ancestors[ai] < d) {
+      while (!stack.empty() && doc.node(stack.back()).end < ancestors[ai]) {
+        stack.pop_back();
+      }
+      stack.push_back(ancestors[ai]);
+      ++ai;
+    }
+    // Drop candidates whose region closed before d.
+    while (!stack.empty() && doc.node(stack.back()).end < d) {
+      stack.pop_back();
+    }
+    // Invariant: the stack is a chain of nested regions, all containing d.
+    for (NodeIndex a : stack) {
+      if (EdgeOk(doc, a, d, parent_child)) out.push_back(JoinPair{a, d});
+    }
+  }
+  return out;
+}
+
+std::vector<JoinPair> StackTreeAnc(const Document& doc,
+                                   const std::vector<NodeIndex>& ancestors,
+                                   const std::vector<NodeIndex>& descendants,
+                                   bool parent_child) {
+  // Each stack entry keeps a self-list (its own pairs, in descendant order)
+  // and an inherit-list (pairs of already-closed ancestors nested inside
+  // it). On pop, self precedes inherit, which yields ancestor-major output
+  // — the original algorithm's list discipline.
+  struct Entry {
+    NodeIndex node;
+    std::vector<JoinPair> self;
+    std::vector<JoinPair> inherit;
+  };
+  std::vector<Entry> stack;
+  std::vector<JoinPair> out;
+  auto pop = [&]() {
+    Entry e = std::move(stack.back());
+    stack.pop_back();
+    if (stack.empty()) {
+      out.insert(out.end(), e.self.begin(), e.self.end());
+      out.insert(out.end(), e.inherit.begin(), e.inherit.end());
+    } else {
+      Entry& p = stack.back();
+      p.inherit.insert(p.inherit.end(), e.self.begin(), e.self.end());
+      p.inherit.insert(p.inherit.end(), e.inherit.begin(), e.inherit.end());
+    }
+  };
+  size_t ai = 0;
+  for (NodeIndex d : descendants) {
+    while (ai < ancestors.size() && ancestors[ai] < d) {
+      while (!stack.empty() && doc.node(stack.back().node).end < ancestors[ai]) {
+        pop();
+      }
+      stack.push_back(Entry{ancestors[ai], {}, {}});
+      ++ai;
+    }
+    while (!stack.empty() && doc.node(stack.back().node).end < d) {
+      pop();
+    }
+    for (Entry& e : stack) {
+      if (EdgeOk(doc, e.node, d, parent_child)) {
+        e.self.push_back(JoinPair{e.node, d});
+      }
+    }
+  }
+  while (!stack.empty()) pop();
+  return out;
+}
+
+std::vector<JoinPair> MpmgJoin(const Document& doc,
+                               const std::vector<NodeIndex>& ancestors,
+                               const std::vector<NodeIndex>& descendants,
+                               bool parent_child) {
+  std::vector<JoinPair> out;
+  size_t ai = 0;
+  for (NodeIndex d : descendants) {
+    // Skip ancestors that end before d (can never match this or any later
+    // descendant).
+    while (ai < ancestors.size() && doc.node(ancestors[ai]).end < d) ++ai;
+    // Rescan from the cursor: this is the back-up behaviour that costs
+    // MPMGJN on recursive data.
+    for (size_t j = ai; j < ancestors.size() && ancestors[j] < d; ++j) {
+      if (Contains(doc, ancestors[j], d) &&
+          EdgeOk(doc, ancestors[j], d, parent_child)) {
+        out.push_back(JoinPair{ancestors[j], d});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<JoinPair> NestedLoopJoin(const Document& doc,
+                                     const std::vector<NodeIndex>& ancestors,
+                                     const std::vector<NodeIndex>& descendants,
+                                     bool parent_child) {
+  std::vector<JoinPair> out;
+  for (NodeIndex a : ancestors) {
+    for (NodeIndex d : descendants) {
+      if (Contains(doc, a, d) && EdgeOk(doc, a, d, parent_child)) {
+        out.push_back(JoinPair{a, d});
+      }
+    }
+  }
+  // Match the descendant-major output order of the other algorithms.
+  std::sort(out.begin(), out.end(), [](const JoinPair& x, const JoinPair& y) {
+    if (x.descendant != y.descendant) return x.descendant < y.descendant;
+    return x.ancestor < y.ancestor;
+  });
+  return out;
+}
+
+std::vector<NodeIndex> JoinDescendants(const Document& doc,
+                                       const std::vector<NodeIndex>& ancestors,
+                                       const std::vector<NodeIndex>& descendants,
+                                       bool parent_child) {
+  std::vector<NodeIndex> out;
+  std::vector<NodeIndex> stack;
+  size_t ai = 0;
+  for (NodeIndex d : descendants) {
+    while (ai < ancestors.size() && ancestors[ai] < d) {
+      while (!stack.empty() && doc.node(stack.back()).end < ancestors[ai]) {
+        stack.pop_back();
+      }
+      stack.push_back(ancestors[ai]);
+      ++ai;
+    }
+    while (!stack.empty() && doc.node(stack.back()).end < d) {
+      stack.pop_back();
+    }
+    if (stack.empty()) continue;
+    if (!parent_child) {
+      out.push_back(d);  // Any stack entry witnesses containment.
+      continue;
+    }
+    for (NodeIndex a : stack) {
+      if (doc.node(d).level == doc.node(a).level + 1) {
+        out.push_back(d);
+        break;
+      }
+    }
+  }
+  return out;  // Already in document order and distinct.
+}
+
+std::vector<NodeIndex> JoinAncestors(const Document& doc,
+                                     const std::vector<NodeIndex>& ancestors,
+                                     const std::vector<NodeIndex>& descendants,
+                                     bool parent_child) {
+  // Mark matched ancestors, then emit in input (document) order.
+  std::vector<char> matched(ancestors.size(), 0);
+  std::vector<size_t> stack;  // Indices into `ancestors`.
+  size_t ai = 0;
+  for (NodeIndex d : descendants) {
+    while (ai < ancestors.size() && ancestors[ai] < d) {
+      while (!stack.empty() &&
+             doc.node(ancestors[stack.back()]).end < ancestors[ai]) {
+        stack.pop_back();
+      }
+      stack.push_back(ai);
+      ++ai;
+    }
+    while (!stack.empty() && doc.node(ancestors[stack.back()]).end < d) {
+      stack.pop_back();
+    }
+    for (size_t idx : stack) {
+      if (!matched[idx] &&
+          EdgeOk(doc, ancestors[idx], d, parent_child)) {
+        matched[idx] = 1;
+      }
+    }
+  }
+  std::vector<NodeIndex> out;
+  for (size_t i = 0; i < ancestors.size(); ++i) {
+    if (matched[i]) out.push_back(ancestors[i]);
+  }
+  return out;
+}
+
+}  // namespace xqp

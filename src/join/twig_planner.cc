@@ -1,0 +1,152 @@
+#include "join/twig_planner.h"
+
+namespace xqp {
+
+namespace {
+
+/// True for descendant-or-self::node() — the "//" connector step.
+bool IsDosConnector(const Expr* e) {
+  if (e->kind() != ExprKind::kStep) return false;
+  const auto* step = static_cast<const StepExpr*>(e);
+  return step->axis == Axis::kDescendantOrSelf &&
+         step->test.kind == NodeTest::Kind::kAnyKind;
+}
+
+/// A named forward step usable as a pattern node.
+const StepExpr* AsNamedStep(const Expr* e) {
+  if (e->kind() != ExprKind::kStep) return nullptr;
+  const auto* step = static_cast<const StepExpr*>(e);
+  if (step->axis != Axis::kChild && step->axis != Axis::kDescendant) {
+    return nullptr;
+  }
+  if (step->test.kind != NodeTest::Kind::kName || step->test.wildcard_local ||
+      step->test.wildcard_uri) {
+    return nullptr;
+  }
+  return step;
+}
+
+/// Flattens a left-deep path chain into its sequence of rhs expressions,
+/// returning the anchor (leftmost) expression.
+const Expr* FlattenChain(const Expr* e, std::vector<const Expr*>* steps) {
+  if (e->kind() == ExprKind::kPath) {
+    const Expr* anchor = FlattenChain(e->child(0), steps);
+    steps->push_back(e->child(1));
+    return anchor;
+  }
+  return e;
+}
+
+bool IsDocAnchor(const Expr* e) {
+  if (e->kind() == ExprKind::kRoot) return true;
+  if (e->kind() == ExprKind::kFunctionCall) {
+    const auto* call = static_cast<const FunctionCallExpr*>(e);
+    return call->name.local == "doc" || call->name.local == "document";
+  }
+  if (e->kind() == ExprKind::kVarRef) return true;  // Bound to a doc node.
+  return false;
+}
+
+class Builder {
+ public:
+  explicit Builder(TwigPattern* pattern) : pattern_(pattern) {}
+
+  /// Adds the chain of `steps` under `parent` (or as root when parent < 0).
+  /// Returns the pattern index of the last chain node, or an error.
+  Result<int> AddChain(const std::vector<const Expr*>& steps, int parent) {
+    int current = parent;
+    bool pending_descendant = false;
+    for (const Expr* raw : steps) {
+      const Expr* e = raw;
+      std::vector<const Expr*> predicates;
+      if (e->kind() == ExprKind::kFilter) {
+        const auto* filter = static_cast<const FilterExpr*>(e);
+        for (size_t p = 1; p < filter->NumChildren(); ++p) {
+          predicates.push_back(filter->child(p));
+        }
+        e = filter->child(0);
+      }
+      if (IsDosConnector(e)) {
+        if (!predicates.empty()) {
+          return Status::InvalidArgument("predicate on //-connector");
+        }
+        pending_descendant = true;
+        continue;
+      }
+      const StepExpr* step = AsNamedStep(e);
+      if (step == nullptr) {
+        return Status::InvalidArgument("step is not twig-convertible");
+      }
+      bool child_edge = step->axis == Axis::kChild && !pending_descendant;
+      pending_descendant = false;
+      int node = pattern_->Add(step->test.local, current, child_edge);
+      pattern_->nodes[node].uri = step->test.uri;
+      if (current < 0 && node != 0) {
+        return Status::Internal("multiple twig roots");
+      }
+      current = node;
+      for (const Expr* pred : predicates) {
+        XQP_RETURN_NOT_OK(AddPredicate(pred, current));
+      }
+    }
+    if (current == parent) {
+      return Status::InvalidArgument("empty step chain");
+    }
+    return current;
+  }
+
+ private:
+  Status AddPredicate(const Expr* pred, int parent) {
+    // Predicates must be relative paths (existential node tests).
+    std::vector<const Expr*> steps;
+    const Expr* anchor = FlattenChain(pred, &steps);
+    if (steps.empty()) {
+      // Single step predicate: [b].
+      steps.push_back(anchor);
+      anchor = nullptr;
+    } else if (anchor != nullptr) {
+      // The anchor of a relative predicate path must itself be a step.
+      steps.insert(steps.begin(), anchor);
+      anchor = nullptr;
+    }
+    XQP_RETURN_NOT_OK(AddChain(steps, parent).status());
+    return Status::OK();
+  }
+
+  TwigPattern* pattern_;
+};
+
+}  // namespace
+
+Result<TwigPattern> TwigPlanner::Compile(const Expr& e) {
+  std::vector<const Expr*> steps;
+  const Expr* anchor = FlattenChain(&e, &steps);
+  if (steps.empty()) {
+    return Status::InvalidArgument("not a path expression");
+  }
+  if (!IsDocAnchor(anchor)) {
+    return Status::InvalidArgument("path is not document-anchored");
+  }
+  TwigPattern pattern;
+  if (anchor->kind() == ExprKind::kFunctionCall) {
+    const auto* call = static_cast<const FunctionCallExpr*>(anchor);
+    if (call->NumChildren() == 1 &&
+        call->child(0)->kind() == ExprKind::kLiteral) {
+      pattern.anchor_uri =
+          static_cast<const LiteralExpr*>(call->child(0))->value.Lexical();
+    }
+  }
+  Builder builder(&pattern);
+  XQP_ASSIGN_OR_RETURN(int last, builder.AddChain(steps, -1));
+  pattern.output = last;
+  if (pattern.nodes.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  return pattern;
+}
+
+bool TwigPlanner::IsConvertible(const Expr& e) {
+  return Compile(e).ok();
+}
+
+}  // namespace xqp

@@ -1,0 +1,30 @@
+#ifndef XQP_JOIN_TWIG_PLANNER_H_
+#define XQP_JOIN_TWIG_PLANNER_H_
+
+#include "base/status.h"
+#include "join/twig.h"
+#include "query/expr.h"
+
+namespace xqp {
+
+/// Recognizes pure tree-pattern queries — chains of child/descendant steps
+/// with name tests, plus existential path predicates — and compiles them
+/// into TwigPattern form for the structural/holistic join executors ("From
+/// Tree Patterns to Generalized Tree Patterns" lite). Queries outside the
+/// fragment are reported as not convertible; the engine then falls back to
+/// navigation.
+class TwigPlanner {
+ public:
+  /// True when `e` is a twig-convertible path expression:
+  /// root-or-doc()-anchored, forward child/descendant steps, non-wildcard
+  /// name tests, predicates that are themselves twig-convertible relative
+  /// paths.
+  static bool IsConvertible(const Expr& e);
+
+  /// Compiles `e` to a twig pattern. InvalidArgument when not convertible.
+  static Result<TwigPattern> Compile(const Expr& e);
+};
+
+}  // namespace xqp
+
+#endif  // XQP_JOIN_TWIG_PLANNER_H_

@@ -1,0 +1,49 @@
+#include "opt/rewriter.h"
+
+#include "opt/properties.h"
+#include "query/expr.h"
+
+namespace xqp {
+
+using opt_internal::RuleContext;
+
+namespace {
+
+Status OptimizeFrame(ExprPtr& body, ParsedModule* module,
+                     const RewriterOptions& options, RewriteStats* stats,
+                     int* next_slot) {
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    RuleContext ctx{module, &options, stats, next_slot};
+    // Properties feed several rules; refresh before every pass.
+    AnalyzeExpr(body.get(), module);
+    XQP_RETURN_NOT_OK(opt_internal::ApplyCoreRules(body, &ctx));
+    AnalyzeExpr(body.get(), module);
+    XQP_RETURN_NOT_OK(opt_internal::ApplyFlworRules(body, &ctx));
+    AnalyzeExpr(body.get(), module);
+    XQP_RETURN_NOT_OK(opt_internal::ApplyPathRules(body, &ctx));
+    if (!ctx.changed) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RewriteStats> OptimizeModule(ParsedModule* module,
+                                    const RewriterOptions& options) {
+  RewriteStats stats;
+  for (UserFunction& fn : module->functions) {
+    if (fn.body == nullptr) continue;
+    XQP_RETURN_NOT_OK(
+        OptimizeFrame(fn.body, module, options, &stats, &fn.num_slots));
+  }
+  for (GlobalVariable& g : module->globals) {
+    if (g.init == nullptr) continue;
+    XQP_RETURN_NOT_OK(
+        OptimizeFrame(g.init, module, options, &stats, &g.num_slots));
+  }
+  XQP_RETURN_NOT_OK(OptimizeFrame(module->body, module, options, &stats,
+                                  &module->num_slots));
+  return stats;
+}
+
+}  // namespace xqp

@@ -1,0 +1,333 @@
+#include <unordered_map>
+
+#include "opt/properties.h"
+#include "opt/rewriter.h"
+#include "query/expr.h"
+
+namespace xqp {
+namespace opt_internal {
+
+namespace {
+
+size_t CountNodes(const Expr* e) {
+  size_t n = 1;
+  for (size_t i = 0; i < e->NumChildren(); ++i) n += CountNodes(e->child(i));
+  return n;
+}
+
+/// LET clause folding and dead-let elimination (paper: fold when the
+/// expression never creates new nodes, or when the variable is used once
+/// outside any loop; drop unused lets — both engines then agree on the
+/// laziness the paper assumes).
+void FoldLets(FlworExpr* flwor, RuleContext* ctx) {
+  for (size_t i = 0; i < flwor->clauses.size();) {
+    FlworExpr::Clause& c = flwor->clauses[i];
+    if (c.type != FlworExpr::Clause::Type::kLet) {
+      ++i;
+      continue;
+    }
+    // Count uses in everything after this clause.
+    int uses = 0;
+    bool in_loop = false;
+    for (size_t j = i + 1; j < flwor->NumChildren(); ++j) {
+      uses += CountVarUses(flwor->child(j), c.var_slot, &in_loop);
+    }
+    const Expr* value = flwor->child(i);
+    if (uses == 0) {
+      flwor->clauses.erase(flwor->clauses.begin() + i);
+      flwor->RemoveChild(i);
+      ctx->Count("dead-let-elimination");
+      continue;
+    }
+    bool cheap = value->kind() == ExprKind::kLiteral ||
+                 value->kind() == ExprKind::kVarRef;
+    bool once_outside_loop = uses == 1 && !in_loop;
+    bool foldable =
+        cheap || (once_outside_loop && !value->props.uses_context);
+    if (foldable) {
+      ExprPtr taken = flwor->TakeChild(i);
+      int slot = c.var_slot;
+      flwor->clauses.erase(flwor->clauses.begin() + i);
+      flwor->RemoveChild(i);
+      for (size_t j = i; j < flwor->NumChildren(); ++j) {
+        SubstituteVar(flwor->child(j), slot, *taken);
+        // Direct child *is* the var ref?
+        Expr* child = flwor->child(j);
+        if (child->kind() == ExprKind::kVarRef) {
+          const auto* var = static_cast<const VarRefExpr*>(child);
+          if (!var->is_global && var->slot == slot) {
+            flwor->SetChild(j, taken->Clone());
+          }
+        }
+      }
+      ctx->Count("let-folding");
+      continue;
+    }
+    ++i;
+  }
+}
+
+/// FOR-clause unnesting: for $x in (for $y in E where P return F) ...
+/// splices the inner clauses into the outer FLWOR ("traditional database
+/// technique", relatively simpler than OQL since XML has no nested
+/// collections).
+void UnnestForClauses(FlworExpr* flwor, RuleContext* ctx) {
+  for (size_t i = 0; i < flwor->clauses.size(); ++i) {
+    FlworExpr::Clause& c = flwor->clauses[i];
+    if (c.type != FlworExpr::Clause::Type::kFor || c.has_pos_var()) continue;
+    if (flwor->child(i)->kind() != ExprKind::kFlwor) continue;
+    auto* inner = static_cast<FlworExpr*>(flwor->child(i));
+    bool simple = true;
+    for (const auto& ic : inner->clauses) {
+      if (ic.type == FlworExpr::Clause::Type::kOrderSpec) simple = false;
+    }
+    if (!simple) continue;
+
+    // Splice: [before i] + inner clauses + (for $x in inner-return) + rest.
+    ExprPtr inner_owned = flwor->TakeChild(i);
+    auto* inner_flwor = static_cast<FlworExpr*>(inner_owned.get());
+    size_t inner_n = inner_flwor->clauses.size();
+    // Insert inner clauses before clause i.
+    for (size_t k = 0; k < inner_n; ++k) {
+      flwor->clauses.insert(flwor->clauses.begin() + i + k,
+                            inner_flwor->clauses[k]);
+      flwor->InsertChild(i + k, inner_flwor->TakeChild(k));
+    }
+    // The outer for's domain becomes the inner return expression.
+    flwor->SetChild(i + inner_n, inner_flwor->TakeChild(inner_n));
+    ctx->Count("for-unnesting");
+    return;  // Indices changed; retry next pass.
+  }
+}
+
+/// RETURN-clause unnesting: a FLWOR whose return is itself an order-free
+/// FLWOR merges into one tuple stream.
+void UnnestReturn(FlworExpr* flwor, RuleContext* ctx) {
+  Expr* ret = flwor->return_expr();
+  if (ret->kind() != ExprKind::kFlwor) return;
+  auto* inner = static_cast<FlworExpr*>(ret);
+  for (const auto& ic : inner->clauses) {
+    if (ic.type == FlworExpr::Clause::Type::kOrderSpec) return;
+  }
+  size_t ret_index = flwor->NumChildren() - 1;
+  ExprPtr inner_owned = flwor->TakeChild(ret_index);
+  flwor->RemoveChild(ret_index);
+  auto* inner_flwor = static_cast<FlworExpr*>(inner_owned.get());
+  size_t inner_n = inner_flwor->clauses.size();
+  for (size_t k = 0; k < inner_n; ++k) {
+    flwor->clauses.push_back(inner_flwor->clauses[k]);
+    flwor->AddChild(inner_flwor->TakeChild(k));
+  }
+  flwor->AddChild(inner_flwor->TakeChild(inner_n));  // Inner return.
+  ctx->Count("return-unnesting");
+}
+
+/// FOR-clause minimization: `for $x in E return $x` => E, and
+/// `for $x in E return $x/path` => E/path when E's order/distinctness make
+/// the forms equivalent.
+void MinimizeFor(ExprPtr& e, RuleContext* ctx) {
+  auto* flwor = static_cast<FlworExpr*>(e.get());
+  if (flwor->clauses.size() != 1) return;
+  const FlworExpr::Clause& c = flwor->clauses[0];
+  if (c.type != FlworExpr::Clause::Type::kFor || c.has_pos_var()) return;
+  Expr* ret = flwor->return_expr();
+
+  // for $x in E return $x  =>  E.
+  if (ret->kind() == ExprKind::kVarRef) {
+    const auto* var = static_cast<const VarRefExpr*>(ret);
+    if (!var->is_global && var->slot == c.var_slot) {
+      e = flwor->TakeChild(0);
+      ctx->Count("for-minimization");
+      return;
+    }
+  }
+
+  // for $x in E return $x/steps  =>  E/steps (identity requires E ordered
+  // and duplicate-free, since the path form re-sorts).
+  if (ret->kind() != ExprKind::kPath) return;
+  const ExprProps& domain = flwor->child(0)->props;
+  if (!domain.ordered || !domain.distinct) return;
+  // Find the leftmost leaf of the path chain.
+  Expr* leftmost = ret;
+  while (leftmost->kind() == ExprKind::kPath) leftmost = leftmost->child(0);
+  if (leftmost->kind() != ExprKind::kVarRef) return;
+  const auto* var = static_cast<const VarRefExpr*>(leftmost);
+  if (var->is_global || var->slot != c.var_slot) return;
+  // The variable must not occur anywhere else.
+  bool in_loop = false;
+  if (CountVarUses(ret, c.var_slot, &in_loop) != 1) return;
+
+  ExprPtr domain_expr = flwor->TakeChild(0);
+  ExprPtr path = flwor->TakeChild(1);  // The return expression.
+  // Replace the leftmost VarRef with the domain.
+  Expr* cursor = path.get();
+  while (cursor->child(0)->kind() == ExprKind::kPath) {
+    cursor = cursor->child(0);
+  }
+  cursor->SetChild(0, std::move(domain_expr));
+  e = std::move(path);
+  ctx->Count("for-minimization");
+}
+
+/// Function inlining: non-recursive user functions below the size limit
+/// expand at the call site as let-bound parameters + a slot-remapped body
+/// clone (the paper's caveats about namespaces and implicit operations are
+/// satisfied: names were resolved at parse time and argument types are
+/// checked by the generated lets... the engine checks them dynamically).
+class Inliner {
+ public:
+  explicit Inliner(RuleContext* ctx) : ctx_(ctx) {}
+
+  Status Run(ExprPtr& e) {
+    for (size_t i = 0; i < e->NumChildren(); ++i) {
+      XQP_RETURN_NOT_OK(Run(e->child_slot(i)));
+    }
+    if (e->kind() != ExprKind::kFunctionCall) return Status::OK();
+    auto* call = static_cast<FunctionCallExpr*>(e.get());
+    if (call->user_index < 0) return Status::OK();
+    const UserFunction& fn = ctx_->module->functions[call->user_index];
+    if (fn.body == nullptr || fn.recursive) return Status::OK();
+    if (CountNodes(fn.body.get()) >
+        static_cast<size_t>(ctx_->options->inline_size_limit)) {
+      return Status::OK();
+    }
+
+    // Clone and remap the body into the caller's frame.
+    ExprPtr body = fn.body->Clone();
+    std::unordered_map<int, int> remap;
+    for (size_t i = 0; i < fn.param_slots.size(); ++i) {
+      remap[fn.param_slots[i]] = (*ctx_->next_slot)++;
+    }
+    CollectAndRemapBindings(body.get(), &remap);
+    RemapVarRefs(body.get(), remap);
+
+    if (call->NumChildren() == 0) {
+      e = std::move(body);
+    } else {
+      auto flwor = std::make_unique<FlworExpr>();
+      for (size_t i = 0; i < fn.params.size(); ++i) {
+        FlworExpr::Clause clause;
+        clause.type = FlworExpr::Clause::Type::kLet;
+        clause.var = fn.params[i];
+        clause.var_slot = remap[fn.param_slots[i]];
+        flwor->clauses.push_back(clause);
+        ExprPtr arg = call->TakeChild(i);
+        // Declared parameter types keep their dynamic check as treat-as.
+        const SequenceType& t = fn.param_types[i];
+        bool is_any = !t.empty_sequence &&
+                      t.item.kind == ItemTypeTest::Kind::kItem &&
+                      t.occurrence == Occurrence::kStar;
+        if (!is_any) {
+          arg = std::make_unique<TreatExpr>(std::move(arg), t);
+        }
+        flwor->AddChild(std::move(arg));
+      }
+      flwor->AddChild(std::move(body));
+      e = std::move(flwor);
+    }
+    ctx_->Count("function-inlining");
+    return Status::OK();
+  }
+
+ private:
+  void CollectAndRemapBindings(Expr* e, std::unordered_map<int, int>* remap) {
+    switch (e->kind()) {
+      case ExprKind::kFlwor: {
+        auto* flwor = static_cast<FlworExpr*>(e);
+        for (auto& c : flwor->clauses) {
+          if (c.var_slot >= 0) {
+            int fresh = (*ctx_->next_slot)++;
+            (*remap)[c.var_slot] = fresh;
+            c.var_slot = fresh;
+          }
+          if (c.pos_slot >= 0) {
+            int fresh = (*ctx_->next_slot)++;
+            (*remap)[c.pos_slot] = fresh;
+            c.pos_slot = fresh;
+          }
+        }
+        break;
+      }
+      case ExprKind::kQuantified: {
+        auto* q = static_cast<QuantifiedExpr*>(e);
+        for (auto& b : q->bindings) {
+          if (b.var_slot >= 0) {
+            int fresh = (*ctx_->next_slot)++;
+            (*remap)[b.var_slot] = fresh;
+            b.var_slot = fresh;
+          }
+        }
+        break;
+      }
+      case ExprKind::kTypeswitch: {
+        auto* ts = static_cast<TypeswitchExpr*>(e);
+        for (auto& c : ts->cases) {
+          if (c.var_slot >= 0) {
+            int fresh = (*ctx_->next_slot)++;
+            (*remap)[c.var_slot] = fresh;
+            c.var_slot = fresh;
+          }
+        }
+        if (ts->default_var_slot >= 0) {
+          int fresh = (*ctx_->next_slot)++;
+          (*remap)[ts->default_var_slot] = fresh;
+          ts->default_var_slot = fresh;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    for (size_t i = 0; i < e->NumChildren(); ++i) {
+      CollectAndRemapBindings(e->child(i), remap);
+    }
+  }
+
+  void RemapVarRefs(Expr* e, const std::unordered_map<int, int>& remap) {
+    if (e->kind() == ExprKind::kVarRef) {
+      auto* var = static_cast<VarRefExpr*>(e);
+      if (!var->is_global) {
+        auto it = remap.find(var->slot);
+        if (it != remap.end()) var->slot = it->second;
+      }
+    }
+    for (size_t i = 0; i < e->NumChildren(); ++i) {
+      RemapVarRefs(e->child(i), remap);
+    }
+  }
+
+  RuleContext* ctx_;
+};
+
+}  // namespace
+
+Status ApplyFlworRules(ExprPtr& e, RuleContext* ctx) {
+  for (size_t i = 0; i < e->NumChildren(); ++i) {
+    XQP_RETURN_NOT_OK(ApplyFlworRules(e->child_slot(i), ctx));
+  }
+  if (e->kind() == ExprKind::kFlwor) {
+    auto* flwor = static_cast<FlworExpr*>(e.get());
+    if (ctx->options->flwor_unnesting) {
+      UnnestForClauses(flwor, ctx);
+      UnnestReturn(flwor, ctx);
+    }
+    if (ctx->options->let_folding) {
+      FoldLets(flwor, ctx);
+    }
+    // A FLWOR whose clauses all folded away reduces to its return.
+    if (flwor->clauses.empty()) {
+      e = e->TakeChild(0);
+      ctx->Count("flwor-collapse");
+    } else if (ctx->options->for_to_path) {
+      MinimizeFor(e, ctx);
+    }
+  }
+  if (e->kind() == ExprKind::kFunctionCall && ctx->options->function_inlining) {
+    Inliner inliner(ctx);
+    XQP_RETURN_NOT_OK(inliner.Run(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace opt_internal
+}  // namespace xqp

@@ -1,0 +1,105 @@
+#include "opt/properties.h"
+#include "opt/rewriter.h"
+#include "query/expr.h"
+
+namespace xqp {
+namespace opt_internal {
+
+namespace {
+
+/// Doc-order / duplicate-elimination elision on one path node. Assumes
+/// Expr::props are fresh.
+void ElideDdo(PathExpr* path, RuleContext* ctx) {
+  const StepExpr* step = UnderlyingStep(path->child(1));
+  if (step == nullptr) return;
+  bool ordered = false;
+  bool distinct = false;
+  bool ntn = false;
+  PathStructuralFlags(path->child(0)->props, step->axis, &ordered, &distinct,
+                      &ntn);
+  if (path->needs_sort && ordered) {
+    // Residual duplicates (if any) are handled by the cheaper order-
+    // preserving dedup, which needs_dedup controls.
+    path->needs_sort = false;
+    ctx->Count("ddo-elision-sort");
+  }
+  if (path->needs_dedup && distinct) {
+    path->needs_dedup = false;
+    ctx->Count("ddo-elision-dedup");
+  }
+}
+
+/// True when evaluating `pred` as a predicate cannot depend on the context
+/// position: its value is never a numeric atom (so the predicate is a pure
+/// EBV test) and it does not call position()/last(). Such predicates
+/// survive an axis change that renumbers the context sequence.
+bool PredicateIsPositionFree(const Expr* pred) {
+  if (!pred->props.analyzed) return false;  // Unknown: assume positional.
+  if (pred->props.uses_position || pred->props.uses_last) return false;
+  if (pred->props.nodes_only) return true;  // EBV of a node sequence.
+  switch (pred->kind()) {
+    case ExprKind::kComparison:
+    case ExprKind::kLogical:
+    case ExprKind::kQuantified:
+    case ExprKind::kInstanceOf:
+    case ExprKind::kCastableAs:
+      return true;  // Always boolean-valued.
+    default:
+      return false;
+  }
+}
+
+/// Collapses X/descendant-or-self::node()/child::T into X/descendant::T
+/// (the "//" abbreviation undone into one step). Predicates on the child
+/// step are kept only when provably position-free — positional predicates
+/// count per parent and would change meaning. Cheaper to evaluate and
+/// restores the precision the ddo lattice needs for $doc/a//b.
+void CollapseSlashSlash(ExprPtr& e, RuleContext* ctx) {
+  auto* path = static_cast<PathExpr*>(e.get());
+  StepExpr* rhs = nullptr;
+  if (path->child(1)->kind() == ExprKind::kStep) {
+    rhs = static_cast<StepExpr*>(path->child(1));
+  } else if (path->child(1)->kind() == ExprKind::kFilter) {
+    auto* filter = static_cast<FilterExpr*>(path->child(1));
+    if (filter->child(0)->kind() != ExprKind::kStep) return;
+    for (size_t p = 1; p < filter->NumChildren(); ++p) {
+      if (!PredicateIsPositionFree(filter->child(p))) return;
+    }
+    rhs = static_cast<StepExpr*>(filter->child(0));
+  } else {
+    return;
+  }
+  if (rhs->axis != Axis::kChild) return;
+  if (path->child(0)->kind() != ExprKind::kPath) return;
+  auto* lhs = static_cast<PathExpr*>(path->child(0));
+  if (lhs->child(1)->kind() != ExprKind::kStep) return;
+  auto* dos = static_cast<StepExpr*>(lhs->child(1));
+  if (dos->axis != Axis::kDescendantOrSelf ||
+      dos->test.kind != NodeTest::Kind::kAnyKind) {
+    return;
+  }
+  rhs->axis = Axis::kDescendant;
+  e->SetChild(0, lhs->TakeChild(0));
+  ctx->Count("slash-slash-collapse");
+}
+
+}  // namespace
+
+Status ApplyPathRules(ExprPtr& e, RuleContext* ctx) {
+  // Bottom-up so inner paths expose their guarantees first... but flags
+  // feed properties, which the driver refreshes between passes; within a
+  // pass we re-analyze the subtree after rewriting children.
+  for (size_t i = 0; i < e->NumChildren(); ++i) {
+    XQP_RETURN_NOT_OK(ApplyPathRules(e->child_slot(i), ctx));
+  }
+  if (e->kind() == ExprKind::kPath && ctx->options->ddo_elision) {
+    CollapseSlashSlash(e, ctx);
+    // Refresh properties of this subtree (children may have changed flags).
+    AnalyzeExpr(e.get(), ctx->module);
+    ElideDdo(static_cast<PathExpr*>(e.get()), ctx);
+  }
+  return Status::OK();
+}
+
+}  // namespace opt_internal
+}  // namespace xqp

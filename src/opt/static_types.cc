@@ -1,0 +1,493 @@
+#include "opt/static_types.h"
+
+#include "exec/functions.h"
+
+namespace xqp {
+
+namespace {
+
+using Kind = StaticType::Kind;
+using Occ = StaticType::Occ;
+
+bool IsNumericKind(Kind k) {
+  return k == Kind::kNumeric || k == Kind::kInteger || k == Kind::kDecimal ||
+         k == Kind::kDouble;
+}
+
+bool IsStringLikeKind(Kind k) {
+  return k == Kind::kString || k == Kind::kUntyped || k == Kind::kAnyUri;
+}
+
+Kind KindLub(Kind a, Kind b) {
+  if (a == b) return a;
+  if (a == Kind::kNone) return b;
+  if (b == Kind::kNone) return a;
+  if (IsNumericKind(a) && IsNumericKind(b)) return Kind::kNumeric;
+  if ((a == Kind::kNode && b == Kind::kNode)) return Kind::kNode;
+  bool a_atomic = a != Kind::kNode && a != Kind::kAnyItem;
+  bool b_atomic = b != Kind::kNode && b != Kind::kAnyItem;
+  if (a_atomic && b_atomic) return Kind::kAnyAtomic;
+  return Kind::kAnyItem;
+}
+
+Occ OccUnion(Occ a, Occ b) {
+  if (a == b) return a;
+  auto can_be_empty = [](Occ o) {
+    return o == Occ::kEmpty || o == Occ::kOpt || o == Occ::kStar;
+  };
+  auto can_be_many = [](Occ o) { return o == Occ::kStar || o == Occ::kPlus; };
+  bool empty_ok = can_be_empty(a) || can_be_empty(b);
+  bool many_ok = can_be_many(a) || can_be_many(b);
+  if (empty_ok && many_ok) return Occ::kStar;
+  if (empty_ok) return Occ::kOpt;
+  if (many_ok) return Occ::kPlus;
+  return Occ::kOne;
+}
+
+/// Occurrence of a concatenation.
+Occ OccConcat(Occ a, Occ b) {
+  if (a == Occ::kEmpty) return b;
+  if (b == Occ::kEmpty) return a;
+  bool a_some = a == Occ::kOne || a == Occ::kPlus;
+  bool b_some = b == Occ::kOne || b == Occ::kPlus;
+  if (a_some || b_some) return Occ::kPlus;
+  return Occ::kStar;
+}
+
+Kind FromXsType(XsType t) {
+  switch (t) {
+    case XsType::kUntypedAtomic:
+      return Kind::kUntyped;
+    case XsType::kString:
+      return Kind::kString;
+    case XsType::kAnyUri:
+      return Kind::kAnyUri;
+    case XsType::kBoolean:
+      return Kind::kBoolean;
+    case XsType::kInteger:
+      return Kind::kInteger;
+    case XsType::kDecimal:
+      return Kind::kDecimal;
+    case XsType::kDouble:
+      return Kind::kDouble;
+    case XsType::kQName:
+      return Kind::kQName;
+  }
+  return Kind::kAnyAtomic;
+}
+
+StaticType FromSequenceType(const SequenceType& t) {
+  StaticType out;
+  if (t.empty_sequence) return StaticType::Empty();
+  switch (t.item.kind) {
+    case ItemTypeTest::Kind::kItem:
+      out.kind = Kind::kAnyItem;
+      break;
+    case ItemTypeTest::Kind::kAtomic:
+      out.kind = FromXsType(t.item.atomic);
+      break;
+    default:
+      out.kind = Kind::kNode;
+      break;
+  }
+  switch (t.occurrence) {
+    case Occurrence::kOne:
+      out.occ = Occ::kOne;
+      break;
+    case Occurrence::kOptional:
+      out.occ = Occ::kOpt;
+      break;
+    case Occurrence::kStar:
+      out.occ = Occ::kStar;
+      break;
+    case Occurrence::kPlus:
+      out.occ = Occ::kPlus;
+      break;
+  }
+  return out;
+}
+
+/// Static result types for the common builtins (the paper's goal 2:
+/// "infer the type of the result of valid queries").
+StaticType BuiltinResultType(Builtin id) {
+  switch (id) {
+    case Builtin::kCount:
+    case Builtin::kStringLength:
+      return StaticType::One(Kind::kInteger);
+    case Builtin::kEmpty:
+    case Builtin::kExists:
+    case Builtin::kNot:
+    case Builtin::kTrue:
+    case Builtin::kFalse:
+    case Builtin::kBoolean:
+    case Builtin::kContains:
+    case Builtin::kStartsWith:
+    case Builtin::kEndsWith:
+    case Builtin::kDeepEqual:
+      return StaticType::One(Kind::kBoolean);
+    case Builtin::kString:
+    case Builtin::kConcat:
+    case Builtin::kSubstring:
+    case Builtin::kSubstringBefore:
+    case Builtin::kSubstringAfter:
+    case Builtin::kNormalizeSpace:
+    case Builtin::kUpperCase:
+    case Builtin::kLowerCase:
+    case Builtin::kTranslate:
+    case Builtin::kStringJoin:
+    case Builtin::kName:
+    case Builtin::kLocalName:
+    case Builtin::kNamespaceUri:
+    case Builtin::kNodeKind:
+      return StaticType::One(Kind::kString);
+    case Builtin::kNumber:
+      return StaticType::One(Kind::kDouble);
+    case Builtin::kPosition:
+    case Builtin::kLast:
+      return StaticType::One(Kind::kInteger);
+    case Builtin::kSum:
+      return StaticType::One(Kind::kNumeric);
+    case Builtin::kAvg:
+      return StaticType{Kind::kNumeric, Occ::kOpt};
+    case Builtin::kMin:
+    case Builtin::kMax:
+      return StaticType{Kind::kAnyAtomic, Occ::kOpt};
+    case Builtin::kFloor:
+    case Builtin::kCeiling:
+    case Builtin::kRound:
+    case Builtin::kAbs:
+      return StaticType{Kind::kNumeric, Occ::kOpt};
+    case Builtin::kDoc:
+    case Builtin::kRoot:
+      return StaticType{Kind::kNode, Occ::kOpt};
+    case Builtin::kCollection:
+    case Builtin::kDistinctNodes:
+      return StaticType::Star(Kind::kNode);
+    case Builtin::kDistinctValues:
+    case Builtin::kData:
+      return StaticType::Star(Kind::kAnyAtomic);
+    case Builtin::kIndexOf:
+      return StaticType::Star(Kind::kInteger);
+    default:
+      return StaticType::Star(Kind::kAnyItem);
+  }
+}
+
+class Checker {
+ public:
+  explicit Checker(const ParsedModule* module) : module_(module) {}
+
+  Result<StaticType> Check(const Expr* e) {
+    switch (e->kind()) {
+      case ExprKind::kLiteral: {
+        const auto& v = static_cast<const LiteralExpr*>(e)->value;
+        return StaticType::One(FromXsType(v.type()));
+      }
+      case ExprKind::kVarRef: {
+        const auto* var = static_cast<const VarRefExpr*>(e);
+        if (var->is_global && module_ != nullptr) {
+          for (const GlobalVariable& g : module_->globals) {
+            if (g.slot == var->slot && g.has_type) {
+              return FromSequenceType(g.type);
+            }
+          }
+        }
+        return StaticType::Star(Kind::kAnyItem);
+      }
+      case ExprKind::kContextItem:
+        return StaticType::One(Kind::kAnyItem);
+      case ExprKind::kRoot:
+      case ExprKind::kStep:
+        return StaticType::Star(Kind::kNode);
+      case ExprKind::kSequence: {
+        StaticType out = StaticType::Empty();
+        for (size_t i = 0; i < e->NumChildren(); ++i) {
+          XQP_ASSIGN_OR_RETURN(StaticType c, Check(e->child(i)));
+          out.kind = KindLub(out.kind, c.kind);
+          out.occ = OccConcat(out.occ, c.occ);
+        }
+        return out;
+      }
+      case ExprKind::kRange: {
+        XQP_RETURN_NOT_OK(CheckNumericOperand(e->child(0), "to"));
+        XQP_RETURN_NOT_OK(CheckNumericOperand(e->child(1), "to"));
+        return StaticType::Star(Kind::kInteger);
+      }
+      case ExprKind::kArithmetic: {
+        const auto* a = static_cast<const ArithmeticExpr*>(e);
+        XQP_RETURN_NOT_OK(
+            CheckNumericOperand(e->child(0), ArithOpName(a->op)));
+        XQP_RETURN_NOT_OK(
+            CheckNumericOperand(e->child(1), ArithOpName(a->op)));
+        XQP_ASSIGN_OR_RETURN(StaticType lhs, Check(e->child(0)));
+        XQP_ASSIGN_OR_RETURN(StaticType rhs, Check(e->child(1)));
+        StaticType out;
+        out.kind = Kind::kNumeric;
+        if (lhs.kind == Kind::kInteger && rhs.kind == Kind::kInteger &&
+            a->op != ArithOp::kDiv) {
+          out.kind = Kind::kInteger;
+        } else if (lhs.kind == Kind::kDouble || rhs.kind == Kind::kDouble) {
+          out.kind = Kind::kDouble;
+        }
+        bool both_one = lhs.occ == Occ::kOne && rhs.occ == Occ::kOne;
+        out.occ = both_one ? Occ::kOne : Occ::kOpt;
+        return out;
+      }
+      case ExprKind::kUnary:
+        XQP_RETURN_NOT_OK(CheckNumericOperand(e->child(0), "unary -"));
+        return StaticType{Kind::kNumeric, Occ::kOpt};
+      case ExprKind::kComparison: {
+        const auto* cmp = static_cast<const ComparisonExpr*>(e);
+        XQP_ASSIGN_OR_RETURN(StaticType lhs, Check(e->child(0)));
+        XQP_ASSIGN_OR_RETURN(StaticType rhs, Check(e->child(1)));
+        if (IsValueComp(cmp->op) &&
+            !StaticType::MaybeValueComparable(lhs, rhs)) {
+          return Status::StaticError(
+              "static type error: cannot apply '" +
+              std::string(CompOpName(cmp->op)) + "' to " + lhs.ToString() +
+              " and " + rhs.ToString());
+        }
+        bool maybe_empty = IsValueComp(cmp->op) &&
+                           (lhs.occ != Occ::kOne || rhs.occ != Occ::kOne);
+        return StaticType{Kind::kBoolean,
+                          maybe_empty ? Occ::kOpt : Occ::kOne};
+      }
+      case ExprKind::kLogical:
+      case ExprKind::kQuantified:
+      case ExprKind::kInstanceOf:
+      case ExprKind::kCastableAs:
+        XQP_RETURN_NOT_OK(CheckChildren(e));
+        return StaticType::One(Kind::kBoolean);
+      case ExprKind::kPath: {
+        XQP_ASSIGN_OR_RETURN(StaticType lhs, Check(e->child(0)));
+        if (!lhs.MaybeNode() && lhs.occ != Occ::kEmpty &&
+            e->child(1)->kind() == ExprKind::kStep) {
+          return Status::StaticError(
+              "static type error: axis step applied to " + lhs.ToString());
+        }
+        XQP_ASSIGN_OR_RETURN(StaticType rhs, Check(e->child(1)));
+        return StaticType{rhs.kind, Occ::kStar};
+      }
+      case ExprKind::kFilter: {
+        XQP_ASSIGN_OR_RETURN(StaticType base, Check(e->child(0)));
+        for (size_t i = 1; i < e->NumChildren(); ++i) {
+          XQP_RETURN_NOT_OK(Check(e->child(i)).status());
+        }
+        return StaticType{base.kind, OccUnion(base.occ, Occ::kEmpty)};
+      }
+      case ExprKind::kFlwor: {
+        const auto* flwor = static_cast<const FlworExpr*>(e);
+        for (size_t i = 0; i + 1 < e->NumChildren(); ++i) {
+          XQP_RETURN_NOT_OK(Check(e->child(i)).status());
+        }
+        XQP_ASSIGN_OR_RETURN(StaticType ret, Check(flwor->return_expr()));
+        return StaticType{ret.kind, Occ::kStar};
+      }
+      case ExprKind::kIf: {
+        XQP_RETURN_NOT_OK(Check(e->child(0)).status());
+        XQP_ASSIGN_OR_RETURN(StaticType then_t, Check(e->child(1)));
+        XQP_ASSIGN_OR_RETURN(StaticType else_t, Check(e->child(2)));
+        return StaticType::Union(then_t, else_t);
+      }
+      case ExprKind::kTypeswitch:
+      case ExprKind::kTryCatch: {
+        StaticType out = StaticType::Empty();
+        XQP_RETURN_NOT_OK(Check(e->child(0)).status());
+        for (size_t i = 1; i < e->NumChildren(); ++i) {
+          XQP_ASSIGN_OR_RETURN(StaticType branch, Check(e->child(i)));
+          out = StaticType::Union(out, branch);
+        }
+        return out;
+      }
+      case ExprKind::kTreatAs:
+        XQP_RETURN_NOT_OK(CheckChildren(e));
+        return FromSequenceType(static_cast<const TreatExpr*>(e)->type);
+      case ExprKind::kCastAs: {
+        XQP_RETURN_NOT_OK(CheckChildren(e));
+        const auto* cast = static_cast<const CastExpr*>(e);
+        return StaticType{FromXsType(cast->target),
+                          cast->optional ? Occ::kOpt : Occ::kOne};
+      }
+      case ExprKind::kUnion:
+      case ExprKind::kIntersectExcept:
+        XQP_RETURN_NOT_OK(CheckChildren(e));
+        return StaticType::Star(Kind::kNode);
+      case ExprKind::kFunctionCall: {
+        const auto* call = static_cast<const FunctionCallExpr*>(e);
+        if (call->user_index >= 0 && module_ != nullptr) {
+          const UserFunction& fn = module_->functions[call->user_index];
+          for (size_t i = 0; i < call->NumChildren(); ++i) {
+            XQP_ASSIGN_OR_RETURN(StaticType arg, Check(call->child(i)));
+            StaticType want = FromSequenceType(fn.param_types[i]);
+            if (Disjoint(arg, want)) {
+              return Status::StaticError(
+                  "static type error: argument " + std::to_string(i + 1) +
+                  " of " + fn.name.Lexical() + " has type " + arg.ToString() +
+                  ", expected " + fn.param_types[i].ToString());
+            }
+          }
+          return FromSequenceType(fn.return_type);
+        }
+        XQP_RETURN_NOT_OK(CheckChildren(e));
+        return BuiltinResultType(static_cast<Builtin>(call->builtin));
+      }
+      case ExprKind::kElementCtor:
+      case ExprKind::kAttributeCtor:
+      case ExprKind::kCommentCtor:
+      case ExprKind::kPiCtor:
+      case ExprKind::kDocumentCtor:
+        XQP_RETURN_NOT_OK(CheckChildren(e));
+        return StaticType::One(Kind::kNode);
+      case ExprKind::kTextCtor:
+        XQP_RETURN_NOT_OK(CheckChildren(e));
+        return StaticType{Kind::kNode, Occ::kOpt};
+    }
+    return StaticType::Star(Kind::kAnyItem);
+  }
+
+ private:
+  Status CheckChildren(const Expr* e) {
+    for (size_t i = 0; i < e->NumChildren(); ++i) {
+      XQP_RETURN_NOT_OK(Check(e->child(i)).status());
+    }
+    return Status::OK();
+  }
+
+  Status CheckNumericOperand(const Expr* operand, std::string_view op) {
+    XQP_ASSIGN_OR_RETURN(StaticType t, Check(operand));
+    if (!t.MaybeNumeric() && t.occ != Occ::kEmpty) {
+      return Status::StaticError("static type error: operand of '" +
+                                 std::string(op) + "' has type " +
+                                 t.ToString() + ", expected a numeric");
+    }
+    return Status::OK();
+  }
+
+  /// Values of the two types can never coincide (for argument checking).
+  static bool Disjoint(const StaticType& value, const StaticType& expected) {
+    if (value.kind == Kind::kAnyItem || expected.kind == Kind::kAnyItem) {
+      return false;
+    }
+    if (value.kind == Kind::kNone) {
+      // Definitely-empty input conflicts only with required-nonempty params.
+      return expected.occ == Occ::kOne || expected.occ == Occ::kPlus;
+    }
+    if (expected.kind == Kind::kNone) return value.DefinitelyNonEmpty();
+    bool value_node = value.kind == Kind::kNode;
+    bool expected_node = expected.kind == Kind::kNode;
+    if (value_node != expected_node) return true;
+    if (value_node) return false;
+    if (value.kind == Kind::kAnyAtomic || expected.kind == Kind::kAnyAtomic) {
+      return false;
+    }
+    if (IsNumericKind(value.kind) && IsNumericKind(expected.kind)) return false;
+    // Untyped casts to anything.
+    if (value.kind == Kind::kUntyped || expected.kind == Kind::kUntyped) {
+      return false;
+    }
+    if (IsStringLikeKind(value.kind) && IsStringLikeKind(expected.kind)) {
+      return false;
+    }
+    return value.kind != expected.kind;
+  }
+
+  const ParsedModule* module_;
+};
+
+}  // namespace
+
+StaticType StaticType::Union(const StaticType& a, const StaticType& b) {
+  return StaticType{KindLub(a.kind, b.kind), OccUnion(a.occ, b.occ)};
+}
+
+bool StaticType::MaybeNumeric() const {
+  switch (kind) {
+    case Kind::kString:
+    case Kind::kBoolean:
+    case Kind::kQName:
+    case Kind::kAnyUri:
+      return false;
+    default:
+      return true;  // Numerics, untyped, nodes (untyped values), unknowns.
+  }
+}
+
+bool StaticType::MaybeNode() const {
+  return kind == Kind::kNode || kind == Kind::kAnyItem ||
+         kind == Kind::kNone;
+}
+
+bool StaticType::MaybeValueComparable(const StaticType& a,
+                                      const StaticType& b) {
+  auto lenient = [](Kind k) {
+    return k == Kind::kAnyItem || k == Kind::kAnyAtomic || k == Kind::kNone;
+  };
+  if (lenient(a.kind) || lenient(b.kind)) return true;
+  // Untyped nodes atomize to xdt:untypedAtomic, which value-compares as a
+  // string — so node-vs-numeric is the paper's static error.
+  auto normalize = [](Kind k) { return k == Kind::kNode ? Kind::kUntyped : k; };
+  Kind ka = normalize(a.kind);
+  Kind kb = normalize(b.kind);
+  bool a_num = IsNumericKind(ka);
+  bool b_num = IsNumericKind(kb);
+  if (a_num && b_num) return true;
+  // Under static typing, untypedAtomic compares as string only (the paper's
+  // <a>42</a> eq 42 example is a type error).
+  bool a_str = IsStringLikeKind(ka);
+  bool b_str = IsStringLikeKind(kb);
+  if (a_str && b_str) return true;
+  if (ka == Kind::kBoolean && kb == Kind::kBoolean) return true;
+  if (ka == Kind::kQName && kb == Kind::kQName) return true;
+  return false;
+}
+
+std::string StaticType::ToString() const {
+  std::string s;
+  switch (kind) {
+    case Kind::kNone: return "empty-sequence()";
+    case Kind::kAnyItem: s = "item()"; break;
+    case Kind::kNode: s = "node()"; break;
+    case Kind::kAnyAtomic: s = "xs:anyAtomicType"; break;
+    case Kind::kNumeric: s = "xs:numeric"; break;
+    case Kind::kInteger: s = "xs:integer"; break;
+    case Kind::kDecimal: s = "xs:decimal"; break;
+    case Kind::kDouble: s = "xs:double"; break;
+    case Kind::kString: s = "xs:string"; break;
+    case Kind::kUntyped: s = "xdt:untypedAtomic"; break;
+    case Kind::kBoolean: s = "xs:boolean"; break;
+    case Kind::kQName: s = "xs:QName"; break;
+    case Kind::kAnyUri: s = "xs:anyURI"; break;
+  }
+  switch (occ) {
+    case Occ::kEmpty: break;
+    case Occ::kOne: break;
+    case Occ::kOpt: s += "?"; break;
+    case Occ::kStar: s += "*"; break;
+    case Occ::kPlus: s += "+"; break;
+  }
+  return s;
+}
+
+StaticType InferStaticType(const Expr* e, const ParsedModule* module) {
+  Checker checker(module);
+  auto result = checker.Check(e);
+  if (!result.ok()) return StaticType::Star(StaticType::Kind::kAnyItem);
+  return result.value();
+}
+
+Status StaticTypeCheck(const ParsedModule* module) {
+  Checker checker(module);
+  for (const UserFunction& fn : module->functions) {
+    if (fn.body != nullptr) {
+      XQP_RETURN_NOT_OK(checker.Check(fn.body.get()).status());
+    }
+  }
+  for (const GlobalVariable& g : module->globals) {
+    if (g.init != nullptr) {
+      XQP_RETURN_NOT_OK(checker.Check(g.init.get()).status());
+    }
+  }
+  return checker.Check(module->body.get()).status();
+}
+
+}  // namespace xqp

@@ -1,0 +1,80 @@
+#ifndef XQP_OPT_STATIC_TYPES_H_
+#define XQP_OPT_STATIC_TYPES_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "query/expr.h"
+#include "query/static_context.h"
+
+namespace xqp {
+
+/// A conservative static type: item-kind lattice x occurrence range. This
+/// is the compact core of the paper's "Xquery type system" section, scoped
+/// to the untyped data model: enough to implement the optional *static
+/// typing feature* ("goal 1: detect statically errors in the queries";
+/// "goal 2: infer the type of the result").
+struct StaticType {
+  enum class Kind : uint8_t {
+    kNone,      // empty-sequence()
+    kAnyItem,   // item()
+    kNode,      // node() (typed value: untypedAtomic)
+    kAnyAtomic,
+    kNumeric,   // integer | decimal | double
+    kInteger,
+    kDecimal,
+    kDouble,
+    kString,
+    kUntyped,   // xdt:untypedAtomic
+    kBoolean,
+    kQName,
+    kAnyUri,
+  };
+  enum class Occ : uint8_t { kEmpty, kOne, kOpt, kStar, kPlus };
+
+  Kind kind = Kind::kAnyItem;
+  Occ occ = Occ::kStar;
+
+  static StaticType One(Kind k) { return StaticType{k, Occ::kOne}; }
+  static StaticType Star(Kind k) { return StaticType{k, Occ::kStar}; }
+  static StaticType Empty() { return StaticType{Kind::kNone, Occ::kEmpty}; }
+
+  /// Least upper bound (for conditionals/sequences).
+  static StaticType Union(const StaticType& a, const StaticType& b);
+
+  /// True when a value of this type can be used as a numeric operand
+  /// (numerics, untyped — castable — and anything unknown).
+  bool MaybeNumeric() const;
+  /// True when values of the two types might compare under a *value*
+  /// comparison without a type error.
+  static bool MaybeValueComparable(const StaticType& a, const StaticType& b);
+  /// True when this type's items might be nodes.
+  bool MaybeNode() const;
+  /// True when the sequence is certainly non-empty.
+  bool DefinitelyNonEmpty() const {
+    return occ == Occ::kOne || occ == Occ::kPlus;
+  }
+
+  std::string ToString() const;
+};
+
+/// Infers the static type of `e`. Never fails; unknown constructs widen to
+/// item()*.
+StaticType InferStaticType(const Expr* e, const ParsedModule* module);
+
+/// The optional static typing feature: walks the whole module and reports a
+/// static error for expressions guaranteed (or, per the XQuery static
+/// rules, required) to fail at runtime:
+///  - arithmetic with an operand that can never be numeric,
+///  - value comparisons between statically incomparable types
+///    (the paper's `<a>42</a> eq 42` rule: untyped vs. numeric is an error
+///    under static typing),
+///  - axis steps applied to expressions that can never yield nodes,
+///  - user-function arguments disjoint from the declared parameter type.
+/// Off by default (it is an *optional* feature and is strict by design);
+/// enable via XQueryEngine::CompileOptions::static_typing.
+Status StaticTypeCheck(const ParsedModule* module);
+
+}  // namespace xqp
+
+#endif  // XQP_OPT_STATIC_TYPES_H_

@@ -1,0 +1,625 @@
+#ifndef XQP_QUERY_EXPR_H_
+#define XQP_QUERY_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/sequence_type.h"
+#include "xml/atomic_value.h"
+#include "xml/document.h"
+#include "xml/qname.h"
+
+namespace xqp {
+
+/// Expression kinds. The paper: "(almost) 1-1 mapping between expressions in
+/// XQuery and internal ones"; this is its 26-kind expression hierarchy.
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kVarRef,
+  kContextItem,
+  kSequence,        // Comma operator.
+  kRange,           // "1 to 10".
+  kArithmetic,
+  kUnary,
+  kComparison,      // Value / general / node / order comparisons.
+  kLogical,         // and / or.
+  kRoot,            // Leading "/": root of the context node's tree.
+  kPath,            // E1/E2 with optional ddo (doc order + dedup).
+  kStep,            // axis::node-test.
+  kFilter,          // E[pred]...
+  kFlwor,
+  kQuantified,      // some / every.
+  kIf,
+  kTypeswitch,
+  kInstanceOf,
+  kTreatAs,
+  kCastAs,
+  kCastableAs,
+  kUnion,
+  kIntersectExcept,
+  kFunctionCall,
+  kElementCtor,
+  kAttributeCtor,
+  kTextCtor,
+  kCommentCtor,
+  kPiCtor,
+  kDocumentCtor,
+  kTryCatch,  // Extension: the paper's "missing functionality" try-catch.
+};
+
+std::string_view ExprKindName(ExprKind kind);
+
+/// XPath axes. The first six are the ones XQuery requires; the rest belong
+/// to the optional "full axis feature", which we also support.
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kAttribute,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kFollowing,
+  kPreceding,
+};
+
+std::string_view AxisName(Axis axis);
+
+/// True for axes that walk towards the document start (results arrive in
+/// reverse document order).
+bool IsReverseAxis(Axis axis);
+
+/// A node test: by kind, by name (with wildcards), or both.
+struct NodeTest {
+  enum class Kind : uint8_t {
+    kAnyKind,   // node()
+    kName,      // name / prefix:* / *:local / *
+    kText,      // text()
+    kComment,   // comment()
+    kPi,        // processing-instruction() / processing-instruction("t")
+    kDocument,  // document-node()
+    kElement,   // element() / element(name)
+    kAttribute, // attribute() / attribute(name)
+  };
+
+  Kind kind = Kind::kAnyKind;
+  bool wildcard_uri = false;
+  bool wildcard_local = false;
+  std::string uri;
+  std::string local;
+  std::string pi_target;  // Non-empty for processing-instruction("t").
+
+  static NodeTest AnyName() {
+    NodeTest t;
+    t.kind = Kind::kName;
+    t.wildcard_uri = true;
+    t.wildcard_local = true;
+    return t;
+  }
+  static NodeTest Name(std::string uri, std::string local) {
+    NodeTest t;
+    t.kind = Kind::kName;
+    t.uri = std::move(uri);
+    t.local = std::move(local);
+    return t;
+  }
+
+  /// Does node `i` of `doc` satisfy this test? `principal_attribute` is true
+  /// when the step's axis is the attribute axis (name tests then select
+  /// attributes instead of elements).
+  bool Matches(const Document& doc, NodeIndex i,
+               bool principal_attribute) const;
+
+  std::string ToString() const;
+};
+
+/// Per-expression dataflow properties, computed by opt/properties.cc. These
+/// are the analyses the paper lists under "Xquery expression analysis":
+/// doc-order and distinctness guarantees, node creation, error potential,
+/// context sensitivity.
+struct ExprProps {
+  bool analyzed = false;
+  /// Result is guaranteed to be in document order (when all items are nodes).
+  bool ordered = false;
+  /// Result is guaranteed free of duplicate nodes.
+  bool distinct = false;
+  /// Result may contain newly constructed nodes.
+  bool creates_nodes = false;
+  /// Evaluation may raise a dynamic/type error.
+  bool may_raise_error = true;
+  /// Expression reads the context item.
+  bool uses_context = false;
+  /// Expression calls position() / last() (directly, outside predicates).
+  bool uses_position = false;
+  bool uses_last = false;
+  /// Result items are guaranteed to all be nodes.
+  bool nodes_only = false;
+  /// Result items are guaranteed to all be atomic values.
+  bool atomics_only = false;
+  /// Result is a singleton (exactly one item).
+  bool singleton = false;
+  /// No result node is an ancestor of another result node (key premise for
+  /// eliding ddo after descendant steps).
+  bool no_two_nested = false;
+  /// Expression is a compile-time constant (safe to fold).
+  bool constant = false;
+};
+
+/// Base class of the internal expression tree. Children are owned uniformly
+/// by the base so rewrite rules and analyses can traverse generically;
+/// subclasses define what each child position means.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  size_t NumChildren() const { return children_.size(); }
+  Expr* child(size_t i) const { return children_[i].get(); }
+  std::unique_ptr<Expr>& child_slot(size_t i) { return children_[i]; }
+  void AddChild(std::unique_ptr<Expr> e) { children_.push_back(std::move(e)); }
+  std::unique_ptr<Expr> TakeChild(size_t i) { return std::move(children_[i]); }
+  void SetChild(size_t i, std::unique_ptr<Expr> e) {
+    children_[i] = std::move(e);
+  }
+  void InsertChild(size_t i, std::unique_ptr<Expr> e) {
+    children_.insert(children_.begin() + i, std::move(e));
+  }
+  void RemoveChild(size_t i) { children_.erase(children_.begin() + i); }
+
+  /// Deep copy (for function inlining and rule experimentation).
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+
+  /// Compact s-expression dump for tests and plan explanation.
+  virtual std::string ToString() const;
+
+  /// Analysis annotations (see opt/properties.cc).
+  ExprProps props;
+
+ protected:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  /// Clones children into `dst` (helper for subclass Clone()).
+  void CloneChildrenInto(Expr* dst) const;
+  std::string ChildrenToString() const;
+
+  ExprKind kind_;
+  std::vector<std::unique_ptr<Expr>> children_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---------------------------------------------------------------------------
+// Leaf expressions
+// ---------------------------------------------------------------------------
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(AtomicValue value)
+      : Expr(ExprKind::kLiteral), value(std::move(value)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  AtomicValue value;
+};
+
+/// Variable reference. `slot` indexes the dynamic-context frame; globals are
+/// resolved against the module frame.
+class VarRefExpr : public Expr {
+ public:
+  explicit VarRefExpr(QName name)
+      : Expr(ExprKind::kVarRef), name(std::move(name)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  QName name;
+  int slot = -1;
+  bool is_global = false;
+};
+
+class ContextItemExpr : public Expr {
+ public:
+  ContextItemExpr() : Expr(ExprKind::kContextItem) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override { return "."; }
+};
+
+class RootExpr : public Expr {
+ public:
+  RootExpr() : Expr(ExprKind::kRoot) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override { return "(root)"; }
+};
+
+/// Step expression: axis::node-test applied to the context item.
+class StepExpr : public Expr {
+ public:
+  StepExpr(Axis axis, NodeTest test)
+      : Expr(ExprKind::kStep), axis(axis), test(std::move(test)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  Axis axis;
+  NodeTest test;
+};
+
+// ---------------------------------------------------------------------------
+// Composite expressions
+// ---------------------------------------------------------------------------
+
+class SequenceExpr : public Expr {
+ public:
+  SequenceExpr() : Expr(ExprKind::kSequence) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+class RangeExpr : public Expr {
+ public:
+  RangeExpr(ExprPtr lo, ExprPtr hi) : Expr(ExprKind::kRange) {
+    AddChild(std::move(lo));
+    AddChild(std::move(hi));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kIDiv, kMod };
+std::string_view ArithOpName(ArithOp op);
+
+class ArithmeticExpr : public Expr {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kArithmetic), op(op) {
+    AddChild(std::move(lhs));
+    AddChild(std::move(rhs));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  ArithOp op;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(bool negate, ExprPtr operand)
+      : Expr(ExprKind::kUnary), negate(negate) {
+    AddChild(std::move(operand));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  bool negate;
+};
+
+/// All four comparison families from the paper's comparison table.
+enum class CompOp : uint8_t {
+  // Value comparisons.
+  kValueEq, kValueNe, kValueLt, kValueLe, kValueGt, kValueGe,
+  // General (existential) comparisons.
+  kGenEq, kGenNe, kGenLt, kGenLe, kGenGt, kGenGe,
+  // Node identity.
+  kIs, kIsNot,
+  // Document order.
+  kBefore, kAfter,
+};
+std::string_view CompOpName(CompOp op);
+bool IsGeneralComp(CompOp op);
+bool IsValueComp(CompOp op);
+
+class ComparisonExpr : public Expr {
+ public:
+  ComparisonExpr(CompOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kComparison), op(op) {
+    AddChild(std::move(lhs));
+    AddChild(std::move(rhs));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  CompOp op;
+};
+
+class LogicalExpr : public Expr {
+ public:
+  LogicalExpr(bool is_and, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kLogical), is_and(is_and) {
+    AddChild(std::move(lhs));
+    AddChild(std::move(rhs));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  bool is_and;
+};
+
+/// E1/E2: evaluate E2 for each item of E1 (bound as context item), then
+/// sort the concatenation in document order (`needs_sort`) and remove
+/// duplicate nodes (`needs_dedup`). The ddo elision rewrite (paper:
+/// "semantic conditions" — $doc/a/b/c needs neither; $doc//a/b needs
+/// sorting but has no duplicates) clears the flags when the guarantees
+/// hold; experiment E12 measures the payoff.
+class PathExpr : public Expr {
+ public:
+  PathExpr(ExprPtr lhs, ExprPtr rhs) : Expr(ExprKind::kPath) {
+    AddChild(std::move(lhs));
+    AddChild(std::move(rhs));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  bool needs_sort = true;
+  bool needs_dedup = true;
+};
+
+/// E[p1][p2]...: child 0 is the base, children 1..N the predicates.
+class FilterExpr : public Expr {
+ public:
+  explicit FilterExpr(ExprPtr base) : Expr(ExprKind::kFilter) {
+    AddChild(std::move(base));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+/// FLWOR. Clause i's expression is child i; the return expression is the
+/// last child. Order-by keys appear as kOrderSpec clauses.
+class FlworExpr : public Expr {
+ public:
+  struct Clause {
+    enum class Type : uint8_t { kFor, kLet, kWhere, kOrderSpec };
+    Type type;
+    QName var;           // kFor / kLet.
+    QName pos_var;       // kFor "at $p"; empty local when absent.
+    int var_slot = -1;
+    int pos_slot = -1;
+    // kOrderSpec modifiers.
+    bool descending = false;
+    bool empty_least = true;
+
+    bool has_pos_var() const { return !pos_var.local.empty(); }
+  };
+
+  FlworExpr() : Expr(ExprKind::kFlwor) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  Expr* return_expr() const { return child(NumChildren() - 1); }
+  size_t NumClauses() const { return clauses.size(); }
+
+  std::vector<Clause> clauses;
+};
+
+/// some/every $v1 in E1, ... satisfies E. Binding i's domain is child i;
+/// the satisfies expression is the last child.
+class QuantifiedExpr : public Expr {
+ public:
+  struct Binding {
+    QName var;
+    int var_slot = -1;
+  };
+
+  explicit QuantifiedExpr(bool is_every)
+      : Expr(ExprKind::kQuantified), is_every(is_every) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  bool is_every;
+  std::vector<Binding> bindings;
+};
+
+class IfExpr : public Expr {
+ public:
+  IfExpr(ExprPtr cond, ExprPtr then_e, ExprPtr else_e) : Expr(ExprKind::kIf) {
+    AddChild(std::move(cond));
+    AddChild(std::move(then_e));
+    AddChild(std::move(else_e));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+/// typeswitch(E) case [$v as] T return E ... default [$v] return E.
+/// Child 0 is the operand; child 1..N the case returns; the last child the
+/// default return.
+class TypeswitchExpr : public Expr {
+ public:
+  struct Case {
+    SequenceType type;
+    QName var;  // Empty local when no variable is bound.
+    int var_slot = -1;
+
+    bool has_var() const { return !var.local.empty(); }
+  };
+
+  TypeswitchExpr() : Expr(ExprKind::kTypeswitch) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  std::vector<Case> cases;
+  QName default_var;
+  int default_var_slot = -1;
+  bool default_has_var() const { return !default_var.local.empty(); }
+};
+
+class InstanceOfExpr : public Expr {
+ public:
+  InstanceOfExpr(ExprPtr operand, SequenceType type)
+      : Expr(ExprKind::kInstanceOf), type(std::move(type)) {
+    AddChild(std::move(operand));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  SequenceType type;
+};
+
+class TreatExpr : public Expr {
+ public:
+  TreatExpr(ExprPtr operand, SequenceType type)
+      : Expr(ExprKind::kTreatAs), type(std::move(type)) {
+    AddChild(std::move(operand));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  SequenceType type;
+};
+
+class CastExpr : public Expr {
+ public:
+  CastExpr(ExprPtr operand, XsType target, bool optional)
+      : Expr(ExprKind::kCastAs), target(target), optional(optional) {
+    AddChild(std::move(operand));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  XsType target;
+  bool optional;  // "cast as T?" accepts the empty sequence.
+};
+
+class CastableExpr : public Expr {
+ public:
+  CastableExpr(ExprPtr operand, XsType target, bool optional)
+      : Expr(ExprKind::kCastableAs), target(target), optional(optional) {
+    AddChild(std::move(operand));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  XsType target;
+  bool optional;
+};
+
+class UnionExpr : public Expr {
+ public:
+  UnionExpr(ExprPtr lhs, ExprPtr rhs) : Expr(ExprKind::kUnion) {
+    AddChild(std::move(lhs));
+    AddChild(std::move(rhs));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+class IntersectExceptExpr : public Expr {
+ public:
+  IntersectExceptExpr(bool is_except, ExprPtr lhs, ExprPtr rhs)
+      : Expr(ExprKind::kIntersectExcept), is_except(is_except) {
+    AddChild(std::move(lhs));
+    AddChild(std::move(rhs));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  bool is_except;
+};
+
+/// Function call; children are the arguments. Name resolution happens at
+/// normalization: builtin calls get `builtin >= 0` (an index into the
+/// builtin registry), user calls get `user_index >= 0` (an index into the
+/// compiled module's function table).
+class FunctionCallExpr : public Expr {
+ public:
+  explicit FunctionCallExpr(QName name)
+      : Expr(ExprKind::kFunctionCall), name(std::move(name)) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  QName name;
+  int builtin = -1;
+  int user_index = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Node constructors
+// ---------------------------------------------------------------------------
+
+/// Element constructor. With a computed name, child 0 is the name
+/// expression; remaining children are content. Direct constructors desugar
+/// to this form, with attribute constructors leading the content list.
+class ElementCtorExpr : public Expr {
+ public:
+  struct NsDecl {
+    std::string prefix;
+    std::string uri;
+  };
+
+  ElementCtorExpr() : Expr(ExprKind::kElementCtor) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  bool computed_name = false;
+  QName name;                   // When !computed_name.
+  std::vector<NsDecl> ns_decls;  // Literal xmlns attributes.
+  size_t ContentStart() const { return computed_name ? 1 : 0; }
+};
+
+class AttributeCtorExpr : public Expr {
+ public:
+  AttributeCtorExpr() : Expr(ExprKind::kAttributeCtor) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  bool computed_name = false;
+  QName name;
+  size_t ContentStart() const { return computed_name ? 1 : 0; }
+};
+
+class TextCtorExpr : public Expr {
+ public:
+  explicit TextCtorExpr(ExprPtr content) : Expr(ExprKind::kTextCtor) {
+    AddChild(std::move(content));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+class CommentCtorExpr : public Expr {
+ public:
+  explicit CommentCtorExpr(ExprPtr content) : Expr(ExprKind::kCommentCtor) {
+    AddChild(std::move(content));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+class PiCtorExpr : public Expr {
+ public:
+  PiCtorExpr() : Expr(ExprKind::kPiCtor) {}
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+
+  std::string target;  // Literal target (computed targets unsupported).
+};
+
+/// try { E1 } catch { E2 }: evaluates E1; if a dynamic or type error is
+/// raised, evaluates E2 instead. An engine extension — the paper lists a
+/// try-catch mechanism under XQuery's "missing functionalities" (XQuery 3.0
+/// later standardized it). Static errors are not catchable.
+class TryCatchExpr : public Expr {
+ public:
+  TryCatchExpr(ExprPtr try_expr, ExprPtr catch_expr)
+      : Expr(ExprKind::kTryCatch) {
+    AddChild(std::move(try_expr));
+    AddChild(std::move(catch_expr));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+class DocumentCtorExpr : public Expr {
+ public:
+  explicit DocumentCtorExpr(ExprPtr content) : Expr(ExprKind::kDocumentCtor) {
+    AddChild(std::move(content));
+  }
+  std::unique_ptr<Expr> Clone() const override;
+  std::string ToString() const override;
+};
+
+}  // namespace xqp
+
+#endif  // XQP_QUERY_EXPR_H_

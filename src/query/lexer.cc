@@ -1,0 +1,283 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/string_util.h"
+
+namespace xqp {
+
+void Lexer::AdvanceChars(size_t n) {
+  pos_ = std::min(pos_ + n, input_.size());
+}
+
+void Lexer::SetPos(size_t pos) {
+  buffer_.clear();
+  pos_ = std::min(pos, input_.size());
+}
+
+Status Lexer::Error(const std::string& message) const {
+  // Line/column computed on demand; errors are rare.
+  size_t line = 1;
+  size_t column = 1;
+  for (size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+    if (input_[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return Status::StaticError(std::to_string(line) + ":" +
+                             std::to_string(column) + ": " + message);
+}
+
+Status Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (IsXmlWhitespace(c)) {
+      ++pos_;
+      continue;
+    }
+    if (c == '(' && pos_ + 1 < input_.size() && input_[pos_ + 1] == ':') {
+      // Nestable XQuery comment "(: ... :)".
+      int depth = 1;
+      pos_ += 2;
+      while (pos_ < input_.size() && depth > 0) {
+        if (input_.compare(pos_, 2, "(:") == 0) {
+          ++depth;
+          pos_ += 2;
+        } else if (input_.compare(pos_, 2, ":)") == 0) {
+          --depth;
+          pos_ += 2;
+        } else {
+          ++pos_;
+        }
+      }
+      if (depth > 0) return Error("unterminated comment");
+      continue;
+    }
+    break;
+  }
+  return Status::OK();
+}
+
+Result<Tok> Lexer::Scan() {
+  XQP_RETURN_NOT_OK(SkipWhitespaceAndComments());
+  Tok t;
+  t.pos = pos_;
+  if (pos_ >= input_.size()) {
+    t.type = TokType::kEof;
+    t.end = pos_;
+    return t;
+  }
+  char c = input_[pos_];
+
+  // Names.
+  if (IsNameStartChar(c)) {
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    t.type = TokType::kNCName;
+    t.text.assign(input_.substr(start, pos_ - start));
+    t.end = pos_;
+    return t;
+  }
+
+  // Numbers.
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && pos_ + 1 < input_.size() &&
+       std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+    size_t start = pos_;
+    bool has_dot = false;
+    bool has_exp = false;
+    while (pos_ < input_.size()) {
+      char d = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        ++pos_;
+      } else if (d == '.' && !has_dot && !has_exp) {
+        // ".." must stay a symbol: "1..2" lexes as 1 .. 2.
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '.') break;
+        has_dot = true;
+        ++pos_;
+      } else if ((d == 'e' || d == 'E') && !has_exp) {
+        has_exp = true;
+        ++pos_;
+        if (pos_ < input_.size() &&
+            (input_[pos_] == '+' || input_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    std::string text(input_.substr(start, pos_ - start));
+    t.end = pos_;
+    if (has_exp) {
+      t.type = TokType::kDouble;
+      t.dval = std::strtod(text.c_str(), nullptr);
+    } else if (has_dot) {
+      t.type = TokType::kDecimal;
+      t.dval = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.type = TokType::kInteger;
+      t.ival = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  // String literals (with doubled-quote escapes and entity references).
+  if (c == '"' || c == '\'') {
+    char quote = c;
+    ++pos_;
+    std::string raw;
+    while (true) {
+      if (pos_ >= input_.size()) return Error("unterminated string literal");
+      char d = input_[pos_];
+      if (d == quote) {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == quote) {
+          raw.push_back(quote);
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        break;
+      }
+      raw.push_back(d);
+      ++pos_;
+    }
+    // Decode predefined and numeric entity references.
+    std::string decoded;
+    decoded.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        decoded.push_back(raw[i++]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string::npos) return Error("unterminated entity in string");
+      std::string ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") decoded.push_back('&');
+      else if (ent == "lt") decoded.push_back('<');
+      else if (ent == "gt") decoded.push_back('>');
+      else if (ent == "quot") decoded.push_back('"');
+      else if (ent == "apos") decoded.push_back('\'');
+      else if (!ent.empty() && ent[0] == '#') {
+        long code = (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X'))
+                        ? std::strtol(ent.c_str() + 2, nullptr, 16)
+                        : std::strtol(ent.c_str() + 1, nullptr, 10);
+        if (code <= 0 || code > 0x10FFFF) return Error("bad character reference");
+        // ASCII fast path; multi-byte handled minimally.
+        if (code < 0x80) {
+          decoded.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          decoded.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          decoded.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          decoded.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          decoded.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          decoded.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Error("unknown entity &" + ent + ";");
+      }
+      i = semi + 1;
+    }
+    t.type = TokType::kString;
+    t.text = std::move(decoded);
+    t.end = pos_;
+    return t;
+  }
+
+  // Symbols.
+  auto sym2 = [&](char a, char b, Sym two, Sym one) {
+    if (pos_ + 1 < input_.size() && input_[pos_] == a && input_[pos_ + 1] == b) {
+      t.sym = two;
+      pos_ += 2;
+    } else {
+      t.sym = one;
+      ++pos_;
+    }
+  };
+  t.type = TokType::kSymbol;
+  switch (c) {
+    case '(': t.sym = Sym::kLParen; ++pos_; break;
+    case ')': t.sym = Sym::kRParen; ++pos_; break;
+    case '[': t.sym = Sym::kLBracket; ++pos_; break;
+    case ']': t.sym = Sym::kRBracket; ++pos_; break;
+    case '{': t.sym = Sym::kLBrace; ++pos_; break;
+    case '}': t.sym = Sym::kRBrace; ++pos_; break;
+    case ',': t.sym = Sym::kComma; ++pos_; break;
+    case ';': t.sym = Sym::kSemicolon; ++pos_; break;
+    case '$': t.sym = Sym::kDollar; ++pos_; break;
+    case '@': t.sym = Sym::kAt; ++pos_; break;
+    case '|': t.sym = Sym::kPipe; ++pos_; break;
+    case '?': t.sym = Sym::kQuestion; ++pos_; break;
+    case '+': t.sym = Sym::kPlus; ++pos_; break;
+    case '-': t.sym = Sym::kMinus; ++pos_; break;
+    case '*': t.sym = Sym::kStar; ++pos_; break;
+    case '=': t.sym = Sym::kEq; ++pos_; break;
+    case ':': sym2(':', ':', Sym::kColonColon, Sym::kColon);
+      if (t.sym == Sym::kColon && pos_ < input_.size() && input_[pos_] == '=') {
+        t.sym = Sym::kAssign;
+        ++pos_;
+      }
+      break;
+    case '.': sym2('.', '.', Sym::kDotDot, Sym::kDot); break;
+    case '/': sym2('/', '/', Sym::kSlashSlash, Sym::kSlash); break;
+    case '!':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        t.sym = Sym::kNe;
+        pos_ += 2;
+      } else {
+        return Error("unexpected '!'");
+      }
+      break;
+    case '<':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '<') {
+        t.sym = Sym::kLtLt;
+        pos_ += 2;
+      } else if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        t.sym = Sym::kLe;
+        pos_ += 2;
+      } else {
+        t.sym = Sym::kLt;
+        ++pos_;
+      }
+      break;
+    case '>':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+        t.sym = Sym::kGtGt;
+        pos_ += 2;
+      } else if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        t.sym = Sym::kGe;
+        pos_ += 2;
+      } else {
+        t.sym = Sym::kGt;
+        ++pos_;
+      }
+      break;
+    default:
+      return Error(std::string("unexpected character '") + c + "'");
+  }
+  t.end = pos_;
+  return t;
+}
+
+Result<const Tok*> Lexer::Peek(size_t ahead) {
+  while (buffer_.size() <= ahead) {
+    XQP_ASSIGN_OR_RETURN(Tok t, Scan());
+    buffer_.push_back(std::move(t));
+  }
+  return &buffer_[ahead];
+}
+
+Result<Tok> Lexer::Take() {
+  if (buffer_.empty()) {
+    return Scan();
+  }
+  Tok t = std::move(buffer_.front());
+  buffer_.pop_front();
+  return t;
+}
+
+}  // namespace xqp

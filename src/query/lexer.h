@@ -1,0 +1,104 @@
+#ifndef XQP_QUERY_LEXER_H_
+#define XQP_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace xqp {
+
+/// Token types of the XQuery lexer. XQuery has no reserved words, so
+/// keywords surface as kNCName and are recognized contextually by the
+/// parser.
+enum class TokType : uint8_t {
+  kEof,
+  kNCName,
+  kInteger,
+  kDecimal,
+  kDouble,
+  kString,
+  kSymbol,
+};
+
+enum class Sym : uint8_t {
+  kNone,
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kComma, kSemicolon, kColon, kColonColon, kDollar, kAt,
+  kDot, kDotDot, kSlash, kSlashSlash, kStar, kPlus, kMinus,
+  kEq, kNe, kLt, kLe, kGt, kGe, kLtLt, kGtGt,
+  kPipe, kAssign, kQuestion,
+};
+
+struct Tok {
+  TokType type = TokType::kEof;
+  Sym sym = Sym::kNone;
+  std::string text;   // NCName text or decoded string literal.
+  int64_t ival = 0;   // kInteger.
+  double dval = 0;    // kDecimal / kDouble.
+  size_t pos = 0;     // Byte offset of the first character.
+  size_t end = 0;     // Byte offset one past the last character.
+  size_t line = 1;
+  size_t column = 1;
+
+  bool IsSym(Sym s) const { return type == TokType::kSymbol && sym == s; }
+  bool IsName(std::string_view name) const {
+    return type == TokType::kNCName && text == name;
+  }
+};
+
+/// On-demand XQuery lexer with unbounded lookahead and random repositioning.
+/// Repositioning (SetPos) lets the parser drop to character-level scanning
+/// for direct element constructors — the context-sensitive part of the
+/// grammar — and resume token scanning afterwards.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Peeks `ahead` tokens forward (0 = next token). Lexing errors surface
+  /// as a status from here.
+  Result<const Tok*> Peek(size_t ahead = 0);
+
+  /// Consumes and returns the next token.
+  Result<Tok> Take();
+
+  /// Byte offset where the *next unbuffered* token scan would start. Call
+  /// only when the lookahead buffer is empty or after SetPos.
+  size_t CharPos() const { return pos_; }
+
+  /// Clears the lookahead buffer and repositions the scanner.
+  void SetPos(size_t pos);
+
+  /// Character-level access for direct-constructor parsing.
+  char PeekChar(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  bool LookingAt(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+  void AdvanceChars(size_t n);
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  std::string_view input() const { return input_; }
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+  /// "line:column: message" parse error at the current position.
+  Status Error(const std::string& message) const;
+
+ private:
+  Result<Tok> Scan();
+  Status SkipWhitespaceAndComments();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+  std::deque<Tok> buffer_;
+};
+
+}  // namespace xqp
+
+#endif  // XQP_QUERY_LEXER_H_

@@ -1,0 +1,22 @@
+#ifndef XQP_QUERY_NORMALIZE_H_
+#define XQP_QUERY_NORMALIZE_H_
+
+#include "base/status.h"
+#include "query/static_context.h"
+
+namespace xqp {
+
+/// The "SQ4 resolve names / SQ5 normalize" compilation step:
+///  - resolves function calls (xs:T(...) becomes cast-as, fn builtins get
+///    registry ids, user functions get indices; unknown calls are static
+///    errors),
+///  - resolves variable references to frame slots (detecting undefined
+///    variables), assigning frame sizes to the main body and each function,
+///  - marks recursive functions (they are never inlined).
+/// Runs in place on the parsed module; must be called exactly once before
+/// optimization or execution.
+Status NormalizeModule(ParsedModule* module);
+
+}  // namespace xqp
+
+#endif  // XQP_QUERY_NORMALIZE_H_

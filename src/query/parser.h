@@ -1,0 +1,22 @@
+#ifndef XQP_QUERY_PARSER_H_
+#define XQP_QUERY_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "base/status.h"
+#include "query/static_context.h"
+
+namespace xqp {
+
+/// Parses an XQuery main module (prolog + expression) into a ParsedModule.
+/// The supported language is the XQuery 1.0 subset described in README.md:
+/// FLWOR (with order by), quantifiers, typeswitch, full path expressions
+/// with twelve axes, direct and computed constructors, user functions and
+/// global variables, and the operator suite of the paper's expression
+/// hierarchy.
+Result<std::unique_ptr<ParsedModule>> ParseQuery(std::string_view query);
+
+}  // namespace xqp
+
+#endif  // XQP_QUERY_PARSER_H_

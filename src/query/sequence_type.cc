@@ -1,0 +1,49 @@
+#include "query/sequence_type.h"
+
+namespace xqp {
+
+std::string ItemTypeTest::ToString() const {
+  switch (kind) {
+    case Kind::kItem:
+      return "item()";
+    case Kind::kNode:
+      return "node()";
+    case Kind::kElement:
+      return wildcard_name ? "element()" : "element(" + name.Lexical() + ")";
+    case Kind::kAttribute:
+      return wildcard_name ? "attribute()"
+                           : "attribute(" + name.Lexical() + ")";
+    case Kind::kText:
+      return "text()";
+    case Kind::kComment:
+      return "comment()";
+    case Kind::kPi:
+      return "processing-instruction()";
+    case Kind::kDocument:
+      return "document-node()";
+    case Kind::kAtomic:
+      return std::string(XsTypeName(atomic));
+  }
+  return "item()";
+}
+
+std::string SequenceType::ToString() const {
+  if (empty_sequence) return "empty-sequence()";
+  std::string s = item.ToString();
+  switch (occurrence) {
+    case Occurrence::kOne:
+      break;
+    case Occurrence::kOptional:
+      s += "?";
+      break;
+    case Occurrence::kStar:
+      s += "*";
+      break;
+    case Occurrence::kPlus:
+      s += "+";
+      break;
+  }
+  return s;
+}
+
+}  // namespace xqp

@@ -1,0 +1,61 @@
+#ifndef XQP_QUERY_SEQUENCE_TYPE_H_
+#define XQP_QUERY_SEQUENCE_TYPE_H_
+
+#include <string>
+
+#include "xml/atomic_value.h"
+#include "xml/document.h"
+#include "xml/qname.h"
+
+namespace xqp {
+
+/// Occurrence indicator of a sequence type.
+enum class Occurrence : uint8_t {
+  kOne,       // T
+  kOptional,  // T?
+  kStar,      // T*
+  kPlus,      // T+
+};
+
+/// Item-type part of a sequence type: kind tests and atomic types, as used
+/// by "instance of", "cast as", typeswitch and function signatures.
+struct ItemTypeTest {
+  enum class Kind : uint8_t {
+    kItem,       // item()
+    kNode,       // node()
+    kElement,    // element() / element(name)
+    kAttribute,  // attribute() / attribute(name)
+    kText,
+    kComment,
+    kPi,
+    kDocument,
+    kAtomic,  // a named atomic type
+  };
+
+  Kind kind = Kind::kItem;
+  XsType atomic = XsType::kUntypedAtomic;  // When kind == kAtomic.
+  bool wildcard_name = true;               // element(*) / attribute(*).
+  QName name;                              // When !wildcard_name.
+
+  std::string ToString() const;
+};
+
+/// A full sequence type: item type + occurrence, or empty-sequence().
+struct SequenceType {
+  bool empty_sequence = false;  // empty-sequence().
+  ItemTypeTest item;
+  Occurrence occurrence = Occurrence::kOne;
+
+  static SequenceType AnyItems() {
+    SequenceType t;
+    t.item.kind = ItemTypeTest::Kind::kItem;
+    t.occurrence = Occurrence::kStar;
+    return t;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace xqp
+
+#endif  // XQP_QUERY_SEQUENCE_TYPE_H_

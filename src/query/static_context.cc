@@ -1,0 +1,40 @@
+#include "query/static_context.h"
+
+namespace xqp {
+
+StaticContext::StaticContext() {
+  namespaces_["xml"] = "http://www.w3.org/XML/1998/namespace";
+  namespaces_["xs"] = std::string(kXsNamespace);
+  namespaces_["xsi"] = "http://www.w3.org/2001/XMLSchema-instance";
+  namespaces_["xdt"] = std::string(kXdtNamespace);
+  namespaces_["fn"] = std::string(kFnNamespace);
+  // "xf" appears throughout the paper's examples as the F&O prefix.
+  namespaces_["xf"] = std::string(kFnNamespace);
+  namespaces_["local"] = std::string(kLocalNamespace);
+  default_function_ns_ = std::string(kFnNamespace);
+}
+
+Status StaticContext::DeclareNamespace(const std::string& prefix,
+                                       const std::string& uri) {
+  if (prefix == "xml" || prefix == "xmlns") {
+    return Status::StaticError("cannot redeclare the '" + prefix +
+                               "' namespace prefix");
+  }
+  namespaces_[prefix] = uri;
+  return Status::OK();
+}
+
+Result<std::string> StaticContext::ResolvePrefix(
+    std::string_view prefix, bool use_default_element_ns) const {
+  if (prefix.empty()) {
+    return use_default_element_ns ? default_element_ns_ : std::string();
+  }
+  auto it = namespaces_.find(prefix);
+  if (it == namespaces_.end()) {
+    return Status::StaticError("undeclared namespace prefix: " +
+                               std::string(prefix));
+  }
+  return it->second;
+}
+
+}  // namespace xqp

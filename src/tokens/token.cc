@@ -1,0 +1,29 @@
+#include "tokens/token.h"
+
+namespace xqp {
+
+std::string_view TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kStartDocument:
+      return "BD";
+    case TokenKind::kEndDocument:
+      return "ED";
+    case TokenKind::kStartElement:
+      return "BE";
+    case TokenKind::kEndElement:
+      return "EE";
+    case TokenKind::kAttribute:
+      return "ATTR";
+    case TokenKind::kNamespaceDecl:
+      return "NS";
+    case TokenKind::kText:
+      return "TEXT";
+    case TokenKind::kComment:
+      return "COMMENT";
+    case TokenKind::kProcessingInstruction:
+      return "PI";
+  }
+  return "?";
+}
+
+}  // namespace xqp

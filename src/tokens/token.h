@@ -1,0 +1,50 @@
+#ifndef XQP_TOKENS_TOKEN_H_
+#define XQP_TOKENS_TOKEN_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "xml/document.h"
+#include "xml/string_pool.h"
+
+namespace xqp {
+
+/// Token kinds of the array ("TokenStream") storage mode: a linear pre-order
+/// rendering of an XML data-model instance, in the spirit of the paper's
+/// BE(book)/BE(author)/TEXT(...)/EE sequence. END tokens carry no payload
+/// ("special encodings for all END tokens").
+enum class TokenKind : uint8_t {
+  kStartDocument,
+  kEndDocument,
+  kStartElement,            // name_id
+  kEndElement,              // payload-free
+  kAttribute,               // name_id + value_id
+  kNamespaceDecl,           // aux_id = prefix, value_id = uri
+  kText,                    // value_id
+  kComment,                 // value_id
+  kProcessingInstruction,   // name_id (target) + value_id (data)
+};
+
+/// Name of `k` for diagnostics ("BE", "EE", "TEXT", ...), echoing the
+/// paper's token notation.
+std::string_view TokenKindName(TokenKind k);
+
+/// One token. Strings and names are pooled in the owning TokenStream; a
+/// token is four 32-bit words. `node_id` is the optional node identity — the
+/// paper's "tokens w/o node identifiers" optimization corresponds to
+/// streams built with node ids disabled (kNullNode everywhere).
+struct Token {
+  TokenKind kind = TokenKind::kEndDocument;
+  uint32_t name_id = kNoName;
+  StringPool::Id value_id = kNoValue;
+  StringPool::Id aux_id = kNoValue;
+  NodeIndex node_id = kNullNode;
+  /// For kStartElement: index of the token just after the matching
+  /// kEndElement. This is the "special tokens represent whole sub-trees"
+  /// trick that makes skip() O(1) on materialized streams.
+  uint32_t skip_to = 0;
+};
+
+}  // namespace xqp
+
+#endif  // XQP_TOKENS_TOKEN_H_

@@ -1,0 +1,454 @@
+#include "tokens/token_iterator.h"
+
+#include "base/string_util.h"
+
+namespace xqp {
+
+// --- StreamTokenIterator ---
+
+Result<const Token*> StreamTokenIterator::Next() {
+  if (pos_ >= stream_->size()) return static_cast<const Token*>(nullptr);
+  last_ = pos_++;
+  return &stream_->token(last_);
+}
+
+Status StreamTokenIterator::Skip() {
+  if (last_ == SIZE_MAX) return Status::OK();
+  const Token& t = stream_->token(last_);
+  if (t.kind == TokenKind::kStartElement && t.skip_to > last_) {
+    pos_ = t.skip_to;  // O(1) jump over the whole subtree.
+  }
+  return Status::OK();
+}
+
+// --- ScanOnlyTokenIterator ---
+
+Result<const Token*> ScanOnlyTokenIterator::Next() {
+  if (pos_ >= stream_->size()) return static_cast<const Token*>(nullptr);
+  last_ = pos_++;
+  return &stream_->token(last_);
+}
+
+Status ScanOnlyTokenIterator::Skip() {
+  if (last_ == SIZE_MAX) return Status::OK();
+  if (stream_->token(last_).kind != TokenKind::kStartElement) {
+    return Status::OK();
+  }
+  // Scan forward, balancing BE/EE, the way a skip-link-free representation
+  // must.
+  int depth = 1;
+  while (pos_ < stream_->size() && depth > 0) {
+    TokenKind k = stream_->token(pos_).kind;
+    if (k == TokenKind::kStartElement) ++depth;
+    if (k == TokenKind::kEndElement) --depth;
+    ++pos_;
+  }
+  return Status::OK();
+}
+
+// --- DocumentTokenIterator ---
+
+Status DocumentTokenIterator::Open() {
+  next_node_ = 0;
+  open_.clear();
+  start_document_emitted_ = false;
+  end_document_emitted_ = false;
+  last_was_start_element_ = false;
+  pending_ns_ = 0;
+  ns_element_ = kNullNode;
+  return Status::OK();
+}
+
+std::string_view DocumentTokenIterator::value(const Token& t) const {
+  if (t.kind == TokenKind::kNamespaceDecl) return value_buf_;
+  return t.value_id == kNoValue ? std::string_view()
+                                : doc_->pool().Get(t.value_id);
+}
+
+std::string_view DocumentTokenIterator::aux(const Token& t) const {
+  return aux_buf_;
+}
+
+Result<const Token*> DocumentTokenIterator::Next() {
+  last_was_start_element_ = false;
+  // Pending namespace declarations of the most recent element.
+  if (ns_element_ != kNullNode) {
+    const auto* decls = doc_->NamespaceDecls(ns_element_);
+    if (decls != nullptr && pending_ns_ < decls->size()) {
+      const auto& d = (*decls)[pending_ns_++];
+      aux_buf_ = d.prefix;
+      value_buf_ = d.uri;
+      token_ = Token{};
+      token_.kind = TokenKind::kNamespaceDecl;
+      return &token_;
+    }
+    ns_element_ = kNullNode;
+    pending_ns_ = 0;
+  }
+
+  if (!start_document_emitted_) {
+    start_document_emitted_ = true;
+    next_node_ = 1;
+    token_ = Token{};
+    token_.kind = TokenKind::kStartDocument;
+    token_.node_id = 0;
+    return &token_;
+  }
+
+  // Close any elements whose region ended before the next node.
+  if (!open_.empty() &&
+      (next_node_ >= doc_->NumNodes() ||
+       next_node_ > doc_->node(open_.back()).end)) {
+    open_.pop_back();
+    token_ = Token{};
+    token_.kind = TokenKind::kEndElement;
+    return &token_;
+  }
+
+  if (next_node_ >= doc_->NumNodes()) {
+    if (!end_document_emitted_) {
+      end_document_emitted_ = true;
+      token_ = Token{};
+      token_.kind = TokenKind::kEndDocument;
+      return &token_;
+    }
+    return static_cast<const Token*>(nullptr);
+  }
+
+  NodeIndex i = next_node_++;
+  const NodeRecord& n = doc_->node(i);
+  token_ = Token{};
+  token_.node_id = i;
+  switch (n.kind) {
+    case NodeKind::kElement:
+      token_.kind = TokenKind::kStartElement;
+      token_.name_id = n.name_id;
+      open_.push_back(i);
+      last_was_start_element_ = true;
+      last_element_ = i;
+      if (doc_->NamespaceDecls(i) != nullptr) {
+        ns_element_ = i;
+        pending_ns_ = 0;
+      }
+      break;
+    case NodeKind::kAttribute:
+      token_.kind = TokenKind::kAttribute;
+      token_.name_id = n.name_id;
+      token_.value_id = n.value_id;
+      break;
+    case NodeKind::kText:
+      token_.kind = TokenKind::kText;
+      token_.value_id = n.value_id;
+      break;
+    case NodeKind::kComment:
+      token_.kind = TokenKind::kComment;
+      token_.value_id = n.value_id;
+      break;
+    case NodeKind::kProcessingInstruction:
+      token_.kind = TokenKind::kProcessingInstruction;
+      token_.name_id = n.name_id;
+      token_.value_id = n.value_id;
+      break;
+    case NodeKind::kDocument:
+      return Status::Internal("nested document node");
+  }
+  return &token_;
+}
+
+Status DocumentTokenIterator::Skip() {
+  if (!last_was_start_element_) return Status::OK();
+  // Jump past the subtree using the region end label.
+  next_node_ = doc_->node(last_element_).end + 1;
+  open_.pop_back();
+  ns_element_ = kNullNode;
+  last_was_start_element_ = false;
+  return Status::OK();
+}
+
+// --- ParserTokenIterator ---
+
+ParserTokenIterator::ParserTokenIterator(std::string_view xml,
+                                         const ParseOptions& options)
+    : xml_(xml), options_(options) {
+  pool_.set_pooling_enabled(options.pool_strings);
+}
+
+Status ParserTokenIterator::Open() {
+  parser_ = std::make_unique<XmlPullParser>(xml_, options_);
+  queue_.clear();
+  queue_pos_ = 0;
+  last_was_start_element_ = false;
+  return Status::OK();
+}
+
+uint32_t ParserTokenIterator::InternName(const QName& q) {
+  auto it = name_index_.find(q);
+  if (it != name_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(q);
+  name_index_.emplace(q, id);
+  return id;
+}
+
+Result<const Token*> ParserTokenIterator::Next() {
+  if (queue_pos_ < queue_.size()) {
+    current_ = queue_[queue_pos_++];
+    if (queue_pos_ >= queue_.size()) {
+      queue_.clear();
+      queue_pos_ = 0;
+    }
+    last_was_start_element_ = current_.kind == TokenKind::kStartElement;
+    return &current_;
+  }
+  XQP_ASSIGN_OR_RETURN(const XmlEvent* event, parser_->Next());
+  if (event == nullptr) return static_cast<const Token*>(nullptr);
+  last_was_start_element_ = false;
+  Token t;
+  switch (event->type) {
+    case XmlEventType::kStartDocument:
+      t.kind = TokenKind::kStartDocument;
+      break;
+    case XmlEventType::kEndDocument:
+      t.kind = TokenKind::kEndDocument;
+      break;
+    case XmlEventType::kStartElement: {
+      t.kind = TokenKind::kStartElement;
+      t.name_id = InternName(event->name);
+      last_was_start_element_ = true;
+      for (const auto& ns : event->ns_decls) {
+        Token nst;
+        nst.kind = TokenKind::kNamespaceDecl;
+        nst.aux_id = pool_.Intern(ns.prefix);
+        nst.value_id = pool_.Intern(ns.uri);
+        Enqueue(nst);
+      }
+      for (const auto& attr : event->attributes) {
+        Token at;
+        at.kind = TokenKind::kAttribute;
+        at.name_id = InternName(attr.name);
+        at.value_id = pool_.Intern(attr.value);
+        Enqueue(at);
+      }
+      break;
+    }
+    case XmlEventType::kEndElement:
+      t.kind = TokenKind::kEndElement;
+      break;
+    case XmlEventType::kText:
+      t.kind = TokenKind::kText;
+      t.value_id = pool_.Intern(event->text);
+      break;
+    case XmlEventType::kComment:
+      t.kind = TokenKind::kComment;
+      t.value_id = pool_.Intern(event->text);
+      break;
+    case XmlEventType::kProcessingInstruction:
+      t.kind = TokenKind::kProcessingInstruction;
+      t.name_id = InternName(event->name);
+      t.value_id = pool_.Intern(event->text);
+      break;
+  }
+  current_ = t;
+  return &current_;
+}
+
+Status ParserTokenIterator::Skip() {
+  if (!last_was_start_element_) return Status::OK();
+  // The input is not materialized, so skipping must still consume events —
+  // but avoids interning their strings.
+  int depth = 1;
+  queue_.clear();
+  queue_pos_ = 0;
+  while (depth > 0) {
+    XQP_ASSIGN_OR_RETURN(const XmlEvent* event, parser_->Next());
+    if (event == nullptr) {
+      return Status::ParseError("unbalanced element during Skip()");
+    }
+    if (event->type == XmlEventType::kStartElement) ++depth;
+    if (event->type == XmlEventType::kEndElement) --depth;
+  }
+  last_was_start_element_ = false;
+  return Status::OK();
+}
+
+// --- TokenSink ---
+
+Status TokenSink::CopySubtree(const Document& doc, NodeIndex root) {
+  const NodeRecord& r = doc.node(root);
+  switch (r.kind) {
+    case NodeKind::kDocument: {
+      for (NodeIndex c = r.first_child; c != kNullNode;
+           c = doc.node(c).next_sibling) {
+        XQP_RETURN_NOT_OK(CopySubtree(doc, c));
+      }
+      return Status::OK();
+    }
+    case NodeKind::kText:
+      return Text(doc.value(root));
+    case NodeKind::kComment:
+      return Comment(doc.value(root));
+    case NodeKind::kProcessingInstruction:
+      return Pi(doc.name(root).local, doc.value(root));
+    case NodeKind::kAttribute:
+      return Attribute(doc.name(root), doc.value(root));
+    case NodeKind::kElement: {
+      XQP_RETURN_NOT_OK(StartElement(doc.name(root)));
+      if (const auto* decls = doc.NamespaceDecls(root)) {
+        for (const auto& d : *decls) {
+          XQP_RETURN_NOT_OK(NamespaceDecl(d.prefix, d.uri));
+        }
+      }
+      for (NodeIndex a = r.first_attr; a != kNullNode;
+           a = doc.node(a).next_sibling) {
+        XQP_RETURN_NOT_OK(Attribute(doc.name(a), doc.value(a)));
+      }
+      for (NodeIndex c = r.first_child; c != kNullNode;
+           c = doc.node(c).next_sibling) {
+        XQP_RETURN_NOT_OK(CopySubtree(doc, c));
+      }
+      return EndElement();
+    }
+  }
+  return Status::Internal("unknown node kind");
+}
+
+// --- XmlTextSink ---
+
+void XmlTextSink::CloseTagIfOpen() {
+  if (tag_open_) {
+    out_->push_back('>');
+    tag_open_ = false;
+  }
+}
+
+Status XmlTextSink::StartElement(const QName& name) {
+  CloseTagIfOpen();
+  out_->push_back('<');
+  std::string tag = name.Lexical();
+  out_->append(tag);
+  open_tags_.push_back(std::move(tag));
+  tag_open_ = true;
+  return Status::OK();
+}
+
+Status XmlTextSink::EndElement() {
+  if (open_tags_.empty()) {
+    return Status::Internal("EndElement without StartElement");
+  }
+  if (tag_open_) {
+    out_->append("/>");
+    tag_open_ = false;
+  } else {
+    out_->append("</");
+    out_->append(open_tags_.back());
+    out_->push_back('>');
+  }
+  open_tags_.pop_back();
+  return Status::OK();
+}
+
+Status XmlTextSink::Attribute(const QName& name, std::string_view value) {
+  if (!tag_open_) {
+    return Status::DynamicError("attribute after element content: " +
+                                name.Lexical());
+  }
+  out_->push_back(' ');
+  out_->append(name.Lexical());
+  out_->append("=\"");
+  AppendEscapedAttribute(value, out_);
+  out_->push_back('"');
+  return Status::OK();
+}
+
+Status XmlTextSink::NamespaceDecl(std::string_view prefix,
+                                  std::string_view uri) {
+  if (!tag_open_) {
+    return Status::DynamicError("namespace declaration after content");
+  }
+  out_->push_back(' ');
+  if (prefix.empty()) {
+    out_->append("xmlns");
+  } else {
+    out_->append("xmlns:");
+    out_->append(prefix);
+  }
+  out_->append("=\"");
+  AppendEscapedAttribute(uri, out_);
+  out_->push_back('"');
+  return Status::OK();
+}
+
+Status XmlTextSink::Text(std::string_view text) {
+  CloseTagIfOpen();
+  AppendEscapedText(text, out_);
+  return Status::OK();
+}
+
+Status XmlTextSink::Comment(std::string_view text) {
+  CloseTagIfOpen();
+  out_->append("<!--");
+  out_->append(text);
+  out_->append("-->");
+  return Status::OK();
+}
+
+Status XmlTextSink::Pi(std::string_view target, std::string_view data) {
+  CloseTagIfOpen();
+  out_->append("<?");
+  out_->append(target);
+  if (!data.empty()) {
+    out_->push_back(' ');
+    out_->append(data);
+  }
+  out_->append("?>");
+  return Status::OK();
+}
+
+// --- Adapters ---
+
+Status PumpTokens(TokenIterator* iterator, TokenSink* sink) {
+  while (true) {
+    XQP_ASSIGN_OR_RETURN(const Token* t, iterator->Next());
+    if (t == nullptr) return Status::OK();
+    switch (t->kind) {
+      case TokenKind::kStartDocument:
+      case TokenKind::kEndDocument:
+        break;
+      case TokenKind::kStartElement:
+        XQP_RETURN_NOT_OK(sink->StartElement(iterator->name(*t)));
+        break;
+      case TokenKind::kEndElement:
+        XQP_RETURN_NOT_OK(sink->EndElement());
+        break;
+      case TokenKind::kAttribute:
+        XQP_RETURN_NOT_OK(
+            sink->Attribute(iterator->name(*t), iterator->value(*t)));
+        break;
+      case TokenKind::kNamespaceDecl:
+        XQP_RETURN_NOT_OK(
+            sink->NamespaceDecl(iterator->aux(*t), iterator->value(*t)));
+        break;
+      case TokenKind::kText:
+        XQP_RETURN_NOT_OK(sink->Text(iterator->value(*t)));
+        break;
+      case TokenKind::kComment:
+        XQP_RETURN_NOT_OK(sink->Comment(iterator->value(*t)));
+        break;
+      case TokenKind::kProcessingInstruction:
+        XQP_RETURN_NOT_OK(
+            sink->Pi(iterator->name(*t).local, iterator->value(*t)));
+        break;
+    }
+  }
+}
+
+Result<std::string> SerializeTokens(TokenIterator* iterator) {
+  std::string out;
+  XmlTextSink sink(&out);
+  XQP_RETURN_NOT_OK(iterator->Open());
+  XQP_RETURN_NOT_OK(PumpTokens(iterator, &sink));
+  XQP_RETURN_NOT_OK(iterator->Close());
+  return out;
+}
+
+}  // namespace xqp

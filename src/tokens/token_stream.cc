@@ -1,0 +1,212 @@
+#include "tokens/token_stream.h"
+
+#include "xml/pull_parser.h"
+
+namespace xqp {
+
+TokenStream::TokenStream(const TokenStreamOptions& options) {
+  pool_.set_pooling_enabled(options.pool_strings);
+}
+
+uint32_t TokenStream::InternName(const QName& name) {
+  auto it = name_index_.find(name);
+  if (it != name_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(name);
+  name_index_.emplace(name, id);
+  return id;
+}
+
+void TokenStream::AppendStartDocument() {
+  tokens_.push_back(Token{TokenKind::kStartDocument});
+}
+
+void TokenStream::AppendEndDocument() {
+  tokens_.push_back(Token{TokenKind::kEndDocument});
+}
+
+void TokenStream::AppendStartElement(const QName& name, NodeIndex node_id) {
+  open_elements_.push_back(static_cast<uint32_t>(tokens_.size()));
+  Token t;
+  t.kind = TokenKind::kStartElement;
+  t.name_id = InternName(name);
+  t.node_id = node_id;
+  tokens_.push_back(t);
+}
+
+void TokenStream::AppendEndElement() {
+  tokens_.push_back(Token{TokenKind::kEndElement});
+  if (!open_elements_.empty()) {
+    tokens_[open_elements_.back()].skip_to =
+        static_cast<uint32_t>(tokens_.size());
+    open_elements_.pop_back();
+  }
+}
+
+void TokenStream::AppendAttribute(const QName& name, std::string_view value,
+                                  NodeIndex node_id) {
+  Token t;
+  t.kind = TokenKind::kAttribute;
+  t.name_id = InternName(name);
+  t.value_id = pool_.Intern(value);
+  t.node_id = node_id;
+  tokens_.push_back(t);
+}
+
+void TokenStream::AppendNamespaceDecl(std::string_view prefix,
+                                      std::string_view uri) {
+  Token t;
+  t.kind = TokenKind::kNamespaceDecl;
+  t.aux_id = pool_.Intern(prefix);
+  t.value_id = pool_.Intern(uri);
+  tokens_.push_back(t);
+}
+
+void TokenStream::AppendText(std::string_view text, NodeIndex node_id) {
+  Token t;
+  t.kind = TokenKind::kText;
+  t.value_id = pool_.Intern(text);
+  t.node_id = node_id;
+  tokens_.push_back(t);
+}
+
+void TokenStream::AppendComment(std::string_view text, NodeIndex node_id) {
+  Token t;
+  t.kind = TokenKind::kComment;
+  t.value_id = pool_.Intern(text);
+  t.node_id = node_id;
+  tokens_.push_back(t);
+}
+
+void TokenStream::AppendProcessingInstruction(std::string_view target,
+                                              std::string_view data,
+                                              NodeIndex node_id) {
+  Token t;
+  t.kind = TokenKind::kProcessingInstruction;
+  t.name_id = InternName(QName(std::string(target)));
+  t.value_id = pool_.Intern(data);
+  t.node_id = node_id;
+  tokens_.push_back(t);
+}
+
+void TokenStream::SealSkipLinks() {
+  // Appending already maintains links; re-derive for streams assembled by
+  // direct token pushes (defensive, idempotent).
+  std::vector<uint32_t> stack;
+  for (uint32_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i].kind == TokenKind::kStartElement) {
+      stack.push_back(i);
+    } else if (tokens_[i].kind == TokenKind::kEndElement && !stack.empty()) {
+      tokens_[stack.back()].skip_to = i + 1;
+      stack.pop_back();
+    }
+  }
+}
+
+TokenStream TokenStream::FromDocument(const Document& doc,
+                                      const TokenStreamOptions& options) {
+  TokenStream ts(options);
+  // Iterative pre-order walk over the node table. The table is already in
+  // pre-order, so a single scan suffices; END tokens are emitted when the
+  // region of an open element closes.
+  std::vector<NodeIndex> open;  // Element indices whose EE is pending.
+  auto close_until = [&](NodeIndex next) {
+    while (!open.empty() && next > doc.node(open.back()).end) {
+      ts.AppendEndElement();
+      open.pop_back();
+    }
+  };
+  ts.AppendStartDocument();
+  for (NodeIndex i = 1; i < doc.NumNodes(); ++i) {
+    close_until(i);
+    const NodeRecord& n = doc.node(i);
+    NodeIndex id = options.with_node_ids ? i : kNullNode;
+    switch (n.kind) {
+      case NodeKind::kElement: {
+        ts.AppendStartElement(doc.name(i), id);
+        if (const auto* decls = doc.NamespaceDecls(i)) {
+          for (const auto& d : *decls) ts.AppendNamespaceDecl(d.prefix, d.uri);
+        }
+        open.push_back(i);
+        break;
+      }
+      case NodeKind::kAttribute:
+        ts.AppendAttribute(doc.name(i), doc.value(i), id);
+        break;
+      case NodeKind::kText:
+        ts.AppendText(doc.value(i), id);
+        break;
+      case NodeKind::kComment:
+        ts.AppendComment(doc.value(i), id);
+        break;
+      case NodeKind::kProcessingInstruction:
+        ts.AppendProcessingInstruction(doc.name(i).local, doc.value(i), id);
+        break;
+      case NodeKind::kDocument:
+        break;
+    }
+  }
+  close_until(static_cast<NodeIndex>(doc.NumNodes()));
+  ts.AppendEndDocument();
+  return ts;
+}
+
+Result<TokenStream> TokenStream::FromXml(std::string_view xml,
+                                         const TokenStreamOptions& options) {
+  ParseOptions popts;
+  popts.pool_strings = options.pool_strings;
+  XmlPullParser parser(xml, popts);
+  TokenStream ts(options);
+  NodeIndex next_id = 0;
+  auto id = [&]() {
+    return options.with_node_ids ? next_id++ : kNullNode;
+  };
+  while (true) {
+    XQP_ASSIGN_OR_RETURN(const XmlEvent* event, parser.Next());
+    if (event == nullptr) break;
+    switch (event->type) {
+      case XmlEventType::kStartDocument:
+        ts.AppendStartDocument();
+        id();
+        break;
+      case XmlEventType::kEndDocument:
+        ts.AppendEndDocument();
+        break;
+      case XmlEventType::kStartElement: {
+        ts.AppendStartElement(event->name, id());
+        for (const auto& ns : event->ns_decls) {
+          ts.AppendNamespaceDecl(ns.prefix, ns.uri);
+        }
+        for (const auto& attr : event->attributes) {
+          ts.AppendAttribute(attr.name, attr.value, id());
+        }
+        break;
+      }
+      case XmlEventType::kEndElement:
+        ts.AppendEndElement();
+        break;
+      case XmlEventType::kText:
+        ts.AppendText(event->text, id());
+        break;
+      case XmlEventType::kComment:
+        ts.AppendComment(event->text, id());
+        break;
+      case XmlEventType::kProcessingInstruction:
+        ts.AppendProcessingInstruction(event->name.local, event->text, id());
+        break;
+    }
+  }
+  return ts;
+}
+
+size_t TokenStream::MemoryUsage() const {
+  size_t bytes = tokens_.capacity() * sizeof(Token);
+  bytes += pool_.MemoryUsage();
+  for (const QName& q : names_) {
+    bytes += q.uri.capacity() + q.prefix.capacity() + q.local.capacity() +
+             sizeof(QName);
+  }
+  return bytes;
+}
+
+}  // namespace xqp

@@ -1,0 +1,363 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace xqp {
+
+namespace {
+
+constexpr const char* kWords[] = {
+    "gold",      "silver",   "antique", "rare",     "vintage",  "mint",
+    "condition", "original", "signed",  "limited",  "edition",  "classic",
+    "estate",    "auction",  "reserve", "shipping", "payment",  "offer",
+    "bid",       "bargain",  "quality", "genuine",  "certified", "museum",
+    "fine",      "art",      "bronze",  "marble",   "ceramic",  "wooden",
+    "leather",   "velvet",   "crystal", "pearl",    "diamond",  "emerald",
+    "collection", "catalog", "history", "century",  "dynasty",  "empire",
+    "royal",     "imperial", "ancient", "modern",   "abstract", "ornate",
+    "delicate",  "massive",  "tiny",    "huge",     "splendid", "curious",
+    "whose",     "nature",   "disposed", "amphibian", "politics", "experience",
+};
+constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kFirstNames[] = {
+    "Ronald", "Serge",  "Daniela", "Divesh", "Jerome",  "Mary",   "Dan",
+    "Alon",   "Nick",   "Gerome",  "Laks",   "Jignesh", "Yanlei", "Michael",
+    "Sihem",  "Wenfei", "Peter",   "Susan",  "Tova",    "Elke",
+};
+constexpr const char* kLastNames[] = {
+    "Laing",    "Abiteboul", "Florescu", "Srivastava", "Simeon", "Fernandez",
+    "Suciu",    "Halevy",    "Koudas",   "Miklau",     "Lakshmanan", "Patel",
+    "Diao",     "Franklin",  "AmerYahia", "Fan",       "Buneman", "Davidson",
+    "Milo",     "Rundensteiner",
+};
+constexpr const char* kCities[] = {
+    "Paris",  "Berlin",  "Tokyo",  "Sydney", "Toronto", "Lagos",
+    "Mumbai", "Seattle", "Dublin", "Lisbon", "Prague",  "Vienna",
+};
+constexpr const char* kCountries[] = {
+    "France", "Germany", "Japan", "Australia", "Canada", "Nigeria",
+    "India",  "United States", "Ireland", "Portugal", "Czechia", "Austria",
+};
+constexpr const char* kRegions[] = {"africa",   "asia",     "australia",
+                                    "europe",   "namerica", "samerica"};
+constexpr double kRegionWeights[] = {0.10, 0.20, 0.10, 0.30, 0.25, 0.05};
+
+class Generator {
+ public:
+  explicit Generator(const XMarkOptions& options)
+      : options_(options),
+        rng_(options.seed),
+        counts_(CountsForScale(options.scale)) {
+    out_.reserve(1 << 20);
+  }
+
+  std::string Run() {
+    out_ += "<?xml version=\"1.0\" standalone=\"yes\"?>\n";
+    out_ += "<site>\n";
+    Regions();
+    Categories();
+    CatGraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    out_ += "</site>\n";
+    return std::move(out_);
+  }
+
+ private:
+  const char* Word() { return kWords[rng_.Below(kNumWords)]; }
+
+  void Text(size_t min_words, size_t max_words) {
+    size_t n = static_cast<size_t>(rng_.Range(min_words, max_words));
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0) out_ += ' ';
+      out_ += Word();
+    }
+  }
+
+  void Description() {
+    out_ += "<description>";
+    if (options_.description_markup && rng_.Below(2) == 0) {
+      out_ += "<parlist><listitem><text>";
+      Text(6, 20);
+      if (rng_.Below(3) == 0) {
+        out_ += " <bold>";
+        Text(1, 3);
+        out_ += "</bold> ";
+        Text(2, 6);
+      }
+      if (rng_.Below(3) == 0) {
+        out_ += " <keyword>";
+        Text(1, 2);
+        out_ += "</keyword> ";
+        Text(1, 4);
+      }
+      if (rng_.Below(4) == 0) {
+        out_ += " <emph>";
+        Text(1, 2);
+        out_ += "</emph>";
+      }
+      out_ += "</text></listitem></parlist>";
+    } else {
+      out_ += "<text>";
+      Text(8, 40);
+      out_ += "</text>";
+    }
+    out_ += "</description>";
+  }
+
+  void Regions() {
+    out_ += "<regions>\n";
+    size_t item_id = 0;
+    for (size_t r = 0; r < 6; ++r) {
+      out_ += "<";
+      out_ += kRegions[r];
+      out_ += ">\n";
+      size_t count = static_cast<size_t>(
+          static_cast<double>(counts_.items) * kRegionWeights[r]);
+      count = std::max<size_t>(count, 1);
+      for (size_t i = 0; i < count; ++i, ++item_id) {
+        Item(item_id, kRegions[r]);
+      }
+      out_ += "</";
+      out_ += kRegions[r];
+      out_ += ">\n";
+    }
+    out_ += "</regions>\n";
+    total_items_ = item_id;
+  }
+
+  void Item(size_t id, const char* region) {
+    out_ += "<item id=\"item" + std::to_string(id) + "\">";
+    out_ += "<location>";
+    out_ += kCountries[rng_.Below(12)];
+    out_ += "</location>";
+    out_ += "<quantity>" + std::to_string(rng_.Range(1, 5)) + "</quantity>";
+    out_ += "<name>";
+    Text(2, 4);
+    out_ += "</name>";
+    out_ += "<payment>Creditcard</payment>";
+    Description();
+    out_ += "<shipping>Will ship internationally</shipping>";
+    size_t cats = static_cast<size_t>(rng_.Range(1, 3));
+    for (size_t c = 0; c < cats; ++c) {
+      out_ += "<incategory category=\"category" +
+              std::to_string(rng_.Below(counts_.categories)) + "\"/>";
+    }
+    if (rng_.Below(4) == 0) {
+      out_ += "<mailbox><mail><from>";
+      Text(1, 2);
+      out_ += "</from><to>";
+      Text(1, 2);
+      out_ += "</to><date>" + Date() + "</date><text>";
+      Text(4, 16);
+      out_ += "</text></mail></mailbox>";
+    }
+    (void)region;
+    out_ += "</item>\n";
+  }
+
+  std::string Date() {
+    return std::to_string(rng_.Range(1, 12)) + "/" +
+           std::to_string(rng_.Range(1, 28)) + "/" +
+           std::to_string(rng_.Range(1998, 2001));
+  }
+
+  void Categories() {
+    out_ += "<categories>\n";
+    for (size_t c = 0; c < counts_.categories; ++c) {
+      out_ += "<category id=\"category" + std::to_string(c) + "\"><name>";
+      Text(1, 3);
+      out_ += "</name>";
+      Description();
+      out_ += "</category>\n";
+    }
+    out_ += "</categories>\n";
+  }
+
+  void CatGraph() {
+    out_ += "<catgraph>\n";
+    size_t edges = counts_.categories;
+    for (size_t e = 0; e < edges; ++e) {
+      out_ += "<edge from=\"category" +
+              std::to_string(rng_.Below(counts_.categories)) + "\" to=\"category" +
+              std::to_string(rng_.Below(counts_.categories)) + "\"/>\n";
+    }
+    out_ += "</catgraph>\n";
+  }
+
+  void People() {
+    out_ += "<people>\n";
+    for (size_t p = 0; p < counts_.people; ++p) {
+      out_ += "<person id=\"person" + std::to_string(p) + "\">";
+      std::string first = kFirstNames[rng_.Below(20)];
+      std::string last = kLastNames[rng_.Below(20)];
+      out_ += "<name>" + first + " " + last + "</name>";
+      out_ += "<emailaddress>mailto:" + first + "." + last + "@example" +
+              std::to_string(p % 97) + ".com</emailaddress>";
+      if (rng_.Below(2) == 0) {
+        out_ += "<phone>+1 (" + std::to_string(rng_.Range(100, 999)) + ") " +
+                std::to_string(rng_.Range(1000000, 9999999)) + "</phone>";
+      }
+      if (rng_.Below(2) == 0) {
+        out_ += "<address><street>" + std::to_string(rng_.Range(1, 99)) + " ";
+        out_ += Word();
+        out_ += " St</street><city>";
+        out_ += kCities[rng_.Below(12)];
+        out_ += "</city><country>";
+        out_ += kCountries[rng_.Below(12)];
+        out_ += "</country><zipcode>" + std::to_string(rng_.Range(10000, 99999)) +
+                "</zipcode></address>";
+      }
+      if (rng_.Below(3) == 0) {
+        out_ += "<homepage>http://www.example" + std::to_string(p % 97) +
+                ".com/~" + last + "</homepage>";
+      }
+      if (rng_.Below(3) == 0) {
+        out_ += "<creditcard>" + std::to_string(rng_.Range(1000, 9999)) + " " +
+                std::to_string(rng_.Range(1000, 9999)) + " " +
+                std::to_string(rng_.Range(1000, 9999)) + " " +
+                std::to_string(rng_.Range(1000, 9999)) + "</creditcard>";
+      }
+      if (rng_.Below(2) == 0) {
+        out_ += "<profile income=\"" +
+                FormatDouble(static_cast<double>(rng_.Range(9876, 99999))) +
+                "\">";
+        size_t interests = rng_.Below(4);
+        for (size_t i = 0; i < interests; ++i) {
+          out_ += "<interest category=\"category" +
+                  std::to_string(rng_.Below(counts_.categories)) + "\"/>";
+        }
+        if (rng_.Below(2) == 0) out_ += "<education>Graduate School</education>";
+        if (rng_.Below(2) == 0) {
+          out_ += std::string("<gender>") +
+                  (rng_.Below(2) == 0 ? "male" : "female") + "</gender>";
+        }
+        out_ += std::string("<business>") + (rng_.Below(2) == 0 ? "Yes" : "No") +
+                "</business>";
+        if (rng_.Below(2) == 0) {
+          out_ += "<age>" + std::to_string(rng_.Range(18, 90)) + "</age>";
+        }
+        out_ += "</profile>";
+      }
+      if (rng_.Below(4) == 0) {
+        size_t watches = static_cast<size_t>(rng_.Range(1, 3));
+        out_ += "<watches>";
+        for (size_t w = 0; w < watches; ++w) {
+          out_ += "<watch open_auction=\"open_auction" +
+                  std::to_string(rng_.Below(counts_.open_auctions)) + "\"/>";
+        }
+        out_ += "</watches>";
+      }
+      out_ += "</person>\n";
+    }
+    out_ += "</people>\n";
+  }
+
+  void OpenAuctions() {
+    out_ += "<open_auctions>\n";
+    for (size_t a = 0; a < counts_.open_auctions; ++a) {
+      out_ += "<open_auction id=\"open_auction" + std::to_string(a) + "\">";
+      double initial = static_cast<double>(rng_.Range(1, 200)) +
+                       static_cast<double>(rng_.Below(100)) / 100.0;
+      out_ += "<initial>" + FormatDouble(initial) + "</initial>";
+      if (rng_.Below(2) == 0) {
+        out_ += "<reserve>" + FormatDouble(initial * 1.5) + "</reserve>";
+      }
+      size_t bidders = rng_.Below(6);
+      double current = initial;
+      for (size_t b = 0; b < bidders; ++b) {
+        double increase = static_cast<double>(rng_.Range(1, 10)) * 1.5;
+        current += increase;
+        out_ += "<bidder><date>" + Date() + "</date><time>" +
+                std::to_string(rng_.Range(0, 23)) + ":" +
+                std::to_string(rng_.Range(10, 59)) + ":00</time>" +
+                "<personref person=\"person" +
+                std::to_string(rng_.Below(counts_.people)) + "\"/>" +
+                "<increase>" + FormatDouble(increase) + "</increase></bidder>";
+      }
+      out_ += "<current>" + FormatDouble(current) + "</current>";
+      if (rng_.Below(2) == 0) out_ += "<privacy>Yes</privacy>";
+      out_ += "<itemref item=\"item" + std::to_string(rng_.Below(total_items_)) +
+              "\"/>";
+      out_ += "<seller person=\"person" +
+              std::to_string(rng_.Below(counts_.people)) + "\"/>";
+      Annotation();
+      out_ += "<quantity>" + std::to_string(rng_.Range(1, 5)) + "</quantity>";
+      out_ += std::string("<type>") +
+              (rng_.Below(2) == 0 ? "Regular" : "Featured") + "</type>";
+      out_ += "<interval><start>" + Date() + "</start><end>" + Date() +
+              "</end></interval>";
+      out_ += "</open_auction>\n";
+    }
+    out_ += "</open_auctions>\n";
+  }
+
+  void Annotation() {
+    out_ += "<annotation><author person=\"person" +
+            std::to_string(rng_.Below(counts_.people)) + "\"/>";
+    Description();
+    out_ += "<happiness>" + std::to_string(rng_.Range(1, 10)) +
+            "</happiness></annotation>";
+  }
+
+  void ClosedAuctions() {
+    out_ += "<closed_auctions>\n";
+    for (size_t a = 0; a < counts_.closed_auctions; ++a) {
+      out_ += "<closed_auction>";
+      out_ += "<seller person=\"person" +
+              std::to_string(rng_.Below(counts_.people)) + "\"/>";
+      out_ += "<buyer person=\"person" +
+              std::to_string(rng_.Below(counts_.people)) + "\"/>";
+      out_ += "<itemref item=\"item" + std::to_string(rng_.Below(total_items_)) +
+              "\"/>";
+      out_ += "<price>" +
+              FormatDouble(static_cast<double>(rng_.Range(1, 400)) +
+                           static_cast<double>(rng_.Below(100)) / 100.0) +
+              "</price>";
+      out_ += "<date>" + Date() + "</date>";
+      out_ += "<quantity>" + std::to_string(rng_.Range(1, 5)) + "</quantity>";
+      out_ += std::string("<type>") +
+              (rng_.Below(2) == 0 ? "Regular" : "Featured") + "</type>";
+      Annotation();
+      out_ += "</closed_auction>\n";
+    }
+    out_ += "</closed_auctions>\n";
+  }
+
+  XMarkOptions options_;
+  SplitMix64 rng_;
+  XMarkCounts counts_;
+  std::string out_;
+  size_t total_items_ = 1;
+};
+
+}  // namespace
+
+XMarkCounts CountsForScale(double scale) {
+  auto at_least = [](double v, size_t lo) {
+    return std::max<size_t>(static_cast<size_t>(v), lo);
+  };
+  XMarkCounts counts;
+  counts.categories = at_least(100 * scale, 4);
+  counts.items = at_least(2175 * scale, 60);
+  counts.people = at_least(2550 * scale, 75);
+  counts.open_auctions = at_least(1200 * scale, 30);
+  counts.closed_auctions = at_least(975 * scale, 25);
+  return counts;
+}
+
+std::string GenerateXMarkXml(const XMarkOptions& options) {
+  Generator generator(options);
+  return generator.Run();
+}
+
+Result<std::shared_ptr<Document>> GenerateXMarkDocument(
+    const XMarkOptions& options, const ParseOptions& parse_options) {
+  return Document::Parse(GenerateXMarkXml(options), parse_options);
+}
+
+}  // namespace xqp

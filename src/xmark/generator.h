@@ -1,0 +1,45 @@
+#ifndef XQP_XMARK_GENERATOR_H_
+#define XQP_XMARK_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "base/status.h"
+#include "xml/document.h"
+
+namespace xqp {
+
+/// Options for the XMark-style auction data generator. This is the
+/// substitute for the public XMark xmlgen tool (see DESIGN.md): it emits
+/// the same auction-site schema shape — regions/items with mixed-content
+/// descriptions, people with optional profile parts, open auctions with
+/// bidder lists, closed auctions — deterministically from a seed.
+/// scale = 1.0 corresponds to roughly 1/10th of XMark's f=1 entity counts
+/// (about 2175 items, 2550 people, 1200 open and 975 closed auctions).
+struct XMarkOptions {
+  double scale = 0.1;
+  uint64_t seed = 42;
+  /// Emit <bold>/<keyword>/<emph> markup inside descriptions.
+  bool description_markup = true;
+};
+
+/// Entity counts derived from the scale factor.
+struct XMarkCounts {
+  size_t categories;
+  size_t items;
+  size_t people;
+  size_t open_auctions;
+  size_t closed_auctions;
+};
+XMarkCounts CountsForScale(double scale);
+
+/// Generates the XML text of one auction document.
+std::string GenerateXMarkXml(const XMarkOptions& options);
+
+/// Generates and parses in one step.
+Result<std::shared_ptr<Document>> GenerateXMarkDocument(
+    const XMarkOptions& options, const ParseOptions& parse_options = {});
+
+}  // namespace xqp
+
+#endif  // XQP_XMARK_GENERATOR_H_

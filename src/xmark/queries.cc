@@ -1,0 +1,138 @@
+#include "xmark/queries.h"
+
+namespace xqp {
+
+const std::vector<XMarkQuery>& XMarkQuerySet() {
+  static const std::vector<XMarkQuery>* kQueries = new std::vector<XMarkQuery>{
+      {"Q1", "exact match on person id",
+       "for $b in doc(\"xmark.xml\")/site/people/person[@id = \"person0\"] "
+       "return string($b/name)"},
+
+      {"Q2", "first bid of each open auction",
+       "for $b in doc(\"xmark.xml\")/site/open_auctions/open_auction "
+       "where exists($b/bidder) "
+       "return <increase>{string($b/bidder[1]/increase)}</increase>"},
+
+      {"Q3", "auctions whose first bid doubled (positional access)",
+       "for $b in doc(\"xmark.xml\")/site/open_auctions/open_auction "
+       "where count($b/bidder) >= 2 and "
+       "  $b/bidder[1]/increase * 2 <= $b/bidder[last()]/increase "
+       "return <increase first=\"{string($b/bidder[1]/increase)}\" "
+       "last=\"{string($b/bidder[last()]/increase)}\"/>"},
+
+      {"Q4", "document order between bidders",
+       "for $b in doc(\"xmark.xml\")/site/open_auctions/open_auction "
+       "where some $pr1 in $b/bidder/personref[@person = \"person3\"], "
+       "          $pr2 in $b/bidder/personref[@person = \"person5\"] "
+       "      satisfies $pr1 << $pr2 "
+       "return <history>{string($b/reserve)}</history>"},
+
+      {"Q5", "closed auctions above a price",
+       "count(for $i in doc(\"xmark.xml\")/site/closed_auctions/closed_auction "
+       "where $i/price >= 40 return $i/price)"},
+
+      {"Q6", "items per region (descendant count)",
+       "for $b in doc(\"xmark.xml\")/site/regions return count($b//item)"},
+
+      {"Q7", "count several element kinds",
+       "for $p in doc(\"xmark.xml\")/site "
+       "return count($p//description) + count($p//annotation) + "
+       "count($p//emailaddress)"},
+
+      {"Q8", "join: purchases per person",
+       "for $p in doc(\"xmark.xml\")/site/people/person "
+       "let $a := for $t in doc(\"xmark.xml\")/site/closed_auctions/"
+       "closed_auction where $t/buyer/@person = $p/@id return $t "
+       "return <item person=\"{string($p/name)}\">{count($a)}</item>"},
+
+      {"Q9", "join: items a person bought",
+       "for $p in doc(\"xmark.xml\")/site/people/person "
+       "let $a := for $t in doc(\"xmark.xml\")/site/closed_auctions/"
+       "closed_auction "
+       "  let $n := for $t2 in doc(\"xmark.xml\")/site/regions//item "
+       "            where $t/itemref/@item = $t2/@id return $t2 "
+       "  where $p/@id = $t/buyer/@person "
+       "  return <item>{string($n/name)}</item> "
+       "return <person name=\"{string($p/name)}\">{$a}</person>"},
+
+      {"Q10", "grouping by interest category (distinct-values emulation)",
+       "for $i in distinct-values(doc(\"xmark.xml\")/site/people/person/"
+       "profile/interest/@category) "
+       "let $p := for $t in doc(\"xmark.xml\")/site/people/person "
+       "          where $t/profile/interest/@category = $i "
+       "          return <personne>{string($t/name)}</personne> "
+       "return <categorie><id>{$i}</id>{$p}</categorie>"},
+
+      {"Q11", "value join with arithmetic (income vs initial)",
+       "for $p in doc(\"xmark.xml\")/site/people/person "
+       "let $l := for $i in doc(\"xmark.xml\")/site/open_auctions/"
+       "open_auction/initial "
+       "          where $p/profile/@income > 5000 * $i return $i "
+       "return <items name=\"{string($p/name)}\">{count($l)}</items>"},
+
+      {"Q12", "value join restricted to high income",
+       "for $p in doc(\"xmark.xml\")/site/people/person "
+       "let $l := for $i in doc(\"xmark.xml\")/site/open_auctions/"
+       "open_auction/initial "
+       "          where $p/profile/@income > 5000 * $i return $i "
+       "where $p/profile/@income > 50000 "
+       "return <items person=\"{string($p/name)}\">{count($l)}</items>"},
+
+      {"Q13", "reconstruction of australian items",
+       "for $i in doc(\"xmark.xml\")/site/regions/australia/item "
+       "return <item name=\"{string($i/name)}\">{$i/description}</item>"},
+
+      {"Q14", "full-text-ish scan (contains)",
+       "for $i in doc(\"xmark.xml\")/site//item "
+       "where contains(string($i/description), \"gold\") "
+       "return string($i/name)"},
+
+      {"Q15", "long path expression",
+       "for $a in doc(\"xmark.xml\")/site/closed_auctions/closed_auction/"
+       "annotation/description/parlist/listitem/text/keyword "
+       "return <text>{string($a)}</text>"},
+
+      {"Q16", "long path with existential check",
+       "for $a in doc(\"xmark.xml\")/site/closed_auctions/closed_auction "
+       "where exists($a/annotation/description/parlist/listitem/text/keyword) "
+       "return <person id=\"{string($a/seller/@person)}\"/>"},
+
+      {"Q17", "people without a homepage",
+       "for $p in doc(\"xmark.xml\")/site/people/person "
+       "where empty($p/homepage) "
+       "return <person name=\"{string($p/name)}\"/>"},
+
+      {"Q18", "user-defined function",
+       "declare function local:convert($v) { 2.20371 * $v }; "
+       "for $i in doc(\"xmark.xml\")/site/open_auctions/open_auction "
+       "return local:convert(zero-or-one($i/reserve))"},
+
+      {"Q19", "order by (full sort)",
+       "for $b in doc(\"xmark.xml\")/site/regions//item "
+       "let $k := string($b/name) "
+       "order by $k "
+       "return <item name=\"{$k}\">{string($b/location)}</item>"},
+
+      {"Q20", "aggregation buckets",
+       "<result>"
+       "<preferred>{count(doc(\"xmark.xml\")/site/people/person/profile["
+       "@income >= 50000])}</preferred>"
+       "<standard>{count(doc(\"xmark.xml\")/site/people/person/profile["
+       "@income < 50000 and @income >= 30000])}</standard>"
+       "<challenge>{count(doc(\"xmark.xml\")/site/people/person/profile["
+       "@income < 30000])}</challenge>"
+       "<na>{count(for $p in doc(\"xmark.xml\")/site/people/person "
+       "where empty($p/profile/@income) return $p)}</na>"
+       "</result>"},
+  };
+  return *kQueries;
+}
+
+const XMarkQuery* FindXMarkQuery(const std::string& id) {
+  for (const XMarkQuery& q : XMarkQuerySet()) {
+    if (id == q.id) return &q;
+  }
+  return nullptr;
+}
+
+}  // namespace xqp

@@ -1,0 +1,335 @@
+#include "xml/document.h"
+
+#include <atomic>
+
+#include "base/string_util.h"
+#include "xml/pull_parser.h"
+
+namespace xqp {
+
+std::string_view NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kDocument:
+      return "document";
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kAttribute:
+      return "attribute";
+    case NodeKind::kText:
+      return "text";
+    case NodeKind::kComment:
+      return "comment";
+    case NodeKind::kProcessingInstruction:
+      return "processing-instruction";
+  }
+  return "unknown";
+}
+
+namespace {
+std::atomic<uint64_t> g_next_document_id{1};
+}  // namespace
+
+Document::Document() : id_(g_next_document_id.fetch_add(1)) {}
+
+NodeIndex Document::root_element() const {
+  if (nodes_.empty()) return kNullNode;
+  for (NodeIndex c = nodes_[0].first_child; c != kNullNode;
+       c = nodes_[c].next_sibling) {
+    if (nodes_[c].kind == NodeKind::kElement) return c;
+  }
+  return kNullNode;
+}
+
+uint32_t Document::FindNameId(std::string_view uri,
+                              std::string_view local) const {
+  QName key{std::string(uri), std::string(local)};
+  auto it = name_index_.find(key);
+  return it == name_index_.end() ? kNoName : it->second;
+}
+
+std::string Document::StringValue(NodeIndex i) const {
+  const NodeRecord& n = nodes_[i];
+  switch (n.kind) {
+    case NodeKind::kAttribute:
+    case NodeKind::kText:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+      return std::string(value(i));
+    case NodeKind::kDocument:
+    case NodeKind::kElement: {
+      std::string out;
+      // All descendants lie in the index range (i, n.end]; collect text.
+      for (NodeIndex d = i + 1; d <= n.end && d < nodes_.size(); ++d) {
+        if (nodes_[d].kind == NodeKind::kText) out.append(value(d));
+      }
+      return out;
+    }
+  }
+  return std::string();
+}
+
+const std::vector<Document::NsDecl>* Document::NamespaceDecls(
+    NodeIndex i) const {
+  auto it = ns_decls_.find(i);
+  return it == ns_decls_.end() ? nullptr : &it->second;
+}
+
+size_t Document::MemoryUsage() const {
+  size_t bytes = nodes_.capacity() * sizeof(NodeRecord);
+  bytes += pool_.MemoryUsage();
+  for (const QName& q : names_) {
+    bytes += q.uri.capacity() + q.prefix.capacity() + q.local.capacity() +
+             sizeof(QName);
+  }
+  return bytes;
+}
+
+Result<std::shared_ptr<Document>> Document::Parse(std::string_view xml,
+                                                  const ParseOptions& options) {
+  XmlPullParser parser(xml, options);
+  DocumentBuilder builder(options);
+  // Builder-detected violations (e.g. duplicate attributes) are dynamic
+  // errors in constructor contexts but well-formedness errors here.
+  auto as_parse_error = [](Status st) {
+    if (st.ok() || st.code() == StatusCode::kParseError) return st;
+    return Status::ParseError(st.message());
+  };
+  while (true) {
+    XQP_ASSIGN_OR_RETURN(const XmlEvent* event, parser.Next());
+    if (event == nullptr) break;
+    switch (event->type) {
+      case XmlEventType::kStartDocument:
+      case XmlEventType::kEndDocument:
+        break;
+      case XmlEventType::kStartElement: {
+        XQP_RETURN_NOT_OK(as_parse_error(builder.BeginElement(event->name)));
+        for (const XmlNamespaceDecl& ns : event->ns_decls) {
+          XQP_RETURN_NOT_OK(
+              as_parse_error(builder.NamespaceDecl(ns.prefix, ns.uri)));
+        }
+        for (const XmlAttribute& attr : event->attributes) {
+          XQP_RETURN_NOT_OK(
+              as_parse_error(builder.Attribute(attr.name, attr.value)));
+        }
+        break;
+      }
+      case XmlEventType::kEndElement:
+        XQP_RETURN_NOT_OK(as_parse_error(builder.EndElement()));
+        break;
+      case XmlEventType::kText:
+        XQP_RETURN_NOT_OK(as_parse_error(builder.Text(event->text)));
+        break;
+      case XmlEventType::kComment:
+        XQP_RETURN_NOT_OK(as_parse_error(builder.Comment(event->text)));
+        break;
+      case XmlEventType::kProcessingInstruction:
+        XQP_RETURN_NOT_OK(as_parse_error(
+            builder.ProcessingInstruction(event->name.local, event->text)));
+        break;
+    }
+  }
+  return builder.Finish();
+}
+
+DocumentBuilder::DocumentBuilder() : DocumentBuilder(ParseOptions()) {}
+
+DocumentBuilder::DocumentBuilder(const ParseOptions& options)
+    : doc_(std::shared_ptr<Document>(new Document())), options_(options) {
+  doc_->pool_.set_pooling_enabled(options.pool_strings);
+  // The document node is row 0.
+  doc_->nodes_.push_back(NodeRecord{NodeKind::kDocument, 0, kNoName, kNoValue,
+                                    kNullNode, kNullNode, kNullNode, kNullNode,
+                                    0});
+  stack_.push_back(Open{0});
+}
+
+uint32_t DocumentBuilder::InternName(const QName& name) {
+  auto it = doc_->name_index_.find(name);
+  if (it != doc_->name_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(doc_->names_.size());
+  doc_->names_.push_back(name);
+  doc_->name_index_.emplace(name, id);
+  return id;
+}
+
+NodeIndex DocumentBuilder::Append(NodeKind kind, uint32_t name_id,
+                                  StringPool::Id value_id) {
+  NodeIndex index = static_cast<NodeIndex>(doc_->nodes_.size());
+  Open& top = stack_.back();
+  NodeRecord rec;
+  rec.kind = kind;
+  // Parent is the top of the stack, whose depth is stack_.size() - 1, so the
+  // appended node (child or attribute) sits one level deeper.
+  rec.level = static_cast<uint16_t>(stack_.size());
+  rec.name_id = name_id;
+  rec.value_id = value_id;
+  rec.parent = top.index;
+  rec.next_sibling = kNullNode;
+  rec.first_attr = kNullNode;
+  rec.first_child = kNullNode;
+  rec.end = index;
+  doc_->nodes_.push_back(rec);
+
+  NodeRecord& parent = doc_->nodes_[top.index];
+  if (kind == NodeKind::kAttribute) {
+    if (top.last_attr == kNullNode) {
+      parent.first_attr = index;
+    } else {
+      doc_->nodes_[top.last_attr].next_sibling = index;
+    }
+    top.last_attr = index;
+  } else {
+    if (top.last_child == kNullNode) {
+      parent.first_child = index;
+    } else {
+      doc_->nodes_[top.last_child].next_sibling = index;
+    }
+    top.last_child = index;
+    top.last_was_text = (kind == NodeKind::kText);
+  }
+  return index;
+}
+
+Status DocumentBuilder::BeginElement(const QName& name) {
+  if (finished_) return Status::Internal("builder already finished");
+  NodeIndex index = Append(NodeKind::kElement, InternName(name), kNoValue);
+  stack_.push_back(Open{index});
+  return Status::OK();
+}
+
+Status DocumentBuilder::EndElement() {
+  if (stack_.size() <= 1) {
+    return Status::Internal("EndElement without matching BeginElement");
+  }
+  NodeIndex index = stack_.back().index;
+  stack_.pop_back();
+  // Region end label: the subtree occupies rows [index, last appended].
+  doc_->nodes_[index].end = static_cast<NodeIndex>(doc_->nodes_.size() - 1);
+  stack_.back().last_was_text = false;
+  return Status::OK();
+}
+
+Status DocumentBuilder::Attribute(const QName& name, std::string_view value) {
+  const NodeRecord& parent = doc_->nodes_[stack_.back().index];
+  if (parent.kind != NodeKind::kElement) {
+    return Status::DynamicError("attribute outside element");
+  }
+  if (stack_.back().last_child != kNullNode) {
+    return Status::DynamicError(
+        "attribute \"" + name.Lexical() +
+        "\" constructed after non-attribute content of element");
+  }
+  // Reject duplicate attribute names on the same element.
+  uint32_t name_id = InternName(name);
+  for (NodeIndex a = parent.first_attr; a != kNullNode;
+       a = doc_->nodes_[a].next_sibling) {
+    if (doc_->nodes_[a].name_id == name_id) {
+      return Status::DynamicError("duplicate attribute: " + name.Lexical());
+    }
+  }
+  Append(NodeKind::kAttribute, name_id, doc_->pool_.Intern(value));
+  return Status::OK();
+}
+
+Status DocumentBuilder::OrphanAttribute(const QName& name,
+                                        std::string_view value) {
+  if (stack_.size() != 1) {
+    return Status::Internal("OrphanAttribute inside an open element");
+  }
+  Append(NodeKind::kAttribute, InternName(name), doc_->pool_.Intern(value));
+  return Status::OK();
+}
+
+Status DocumentBuilder::NamespaceDecl(std::string_view prefix,
+                                      std::string_view uri) {
+  const Open& top = stack_.back();
+  if (doc_->nodes_[top.index].kind != NodeKind::kElement) {
+    return Status::DynamicError("namespace declaration outside element");
+  }
+  doc_->ns_decls_[top.index].push_back(
+      Document::NsDecl{std::string(prefix), std::string(uri)});
+  return Status::OK();
+}
+
+Status DocumentBuilder::Text(std::string_view text) {
+  if (text.empty()) return Status::OK();
+  if (options_.strip_whitespace && IsAllXmlWhitespace(text) &&
+      stack_.size() > 1) {
+    return Status::OK();
+  }
+  Open& top = stack_.back();
+  if (top.last_was_text) {
+    // Coalesce with the preceding text node.
+    NodeRecord& prev = doc_->nodes_[top.last_child];
+    std::string merged(doc_->pool_.Get(prev.value_id));
+    merged.append(text);
+    prev.value_id = doc_->pool_.Intern(merged);
+    return Status::OK();
+  }
+  Append(NodeKind::kText, kNoName, doc_->pool_.Intern(text));
+  return Status::OK();
+}
+
+Status DocumentBuilder::Comment(std::string_view text) {
+  Append(NodeKind::kComment, kNoName, doc_->pool_.Intern(text));
+  return Status::OK();
+}
+
+Status DocumentBuilder::ProcessingInstruction(std::string_view target,
+                                              std::string_view data) {
+  Append(NodeKind::kProcessingInstruction,
+         InternName(QName(std::string(target))), doc_->pool_.Intern(data));
+  return Status::OK();
+}
+
+Status DocumentBuilder::CopySubtree(const Document& src, NodeIndex root) {
+  const NodeRecord& r = src.node(root);
+  switch (r.kind) {
+    case NodeKind::kDocument: {
+      // Copying a document node copies its children.
+      for (NodeIndex c = r.first_child; c != kNullNode;
+           c = src.node(c).next_sibling) {
+        XQP_RETURN_NOT_OK(CopySubtree(src, c));
+      }
+      return Status::OK();
+    }
+    case NodeKind::kText:
+      return Text(src.value(root));
+    case NodeKind::kComment:
+      return Comment(src.value(root));
+    case NodeKind::kProcessingInstruction:
+      return ProcessingInstruction(src.name(root).local, src.value(root));
+    case NodeKind::kAttribute:
+      return Attribute(src.name(root), src.value(root));
+    case NodeKind::kElement: {
+      XQP_RETURN_NOT_OK(BeginElement(src.name(root)));
+      if (const auto* decls = src.NamespaceDecls(root)) {
+        for (const auto& d : *decls) {
+          XQP_RETURN_NOT_OK(NamespaceDecl(d.prefix, d.uri));
+        }
+      }
+      for (NodeIndex a = r.first_attr; a != kNullNode;
+           a = src.node(a).next_sibling) {
+        XQP_RETURN_NOT_OK(Attribute(src.name(a), src.value(a)));
+      }
+      for (NodeIndex c = r.first_child; c != kNullNode;
+           c = src.node(c).next_sibling) {
+        XQP_RETURN_NOT_OK(CopySubtree(src, c));
+      }
+      return EndElement();
+    }
+  }
+  return Status::Internal("unknown node kind in CopySubtree");
+}
+
+Result<std::shared_ptr<Document>> DocumentBuilder::Finish() {
+  if (finished_) return Status::Internal("builder already finished");
+  if (stack_.size() != 1) {
+    return Status::ParseError("unclosed element at end of input");
+  }
+  finished_ = true;
+  doc_->nodes_[0].end = static_cast<NodeIndex>(doc_->nodes_.size() - 1);
+  return doc_;
+}
+
+}  // namespace xqp

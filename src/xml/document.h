@@ -1,0 +1,201 @@
+#ifndef XQP_XML_DOCUMENT_H_
+#define XQP_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "xml/atomic_value.h"
+#include "xml/qname.h"
+#include "xml/string_pool.h"
+
+namespace xqp {
+
+/// Node kinds of the XQuery data model. Namespace nodes are represented as
+/// per-element declaration records rather than first-class nodes (the only
+/// consumer is serialization), a simplification documented in DESIGN.md.
+enum class NodeKind : uint8_t {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// Name of `k` ("element", "text", ...), per fn:node-kind.
+std::string_view NodeKindName(NodeKind k);
+
+using NodeIndex = uint32_t;
+constexpr NodeIndex kNullNode = UINT32_MAX;
+constexpr uint32_t kNoName = UINT32_MAX;
+constexpr StringPool::Id kNoValue = StringPool::kInvalid;
+
+/// One row of the document's node table. Rows are stored in pre-order, so a
+/// node's index doubles as its region *start* label; `end` is the largest
+/// index in its subtree (inclusive). Together with `level` this is the
+/// (start, end, level) region encoding used by the structural-join module:
+///   x is an ancestor of y  <=>  x.index < y.index && y.index <= x.end.
+/// Attributes are laid out immediately after their owner element (before any
+/// children) and therefore take part in document order, as XPath requires.
+struct NodeRecord {
+  NodeKind kind;
+  uint16_t level;       // Depth; the document node is level 0.
+  uint32_t name_id;     // Index into Document name table; kNoName if unnamed.
+  StringPool::Id value_id;  // Text / attribute / comment / PI content.
+  NodeIndex parent;
+  NodeIndex next_sibling;   // For attributes: the next attribute.
+  NodeIndex first_attr;     // Elements only.
+  NodeIndex first_child;
+  NodeIndex end;            // Region end label (inclusive).
+};
+
+/// Options controlling XML parsing.
+struct ParseOptions {
+  /// Drop text nodes consisting solely of whitespace (useful for
+  /// data-oriented documents).
+  bool strip_whitespace = false;
+  /// Dictionary-compress text and attribute values (paper's pooling
+  /// optimization). Disable to measure its benefit (experiment E4).
+  bool pool_strings = true;
+};
+
+/// An immutable XML document: a pre-order node table plus string/name pools.
+/// This is the "array" storage mode of the paper (TokenStream section) in
+/// its random-access form; `tokens/TokenStream` provides the sequential
+/// view. Documents are created by Parse() or DocumentBuilder and never
+/// mutated afterwards, so node handles can be shared freely across threads.
+class Document : public std::enable_shared_from_this<Document> {
+ public:
+  /// Parses a complete XML document. Returns a ParseError with line/column
+  /// information on malformed input.
+  static Result<std::shared_ptr<Document>> Parse(std::string_view xml,
+                                                 const ParseOptions& options = {});
+
+  /// Process-unique id; used for stable cross-document ordering.
+  uint64_t id() const { return id_; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const NodeRecord& node(NodeIndex i) const { return nodes_[i]; }
+
+  /// Expanded name of node `i`; valid only when node has a name.
+  const QName& name(NodeIndex i) const { return names_[nodes_[i].name_id]; }
+
+  /// Pooled content string of node `i` (text, attribute value, ...).
+  std::string_view value(NodeIndex i) const {
+    return nodes_[i].value_id == kNoValue ? std::string_view()
+                                          : pool_.Get(nodes_[i].value_id);
+  }
+
+  /// The document node (always index 0 for non-empty documents).
+  NodeIndex document_node() const { return 0; }
+
+  /// First element child of the document node, kNullNode if none.
+  NodeIndex root_element() const;
+
+  /// Number of distinct expanded names.
+  size_t NumNames() const { return names_.size(); }
+  const QName& name_at(uint32_t name_id) const { return names_[name_id]; }
+
+  /// Id of the expanded name (uri, local), or kNoName when no node in this
+  /// document carries it. Lets navigation compare names as integers.
+  uint32_t FindNameId(std::string_view uri, std::string_view local) const;
+
+  /// XDM string-value: concatenated descendant text (elements/documents),
+  /// or the content string (other kinds).
+  std::string StringValue(NodeIndex i) const;
+
+  /// XDM typed-value of an untyped node: xdt:untypedAtomic(string-value).
+  AtomicValue TypedValue(NodeIndex i) const {
+    return AtomicValue::Untyped(StringValue(i));
+  }
+
+  /// Namespace declarations recorded on element `i` (for serialization).
+  struct NsDecl {
+    std::string prefix;
+    std::string uri;
+  };
+  const std::vector<NsDecl>* NamespaceDecls(NodeIndex i) const;
+
+  /// Approximate heap footprint in bytes (node table + pools), reported by
+  /// the storage experiments (E3/E4).
+  size_t MemoryUsage() const;
+
+  const std::string& base_uri() const { return base_uri_; }
+  void set_base_uri(std::string uri) { base_uri_ = std::move(uri); }
+
+  const StringPool& pool() const { return pool_; }
+
+ private:
+  friend class DocumentBuilder;
+  Document();
+
+  uint64_t id_;
+  std::vector<NodeRecord> nodes_;
+  std::vector<QName> names_;
+  std::unordered_map<QName, uint32_t, QNameHash> name_index_;
+  StringPool pool_;
+  std::unordered_map<NodeIndex, std::vector<NsDecl>> ns_decls_;
+  std::string base_uri_;
+};
+
+/// Streaming builder assembling an immutable Document from begin/end events.
+/// Used by the parser, by XQuery node constructors, and by the token-stream
+/// materializer. Adjacent text is coalesced into a single text node, as the
+/// data model requires.
+class DocumentBuilder {
+ public:
+  DocumentBuilder();
+  explicit DocumentBuilder(const ParseOptions& options);
+
+  Status BeginElement(const QName& name);
+  Status EndElement();
+  Status Attribute(const QName& name, std::string_view value);
+  /// Appends a parentless attribute node directly under the document node
+  /// (XDM allows attribute items outside any element; XQuery computed
+  /// attribute constructors produce them).
+  Status OrphanAttribute(const QName& name, std::string_view value);
+  Status NamespaceDecl(std::string_view prefix, std::string_view uri);
+  Status Text(std::string_view text);
+  Status Comment(std::string_view text);
+  Status ProcessingInstruction(std::string_view target, std::string_view data);
+
+  /// Deep-copies the subtree rooted at `src[root]` (attributes included)
+  /// into the document under construction. Implements the paper's "XML does
+  /// not allow cut and paste": constructed content is copied, with fresh
+  /// node identities.
+  Status CopySubtree(const Document& src, NodeIndex root);
+
+  /// Number of nodes appended so far.
+  size_t NumNodes() const { return doc_->nodes_.size(); }
+
+  /// Depth of currently open elements (0 = at document level).
+  size_t OpenDepth() const { return stack_.size() - 1; }
+
+  /// Completes the document. All elements must be closed.
+  Result<std::shared_ptr<Document>> Finish();
+
+ private:
+  uint32_t InternName(const QName& name);
+  NodeIndex Append(NodeKind kind, uint32_t name_id, StringPool::Id value_id);
+
+  struct Open {
+    NodeIndex index;
+    NodeIndex last_child = kNullNode;
+    NodeIndex last_attr = kNullNode;
+    bool last_was_text = false;
+  };
+
+  std::shared_ptr<Document> doc_;
+  std::vector<Open> stack_;
+  ParseOptions options_;
+  bool finished_ = false;
+};
+
+}  // namespace xqp
+
+#endif  // XQP_XML_DOCUMENT_H_

@@ -1,0 +1,5 @@
+#include "xml/node.h"
+
+namespace xqp {
+// Node is header-only; this file anchors the translation unit.
+}  // namespace xqp

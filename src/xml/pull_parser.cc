@@ -1,0 +1,406 @@
+#include "xml/pull_parser.h"
+
+#include <cstdlib>
+
+#include "base/string_util.h"
+
+namespace xqp {
+
+XmlPullParser::XmlPullParser(std::string_view input,
+                             const ParseOptions& options)
+    : input_(input), options_(options) {
+  // The "xml" prefix is always bound.
+  ns_bindings_.emplace_back("xml", "http://www.w3.org/XML/1998/namespace");
+}
+
+Status XmlPullParser::Error(const std::string& message) const {
+  return Status::ParseError(std::to_string(line_) + ":" +
+                            std::to_string(column_) + ": " + message);
+}
+
+void XmlPullParser::Advance(size_t n) {
+  for (size_t i = 0; i < n && pos_ < input_.size(); ++i, ++pos_) {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+  }
+}
+
+void XmlPullParser::SkipWhitespace() {
+  while (!Eof() && IsXmlWhitespace(Peek())) Advance(1);
+}
+
+Status XmlPullParser::ParseName(std::string_view* out) {
+  size_t start = pos_;
+  if (Eof() || !(IsNameStartChar(Peek()) || Peek() == ':')) {
+    return Error("expected a name");
+  }
+  while (!Eof() && (IsNameChar(Peek()) || Peek() == ':')) Advance(1);
+  *out = input_.substr(start, pos_ - start);
+  return Status::OK();
+}
+
+Status XmlPullParser::DecodeEntitiesInto(std::string_view raw,
+                                         std::string* out) {
+  size_t i = 0;
+  while (i < raw.size()) {
+    char c = raw[i];
+    if (c != '&') {
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Error("unterminated entity reference");
+    }
+    std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      char* end = nullptr;
+      std::string digits(entity.substr(1));
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        code = std::strtol(digits.c_str() + 1, &end, 16);
+        if (end != digits.c_str() + digits.size()) {
+          return Error("bad character reference");
+        }
+      } else {
+        code = std::strtol(digits.c_str(), &end, 10);
+        if (end != digits.c_str() + digits.size()) {
+          return Error("bad character reference");
+        }
+      }
+      // Encode the code point as UTF-8.
+      unsigned long cp = static_cast<unsigned long>(code);
+      if (cp == 0 || cp > 0x10FFFF) return Error("character reference out of range");
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      return Error("unknown entity: &" + std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return Status::OK();
+}
+
+Result<std::string> XmlPullParser::ResolvePrefix(std::string_view prefix,
+                                                 bool is_attribute) const {
+  if (prefix.empty()) {
+    if (is_attribute) return std::string();  // Attrs don't use default ns.
+    // Walk bindings innermost-out for the default namespace.
+    for (auto it = ns_bindings_.rbegin(); it != ns_bindings_.rend(); ++it) {
+      if (it->first.empty()) return it->second;
+    }
+    return std::string();
+  }
+  for (auto it = ns_bindings_.rbegin(); it != ns_bindings_.rend(); ++it) {
+    if (it->first == prefix) return it->second;
+  }
+  return Status::ParseError("undeclared namespace prefix: " +
+                            std::string(prefix));
+}
+
+Status XmlPullParser::ParseAttributeValue(std::string* out) {
+  char quote = Peek();
+  if (quote != '"' && quote != '\'') {
+    return Error("expected quoted attribute value");
+  }
+  Advance(1);
+  size_t start = pos_;
+  while (!Eof() && Peek() != quote) {
+    if (Peek() == '<') return Error("'<' in attribute value");
+    Advance(1);
+  }
+  if (Eof()) return Error("unterminated attribute value");
+  std::string_view raw = input_.substr(start, pos_ - start);
+  Advance(1);  // Closing quote.
+  XQP_RETURN_NOT_OK(DecodeEntitiesInto(raw, out));
+  return Status::OK();
+}
+
+Status XmlPullParser::ParseStartTag() {
+  Advance(1);  // '<'
+  std::string_view lexical;
+  XQP_RETURN_NOT_OK(ParseName(&lexical));
+
+  event_.type = XmlEventType::kStartElement;
+  event_.attributes.clear();
+  event_.ns_decls.clear();
+
+  // First pass: collect raw attributes so namespace declarations on this
+  // element apply to its own name and attribute names.
+  struct RawAttr {
+    std::string_view lexical;
+    std::string value;
+  };
+  std::vector<RawAttr> raw_attrs;
+  bool self_closing = false;
+  while (true) {
+    SkipWhitespace();
+    if (Eof()) return Error("unterminated start tag");
+    if (Peek() == '>') {
+      Advance(1);
+      break;
+    }
+    if (Peek() == '/' && Peek(1) == '>') {
+      Advance(2);
+      self_closing = true;
+      break;
+    }
+    std::string_view attr_name;
+    XQP_RETURN_NOT_OK(ParseName(&attr_name));
+    SkipWhitespace();
+    if (Peek() != '=') return Error("expected '=' after attribute name");
+    Advance(1);
+    SkipWhitespace();
+    std::string value;
+    XQP_RETURN_NOT_OK(ParseAttributeValue(&value));
+    raw_attrs.push_back(RawAttr{attr_name, std::move(value)});
+  }
+
+  // Open a namespace frame and register xmlns declarations.
+  ns_frames_.push_back(ns_bindings_.size());
+  for (const RawAttr& a : raw_attrs) {
+    if (a.lexical == "xmlns") {
+      ns_bindings_.emplace_back("", a.value);
+      event_.ns_decls.push_back(XmlNamespaceDecl{"", a.value});
+    } else if (a.lexical.size() > 6 && a.lexical.substr(0, 6) == "xmlns:") {
+      std::string prefix(a.lexical.substr(6));
+      ns_bindings_.emplace_back(prefix, a.value);
+      event_.ns_decls.push_back(XmlNamespaceDecl{prefix, a.value});
+    }
+  }
+
+  // Resolve the element name.
+  std::string_view prefix, local;
+  SplitQName(lexical, &prefix, &local);
+  XQP_ASSIGN_OR_RETURN(std::string uri, ResolvePrefix(prefix, false));
+  event_.name = QName(std::move(uri), std::string(prefix), std::string(local));
+
+  // Resolve attribute names (skipping xmlns declarations).
+  for (RawAttr& a : raw_attrs) {
+    if (a.lexical == "xmlns" ||
+        (a.lexical.size() > 6 && a.lexical.substr(0, 6) == "xmlns:")) {
+      continue;
+    }
+    std::string_view aprefix, alocal;
+    SplitQName(a.lexical, &aprefix, &alocal);
+    XQP_ASSIGN_OR_RETURN(std::string auri, ResolvePrefix(aprefix, true));
+    event_.attributes.push_back(
+        XmlAttribute{QName(std::move(auri), std::string(aprefix),
+                           std::string(alocal)),
+                     std::move(a.value)});
+  }
+
+  open_elements_.emplace_back(lexical);
+  if (self_closing) {
+    pending_end_element_ = true;
+  }
+  return Status::OK();
+}
+
+Status XmlPullParser::ParseEndTag() {
+  Advance(2);  // "</"
+  std::string_view lexical;
+  XQP_RETURN_NOT_OK(ParseName(&lexical));
+  SkipWhitespace();
+  if (Peek() != '>') return Error("expected '>' in end tag");
+  Advance(1);
+  if (open_elements_.empty()) {
+    return Error("unexpected end tag </" + std::string(lexical) + ">");
+  }
+  if (open_elements_.back() != lexical) {
+    return Error("mismatched end tag </" + std::string(lexical) +
+                 ">, expected </" + open_elements_.back() + ">");
+  }
+  open_elements_.pop_back();
+  // Pop this element's namespace frame.
+  ns_bindings_.resize(ns_frames_.back());
+  ns_frames_.pop_back();
+  event_.type = XmlEventType::kEndElement;
+  return Status::OK();
+}
+
+Status XmlPullParser::ParseComment() {
+  Advance(4);  // "<!--"
+  size_t end = input_.find("-->", pos_);
+  if (end == std::string_view::npos) return Error("unterminated comment");
+  event_.type = XmlEventType::kComment;
+  event_.text.assign(input_.substr(pos_, end - pos_));
+  Advance(end - pos_ + 3);
+  return Status::OK();
+}
+
+Status XmlPullParser::ParsePi() {
+  Advance(2);  // "<?"
+  std::string_view target;
+  XQP_RETURN_NOT_OK(ParseName(&target));
+  size_t end = input_.find("?>", pos_);
+  if (end == std::string_view::npos) {
+    return Error("unterminated processing instruction");
+  }
+  event_.type = XmlEventType::kProcessingInstruction;
+  event_.name = QName(std::string(target));
+  event_.text.assign(TrimXmlWhitespace(input_.substr(pos_, end - pos_)));
+  Advance(end - pos_ + 2);
+  return Status::OK();
+}
+
+Status XmlPullParser::ParseCData() {
+  Advance(9);  // "<![CDATA["
+  size_t end = input_.find("]]>", pos_);
+  if (end == std::string_view::npos) return Error("unterminated CDATA section");
+  event_.type = XmlEventType::kText;
+  event_.text.assign(input_.substr(pos_, end - pos_));
+  Advance(end - pos_ + 3);
+  return Status::OK();
+}
+
+Status XmlPullParser::ParseText() {
+  size_t start = pos_;
+  while (!Eof() && Peek() != '<') Advance(1);
+  std::string_view raw = input_.substr(start, pos_ - start);
+  event_.type = XmlEventType::kText;
+  event_.text.clear();
+  XQP_RETURN_NOT_OK(DecodeEntitiesInto(raw, &event_.text));
+  return Status::OK();
+}
+
+Status XmlPullParser::SkipDoctype() {
+  // "<!DOCTYPE" ... '>' with possible [...] internal subset.
+  int depth = 0;
+  while (!Eof()) {
+    char c = Peek();
+    if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      --depth;
+    } else if (c == '>' && depth == 0) {
+      Advance(1);
+      return Status::OK();
+    }
+    Advance(1);
+  }
+  return Error("unterminated DOCTYPE");
+}
+
+Status XmlPullParser::SkipXmlDecl() {
+  size_t end = input_.find("?>", pos_);
+  if (end == std::string_view::npos) return Error("unterminated XML declaration");
+  Advance(end - pos_ + 2);
+  return Status::OK();
+}
+
+Result<const XmlEvent*> XmlPullParser::Next() {
+  if (state_ == State::kDone) return static_cast<const XmlEvent*>(nullptr);
+
+  if (state_ == State::kBeforeDocument) {
+    state_ = State::kInDocument;
+    if (Looking("<?xml ") || Looking("<?xml\t") || Looking("<?xml?")) {
+      XQP_RETURN_NOT_OK(SkipXmlDecl());
+    }
+    event_.type = XmlEventType::kStartDocument;
+    event_.attributes.clear();
+    event_.ns_decls.clear();
+    event_.text.clear();
+    return &event_;
+  }
+
+  if (pending_end_element_) {
+    pending_end_element_ = false;
+    if (open_elements_.empty()) {
+      return Status::ParseError("internal: dangling self-closing tag");
+    }
+    open_elements_.pop_back();
+    ns_bindings_.resize(ns_frames_.back());
+    ns_frames_.pop_back();
+    event_.type = XmlEventType::kEndElement;
+    if (open_elements_.empty()) state_ = State::kAfterDocument;
+    return &event_;
+  }
+
+  while (true) {
+    if (Eof()) {
+      if (!open_elements_.empty()) {
+        return Error("unexpected end of input; unclosed <" +
+                     open_elements_.back() + ">");
+      }
+      state_ = State::kDone;
+      event_.type = XmlEventType::kEndDocument;
+      return &event_;
+    }
+
+    if (Peek() != '<') {
+      if (state_ == State::kAfterDocument || open_elements_.empty()) {
+        // Only whitespace is allowed outside the root element.
+        size_t start = pos_;
+        while (!Eof() && Peek() != '<') Advance(1);
+        if (!IsAllXmlWhitespace(input_.substr(start, pos_ - start))) {
+          return Error("character data outside the root element");
+        }
+        continue;
+      }
+      XQP_RETURN_NOT_OK(ParseText());
+      if (options_.strip_whitespace && IsAllXmlWhitespace(event_.text)) {
+        continue;  // Swallow ignorable whitespace without surfacing it.
+      }
+      return &event_;
+    }
+
+    if (Looking("<!--")) {
+      XQP_RETURN_NOT_OK(ParseComment());
+      return &event_;
+    }
+    if (Looking("<![CDATA[")) {
+      if (open_elements_.empty()) return Error("CDATA outside root element");
+      XQP_RETURN_NOT_OK(ParseCData());
+      return &event_;
+    }
+    if (Looking("<!DOCTYPE")) {
+      XQP_RETURN_NOT_OK(SkipDoctype());
+      continue;
+    }
+    if (Looking("<?")) {
+      XQP_RETURN_NOT_OK(ParsePi());
+      return &event_;
+    }
+    if (Looking("</")) {
+      XQP_RETURN_NOT_OK(ParseEndTag());
+      if (open_elements_.empty()) state_ = State::kAfterDocument;
+      return &event_;
+    }
+    if (open_elements_.empty() && state_ == State::kAfterDocument) {
+      return Error("multiple root elements");
+    }
+    XQP_RETURN_NOT_OK(ParseStartTag());
+    return &event_;
+  }
+}
+
+}  // namespace xqp

@@ -1,0 +1,112 @@
+#ifndef XQP_XML_PULL_PARSER_H_
+#define XQP_XML_PULL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "xml/document.h"
+#include "xml/qname.h"
+
+namespace xqp {
+
+/// Parse event types (DM1 "parse" step of the paper's data-model life
+/// cycle). The granularity mirrors SAX / the TokenStream begin-end tokens.
+enum class XmlEventType : uint8_t {
+  kStartDocument,
+  kStartElement,
+  kEndElement,
+  kText,
+  kComment,
+  kProcessingInstruction,
+  kEndDocument,
+};
+
+struct XmlAttribute {
+  QName name;
+  std::string value;
+};
+
+struct XmlNamespaceDecl {
+  std::string prefix;  // Empty for the default namespace.
+  std::string uri;
+};
+
+/// One parse event. String members are owned by the parser and valid until
+/// the next call to Next().
+struct XmlEvent {
+  XmlEventType type;
+  QName name;         // Element name; PI target in name.local.
+  std::string text;   // Text / comment / PI data.
+  std::vector<XmlAttribute> attributes;   // kStartElement only.
+  std::vector<XmlNamespaceDecl> ns_decls;  // kStartElement only.
+};
+
+/// Hand-written, namespace-aware, non-validating XML 1.0 pull parser.
+/// Supports elements, attributes, namespaces, character data, CDATA,
+/// comments, processing instructions, the five predefined entities, and
+/// numeric character references. DOCTYPE declarations are skipped (no DTD
+/// processing). Input must outlive the parser.
+class XmlPullParser {
+ public:
+  XmlPullParser(std::string_view input, const ParseOptions& options = {});
+
+  /// Returns the next event, or nullptr after kEndDocument was delivered.
+  /// Malformed input yields a ParseError with "line:column: message".
+  Result<const XmlEvent*> Next();
+
+  /// 1-based position of the parse cursor, for error reporting.
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+ private:
+  Status Error(const std::string& message) const;
+  void Advance(size_t n);
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  bool Looking(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+  void SkipWhitespace();
+
+  Status ParseName(std::string_view* out);
+  Status DecodeEntitiesInto(std::string_view raw, std::string* out);
+  Status ParseAttributeValue(std::string* out);
+  Status ParseStartTag();
+  Status ParseEndTag();
+  Status ParseComment();
+  Status ParsePi();
+  Status ParseCData();
+  Status ParseText();
+  Status SkipDoctype();
+  Status SkipXmlDecl();
+
+  /// Resolves `prefix` against the in-scope namespace stack.
+  Result<std::string> ResolvePrefix(std::string_view prefix,
+                                    bool is_attribute) const;
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+
+  enum class State { kBeforeDocument, kInDocument, kAfterDocument, kDone };
+  State state_ = State::kBeforeDocument;
+
+  XmlEvent event_;
+
+  // In-scope namespace bindings; each frame is the number of bindings pushed
+  // by the corresponding open element.
+  std::vector<std::pair<std::string, std::string>> ns_bindings_;
+  std::vector<size_t> ns_frames_;
+  std::vector<std::string> open_elements_;  // Lexical names for tag matching.
+  bool pending_end_element_ = false;        // Set by <empty/> tags.
+};
+
+}  // namespace xqp
+
+#endif  // XQP_XML_PULL_PARSER_H_

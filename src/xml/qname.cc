@@ -1,0 +1,13 @@
+#include "xml/qname.h"
+
+#include <functional>
+
+namespace xqp {
+
+size_t QNameHash::operator()(const QName& q) const {
+  size_t h1 = std::hash<std::string>()(q.uri);
+  size_t h2 = std::hash<std::string>()(q.local);
+  return h1 * 1000003u ^ h2;
+}
+
+}  // namespace xqp

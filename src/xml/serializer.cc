@@ -1,0 +1,202 @@
+#include "xml/serializer.h"
+
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace xqp {
+
+namespace {
+
+/// Tracks in-scope prefix->uri bindings during serialization.
+class NsScope {
+ public:
+  NsScope() { bindings_.emplace_back("xml", "http://www.w3.org/XML/1998/namespace"); }
+
+  size_t Mark() const { return bindings_.size(); }
+  void PopTo(size_t mark) { bindings_.resize(mark); }
+  void Bind(std::string prefix, std::string uri) {
+    bindings_.emplace_back(std::move(prefix), std::move(uri));
+  }
+
+  /// URI currently bound to `prefix`, or empty.
+  std::string_view Lookup(std::string_view prefix) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->first == prefix) return it->second;
+    }
+    return std::string_view();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> bindings_;
+};
+
+class Serializer {
+ public:
+  Serializer(const SerializeOptions& options, std::string* out)
+      : options_(options), out_(out) {}
+
+  Status Write(const Node& node) { return WriteNode(node, 0); }
+
+ private:
+  Status WriteNode(const Node& node, int depth) {
+    switch (node.kind()) {
+      case NodeKind::kDocument: {
+        if (options_.xml_declaration) {
+          out_->append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+          if (options_.indent) out_->push_back('\n');
+        }
+        bool first = true;
+        for (Node c = node.FirstChild(); c; c = c.NextSibling()) {
+          if (options_.indent && !first) out_->push_back('\n');
+          XQP_RETURN_NOT_OK(WriteNode(c, depth));
+          first = false;
+        }
+        return Status::OK();
+      }
+      case NodeKind::kElement:
+        return WriteElement(node, depth);
+      case NodeKind::kText:
+        AppendEscapedText(node.value(), out_);
+        return Status::OK();
+      case NodeKind::kComment:
+        out_->append("<!--");
+        out_->append(node.value());
+        out_->append("-->");
+        return Status::OK();
+      case NodeKind::kProcessingInstruction:
+        out_->append("<?");
+        out_->append(node.name().local);
+        if (!node.value().empty()) {
+          out_->push_back(' ');
+          out_->append(node.value());
+        }
+        out_->append("?>");
+        return Status::OK();
+      case NodeKind::kAttribute:
+        // A standalone attribute serializes as name="value" (useful in
+        // diagnostics; not well-formed XML by itself).
+        out_->append(node.name().Lexical());
+        out_->append("=\"");
+        AppendEscapedAttribute(node.value(), out_);
+        out_->push_back('"');
+        return Status::OK();
+    }
+    return Status::Internal("unknown node kind");
+  }
+
+  void Indent(int depth) {
+    out_->push_back('\n');
+    out_->append(static_cast<size_t>(depth) * 2, ' ');
+  }
+
+  Status WriteElement(const Node& elem, int depth) {
+    size_t mark = scope_.Mark();
+    out_->push_back('<');
+    std::string tag = elem.name().Lexical();
+    out_->append(tag);
+
+    // Re-emit declarations recorded at parse/construction time first; they
+    // may bind prefixes used only by content QNames.
+    if (const auto* decls = elem.doc().NamespaceDecls(elem.index())) {
+      for (const auto& d : *decls) {
+        if (scope_.Lookup(d.prefix) == d.uri) continue;
+        EmitNsDecl(d.prefix, d.uri);
+      }
+    }
+    // Fix up the element's own binding.
+    EnsureBound(elem.name(), /*is_attribute=*/false);
+
+    for (Node a = elem.FirstAttribute(); a; a = a.NextSibling()) {
+      EnsureBound(a.name(), /*is_attribute=*/true);
+      out_->push_back(' ');
+      out_->append(a.name().Lexical());
+      out_->append("=\"");
+      AppendEscapedAttribute(a.value(), out_);
+      out_->push_back('"');
+    }
+
+    Node child = elem.FirstChild();
+    if (!child) {
+      out_->append("/>");
+      scope_.PopTo(mark);
+      return Status::OK();
+    }
+    out_->push_back('>');
+    bool only_text = true;
+    for (Node c = child; c; c = c.NextSibling()) {
+      if (c.kind() != NodeKind::kText) only_text = false;
+    }
+    for (Node c = child; c; c = c.NextSibling()) {
+      if (options_.indent && !only_text) Indent(depth + 1);
+      XQP_RETURN_NOT_OK(WriteNode(c, depth + 1));
+    }
+    if (options_.indent && !only_text) Indent(depth);
+    out_->append("</");
+    out_->append(tag);
+    out_->push_back('>');
+    scope_.PopTo(mark);
+    return Status::OK();
+  }
+
+  void EmitNsDecl(const std::string& prefix, const std::string& uri) {
+    out_->push_back(' ');
+    if (prefix.empty()) {
+      out_->append("xmlns");
+    } else {
+      out_->append("xmlns:");
+      out_->append(prefix);
+    }
+    out_->append("=\"");
+    AppendEscapedAttribute(uri, out_);
+    out_->push_back('"');
+    scope_.Bind(prefix, uri);
+  }
+
+  /// Emits an xmlns declaration if `name`'s prefix is not already bound to
+  /// its URI in the current scope.
+  void EnsureBound(const QName& name, bool is_attribute) {
+    if (name.uri.empty()) {
+      // Unprefixed, no namespace: only a default-namespace binding could
+      // interfere (elements only).
+      if (!is_attribute && name.prefix.empty() &&
+          !scope_.Lookup("").empty()) {
+        EmitNsDecl("", "");
+      }
+      return;
+    }
+    if (is_attribute && name.prefix.empty()) {
+      // Attributes cannot use the default namespace; they are serialized
+      // with their recorded prefix, which parse guarantees to exist for
+      // parsed documents. Constructed attributes with a URI but no prefix
+      // are rare; bind a synthetic prefix would require rewriting the
+      // lexical name, so we leave them unprefixed (documented limitation).
+      return;
+    }
+    if (scope_.Lookup(name.prefix) != name.uri) {
+      EmitNsDecl(name.prefix, name.uri);
+    }
+  }
+
+  SerializeOptions options_;
+  std::string* out_;
+  NsScope scope_;
+};
+
+}  // namespace
+
+Status SerializeNode(const Node& node, const SerializeOptions& options,
+                     std::string* out) {
+  if (node.IsNull()) return Status::InvalidArgument("null node");
+  Serializer ser(options, out);
+  return ser.Write(node);
+}
+
+Result<std::string> SerializeToString(const Node& node,
+                                      const SerializeOptions& options) {
+  std::string out;
+  XQP_RETURN_NOT_OK(SerializeNode(node, options, &out));
+  return out;
+}
+
+}  // namespace xqp

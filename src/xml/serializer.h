@@ -1,0 +1,33 @@
+#ifndef XQP_XML_SERIALIZER_H_
+#define XQP_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "xml/node.h"
+
+namespace xqp {
+
+/// Serialization options (DM4 "serialize" step of the data-model life cycle).
+struct SerializeOptions {
+  /// Pretty-print with two-space indentation. Off by default: round-trip
+  /// fidelity matters more than looks for tests.
+  bool indent = false;
+  /// Emit an "<?xml version=...?>" declaration before a document node.
+  bool xml_declaration = false;
+};
+
+/// Serializes the subtree rooted at `node` into `out`. Namespace
+/// declarations are re-derived: a declaration is emitted wherever a node's
+/// URI is not already bound to its prefix in scope (so constructed trees
+/// serialize well-formed without carrying explicit namespace nodes).
+Status SerializeNode(const Node& node, const SerializeOptions& options,
+                     std::string* out);
+
+/// Convenience wrapper returning the string.
+Result<std::string> SerializeToString(const Node& node,
+                                      const SerializeOptions& options = {});
+
+}  // namespace xqp
+
+#endif  // XQP_XML_SERIALIZER_H_

@@ -1,0 +1,34 @@
+#include "xml/string_pool.h"
+
+namespace xqp {
+
+StringPool::Id StringPool::Intern(std::string_view s) {
+  if (pooling_enabled_) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+  }
+  Id id = static_cast<Id>(strings_.size());
+  strings_.emplace_back(s);
+  if (pooling_enabled_) {
+    index_.emplace(std::string_view(strings_.back()), id);
+  }
+  return id;
+}
+
+StringPool::Id StringPool::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalid : it->second;
+}
+
+size_t StringPool::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const std::string& s : strings_) {
+    bytes += sizeof(std::string) + (s.capacity() > 15 ? s.capacity() : 0);
+  }
+  // Rough estimate of the hash index overhead.
+  bytes += index_.size() * (sizeof(void*) * 2 + sizeof(std::string_view) +
+                            sizeof(Id));
+  return bytes;
+}
+
+}  // namespace xqp

@@ -1,0 +1,57 @@
+#ifndef XQP_XML_STRING_POOL_H_
+#define XQP_XML_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace xqp {
+
+/// Dictionary-compressing string pool: each distinct string is stored once
+/// and referenced by a dense 32-bit id ("Pooling: store strings only once",
+/// the TokenStream optimization in the paper). Ids are stable for the
+/// lifetime of the pool; returned string_views remain valid as well because
+/// the backing storage is a deque of strings that never relocates.
+class StringPool {
+ public:
+  using Id = uint32_t;
+  static constexpr Id kInvalid = UINT32_MAX;
+
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  /// Interns `s`, returning the id of its unique copy. When pooling is
+  /// disabled every call appends a fresh copy (used by the E4 ablation).
+  Id Intern(std::string_view s);
+
+  /// The interned string for `id`.
+  std::string_view Get(Id id) const { return strings_[id]; }
+
+  /// Looks up `s` without inserting; returns kInvalid when absent.
+  Id Find(std::string_view s) const;
+
+  /// Number of entries (distinct strings when pooling is on).
+  size_t size() const { return strings_.size(); }
+
+  /// Approximate heap bytes used by the pooled strings and the index.
+  size_t MemoryUsage() const;
+
+  /// Disables deduplication: Intern always appends. Exists so benchmarks can
+  /// measure what pooling buys (paper's dictionary-compression claim).
+  void set_pooling_enabled(bool enabled) { pooling_enabled_ = enabled; }
+  bool pooling_enabled() const { return pooling_enabled_; }
+
+ private:
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, Id> index_;
+  bool pooling_enabled_ = true;
+};
+
+}  // namespace xqp
+
+#endif  // XQP_XML_STRING_POOL_H_

@@ -1,0 +1,87 @@
+// Randomized differential testing: generated path/FLWOR queries over random
+// documents must produce identical results on the eager interpreter and the
+// lazy streaming engine, optimized and not.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RandomXml;
+using testing_util::RunQuery;
+
+/// Generates a random query from a small grammar over tags a..d.
+std::string RandomQuery(SplitMix64* rng) {
+  auto tag = [&] {
+    return std::string(1, static_cast<char>('a' + rng->Below(4)));
+  };
+  auto step = [&]() -> std::string {
+    switch (rng->Below(6)) {
+      case 0:
+        return "/" + tag();
+      case 1:
+        return "//" + tag();
+      case 2:
+        return "/" + tag() + "[" + std::to_string(1 + rng->Below(3)) + "]";
+      case 3:
+        return "/" + tag() + "[" + tag() + "]";
+      case 4:
+        return "/*";
+      default:
+        return "/" + tag() + "[@k]";
+    }
+  };
+  std::string path = "doc('doc.xml')";
+  size_t steps = 1 + rng->Below(4);
+  for (size_t i = 0; i < steps; ++i) path += step();
+
+  switch (rng->Below(9)) {
+    case 0:
+      return "count(" + path + ")";
+    case 1:
+      return "string-join(for $n in " + path + " return name($n), ',')";
+    case 2:
+      return "for $n in " + path + " where count($n/*) > 0 return name($n)";
+    case 3:
+      return "count(" + path + " union doc('doc.xml')//" + tag() + ")";
+    case 4:
+      return "let $s := " + path +
+             " return count($s) + count($s[@k]) * 100";
+    case 5:
+      return "some $n in " + path + " satisfies count($n/*) > 1";
+    case 6:
+      return "every $n in " + path + " satisfies exists($n/@k) or "
+             "count($n/ancestor::*) > 0";
+    case 7:
+      return "sum(for $n in " + path + " return string-length(name($n)))";
+    default:
+      return "string-join(for $n in " + path +
+             " order by string($n/@k) return name($n), '')";
+  }
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, EnginesAndOptimizerAgree) {
+  SplitMix64 rng(GetParam());
+  std::string doc = RandomXml(GetParam() * 31 + 7, 250, 4);
+  for (int i = 0; i < 20; ++i) {
+    std::string query = RandomQuery(&rng);
+    std::string reference = RunQuery(query, doc, /*lazy=*/false,
+                                     /*optimize=*/false);
+    ASSERT_EQ(reference.find("COMPILE-ERROR"), std::string::npos)
+        << query << " -> " << reference;
+    EXPECT_EQ(RunQuery(query, doc, true, false), reference) << query;
+    EXPECT_EQ(RunQuery(query, doc, false, true), reference) << query;
+    EXPECT_EQ(RunQuery(query, doc, true, true), reference) << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15));
+
+}  // namespace
+}  // namespace xqp

@@ -1,0 +1,198 @@
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/node.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RandomXml;
+
+TEST(Document, BasicStructure) {
+  auto doc = Document::Parse("<a x=\"1\"><b>t</b><c/></a>").value();
+  // Rows: 0 doc, 1 a, 2 @x, 3 b, 4 text, 5 c.
+  ASSERT_EQ(doc->NumNodes(), 6u);
+  EXPECT_EQ(doc->node(0).kind, NodeKind::kDocument);
+  EXPECT_EQ(doc->node(1).kind, NodeKind::kElement);
+  EXPECT_EQ(doc->name(1).local, "a");
+  EXPECT_EQ(doc->node(2).kind, NodeKind::kAttribute);
+  EXPECT_EQ(doc->name(2).local, "x");
+  EXPECT_EQ(doc->value(2), "1");
+  EXPECT_EQ(doc->node(3).kind, NodeKind::kElement);
+  EXPECT_EQ(doc->node(4).kind, NodeKind::kText);
+  EXPECT_EQ(doc->value(4), "t");
+  EXPECT_EQ(doc->node(5).kind, NodeKind::kElement);
+  // Levels.
+  EXPECT_EQ(doc->node(1).level, 1);
+  EXPECT_EQ(doc->node(2).level, 2);
+  EXPECT_EQ(doc->node(3).level, 2);
+  EXPECT_EQ(doc->node(4).level, 3);
+  // Region labels.
+  EXPECT_EQ(doc->node(1).end, 5u);
+  EXPECT_EQ(doc->node(3).end, 4u);
+  EXPECT_EQ(doc->node(5).end, 5u);
+  EXPECT_EQ(doc->node(0).end, 5u);
+}
+
+TEST(Document, SiblingAndChildLinks) {
+  auto doc = Document::Parse("<a><b/><c/><d/></a>").value();
+  const NodeRecord& a = doc->node(1);
+  EXPECT_EQ(a.first_child, 2u);
+  EXPECT_EQ(doc->node(2).next_sibling, 3u);
+  EXPECT_EQ(doc->node(3).next_sibling, 4u);
+  EXPECT_EQ(doc->node(4).next_sibling, kNullNode);
+  EXPECT_EQ(doc->node(2).parent, 1u);
+}
+
+TEST(Document, AttributesChainSeparateFromChildren) {
+  auto doc = Document::Parse("<a p=\"1\" q=\"2\"><b/></a>").value();
+  const NodeRecord& a = doc->node(1);
+  EXPECT_EQ(a.first_attr, 2u);
+  EXPECT_EQ(doc->node(2).next_sibling, 3u);  // q.
+  EXPECT_EQ(doc->node(3).next_sibling, kNullNode);
+  EXPECT_EQ(a.first_child, 4u);  // b skips attributes.
+}
+
+TEST(Document, TextCoalescing) {
+  // CDATA adjacent to text must merge into a single text node.
+  auto doc = Document::Parse("<a>one<![CDATA[two]]>three</a>").value();
+  ASSERT_EQ(doc->NumNodes(), 3u);
+  EXPECT_EQ(doc->value(2), "onetwothree");
+}
+
+TEST(Document, StringValue) {
+  auto doc = Document::Parse("<a>one<b>two<c>three</c></b>four</a>").value();
+  EXPECT_EQ(doc->StringValue(1), "onetwothreefour");
+  Node a(doc, 1);
+  Node b = a.FirstChild().NextSibling();
+  EXPECT_EQ(b.StringValue(), "twothree");
+}
+
+TEST(Document, TypedValueIsUntyped) {
+  auto doc = Document::Parse("<a>42</a>").value();
+  AtomicValue v = doc->TypedValue(1);
+  EXPECT_EQ(v.type(), XsType::kUntypedAtomic);
+  EXPECT_EQ(v.Lexical(), "42");
+}
+
+TEST(Document, RootElement) {
+  auto doc = Document::Parse("<!-- c --><a/><?pi?>").value();
+  EXPECT_EQ(doc->root_element(), 2u);
+  EXPECT_EQ(doc->name(doc->root_element()).local, "a");
+}
+
+TEST(Document, FindNameId) {
+  auto doc = Document::Parse("<a><b/><b/></a>").value();
+  uint32_t b_id = doc->FindNameId("", "b");
+  ASSERT_NE(b_id, kNoName);
+  EXPECT_EQ(doc->node(2).name_id, b_id);
+  EXPECT_EQ(doc->node(3).name_id, b_id);
+  EXPECT_EQ(doc->FindNameId("", "zzz"), kNoName);
+}
+
+TEST(Document, UniqueIds) {
+  auto d1 = Document::Parse("<a/>").value();
+  auto d2 = Document::Parse("<a/>").value();
+  EXPECT_NE(d1->id(), d2->id());
+}
+
+TEST(DocumentBuilder, CopySubtree) {
+  auto src = Document::Parse("<a p=\"v\"><b>text</b><!--c--></a>").value();
+  DocumentBuilder builder;
+  XQP_ASSERT_OK(builder.BeginElement(QName("wrap")));
+  XQP_ASSERT_OK(builder.CopySubtree(*src, 1));
+  XQP_ASSERT_OK(builder.EndElement());
+  auto copy = std::move(builder.Finish()).ValueOrDie();
+  // wrap > a(p) > b > text, comment.
+  EXPECT_EQ(copy->NumNodes(), 7u);
+  EXPECT_EQ(copy->name(2).local, "a");
+  EXPECT_EQ(copy->StringValue(1), "text");
+}
+
+TEST(DocumentBuilder, RejectsDuplicateAttributes) {
+  DocumentBuilder builder;
+  XQP_ASSERT_OK(builder.BeginElement(QName("a")));
+  XQP_ASSERT_OK(builder.Attribute(QName("x"), "1"));
+  EXPECT_FALSE(builder.Attribute(QName("x"), "2").ok());
+}
+
+TEST(DocumentBuilder, RejectsAttributeAfterContent) {
+  DocumentBuilder builder;
+  XQP_ASSERT_OK(builder.BeginElement(QName("a")));
+  XQP_ASSERT_OK(builder.Text("t"));
+  EXPECT_FALSE(builder.Attribute(QName("x"), "1").ok());
+}
+
+TEST(DocumentBuilder, RejectsUnclosedFinish) {
+  DocumentBuilder builder;
+  XQP_ASSERT_OK(builder.BeginElement(QName("a")));
+  EXPECT_FALSE(builder.Finish().ok());
+}
+
+TEST(Node, NavigationAndIdentity) {
+  auto doc = Document::Parse("<a><b/><c/></a>").value();
+  Node a(doc, 1);
+  Node b = a.FirstChild();
+  Node c = b.NextSibling();
+  EXPECT_EQ(b.name().local, "b");
+  EXPECT_EQ(c.name().local, "c");
+  EXPECT_TRUE(b.Parent().SameNode(a));
+  EXPECT_FALSE(b.SameNode(c));
+  EXPECT_LT(Node::CompareDocOrder(b, c), 0);
+  EXPECT_GT(Node::CompareDocOrder(c, b), 0);
+  EXPECT_EQ(Node::CompareDocOrder(b, b), 0);
+  EXPECT_TRUE(a.IsAncestorOf(b));
+  EXPECT_FALSE(b.IsAncestorOf(a));
+  EXPECT_FALSE(b.IsAncestorOf(c));
+}
+
+/// Property: region labels must agree with the parent/child structure.
+class RegionInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegionInvariantTest, LabelsConsistent) {
+  auto doc = Document::Parse(RandomXml(GetParam(), 300)).value();
+  for (NodeIndex i = 0; i < doc->NumNodes(); ++i) {
+    const NodeRecord& n = doc->node(i);
+    // end >= self, and within parent's region.
+    EXPECT_GE(n.end, i);
+    if (n.parent != kNullNode) {
+      const NodeRecord& p = doc->node(n.parent);
+      EXPECT_LT(n.parent, i);
+      EXPECT_LE(n.end, p.end);
+      EXPECT_EQ(n.level, p.level + 1);
+    }
+    // Children fall inside the region and chain consistently.
+    for (NodeIndex c = n.first_child; c != kNullNode;
+         c = doc->node(c).next_sibling) {
+      EXPECT_EQ(doc->node(c).parent, i);
+      EXPECT_GT(c, i);
+      EXPECT_LE(doc->node(c).end, n.end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionInvariantTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42, 99,
+                                           1234));
+
+TEST(Document, MemoryUsagePositive) {
+  auto doc = Document::Parse(RandomXml(7, 500)).value();
+  EXPECT_GT(doc->MemoryUsage(), doc->NumNodes() * sizeof(NodeRecord));
+}
+
+TEST(Document, PoolingOffIncreasesMemoryOnRepetitiveText) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 200; ++i) xml += "<x>same repeated payload text</x>";
+  xml += "</r>";
+  ParseOptions pooled;
+  ParseOptions unpooled;
+  unpooled.pool_strings = false;
+  auto d1 = Document::Parse(xml, pooled).value();
+  auto d2 = Document::Parse(xml, unpooled).value();
+  EXPECT_LT(d1->pool().MemoryUsage(), d2->pool().MemoryUsage());
+}
+
+}  // namespace
+}  // namespace xqp

@@ -1,0 +1,163 @@
+// Tests for the engine extensions implementing the paper's "missing
+// functionalities" and "optional features" lists: try/catch, the static
+// typing feature, and result memoization.
+
+#include <gtest/gtest.h>
+
+#include "opt/static_types.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+#include "tests/test_util.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RunAllWays;
+using testing_util::RunQuery;
+
+// --- try/catch ---
+
+TEST(TryCatch, CatchesDynamicErrors) {
+  EXPECT_EQ(RunAllWays("try { 1 idiv 0 } catch { 'saved' }"), "saved");
+  EXPECT_EQ(RunAllWays("try { error('boom') } catch { 42 }"), "42");
+}
+
+TEST(TryCatch, CatchesTypeErrors) {
+  EXPECT_EQ(RunAllWays("try { 'x' + 1 } catch { 'typed' }"), "typed");
+  EXPECT_EQ(RunAllWays("try { (1,2) treat as xs:integer } catch { 0 }"), "0");
+}
+
+TEST(TryCatch, PassesThroughSuccess) {
+  EXPECT_EQ(RunAllWays("try { (1, 2, 3) } catch { 0 }"), "1 2 3");
+  EXPECT_EQ(RunAllWays("try { () } catch { 'nonempty' }"), "");
+}
+
+TEST(TryCatch, CatchBranchMayAlsoFail) {
+  std::string r = RunQuery("try { 1 idiv 0 } catch { error('second') }");
+  EXPECT_NE(r.find("second"), std::string::npos);
+}
+
+TEST(TryCatch, Nests) {
+  EXPECT_EQ(RunAllWays("try { try { 1 idiv 0 } catch { error('inner') } } "
+                       "catch { 'outer' }"),
+            "outer");
+}
+
+TEST(TryCatch, StarSyntaxAccepted) {
+  EXPECT_EQ(RunAllWays("try { 1 idiv 0 } catch * { 'star' }"), "star");
+}
+
+TEST(TryCatch, ErrorDeepInsideFlworIsCaught) {
+  EXPECT_EQ(RunAllWays("try { for $x in (1, 0, 2) return 6 idiv $x } "
+                       "catch { 'div' }"),
+            "div");
+}
+
+TEST(TryCatch, WorksInsideFunctions) {
+  EXPECT_EQ(RunAllWays(
+                "declare function local:safe-div($a, $b) { "
+                "try { $a idiv $b } catch { () } }; "
+                "string-join(for $d in (2, 0, 4) return "
+                "string(count(local:safe-div(8, $d))), '')"),
+            "101");
+}
+
+// --- static typing feature ---
+
+Status TypeCheckQuery(const std::string& query) {
+  auto module = ParseQuery(query);
+  if (!module.ok()) return module.status();
+  Status st = NormalizeModule(module->get());
+  if (!st.ok()) return st;
+  return StaticTypeCheck(module->get());
+}
+
+struct TypingCase {
+  const char* label;
+  const char* query;
+  bool ok;
+};
+
+class StaticTypingTest : public ::testing::TestWithParam<TypingCase> {};
+
+TEST_P(StaticTypingTest, Verdict) {
+  Status st = TypeCheckQuery(GetParam().query);
+  EXPECT_EQ(st.ok(), GetParam().ok) << st.ToString();
+  if (!st.ok()) {
+    EXPECT_EQ(st.code(), StatusCode::kStaticError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StaticTypingTest,
+    ::testing::Values(
+        // Goal 1 of the paper's type system: static error detection.
+        TypingCase{"string_plus_int", "'a' + 1", false},
+        TypingCase{"bool_plus", "true() + 1", false},
+        TypingCase{"concat_result_times", "concat('a','b') * 2", false},
+        TypingCase{"string_eq_int", "'a' eq 1", false},
+        TypingCase{"untyped_eq_int_is_static_error",
+                   "<a>42</a> eq 42", false},  // The paper's slide example.
+        TypingCase{"bool_lt_string", "true() lt 'x'", false},
+        TypingCase{"step_on_atomics", "(1, 2)/a", false},
+        TypingCase{"count_result_to_step", "count((1,2))/b", false},
+        TypingCase{"fn_arg_disjoint",
+                   "declare function local:f($x as xs:integer) { $x }; "
+                   "local:f('str')",
+                   false},
+        TypingCase{"fn_arg_node_for_atomic",
+                   "declare function local:f($x as xs:integer) { $x }; "
+                   "local:f(<a/>)",
+                   false},
+        // Valid queries keep compiling.
+        TypingCase{"numeric_ok", "1 + 2.5", true},
+        TypingCase{"untyped_general_ok", "<a>42</a> = 42", true},
+        TypingCase{"untyped_string_value_ok", "<a>42</a> eq '42'", true},
+        TypingCase{"cast_makes_numeric", "xs:integer('4') + 1", true},
+        TypingCase{"number_fn", "number('3') + 1", true},
+        TypingCase{"fn_arg_untyped_ok",
+                   "declare function local:f($x as xs:integer) { $x }; "
+                   "local:f(xs:integer(<a>3</a>))",
+                   true},
+        TypingCase{"path_ok", "doc('x')/a/b + 1", true},
+        TypingCase{"if_union", "(if (1 < 2) then 1 else 2.5) * 2", true},
+        TypingCase{"flwor_ok",
+                   "for $x in (1,2) return $x + 1", true}),
+    [](const ::testing::TestParamInfo<TypingCase>& info) {
+      return info.param.label;
+    });
+
+TEST(StaticTyping, OffByDefault) {
+  // The strict rules must not reject queries unless opted in.
+  XQueryEngine engine;
+  EXPECT_TRUE(engine.Compile("<a>42</a> = 42").ok());
+  XQueryEngine::CompileOptions strict;
+  strict.static_typing = true;
+  EXPECT_TRUE(engine.Compile("<a>42</a> = 42", strict).ok());
+  EXPECT_FALSE(engine.Compile("'a' + 1", strict).ok());
+  EXPECT_TRUE(engine.Compile("'a' + 1").ok());  // Dynamic error at runtime.
+}
+
+TEST(StaticTyping, InferenceShapes) {
+  auto infer = [](const std::string& query) {
+    auto module = std::move(ParseQuery(query)).ValueOrDie();
+    EXPECT_TRUE(NormalizeModule(module.get()).ok());
+    return InferStaticType(module->body.get(), module.get()).ToString();
+  };
+  EXPECT_EQ(infer("1"), "xs:integer");
+  EXPECT_EQ(infer("1 + 2"), "xs:integer");
+  EXPECT_EQ(infer("1 + 2.5"), "xs:numeric");
+  EXPECT_EQ(infer("7 div 2"), "xs:numeric");
+  EXPECT_EQ(infer("'a'"), "xs:string");
+  EXPECT_EQ(infer("count((1,2))"), "xs:integer");
+  EXPECT_EQ(infer("1 eq 2"), "xs:boolean");
+  EXPECT_EQ(infer("(1, 'a')"), "xs:anyAtomicType+");
+  EXPECT_EQ(infer("doc('x')//y"), "node()*");
+  EXPECT_EQ(infer("<a/>"), "node()");
+  EXPECT_EQ(infer("if (1) then 1 else 'a'"), "xs:anyAtomicType");
+  EXPECT_EQ(infer("'5' cast as xs:integer"), "xs:integer");
+  EXPECT_EQ(infer("1 to 5"), "xs:integer*");
+}
+
+}  // namespace
+}  // namespace xqp

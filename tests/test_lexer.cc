@@ -1,0 +1,135 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace xqp {
+namespace {
+
+std::vector<Tok> LexAll(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<Tok> out;
+  while (true) {
+    auto t = lexer.Take();
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    if (!t.ok() || t->type == TokType::kEof) break;
+    out.push_back(std::move(t).value());
+  }
+  return out;
+}
+
+TEST(Lexer, NamesAndSymbols) {
+  auto toks = LexAll("for $x in //a-b return $x");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_TRUE(toks[0].IsName("for"));
+  EXPECT_TRUE(toks[1].IsSym(Sym::kDollar));
+  EXPECT_TRUE(toks[2].IsName("x"));
+  EXPECT_TRUE(toks[3].IsName("in"));
+  EXPECT_TRUE(toks[4].IsSym(Sym::kSlashSlash));
+  EXPECT_TRUE(toks[5].IsName("a-b"));  // '-' is a name character.
+  EXPECT_TRUE(toks[6].IsName("return"));
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = LexAll("1 2.5 .5 3e2 4.5E-1");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].type, TokType::kInteger);
+  EXPECT_EQ(toks[0].ival, 1);
+  EXPECT_EQ(toks[1].type, TokType::kDecimal);
+  EXPECT_DOUBLE_EQ(toks[1].dval, 2.5);
+  EXPECT_EQ(toks[2].type, TokType::kDecimal);
+  EXPECT_DOUBLE_EQ(toks[2].dval, 0.5);
+  EXPECT_EQ(toks[3].type, TokType::kDouble);
+  EXPECT_DOUBLE_EQ(toks[3].dval, 300);
+  EXPECT_EQ(toks[4].type, TokType::kDouble);
+  EXPECT_DOUBLE_EQ(toks[4].dval, 0.45);
+}
+
+TEST(Lexer, RangeAfterInteger) {
+  // "1..2" never appears, but "1 to 2" and (1,2) do; ensure ".." stays a
+  // unit and integers do not absorb it.
+  auto toks = LexAll("1 .. 2");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_TRUE(toks[1].IsSym(Sym::kDotDot));
+}
+
+TEST(Lexer, Strings) {
+  auto toks = LexAll(R"("a""b" 'c''d' "x&lt;y")");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a\"b");  // Doubled-quote escape.
+  EXPECT_EQ(toks[1].text, "c'd");
+  EXPECT_EQ(toks[2].text, "x<y");  // Entity decoded.
+}
+
+TEST(Lexer, CompoundSymbols) {
+  auto toks = LexAll(":= :: << >> <= >= != .. //");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_TRUE(toks[0].IsSym(Sym::kAssign));
+  EXPECT_TRUE(toks[1].IsSym(Sym::kColonColon));
+  EXPECT_TRUE(toks[2].IsSym(Sym::kLtLt));
+  EXPECT_TRUE(toks[3].IsSym(Sym::kGtGt));
+  EXPECT_TRUE(toks[4].IsSym(Sym::kLe));
+  EXPECT_TRUE(toks[5].IsSym(Sym::kGe));
+  EXPECT_TRUE(toks[6].IsSym(Sym::kNe));
+  EXPECT_TRUE(toks[7].IsSym(Sym::kDotDot));
+  EXPECT_TRUE(toks[8].IsSym(Sym::kSlashSlash));
+}
+
+TEST(Lexer, NestedComments) {
+  auto toks = LexAll("1 (: outer (: inner :) still :) 2");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].ival, 1);
+  EXPECT_EQ(toks[1].ival, 2);
+}
+
+TEST(Lexer, UnterminatedCommentFails) {
+  Lexer lexer("1 (: open");
+  EXPECT_TRUE(lexer.Take().ok());
+  EXPECT_FALSE(lexer.Take().ok());
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  Lexer lexer("\"abc");
+  EXPECT_FALSE(lexer.Take().ok());
+}
+
+TEST(Lexer, PositionsTrackAdjacency) {
+  Lexer lexer("a:b a : b");
+  auto t1 = std::move(lexer.Take()).value();  // a
+  auto t2 = std::move(lexer.Take()).value();  // :
+  auto t3 = std::move(lexer.Take()).value();  // b
+  EXPECT_EQ(t2.pos, t1.end);  // Adjacent => one lexical QName.
+  EXPECT_EQ(t3.pos, t2.end);
+  auto t4 = std::move(lexer.Take()).value();  // a
+  auto t5 = std::move(lexer.Take()).value();  // :
+  EXPECT_GT(t5.pos, t4.end);  // Spaced => not a QName.
+}
+
+TEST(Lexer, PeekDoesNotConsume) {
+  Lexer lexer("x y");
+  auto p0 = lexer.Peek(0);
+  auto p1 = lexer.Peek(1);
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ((*p0)->text, "x");
+  EXPECT_EQ((*p1)->text, "y");
+  EXPECT_EQ(std::move(lexer.Take()).value().text, "x");
+}
+
+TEST(Lexer, SetPosRewinds) {
+  Lexer lexer("abc def");
+  auto first = std::move(lexer.Take()).value();
+  EXPECT_EQ(std::move(lexer.Take()).value().text, "def");
+  lexer.SetPos(first.pos);
+  EXPECT_EQ(std::move(lexer.Take()).value().text, "abc");
+}
+
+TEST(Lexer, ErrorHasLineColumn) {
+  Lexer lexer("x\n  #");
+  EXPECT_TRUE(lexer.Take().ok());
+  auto bad = lexer.Take();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("2:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xqp

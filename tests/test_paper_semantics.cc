@@ -1,0 +1,156 @@
+// Tests that reproduce the semantics examples spelled out in the paper's
+// slides: value vs. general comparisons, effective boolean values, the
+// arithmetic coercion rules, two-valued logic, and sequence behaviour.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RunAllWays;
+using testing_util::RunQuery;
+
+struct SemCase {
+  const char* label;
+  const char* query;
+  const char* expect;  // "ERROR" means any dynamic/type error.
+};
+
+class PaperSemanticsTest : public ::testing::TestWithParam<SemCase> {};
+
+TEST_P(PaperSemanticsTest, MatchesSlide) {
+  const SemCase& c = GetParam();
+  if (std::string(c.expect) == "ERROR") {
+    std::string r = RunQuery(c.query);
+    EXPECT_NE(r.find("ERROR"), std::string::npos) << c.query << " -> " << r;
+  } else {
+    EXPECT_EQ(RunAllWays(c.query), c.expect) << c.query;
+  }
+}
+
+// Slide "Value and general comparisons".
+INSTANTIATE_TEST_SUITE_P(
+    Comparisons, PaperSemanticsTest,
+    ::testing::Values(
+        // <a>42</a> eq "42"  => true (untyped compares as string).
+        SemCase{"untyped_eq_string", "<a>42</a> eq \"42\"", "true"},
+        // <a>42</a> eq 42  => error (untyped vs numeric in value comp).
+        SemCase{"untyped_eq_int", "<a>42</a> eq 42", "ERROR"},
+        SemCase{"untyped_eq_double", "<a>42</a> eq 42.0", "ERROR"},
+        // <a>42</a> = 42  => true (general comp casts untyped to double).
+        SemCase{"untyped_genEq_int", "<a>42</a> = 42", "true"},
+        SemCase{"untyped_genEq_double", "<a>42</a> = 42.0", "true"},
+        // <a>42</a> eq <b>42</b>  => true.
+        SemCase{"untyped_eq_untyped", "<a>42</a> eq <b>42</b>", "true"},
+        // <a>42</a> eq <b> 42</b>  => false (string comparison).
+        SemCase{"untyped_eq_untyped_space", "<a>42</a> eq <b> 42</b>",
+                "false"},
+        // <a>baz</a> eq 42  => type error.
+        SemCase{"untyped_text_eq_int", "<a>baz</a> eq 42", "ERROR"},
+        // () eq 42  =>  ().
+        SemCase{"empty_valuecomp", "count(() eq 42)", "0"},
+        // () = 42  => false.
+        SemCase{"empty_gencomp", "() = 42", "false"},
+        // (<a>42</a>, <b>43</b>) = 42  => true (existential).
+        SemCase{"existential", "(<a>42</a>, <b>43</b>) = 42", "true"},
+        // (1,2) = (2,3)  => true.
+        SemCase{"existential_both", "(1,2) = (2,3)", "true"},
+        // General comparisons are not transitive: (1,3) vs (1,2) relate
+        // under =, !=, <, >, <=, >= simultaneously.
+        SemCase{"nontransitive_eq", "(1,3) = (1,2)", "true"},
+        SemCase{"nontransitive_ne", "(1,3) != (1,2)", "true"},
+        SemCase{"nontransitive_lt", "(1,3) < (1,2)", "true"},
+        SemCase{"nontransitive_gt", "(1,3) > (1,2)", "true"},
+        // Negation rule does not hold: not($x = $y) differs from $x != $y.
+        SemCase{"not_vs_ne_1", "not((1,2) = (3,4))", "true"},
+        SemCase{"not_vs_ne_2", "(1,2) != (1,2)", "true"}),
+    [](const ::testing::TestParamInfo<SemCase>& info) {
+      return info.param.label;
+    });
+
+// Slide "Arithmetic expressions".
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, PaperSemanticsTest,
+    ::testing::Values(
+        SemCase{"int_add", "1 + 4", "5"},
+        SemCase{"div", "5 div 6 > 0.8", "true"},
+        SemCase{"precedence", "1 - (4 * 8.5)", "-33"},
+        // <a>42</a> + 1: untyped casts to xs:double => 43.
+        SemCase{"untyped_plus", "<a>42</a> + 1", "43"},
+        // <a>baz</a> + 1: cast fails => error.
+        SemCase{"untyped_bad_plus", "<a>baz</a> + 1", "ERROR"},
+        // Empty operand propagates: () => ().
+        SemCase{"empty_operand", "count(() * 3)", "0"},
+        SemCase{"decimal_div_zero", "1.0 div 0", "ERROR"},
+        SemCase{"double_div_zero", "string(1e0 div 0)", "INF"},
+        SemCase{"mod_zero", "1 mod 0", "ERROR"}),
+    [](const ::testing::TestParamInfo<SemCase>& info) {
+      return info.param.label;
+    });
+
+// Slide "Logical expressions": two-valued logic and BEV rules.
+INSTANTIATE_TEST_SUITE_P(
+    Logic, PaperSemanticsTest,
+    ::testing::Values(
+        SemCase{"empty_is_false", "() or false()", "false"},
+        SemCase{"zero_is_false", "0 or false()", "false"},
+        SemCase{"nan_is_false", "number('x') or false()", "false"},
+        SemCase{"empty_string_false", "'' or false()", "false"},
+        SemCase{"nonempty_string_true", "'false' and true()", "true"},
+        SemCase{"node_is_true", "<a/> and true()", "true"},
+        SemCase{"numeric_true", "42 and true()", "true"},
+        // false and error => false (short-circuiting is permitted).
+        SemCase{"false_and_error", "false() and (1 idiv 0 = 1)", "false"},
+        SemCase{"true_or_error", "true() or (1 idiv 0 = 1)", "true"},
+        SemCase{"multiatom_ebv_error", "(1,2) and true()", "ERROR"}),
+    [](const ::testing::TestParamInfo<SemCase>& info) {
+      return info.param.label;
+    });
+
+// Slide "Sequences": flattening, duplicates, heterogeneity.
+INSTANTIATE_TEST_SUITE_P(
+    Sequences, PaperSemanticsTest,
+    ::testing::Values(
+        SemCase{"flattening", "count((1, 2, (3, 4)))", "4"},
+        SemCase{"singleton_equiv", "1 instance of item()", "true"},
+        SemCase{"duplicates_kept", "count((1, 1, 1))", "3"},
+        SemCase{"heterogeneous", "count((<a/>, 3))", "2"},
+        SemCase{"range_expansion", "string-join(for $i in (1 to 3) return "
+                                   "string($i), '')",
+                "123"}),
+    [](const ::testing::TestParamInfo<SemCase>& info) {
+      return info.param.label;
+    });
+
+// Slide "Conditional expressions": only the taken branch may raise.
+TEST(PaperSemantics, ConditionalErrorIsolation) {
+  EXPECT_EQ(RunAllWays("if (1 < 2) then 'ok' else error('never')"), "ok");
+  std::string r = RunQuery("if (2 < 1) then 'ok' else error('taken')");
+  EXPECT_NE(r.find("taken"), std::string::npos);
+}
+
+// Slide "Typed vs untyped XML Data" (the untyped half; schema validation is
+// out of scope).
+TEST(PaperSemantics, UntypedData) {
+  EXPECT_EQ(RunAllWays("<a>3</a> eq \"3\""), "true");
+  // Without validation, numeric value comparison with untyped is an error.
+  std::string r = RunQuery("<a>3</a> eq 3");
+  EXPECT_NE(r.find("ERROR"), std::string::npos);
+}
+
+// The node-identity and order comparisons table.
+TEST(PaperSemantics, NodeComparisons) {
+  EXPECT_EQ(RunAllWays("let $a := <x/> return $a is $a"), "true");
+  EXPECT_EQ(RunAllWays("let $d := <r><a/><b/></r> return "
+                       "exactly-one($d/a) << exactly-one($d/b)"),
+            "true");
+  EXPECT_EQ(RunAllWays("let $d := <r><a/><b/></r> return "
+                       "exactly-one($d/b) >> exactly-one($d/a)"),
+            "true");
+  EXPECT_EQ(RunAllWays("count(() is ())"), "0");
+}
+
+}  // namespace
+}  // namespace xqp

@@ -1,0 +1,245 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/normalize.h"
+
+namespace xqp {
+namespace {
+
+/// Parses and normalizes, returning the body's s-expression dump. The free
+/// variables used by the path tests are predeclared as externals.
+std::string ParseDump(const std::string& query) {
+  std::string prolog =
+      "declare variable $x external; declare variable $a external; "
+      "declare variable $b external; ";
+  auto module = ParseQuery(query.find('$') != std::string::npos &&
+                                   query.find("declare") == std::string::npos &&
+                                   query.find("for") != 0 &&
+                                   query.find("let") != 0 &&
+                                   query.find("some") != 0 &&
+                                   query.find("every") != 0
+                               ? prolog + query
+                               : query);
+  if (!module.ok()) return "PARSE-ERROR: " + module.status().ToString();
+  Status st = NormalizeModule(module->get());
+  if (!st.ok()) return "NORMALIZE-ERROR: " + st.ToString();
+  return (*module)->body->ToString();
+}
+
+TEST(QueryParser, Precedence) {
+  EXPECT_EQ(ParseDump("1 + 2 * 3"), "(+ 1 (* 2 3))");
+  EXPECT_EQ(ParseDump("(1 + 2) * 3"), "(* (+ 1 2) 3)");
+  EXPECT_EQ(ParseDump("1 = 2 or 3 = 4 and 5 = 6"),
+            "(or (= 1 2) (and (= 3 4) (= 5 6)))");
+  EXPECT_EQ(ParseDump("1 to 2 + 3"), "(to 1 (+ 2 3))");
+  EXPECT_EQ(ParseDump("-1 + 2"), "(+ (neg 1) 2)");
+}
+
+TEST(QueryParser, Comparisons) {
+  EXPECT_EQ(ParseDump("1 eq 2"), "(eq 1 2)");
+  EXPECT_EQ(ParseDump("1 < 2"), "(< 1 2)");
+  EXPECT_EQ(ParseDump("1 << 2"), "(<< 1 2)");
+  EXPECT_EQ(ParseDump("1 is 2"), "(is 1 2)");
+}
+
+TEST(QueryParser, Paths) {
+  EXPECT_EQ(ParseDump("$x/a/b"),
+            "(path/sort/dedup (path/sort/dedup $x child::a) child::b)");
+  EXPECT_EQ(ParseDump("$x//a"),
+            "(path/sort/dedup (path/sort/dedup $x "
+            "descendant-or-self::node()) child::a)");
+  EXPECT_EQ(ParseDump("$x/@y"), "(path/sort/dedup $x attribute::y)");
+  EXPECT_EQ(ParseDump("$x/.."), "(path/sort/dedup $x parent::node())");
+  EXPECT_EQ(ParseDump("$x/ancestor::a"),
+            "(path/sort/dedup $x ancestor::a)");
+  EXPECT_EQ(ParseDump("$x/child::text()"),
+            "(path/sort/dedup $x child::text())");
+}
+
+TEST(QueryParser, PredicatesBindTighterThanSlash) {
+  // The classic XPath mistake from the paper: $x/a/b[1] is $x/a/(b[1]).
+  EXPECT_EQ(ParseDump("$x/a/b[1]"),
+            "(path/sort/dedup (path/sort/dedup $x child::a) "
+            "(filter child::b 1))");
+  EXPECT_EQ(ParseDump("($x/a/b)[1]"),
+            "(filter (path/sort/dedup (path/sort/dedup $x child::a) "
+            "child::b) 1)");
+}
+
+TEST(QueryParser, Flwor) {
+  EXPECT_EQ(ParseDump("for $x in (1,2) return $x"),
+            "(flwor for $x in (seq 1 2) return $x)");
+  EXPECT_EQ(ParseDump("for $x at $i in (1,2) return $i"),
+            "(flwor for $x at $i in (seq 1 2) return $i)");
+  EXPECT_EQ(ParseDump("let $y := 3 return $y"),
+            "(flwor let $y := 3 return $y)");
+  EXPECT_EQ(
+      ParseDump("for $x in (1,2) where $x eq 1 order by $x descending "
+                "return $x"),
+      "(flwor for $x in (seq 1 2) where (eq $x 1) order-by $x descending "
+      "return $x)");
+}
+
+TEST(QueryParser, Quantified) {
+  EXPECT_EQ(ParseDump("some $x in (1,2) satisfies $x eq 1"),
+            "(some $x in (seq 1 2) satisfies (eq $x 1))");
+  EXPECT_EQ(ParseDump("every $x in (1,2), $y in (3,4) satisfies $x lt $y"),
+            "(every $x in (seq 1 2) $y in (seq 3 4) satisfies (lt $x $y))");
+}
+
+TEST(QueryParser, IfAndTypeswitch) {
+  EXPECT_EQ(ParseDump("if (1) then 2 else 3"), "(if 1 2 3)");
+  EXPECT_EQ(ParseDump(
+                "typeswitch (1) case xs:integer return 'i' default return 'o'"),
+            "(typeswitch 1 case xs:integer return \"i\" default \"o\")");
+}
+
+TEST(QueryParser, TypesOperators) {
+  EXPECT_EQ(ParseDump("1 instance of xs:integer"),
+            "(instance-of 1 xs:integer)");
+  EXPECT_EQ(ParseDump("'5' cast as xs:integer"),
+            "(cast-as \"5\" xs:integer)");
+  EXPECT_EQ(ParseDump("'x' castable as xs:double?"),
+            "(castable-as \"x\" xs:double?)");
+  EXPECT_EQ(ParseDump("(1,2) treat as item()+"),
+            "(treat-as (seq 1 2) item()+)");
+}
+
+TEST(QueryParser, SetOperators) {
+  EXPECT_EQ(ParseDump("$a union $b"), "(union $a $b)");
+  EXPECT_EQ(ParseDump("$a | $b"), "(union $a $b)");
+  EXPECT_EQ(ParseDump("$a intersect $b"), "(intersect $a $b)");
+  EXPECT_EQ(ParseDump("$a except $b"), "(except $a $b)");
+}
+
+TEST(QueryParser, FunctionCallsResolve) {
+  EXPECT_EQ(ParseDump("count((1,2))"), "(count (seq 1 2))");
+  EXPECT_EQ(ParseDump("fn:count((1,2))"), "(fn:count (seq 1 2))");
+  EXPECT_EQ(ParseDump("xf:empty(())"), "(xf:empty (seq))");
+  // xs constructor becomes a cast.
+  EXPECT_EQ(ParseDump("xs:integer('4')"), "(cast-as \"4\" xs:integer?)");
+}
+
+TEST(QueryParser, UnknownFunctionIsStaticError) {
+  EXPECT_NE(ParseDump("nosuchfn(1)").find("NORMALIZE-ERROR"),
+            std::string::npos);
+  EXPECT_NE(ParseDump("count(1,2,3)").find("wrong number of arguments"),
+            std::string::npos);
+}
+
+TEST(QueryParser, UndefinedVariableIsStaticError) {
+  EXPECT_NE(ParseDump("$nope").find("undefined variable"), std::string::npos);
+}
+
+TEST(QueryParser, DirectConstructors) {
+  EXPECT_EQ(ParseDump("<a/>"), "(element a)");
+  EXPECT_EQ(ParseDump("<a x=\"1\">t</a>"),
+            "(element a (attribute x \"1\") (text \"t\"))");
+  EXPECT_EQ(ParseDump("<a>{1 + 2}</a>"), "(element a (+ 1 2))");
+  EXPECT_EQ(ParseDump("<a x=\"v{1}w\"/>"),
+            "(element a (attribute x \"v\" 1 \"w\"))");
+  EXPECT_EQ(ParseDump("<a><b/>{2}</a>"), "(element a (element b) 2)");
+  EXPECT_EQ(ParseDump("<a>{{literal}}</a>"),
+            "(element a (text \"{literal}\"))");
+}
+
+TEST(QueryParser, DirectConstructorNamespaces) {
+  auto module = ParseQuery("<p:a xmlns:p=\"urn:p\"><p:b/></p:a>");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  const auto* ctor = static_cast<const ElementCtorExpr*>((*module)->body.get());
+  EXPECT_EQ(ctor->name.uri, "urn:p");
+  ASSERT_EQ(ctor->NumChildren(), 1u);
+  const auto* inner = static_cast<const ElementCtorExpr*>(ctor->child(0));
+  EXPECT_EQ(inner->name.uri, "urn:p");
+}
+
+TEST(QueryParser, ComputedConstructors) {
+  EXPECT_EQ(ParseDump("element foo {1}"), "(element foo 1)");
+  EXPECT_EQ(ParseDump("attribute bar {2}"), "(attribute bar 2)");
+  EXPECT_EQ(ParseDump("text {3}"), "(text 3)");
+  EXPECT_EQ(ParseDump("comment {'c'}"), "(comment-ctor \"c\")");
+  EXPECT_EQ(ParseDump("document {<a/>}"), "(document (element a))");
+  EXPECT_EQ(ParseDump("element {'dyn'} {}"),
+            "(element <computed> \"dyn\" (seq))");
+}
+
+TEST(QueryParser, PrologNamespaces) {
+  auto module = ParseQuery(
+      "declare namespace my = \"urn:my\"; count(//my:item)");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+}
+
+TEST(QueryParser, PrologFunctionAndVariable) {
+  auto module = ParseQuery(
+      "declare variable $size := 10; "
+      "declare function local:twice($n) { 2 * $n }; "
+      "local:twice($size)");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  ASSERT_TRUE(NormalizeModule(module->get()).ok());
+  EXPECT_EQ((*module)->functions.size(), 1u);
+  EXPECT_EQ((*module)->globals.size(), 1u);
+  EXPECT_FALSE((*module)->functions[0].recursive);
+}
+
+TEST(QueryParser, RecursionDetection) {
+  auto module = ParseQuery(
+      "declare function local:f($n) { if ($n le 0) then 0 else "
+      "local:f($n - 1) }; local:f(3)");
+  ASSERT_TRUE(module.ok());
+  ASSERT_TRUE(NormalizeModule(module->get()).ok());
+  EXPECT_TRUE((*module)->functions[0].recursive);
+}
+
+TEST(QueryParser, MutualRecursionDetection) {
+  auto module = ParseQuery(
+      "declare function local:even($n) { if ($n eq 0) then true() else "
+      "local:odd($n - 1) }; "
+      "declare function local:odd($n) { if ($n eq 0) then false() else "
+      "local:even($n - 1) }; "
+      "local:even(4)");
+  ASSERT_TRUE(module.ok());
+  ASSERT_TRUE(NormalizeModule(module->get()).ok());
+  EXPECT_TRUE((*module)->functions[0].recursive);
+  EXPECT_TRUE((*module)->functions[1].recursive);
+}
+
+struct BadQuery {
+  const char* label;
+  const char* query;
+};
+
+class BadQueryTest : public ::testing::TestWithParam<BadQuery> {};
+
+TEST_P(BadQueryTest, Rejected) {
+  auto module = ParseQuery(GetParam().query);
+  if (module.ok()) {
+    EXPECT_FALSE(NormalizeModule(module->get()).ok()) << GetParam().label;
+  } else {
+    EXPECT_EQ(module.status().code(), StatusCode::kStaticError)
+        << GetParam().label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BadQueryTest,
+    ::testing::Values(
+        BadQuery{"unclosed_paren", "(1, 2"},
+        BadQuery{"missing_return", "for $x in (1,2) $x"},
+        BadQuery{"bad_step", "$x/!"},
+        BadQuery{"trailing", "1 1"},
+        BadQuery{"unknown_axis", "$x/sideways::a"},
+        BadQuery{"unclosed_ctor", "<a>"},
+        BadQuery{"ctor_mismatch", "<a></b>"},
+        BadQuery{"unclosed_brace", "<a>{1</a>"},
+        BadQuery{"dup_function",
+                 "declare function local:f() {1}; "
+                 "declare function local:f() {2}; 1"},
+        BadQuery{"validate", "validate { <a/> }"},
+        BadQuery{"import", "import schema \"x\"; 1"}),
+    [](const ::testing::TestParamInfo<BadQuery>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace xqp

@@ -1,0 +1,107 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RandomXml;
+
+std::string RoundTrip(const std::string& xml) {
+  auto doc = Document::Parse(xml).value();
+  return SerializeToString(Node(doc, 0)).value();
+}
+
+TEST(Serializer, Simple) {
+  EXPECT_EQ(RoundTrip("<a><b>t</b><c/></a>"), "<a><b>t</b><c/></a>");
+}
+
+TEST(Serializer, AttributesAndEscapes) {
+  EXPECT_EQ(RoundTrip("<a x=\"1&amp;2\">&lt;&amp;</a>"),
+            "<a x=\"1&amp;2\">&lt;&amp;</a>");
+}
+
+TEST(Serializer, CommentAndPi) {
+  EXPECT_EQ(RoundTrip("<a><!--note--><?p d?></a>"),
+            "<a><!--note--><?p d?></a>");
+}
+
+struct RoundTripCase {
+  const char* label;
+  const char* xml;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(RoundTripTest, Stable) {
+  // Serialize, reparse, serialize: the two serializations must agree
+  // (canonical-form fixpoint).
+  std::string first = RoundTrip(GetParam().xml);
+  std::string second = RoundTrip(first);
+  EXPECT_EQ(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"mixed", "<p>one <b>two</b> three</p>"},
+        RoundTripCase{"nested", "<a><b><c><d/></c></b></a>"},
+        RoundTripCase{"ns", "<x:a xmlns:x=\"urn:x\"><x:b/></x:a>"},
+        RoundTripCase{"default_ns", "<a xmlns=\"urn:d\"><b/></a>"},
+        RoundTripCase{"quote_attr", "<a v=\"say &quot;hi&quot;\"/>"},
+        RoundTripCase{"newline_attr", "<a v=\"l1&#10;l2\"/>"},
+        RoundTripCase{"deep_text", "<a>x<b>y<c>z</c></b></a>"}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Serializer, NamespaceFixupForConstructedTree) {
+  // Build a tree whose names carry URIs but no recorded declarations.
+  DocumentBuilder builder;
+  XQP_ASSERT_OK(builder.BeginElement(QName("urn:n", "n", "root")));
+  XQP_ASSERT_OK(builder.BeginElement(QName("urn:n", "n", "kid")));
+  XQP_ASSERT_OK(builder.EndElement());
+  XQP_ASSERT_OK(builder.EndElement());
+  auto doc = std::move(builder.Finish()).ValueOrDie();
+  auto xml = SerializeToString(Node(doc, 0)).value();
+  // One declaration at the top; none repeated on the child.
+  EXPECT_EQ(xml, "<n:root xmlns:n=\"urn:n\"><n:kid/></n:root>");
+}
+
+TEST(Serializer, XmlDeclarationOption) {
+  auto doc = Document::Parse("<a/>").value();
+  SerializeOptions options;
+  options.xml_declaration = true;
+  auto xml = SerializeToString(Node(doc, 0), options).value();
+  EXPECT_EQ(xml, "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+TEST(Serializer, Indentation) {
+  auto doc = Document::Parse("<a><b><c/></b><d>t</d></a>").value();
+  SerializeOptions options;
+  options.indent = true;
+  auto xml = SerializeToString(Node(doc, 0), options).value();
+  EXPECT_EQ(xml, "<a>\n  <b>\n    <c/>\n  </b>\n  <d>t</d>\n</a>");
+}
+
+TEST(Serializer, SubtreeSerialization) {
+  auto doc = Document::Parse("<a><b x=\"1\">t</b><c/></a>").value();
+  Node b(doc, doc->node(1).first_child);
+  EXPECT_EQ(SerializeToString(b).value(), "<b x=\"1\">t</b>");
+}
+
+class RandomRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomRoundTripTest, Fixpoint) {
+  std::string xml = RandomXml(GetParam(), 150);
+  std::string once = RoundTrip(xml);
+  EXPECT_EQ(once, RoundTrip(once));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace xqp

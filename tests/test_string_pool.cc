@@ -1,0 +1,79 @@
+#include "xml/string_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace xqp {
+namespace {
+
+TEST(StringPool, DeduplicatesWhenPoolingOn) {
+  StringPool pool;
+  auto a = pool.Intern("hello");
+  auto b = pool.Intern("world");
+  auto c = pool.Intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.Get(a), "hello");
+  EXPECT_EQ(pool.Get(b), "world");
+}
+
+TEST(StringPool, NoDedupWhenPoolingOff) {
+  StringPool pool;
+  pool.set_pooling_enabled(false);
+  auto a = pool.Intern("hello");
+  auto b = pool.Intern("hello");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.Get(a), "hello");
+  EXPECT_EQ(pool.Get(b), "hello");
+}
+
+TEST(StringPool, FindDoesNotInsert) {
+  StringPool pool;
+  EXPECT_EQ(pool.Find("missing"), StringPool::kInvalid);
+  auto id = pool.Intern("present");
+  EXPECT_EQ(pool.Find("present"), id);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPool, StableViewsAcrossGrowth) {
+  StringPool pool;
+  auto first = pool.Intern("first-string-value");
+  std::string_view view = pool.Get(first);
+  for (int i = 0; i < 10000; ++i) {
+    pool.Intern("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(view, "first-string-value");  // Deque storage never relocates.
+  EXPECT_EQ(pool.Get(first), "first-string-value");
+}
+
+TEST(StringPool, EmptyString) {
+  StringPool pool;
+  auto id = pool.Intern("");
+  EXPECT_EQ(pool.Get(id), "");
+  EXPECT_EQ(pool.Intern(""), id);
+}
+
+TEST(StringPool, MemoryUsageGrowsWithContent) {
+  StringPool pool;
+  size_t before = pool.MemoryUsage();
+  pool.Intern(std::string(1000, 'x'));
+  EXPECT_GT(pool.MemoryUsage(), before + 900);
+}
+
+TEST(StringPool, PoolingSavesMemoryOnRepeats) {
+  StringPool pooled;
+  StringPool unpooled;
+  unpooled.set_pooling_enabled(false);
+  std::string payload(100, 'p');
+  for (int i = 0; i < 1000; ++i) {
+    pooled.Intern(payload);
+    unpooled.Intern(payload);
+  }
+  EXPECT_EQ(pooled.size(), 1u);
+  EXPECT_EQ(unpooled.size(), 1000u);
+  EXPECT_LT(pooled.MemoryUsage(), unpooled.MemoryUsage() / 10);
+}
+
+}  // namespace
+}  // namespace xqp

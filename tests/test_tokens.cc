@@ -1,0 +1,178 @@
+#include "tokens/token_iterator.h"
+#include "tokens/token_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RandomXml;
+
+/// Renders any token iterator to a compact trace.
+std::vector<std::string> Trace(TokenIterator* it) {
+  std::vector<std::string> out;
+  EXPECT_TRUE(it->Open().ok());
+  while (true) {
+    auto t = it->Next();
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    if (!t.ok() || t.value() == nullptr) break;
+    const Token& token = *t.value();
+    std::string s(TokenKindName(token.kind));
+    if (token.kind == TokenKind::kStartElement ||
+        token.kind == TokenKind::kAttribute ||
+        token.kind == TokenKind::kProcessingInstruction) {
+      s += ":" + it->name(token).local;
+    }
+    if (token.value_id != kNoValue || token.kind == TokenKind::kNamespaceDecl) {
+      s += "=" + std::string(it->value(token));
+    }
+    out.push_back(std::move(s));
+  }
+  EXPECT_TRUE(it->Close().ok());
+  return out;
+}
+
+TEST(TokenStream, FromDocumentMatchesPaperShape) {
+  auto doc = Document::Parse("<order id=\"4711\"><date>2003-08-19</date>"
+                             "<lineitem/></order>")
+                 .value();
+  TokenStream ts = TokenStream::FromDocument(*doc);
+  StreamTokenIterator it(&ts);
+  EXPECT_EQ(Trace(&it), (std::vector<std::string>{
+                            "BD", "BE:order", "ATTR:id=4711", "BE:date",
+                            "TEXT=2003-08-19", "EE", "BE:lineitem", "EE", "EE",
+                            "ED"}));
+}
+
+TEST(TokenStream, FromXmlEqualsFromDocument) {
+  std::string xml = RandomXml(3, 120);
+  auto doc = Document::Parse(xml).value();
+  TokenStream from_doc = TokenStream::FromDocument(*doc);
+  TokenStream from_xml = std::move(TokenStream::FromXml(xml)).ValueOrDie();
+  StreamTokenIterator a(&from_doc);
+  StreamTokenIterator b(&from_xml);
+  EXPECT_EQ(Trace(&a), Trace(&b));
+}
+
+TEST(TokenStream, DocumentIteratorEqualsStream) {
+  std::string xml = RandomXml(4, 150);
+  auto doc = Document::Parse(xml).value();
+  TokenStream ts = TokenStream::FromDocument(*doc);
+  StreamTokenIterator a(&ts);
+  DocumentTokenIterator b(doc);
+  EXPECT_EQ(Trace(&a), Trace(&b));
+}
+
+TEST(TokenStream, ParserIteratorEqualsStream) {
+  std::string xml = RandomXml(5, 150);
+  TokenStream ts = std::move(TokenStream::FromXml(xml)).ValueOrDie();
+  StreamTokenIterator a(&ts);
+  ParserTokenIterator b(xml);
+  EXPECT_EQ(Trace(&a), Trace(&b));
+}
+
+TEST(TokenIterator, SkipJumpsSubtree) {
+  auto doc =
+      Document::Parse("<r><a><deep><deeper/></deep></a><b/></r>").value();
+  TokenStream ts = TokenStream::FromDocument(*doc);
+  StreamTokenIterator it(&ts);
+  XQP_ASSERT_OK(it.Open());
+  // BD, BE:r, BE:a.
+  for (int i = 0; i < 3; ++i) {
+    auto t = it.Next();
+    ASSERT_TRUE(t.ok());
+  }
+  XQP_ASSERT_OK(it.Skip());  // Skip the rest of <a>'s subtree.
+  auto t = it.Next();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value()->kind, TokenKind::kStartElement);
+  EXPECT_EQ(it.name(*t.value()).local, "b");
+}
+
+TEST(TokenIterator, SkipVariantsAgree) {
+  std::string xml = RandomXml(6, 200);
+  auto doc = Document::Parse(xml).value();
+  TokenStream ts = TokenStream::FromDocument(*doc);
+
+  auto skip_every_third = [](TokenIterator* it) {
+    std::vector<std::string> out;
+    EXPECT_TRUE(it->Open().ok());
+    int n = 0;
+    while (true) {
+      auto t = it->Next();
+      EXPECT_TRUE(t.ok());
+      if (!t.ok() || t.value() == nullptr) break;
+      out.push_back(std::string(TokenKindName(t.value()->kind)));
+      if (++n % 3 == 0) {
+        EXPECT_TRUE(it->Skip().ok());
+      }
+    }
+    return out;
+  };
+
+  StreamTokenIterator fast(&ts);
+  ScanOnlyTokenIterator slow(&ts);
+  DocumentTokenIterator direct(doc);
+  ParserTokenIterator parser(xml);
+  auto expected = skip_every_third(&fast);
+  EXPECT_EQ(skip_every_third(&slow), expected);
+  EXPECT_EQ(skip_every_third(&direct), expected);
+  EXPECT_EQ(skip_every_third(&parser), expected);
+}
+
+TEST(TokenSink, SerializeTokensRoundTrip) {
+  std::string xml = "<a p=\"1\"><b>text</b><!--c--><?pi d?></a>";
+  ParserTokenIterator it(xml);
+  auto out = SerializeTokens(&it);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, xml);
+}
+
+TEST(TokenSink, DocumentSinkBuildsEqualDocument) {
+  std::string xml = RandomXml(8, 100);
+  auto doc = Document::Parse(xml).value();
+  DocumentTokenIterator it(doc);
+  DocumentSink sink;
+  XQP_ASSERT_OK(it.Open());
+  XQP_ASSERT_OK(PumpTokens(&it, &sink));
+  auto copy = std::move(sink.Finish()).ValueOrDie();
+  EXPECT_EQ(copy->NumNodes(), doc->NumNodes());
+}
+
+TEST(TokenStream, NodeIdsOptional) {
+  auto doc = Document::Parse("<a><b/></a>").value();
+  TokenStreamOptions with;
+  TokenStreamOptions without;
+  without.with_node_ids = false;
+  TokenStream ts_with = TokenStream::FromDocument(*doc, with);
+  TokenStream ts_without = TokenStream::FromDocument(*doc, without);
+  EXPECT_NE(ts_with.token(1).node_id, kNullNode);
+  EXPECT_EQ(ts_without.token(1).node_id, kNullNode);
+}
+
+TEST(TokenStream, PoolingDeduplicatesValues) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 50; ++i) xml += "<x>dup</x>";
+  xml += "</r>";
+  TokenStreamOptions pooled;
+  TokenStreamOptions unpooled;
+  unpooled.pool_strings = false;
+  auto a = std::move(TokenStream::FromXml(xml, pooled)).ValueOrDie();
+  auto b = std::move(TokenStream::FromXml(xml, unpooled)).ValueOrDie();
+  EXPECT_LT(a.MemoryUsage(), b.MemoryUsage());
+}
+
+TEST(TokenStream, SealSkipLinksIdempotent) {
+  auto doc = Document::Parse("<a><b><c/></b></a>").value();
+  TokenStream ts = TokenStream::FromDocument(*doc);
+  // token 1 = BE:a; its skip target is the final EE+1.
+  uint32_t before = ts.token(1).skip_to;
+  ts.SealSkipLinks();
+  EXPECT_EQ(ts.token(1).skip_to, before);
+  EXPECT_GT(before, 1u);
+}
+
+}  // namespace
+}  // namespace xqp

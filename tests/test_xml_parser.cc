@@ -1,0 +1,227 @@
+#include "xml/pull_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xqp {
+namespace {
+
+using Events = std::vector<std::string>;
+
+/// Renders the event stream compactly for comparison.
+Result<Events> Pump(std::string_view xml, ParseOptions options = {}) {
+  XmlPullParser parser(xml, options);
+  Events out;
+  while (true) {
+    XQP_ASSIGN_OR_RETURN(const XmlEvent* e, parser.Next());
+    if (e == nullptr) break;
+    switch (e->type) {
+      case XmlEventType::kStartDocument:
+        out.push_back("SD");
+        break;
+      case XmlEventType::kEndDocument:
+        out.push_back("ED");
+        break;
+      case XmlEventType::kStartElement: {
+        std::string s = "<" + e->name.Clark();
+        for (const auto& a : e->attributes) {
+          s += " " + a.name.Clark() + "=" + a.value;
+        }
+        for (const auto& ns : e->ns_decls) {
+          s += " xmlns:" + ns.prefix + "=" + ns.uri;
+        }
+        out.push_back(s);
+        break;
+      }
+      case XmlEventType::kEndElement:
+        out.push_back(">");
+        break;
+      case XmlEventType::kText:
+        out.push_back("T:" + e->text);
+        break;
+      case XmlEventType::kComment:
+        out.push_back("C:" + e->text);
+        break;
+      case XmlEventType::kProcessingInstruction:
+        out.push_back("PI:" + e->name.local + ":" + e->text);
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(XmlParser, SimpleElement) {
+  auto events = Pump("<a>hi</a>").value();
+  EXPECT_EQ(events, (Events{"SD", "<a", "T:hi", ">", "ED"}));
+}
+
+TEST(XmlParser, SelfClosing) {
+  auto events = Pump("<a/>").value();
+  EXPECT_EQ(events, (Events{"SD", "<a", ">", "ED"}));
+}
+
+TEST(XmlParser, Attributes) {
+  auto events = Pump(R"(<a x="1" y='2'/>)").value();
+  EXPECT_EQ(events[1], "<a x=1 y=2");
+}
+
+TEST(XmlParser, XmlDeclAndPi) {
+  auto events = Pump("<?xml version=\"1.0\"?><a><?target data here?></a>").value();
+  EXPECT_EQ(events, (Events{"SD", "<a", "PI:target:data here", ">", "ED"}));
+}
+
+TEST(XmlParser, CommentAndCdata) {
+  auto events = Pump("<a><!-- note --><![CDATA[<raw&>]]></a>").value();
+  EXPECT_EQ(events, (Events{"SD", "<a", "C: note ", "T:<raw&>", ">", "ED"}));
+}
+
+TEST(XmlParser, EntityDecoding) {
+  auto events = Pump("<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>").value();
+  EXPECT_EQ(events[2], "T:<&>\"'AB");
+}
+
+TEST(XmlParser, EntityInAttribute) {
+  auto events = Pump(R"(<a v="x&amp;y&#10;z"/>)").value();
+  EXPECT_EQ(events[1], "<a v=x&y\nz");
+}
+
+TEST(XmlParser, Namespaces) {
+  auto events =
+      Pump(R"(<b:a xmlns:b="urn:one" xmlns="urn:dflt"><c b:d="v"/></b:a>)")
+          .value();
+  EXPECT_EQ(events[1], "<{urn:one}a xmlns:b=urn:one xmlns:=urn:dflt");
+  // Unprefixed child picks up the default namespace; prefixed attribute
+  // resolves through b.
+  EXPECT_EQ(events[2], "<{urn:dflt}c {urn:one}d=v");
+}
+
+TEST(XmlParser, NamespaceScopesPop) {
+  auto events = Pump(R"(<a><b xmlns="urn:x"><c/></b><d/></a>)").value();
+  EXPECT_EQ(events[2], "<{urn:x}b xmlns:=urn:x");
+  EXPECT_EQ(events[3], "<{urn:x}c");
+  EXPECT_EQ(events[6], "<d");  // Default namespace no longer in scope.
+}
+
+TEST(XmlParser, StripWhitespaceOption) {
+  ParseOptions options;
+  options.strip_whitespace = true;
+  auto events = Pump("<a>\n  <b/>\n</a>", options).value();
+  EXPECT_EQ(events, (Events{"SD", "<a", "<b", ">", ">", "ED"}));
+}
+
+TEST(XmlParser, DoctypeSkipped) {
+  auto events =
+      Pump("<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>x</a>").value();
+  EXPECT_EQ(events, (Events{"SD", "<a", "T:x", ">", "ED"}));
+}
+
+TEST(XmlParser, MixedContent) {
+  auto events = Pump("<p>one <b>two</b> three</p>").value();
+  EXPECT_EQ(events,
+            (Events{"SD", "<p", "T:one ", "<b", "T:two", ">", "T: three", ">",
+                    "ED"}));
+}
+
+struct BadXml {
+  const char* label;
+  const char* xml;
+};
+
+class MalformedTest : public ::testing::TestWithParam<BadXml> {};
+
+TEST_P(MalformedTest, Rejected) {
+  auto result = Pump(GetParam().xml);
+  EXPECT_FALSE(result.ok()) << GetParam().label;
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, MalformedTest,
+    ::testing::Values(
+        BadXml{"mismatched", "<a></b>"},
+        BadXml{"unclosed", "<a><b></a>"},
+        BadXml{"eof_in_tag", "<a"},
+        BadXml{"two_roots", "<a/><b/>"},
+        BadXml{"text_outside", "<a/>junk"},
+        BadXml{"bad_entity", "<a>&nosuch;</a>"},
+        BadXml{"unterminated_entity", "<a>&amp</a>"},
+        BadXml{"unterminated_comment", "<a><!-- x</a>"},
+        BadXml{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadXml{"lt_in_attr", "<a v=\"<\"/>"},
+        BadXml{"missing_quote", "<a v=1/>"},
+        BadXml{"undeclared_prefix", "<p:a/>"},
+        BadXml{"stray_end", "</a>"}),
+    [](const ::testing::TestParamInfo<BadXml>& info) {
+      return info.param.label;
+    });
+
+TEST(XmlParser, ErrorsCarryLineColumn) {
+  XmlPullParser parser("<a>\n<b></c>", ParseOptions{});
+  Status error;
+  while (true) {
+    auto e = parser.Next();
+    if (!e.ok()) {
+      error = e.status();
+      break;
+    }
+    if (e.value() == nullptr) break;
+  }
+  EXPECT_FALSE(error.ok());
+  EXPECT_NE(error.message().find("2:"), std::string::npos) << error.ToString();
+}
+
+TEST(XmlParser, LargeFlatDocument) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 5000; ++i) xml += "<x/>";
+  xml += "</r>";
+  auto events = Pump(xml).value();
+  // SD + <r> + 5000 * (<x>, </x>) + </r> + ED.
+  EXPECT_EQ(events.size(), 10004u);
+}
+
+/// Fuzz-lite: random single-byte mutations of well-formed documents must
+/// either parse or fail with a ParseError — never crash, hang, or corrupt.
+class MutationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationFuzzTest, MutatedInputNeverCrashes) {
+  std::string base = testing_util::RandomXml(GetParam(), 120);
+  SplitMix64 rng(GetParam() ^ 0xf00dULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = base;
+    size_t pos = rng.Below(mutated.size());
+    switch (rng.Below(3)) {
+      case 0:
+        mutated[pos] = static_cast<char>(rng.Below(256));
+        break;
+      case 1:
+        mutated.erase(pos, 1 + rng.Below(4));
+        break;
+      default:
+        mutated.insert(pos, 1, "<>&\"'/="[rng.Below(7)]);
+        break;
+    }
+    auto doc = Document::Parse(mutated);
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kParseError)
+          << doc.status().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+TEST(XmlParser, DeepNesting) {
+  std::string xml;
+  for (int i = 0; i < 500; ++i) xml += "<d>";
+  xml += "x";
+  for (int i = 0; i < 500; ++i) xml += "</d>";
+  auto events = Pump(xml).value();
+  EXPECT_EQ(events.size(), 2u + 500u * 2 + 1u);
+}
+
+}  // namespace
+}  // namespace xqp

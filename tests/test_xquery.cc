@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RunAllWays;
+using testing_util::RunQuery;
+
+constexpr const char* kBib = R"(<bib>
+<book year="1994"><title>TCP/IP Illustrated</title><author>Stevens</author><price>65.95</price></book>
+<book year="2000"><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><author>Suciu</author><price>39.95</price></book>
+<book year="1999"><title>The Economics of Technology</title><author>Wilikens</author><price>129.95</price></book>
+</bib>)";
+
+struct QueryCase {
+  const char* label;
+  const char* query;
+  const char* expect;
+};
+
+class XQueryTest : public ::testing::TestWithParam<QueryCase> {};
+
+TEST_P(XQueryTest, AllEnginesAgreeOnExpected) {
+  EXPECT_EQ(RunAllWays(GetParam().query, kBib), GetParam().expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flwor, XQueryTest,
+    ::testing::Values(
+        QueryCase{"selection",
+                  "for $b in doc('doc.xml')//book where $b/price < 50 "
+                  "return string($b/title)",
+                  "Data on the Web"},
+        QueryCase{"let_binding",
+                  "for $b in doc('doc.xml')//book let $a := $b/author "
+                  "where count($a) > 1 return count($a)",
+                  "3"},
+        QueryCase{"positional_var",
+                  "string-join(for $b at $i in doc('doc.xml')//book "
+                  "return concat($i, ':', $b/@year), ' ')",
+                  "1:1994 2:2000 3:1999"},
+        QueryCase{"multiple_for_join",
+                  "count(for $x in (1,2), $y in (10,20,30) return $x * $y)",
+                  "6"},
+        QueryCase{"where_filters_tuples",
+                  "string-join(for $x in (1,2,3,4) where $x mod 2 = 0 "
+                  "return string($x), ',')",
+                  "2,4"},
+        QueryCase{"order_by_string",
+                  "string-join(for $b in doc('doc.xml')//book "
+                  "order by string($b/title) return string($b/@year), ' ')",
+                  "2000 1994 1999"},
+        QueryCase{"order_by_numeric",
+                  "string-join(for $b in doc('doc.xml')//book "
+                  "order by xs:double($b/price) descending "
+                  "return string($b/@year), ' ')",
+                  "1999 1994 2000"},
+        QueryCase{"order_by_two_keys",
+                  "string-join(for $p in (3,1,2,1) order by $p, $p return "
+                  "string($p), '')",
+                  "1123"},
+        QueryCase{"order_stable",
+                  "string-join(for $p at $i in ('b','a','c','a') "
+                  "order by $p return string($i), '')",
+                  "2413"},
+        QueryCase{"order_empty_least",
+                  "string-join(for $p in (2, 1) let $k := (if ($p = 1) "
+                  "then () else $p) order by $k return string($p), '')",
+                  "12"},
+        QueryCase{"order_empty_greatest",
+                  "string-join(for $p in (2, 1) let $k := (if ($p = 1) "
+                  "then () else $p) order by $k empty greatest "
+                  "return string($p), '')",
+                  "21"},
+        QueryCase{"nested_flwor",
+                  "count(for $x in (1,2) return for $y in (1,2,3) "
+                  "return $x+$y)",
+                  "6"}),
+    [](const ::testing::TestParamInfo<QueryCase>& info) {
+      return info.param.label;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstructorsAndControl, XQueryTest,
+    ::testing::Values(
+        QueryCase{"element_ctor",
+                  "<res n=\"{count(doc('doc.xml')//book)}\"/>",
+                  "<res n=\"3\"/>"},
+        QueryCase{"nested_ctor", "<o><i>{1+1}</i></o>", "<o><i>2</i></o>"},
+        QueryCase{"sequence_in_content", "<s>{1, 2, 3}</s>",
+                  "<s>1 2 3</s>"},
+        QueryCase{"adjacent_enclosed", "<s>{1}{2}</s>", "<s>12</s>"},
+        QueryCase{"copy_semantics",
+                  "count(let $x := <a><b/></a> return ($x, $x)/b)",
+                  "1"},  // Same node twice => dedup to one.
+        QueryCase{"computed_element", "element z { attribute q {5}, 'body' }",
+                  "<z q=\"5\">body</z>"},
+        QueryCase{"computed_dynamic_name",
+                  "element {concat('a','b')} {}", "<ab/>"},
+        QueryCase{"text_ctor", "<w>{text {40+2}}</w>", "<w>42</w>"},
+        QueryCase{"comment_ctor", "comment {'hello'}", "<!--hello-->"},
+        QueryCase{"pi_ctor", "processing-instruction tgt {'d'}", "<?tgt d?>"},
+        QueryCase{"document_ctor", "count(document {<a/>}/a)", "1"},
+        QueryCase{"if_branches",
+                  "if (count(doc('doc.xml')//book) > 2) then 'many' "
+                  "else 'few'",
+                  "many"},
+        QueryCase{"if_only_taken_branch_errors",
+                  "if (true()) then 1 else 1 idiv 0", "1"},
+        QueryCase{"typeswitch_int",
+                  "typeswitch (42) case xs:string return 's' "
+                  "case xs:integer return 'i' default return 'd'",
+                  "i"},
+        QueryCase{"typeswitch_var",
+                  "typeswitch ((1,2)) case $v as xs:integer+ return "
+                  "count($v) default return 0",
+                  "2"},
+        QueryCase{"typeswitch_node",
+                  "typeswitch (<a/>) case element() return 'e' "
+                  "default return 'o'",
+                  "e"}),
+    [](const ::testing::TestParamInfo<QueryCase>& info) {
+      return info.param.label;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatorsAndTypes, XQueryTest,
+    ::testing::Values(
+        QueryCase{"arith_promotion", "1 + 2.5", "3.5"},
+        QueryCase{"div_integers", "7 div 2", "3.5"},
+        QueryCase{"idiv", "7 idiv 2", "3"},
+        QueryCase{"mod", "7 mod 2", "1"},
+        QueryCase{"unary", "-(3 - 5)", "2"},
+        QueryCase{"empty_arith", "() + 1", ""},
+        QueryCase{"range", "string-join(for $i in 1 to 4 return string($i), "
+                           "'')",
+                  "1234"},
+        QueryCase{"range_empty", "count(3 to 1)", "0"},
+        QueryCase{"instance_of", "(1,2) instance of xs:integer*", "true"},
+        QueryCase{"instance_of_occurrence", "(1,2) instance of xs:integer?",
+                  "false"},
+        QueryCase{"instance_integer_is_decimal", "1 instance of xs:decimal",
+                  "true"},
+        QueryCase{"castable", "'12' castable as xs:integer", "true"},
+        QueryCase{"not_castable", "'x' castable as xs:integer", "false"},
+        QueryCase{"cast", "xs:integer('7') + 1", "8"},
+        QueryCase{"treat_ok", "count((1,2) treat as xs:integer+)", "2"},
+        QueryCase{"quantified_some", "some $x in (1,2,3) satisfies $x > 2",
+                  "true"},
+        QueryCase{"quantified_every", "every $x in (1,2,3) satisfies $x > 0",
+                  "true"},
+        QueryCase{"quantified_empty_some",
+                  "some $x in () satisfies $x", "false"},
+        QueryCase{"quantified_empty_every",
+                  "every $x in () satisfies $x", "true"}),
+    [](const ::testing::TestParamInfo<QueryCase>& info) {
+      return info.param.label;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    UserFunctions, XQueryTest,
+    ::testing::Values(
+        QueryCase{"simple_function",
+                  "declare function local:inc($x) { $x + 1 }; local:inc(41)",
+                  "42"},
+        QueryCase{"typed_params",
+                  "declare function local:add($x as xs:integer, $y as "
+                  "xs:integer) as xs:integer { $x + $y }; local:add(20, 22)",
+                  "42"},
+        QueryCase{"recursion",
+                  "declare function local:fib($n) { if ($n < 2) then $n "
+                  "else local:fib($n - 1) + local:fib($n - 2) }; "
+                  "local:fib(12)",
+                  "144"},
+        QueryCase{"mutual_recursion",
+                  "declare function local:even($n) { if ($n eq 0) then "
+                  "true() else local:odd($n - 1) }; declare function "
+                  "local:odd($n) { if ($n eq 0) then false() else "
+                  "local:even($n - 1) }; local:even(10)",
+                  "true"},
+        QueryCase{"function_on_nodes",
+                  "declare function local:titles($d) { $d//title }; "
+                  "count(local:titles(doc('doc.xml')))",
+                  "3"},
+        QueryCase{"globals",
+                  "declare variable $limit := 50; "
+                  "count(doc('doc.xml')//book[price < $limit])",
+                  "1"},
+        QueryCase{"global_uses_global",
+                  "declare variable $a := 10; declare variable $b := $a * 2; "
+                  "$b",
+                  "20"}),
+    [](const ::testing::TestParamInfo<QueryCase>& info) {
+      return info.param.label;
+    });
+
+TEST(XQueryErrors, TreatFailureIsTypeError) {
+  std::string r = RunQuery("(1,2) treat as xs:integer", kBib);
+  EXPECT_NE(r.find("Type error"), std::string::npos) << r;
+}
+
+TEST(XQueryErrors, DivisionByZero) {
+  std::string r = RunQuery("1 idiv 0", kBib);
+  EXPECT_NE(r.find("Dynamic error"), std::string::npos) << r;
+}
+
+TEST(XQueryErrors, RecursionDepthBounded) {
+  std::string r = RunQuery(
+      "declare function local:loop($n) { local:loop($n + 1) }; local:loop(0)",
+      kBib);
+  EXPECT_NE(r.find("recursion depth"), std::string::npos) << r;
+}
+
+TEST(XQueryErrors, ParamTypeMismatch) {
+  std::string r = RunQuery(
+      "declare function local:f($x as xs:integer) { $x }; local:f('s')",
+      kBib);
+  EXPECT_NE(r.find("ERROR"), std::string::npos) << r;
+}
+
+TEST(XQuery, ConstructedNodesHaveFreshIdentity) {
+  // Two evaluations of the same constructor create distinct nodes.
+  EXPECT_EQ(RunAllWays("let $f := <a/> let $g := <a/> return $f is $g"),
+            "false");
+  EXPECT_EQ(RunAllWays("let $f := <a/> return $f is $f"), "true");
+}
+
+TEST(XQuery, DeepEqualVsIdentity) {
+  EXPECT_EQ(RunAllWays("deep-equal(<a x=\"1\">t</a>, <a x=\"1\">t</a>)"),
+            "true");
+  EXPECT_EQ(RunAllWays("deep-equal(<a/>, <b/>)"), "false");
+}
+
+}  // namespace
+}  // namespace xqp
