@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy.dir/bench_lazy.cc.o"
+  "CMakeFiles/bench_lazy.dir/bench_lazy.cc.o.d"
+  "bench_lazy"
+  "bench_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nodeid.dir/bench_nodeid.cc.o"
+  "CMakeFiles/bench_nodeid.dir/bench_nodeid.cc.o.d"
+  "bench_nodeid"
+  "bench_nodeid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nodeid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

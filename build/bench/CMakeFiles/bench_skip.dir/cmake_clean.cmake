@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skip.dir/bench_skip.cc.o"
+  "CMakeFiles/bench_skip.dir/bench_skip.cc.o.d"
+  "bench_skip"
+  "bench_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_structural_join.dir/bench_structural_join.cc.o"
+  "CMakeFiles/bench_structural_join.dir/bench_structural_join.cc.o.d"
+  "bench_structural_join"
+  "bench_structural_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structural_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_broker.dir/message_broker.cpp.o"
+  "CMakeFiles/message_broker.dir/message_broker.cpp.o.d"
+  "message_broker"
+  "message_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

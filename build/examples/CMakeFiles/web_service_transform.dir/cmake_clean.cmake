@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_service_transform.dir/web_service_transform.cpp.o"
+  "CMakeFiles/web_service_transform.dir/web_service_transform.cpp.o.d"
+  "web_service_transform"
+  "web_service_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_service_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

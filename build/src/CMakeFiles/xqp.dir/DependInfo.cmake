@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/xqp.dir/base/status.cc.o" "gcc" "src/CMakeFiles/xqp.dir/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/xqp.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/xqp.dir/base/string_util.cc.o.d"
+  "/root/repo/src/engine.cc" "src/CMakeFiles/xqp.dir/engine.cc.o" "gcc" "src/CMakeFiles/xqp.dir/engine.cc.o.d"
+  "/root/repo/src/exec/arithmetic.cc" "src/CMakeFiles/xqp.dir/exec/arithmetic.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/arithmetic.cc.o.d"
+  "/root/repo/src/exec/axes.cc" "src/CMakeFiles/xqp.dir/exec/axes.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/axes.cc.o.d"
+  "/root/repo/src/exec/compare.cc" "src/CMakeFiles/xqp.dir/exec/compare.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/compare.cc.o.d"
+  "/root/repo/src/exec/constructor.cc" "src/CMakeFiles/xqp.dir/exec/constructor.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/constructor.cc.o.d"
+  "/root/repo/src/exec/dynamic_context.cc" "src/CMakeFiles/xqp.dir/exec/dynamic_context.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/dynamic_context.cc.o.d"
+  "/root/repo/src/exec/functions.cc" "src/CMakeFiles/xqp.dir/exec/functions.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/functions.cc.o.d"
+  "/root/repo/src/exec/functions_registry.cc" "src/CMakeFiles/xqp.dir/exec/functions_registry.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/functions_registry.cc.o.d"
+  "/root/repo/src/exec/interpreter.cc" "src/CMakeFiles/xqp.dir/exec/interpreter.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/interpreter.cc.o.d"
+  "/root/repo/src/exec/item.cc" "src/CMakeFiles/xqp.dir/exec/item.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/item.cc.o.d"
+  "/root/repo/src/exec/iterators.cc" "src/CMakeFiles/xqp.dir/exec/iterators.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/iterators.cc.o.d"
+  "/root/repo/src/exec/iterators_flwor.cc" "src/CMakeFiles/xqp.dir/exec/iterators_flwor.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/iterators_flwor.cc.o.d"
+  "/root/repo/src/exec/iterators_path.cc" "src/CMakeFiles/xqp.dir/exec/iterators_path.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/iterators_path.cc.o.d"
+  "/root/repo/src/exec/lazy_seq.cc" "src/CMakeFiles/xqp.dir/exec/lazy_seq.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/lazy_seq.cc.o.d"
+  "/root/repo/src/exec/type_match.cc" "src/CMakeFiles/xqp.dir/exec/type_match.cc.o" "gcc" "src/CMakeFiles/xqp.dir/exec/type_match.cc.o.d"
+  "/root/repo/src/join/navigation.cc" "src/CMakeFiles/xqp.dir/join/navigation.cc.o" "gcc" "src/CMakeFiles/xqp.dir/join/navigation.cc.o.d"
+  "/root/repo/src/join/structural_join.cc" "src/CMakeFiles/xqp.dir/join/structural_join.cc.o" "gcc" "src/CMakeFiles/xqp.dir/join/structural_join.cc.o.d"
+  "/root/repo/src/join/tag_index.cc" "src/CMakeFiles/xqp.dir/join/tag_index.cc.o" "gcc" "src/CMakeFiles/xqp.dir/join/tag_index.cc.o.d"
+  "/root/repo/src/join/twig.cc" "src/CMakeFiles/xqp.dir/join/twig.cc.o" "gcc" "src/CMakeFiles/xqp.dir/join/twig.cc.o.d"
+  "/root/repo/src/join/twig_planner.cc" "src/CMakeFiles/xqp.dir/join/twig_planner.cc.o" "gcc" "src/CMakeFiles/xqp.dir/join/twig_planner.cc.o.d"
+  "/root/repo/src/opt/properties.cc" "src/CMakeFiles/xqp.dir/opt/properties.cc.o" "gcc" "src/CMakeFiles/xqp.dir/opt/properties.cc.o.d"
+  "/root/repo/src/opt/rewriter.cc" "src/CMakeFiles/xqp.dir/opt/rewriter.cc.o" "gcc" "src/CMakeFiles/xqp.dir/opt/rewriter.cc.o.d"
+  "/root/repo/src/opt/rules_core.cc" "src/CMakeFiles/xqp.dir/opt/rules_core.cc.o" "gcc" "src/CMakeFiles/xqp.dir/opt/rules_core.cc.o.d"
+  "/root/repo/src/opt/rules_flwor.cc" "src/CMakeFiles/xqp.dir/opt/rules_flwor.cc.o" "gcc" "src/CMakeFiles/xqp.dir/opt/rules_flwor.cc.o.d"
+  "/root/repo/src/opt/rules_path.cc" "src/CMakeFiles/xqp.dir/opt/rules_path.cc.o" "gcc" "src/CMakeFiles/xqp.dir/opt/rules_path.cc.o.d"
+  "/root/repo/src/opt/static_types.cc" "src/CMakeFiles/xqp.dir/opt/static_types.cc.o" "gcc" "src/CMakeFiles/xqp.dir/opt/static_types.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/CMakeFiles/xqp.dir/query/expr.cc.o" "gcc" "src/CMakeFiles/xqp.dir/query/expr.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/xqp.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/xqp.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/normalize.cc" "src/CMakeFiles/xqp.dir/query/normalize.cc.o" "gcc" "src/CMakeFiles/xqp.dir/query/normalize.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/xqp.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/xqp.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/sequence_type.cc" "src/CMakeFiles/xqp.dir/query/sequence_type.cc.o" "gcc" "src/CMakeFiles/xqp.dir/query/sequence_type.cc.o.d"
+  "/root/repo/src/query/static_context.cc" "src/CMakeFiles/xqp.dir/query/static_context.cc.o" "gcc" "src/CMakeFiles/xqp.dir/query/static_context.cc.o.d"
+  "/root/repo/src/tokens/token.cc" "src/CMakeFiles/xqp.dir/tokens/token.cc.o" "gcc" "src/CMakeFiles/xqp.dir/tokens/token.cc.o.d"
+  "/root/repo/src/tokens/token_iterator.cc" "src/CMakeFiles/xqp.dir/tokens/token_iterator.cc.o" "gcc" "src/CMakeFiles/xqp.dir/tokens/token_iterator.cc.o.d"
+  "/root/repo/src/tokens/token_stream.cc" "src/CMakeFiles/xqp.dir/tokens/token_stream.cc.o" "gcc" "src/CMakeFiles/xqp.dir/tokens/token_stream.cc.o.d"
+  "/root/repo/src/xmark/generator.cc" "src/CMakeFiles/xqp.dir/xmark/generator.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xmark/generator.cc.o.d"
+  "/root/repo/src/xmark/queries.cc" "src/CMakeFiles/xqp.dir/xmark/queries.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xmark/queries.cc.o.d"
+  "/root/repo/src/xml/atomic_value.cc" "src/CMakeFiles/xqp.dir/xml/atomic_value.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xml/atomic_value.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/xqp.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/node.cc" "src/CMakeFiles/xqp.dir/xml/node.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xml/node.cc.o.d"
+  "/root/repo/src/xml/pull_parser.cc" "src/CMakeFiles/xqp.dir/xml/pull_parser.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xml/pull_parser.cc.o.d"
+  "/root/repo/src/xml/qname.cc" "src/CMakeFiles/xqp.dir/xml/qname.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xml/qname.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xqp.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xml/string_pool.cc" "src/CMakeFiles/xqp.dir/xml/string_pool.cc.o" "gcc" "src/CMakeFiles/xqp.dir/xml/string_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

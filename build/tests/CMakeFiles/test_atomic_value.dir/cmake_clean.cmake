@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_value.dir/test_atomic_value.cc.o"
+  "CMakeFiles/test_atomic_value.dir/test_atomic_value.cc.o.d"
+  "test_atomic_value"
+  "test_atomic_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

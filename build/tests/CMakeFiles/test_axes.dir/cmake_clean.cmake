@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_axes.dir/test_axes.cc.o"
+  "CMakeFiles/test_axes.dir/test_axes.cc.o.d"
+  "test_axes"
+  "test_axes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_axes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_document.dir/test_document.cc.o"
+  "CMakeFiles/test_document.dir/test_document.cc.o.d"
+  "test_document"
+  "test_document.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_document.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

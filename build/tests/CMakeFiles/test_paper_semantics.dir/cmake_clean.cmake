@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_semantics.dir/test_paper_semantics.cc.o"
+  "CMakeFiles/test_paper_semantics.dir/test_paper_semantics.cc.o.d"
+  "test_paper_semantics"
+  "test_paper_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_string_pool.dir/test_string_pool.cc.o"
+  "CMakeFiles/test_string_pool.dir/test_string_pool.cc.o.d"
+  "test_string_pool"
+  "test_string_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_string_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_structural_join.dir/test_structural_join.cc.o"
+  "CMakeFiles/test_structural_join.dir/test_structural_join.cc.o.d"
+  "test_structural_join"
+  "test_structural_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_structural_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tokens.dir/test_tokens.cc.o"
+  "CMakeFiles/test_tokens.dir/test_tokens.cc.o.d"
+  "test_tokens"
+  "test_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

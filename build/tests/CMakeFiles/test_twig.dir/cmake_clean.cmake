@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twig.dir/test_twig.cc.o"
+  "CMakeFiles/test_twig.dir/test_twig.cc.o.d"
+  "test_twig"
+  "test_twig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmark.dir/test_xmark.cc.o"
+  "CMakeFiles/test_xmark.dir/test_xmark.cc.o.d"
+  "test_xmark"
+  "test_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

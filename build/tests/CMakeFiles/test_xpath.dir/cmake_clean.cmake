@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xpath.dir/test_xpath.cc.o"
+  "CMakeFiles/test_xpath.dir/test_xpath.cc.o.d"
+  "test_xpath"
+  "test_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

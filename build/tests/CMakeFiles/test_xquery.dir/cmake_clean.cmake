@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xquery.dir/test_xquery.cc.o"
+  "CMakeFiles/test_xquery.dir/test_xquery.cc.o.d"
+  "test_xquery"
+  "test_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqp_cli.dir/xqp.cpp.o"
+  "CMakeFiles/xqp_cli.dir/xqp.cpp.o.d"
+  "xqp"
+  "xqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
