@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "engine.h"
@@ -15,9 +16,14 @@ namespace bench {
 /// scale 1.0 (e.g. Arg(50) = scale 0.05).
 inline double ScaleFromArg(int64_t arg) { return static_cast<double>(arg) / 1000.0; }
 
-/// Cached XMark XML text per scale (generation is deterministic).
+/// Cached XMark XML text per scale (generation is deterministic). The
+/// mutex makes the lazy cache safe for multi-threaded benchmarks; map
+/// entries are never erased, so returned references stay valid after the
+/// lock is released.
 inline const std::string& XMarkXml(double scale) {
+  static auto* mu = new std::mutex();
   static auto* cache = new std::map<double, std::string>();
+  std::lock_guard<std::mutex> lock(*mu);
   auto it = cache->find(scale);
   if (it == cache->end()) {
     XMarkOptions options;
@@ -27,13 +33,16 @@ inline const std::string& XMarkXml(double scale) {
   return it->second;
 }
 
-/// Cached parsed XMark document per scale.
+/// Cached parsed XMark document per scale (same locking discipline).
 inline std::shared_ptr<const Document> XMarkDoc(double scale) {
+  static auto* mu = new std::mutex();
   static auto* cache =
       new std::map<double, std::shared_ptr<const Document>>();
+  const std::string& xml = XMarkXml(scale);
+  std::lock_guard<std::mutex> lock(*mu);
   auto it = cache->find(scale);
   if (it == cache->end()) {
-    auto doc = Document::Parse(XMarkXml(scale));
+    auto doc = Document::Parse(xml);
     it = cache->emplace(scale, std::move(doc).ValueOrDie()).first;
   }
   return it->second;

@@ -1,0 +1,108 @@
+#ifndef XQP_BASE_PARALLEL_H_
+#define XQP_BASE_PARALLEL_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace xqp {
+
+/// Default input-size floor below which parallel kernels fall back to their
+/// serial counterparts: fork/join overhead only pays off once the combined
+/// input is a few cache pages wide.
+inline constexpr size_t kDefaultParallelThreshold = 16384;
+
+/// Fixed-size pool of worker threads with a shared FIFO task queue. Tasks
+/// are plain closures; there is no work stealing — ParallelFor instead uses
+/// a "help-first" scheme where the submitting thread claims chunks from the
+/// same atomic counter as the workers, so a caller never blocks waiting for
+/// a queue slot and nested ParallelFor calls cannot deadlock (every thread
+/// that waits is itself draining chunks).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 or 1 makes an inert (serial) pool.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for a serial pool).
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues `fn` for execution on some worker. Runs inline when the pool
+  /// is serial.
+  void Submit(std::function<void()> fn);
+
+  /// The process-wide pool, sized by DefaultParallelism() on first use.
+  static ThreadPool& Global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_threads_ = 0;
+};
+
+/// Parallelism the engine should use by default: the XQP_THREADS environment
+/// variable when set (>= 1), otherwise std::thread::hardware_concurrency().
+/// A value of 1 means "run everything serially".
+int DefaultParallelism();
+
+/// Runs fn(chunk_begin, chunk_end) over a partition of [0, n) using the
+/// global pool. `num_chunks` ≤ 1 (or a serial pool, or n ≤ 1) degrades to a
+/// single inline call fn(0, n). Blocks until every chunk has run; the
+/// calling thread participates, so this is safe to nest. Chunks are split
+/// evenly; callers that need boundary-aligned partitions should compute
+/// their own chunk list and use ParallelForChunks.
+void ParallelFor(size_t n, int num_chunks,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Runs fn(i) for i in [0, num_chunks) with the same help-first execution
+/// as ParallelFor — for pre-computed, irregular partitions.
+void ParallelForChunks(size_t num_chunks,
+                       const std::function<void(size_t)>& fn);
+
+/// Stable sort via chunked std::stable_sort plus a pairwise merge tree.
+/// Identical result to std::stable_sort(begin, end, cmp). Falls back to a
+/// single serial sort when the range is small or the pool is serial.
+template <typename It, typename Cmp>
+void ParallelStableSort(It begin, It end, Cmp cmp, int num_chunks = 0,
+                        size_t min_parallel = kDefaultParallelThreshold) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (num_chunks <= 0) num_chunks = DefaultParallelism();
+  if (num_chunks <= 1 || n < min_parallel || n < 2) {
+    std::stable_sort(begin, end, cmp);
+    return;
+  }
+  // Chunk boundaries (even split).
+  std::vector<size_t> bounds;
+  bounds.reserve(static_cast<size_t>(num_chunks) + 1);
+  for (int c = 0; c <= num_chunks; ++c) {
+    bounds.push_back(n * static_cast<size_t>(c) /
+                     static_cast<size_t>(num_chunks));
+  }
+  ParallelForChunks(static_cast<size_t>(num_chunks), [&](size_t c) {
+    std::stable_sort(begin + bounds[c], begin + bounds[c + 1], cmp);
+  });
+  // Pairwise merge rounds; each round merges disjoint adjacent runs in
+  // parallel. std::inplace_merge is stable, so the result matches a single
+  // stable_sort.
+  for (size_t width = 1; width < bounds.size() - 1; width *= 2) {
+    std::vector<std::array<size_t, 3>> merges;
+    for (size_t lo = 0; lo + width < bounds.size() - 1; lo += 2 * width) {
+      size_t mid = lo + width;
+      size_t hi = std::min(lo + 2 * width, bounds.size() - 1);
+      merges.push_back({bounds[lo], bounds[mid], bounds[hi]});
+    }
+    ParallelForChunks(merges.size(), [&](size_t m) {
+      std::inplace_merge(begin + merges[m][0], begin + merges[m][1],
+                         begin + merges[m][2], cmp);
+    });
+  }
+}
+
+}  // namespace xqp
+
+#endif  // XQP_BASE_PARALLEL_H_

@@ -1,5 +1,8 @@
 #include "engine.h"
 
+#include <mutex>
+
+#include "base/parallel.h"
 #include "exec/interpreter.h"
 #include "exec/iterators.h"
 #include "join/twig.h"
@@ -11,17 +14,21 @@
 
 namespace xqp {
 
-void XQueryEngine::InvalidateCaches() {
-  if (!result_cache_.empty()) ++cache_stats_.invalidations;
+void XQueryEngine::InvalidateCachesLocked() {
+  if (!result_cache_.empty()) {
+    cache_stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+  }
   result_cache_.clear();
   tag_indexes_.clear();
+  ++cache_epoch_;
 }
 
 Status XQueryEngine::RegisterDocument(const std::string& uri,
                                       std::shared_ptr<const Document> doc) {
   if (doc == nullptr) return Status::InvalidArgument("null document");
+  std::unique_lock lock(mu_);
   documents_[uri] = std::move(doc);
-  InvalidateCaches();
+  InvalidateCachesLocked();
   return Status::OK();
 }
 
@@ -30,39 +37,81 @@ Result<std::shared_ptr<const Document>> XQueryEngine::ParseAndRegister(
   XQP_ASSIGN_OR_RETURN(std::shared_ptr<Document> doc,
                        Document::Parse(xml, options));
   doc->set_base_uri(uri);
+  std::unique_lock lock(mu_);
   documents_[uri] = doc;
-  InvalidateCaches();
+  InvalidateCachesLocked();
   return std::shared_ptr<const Document>(doc);
 }
 
 Status XQueryEngine::RegisterCollection(const std::string& uri,
                                         Sequence items) {
+  std::unique_lock lock(mu_);
   collections_[uri] = std::move(items);
-  InvalidateCaches();
+  InvalidateCachesLocked();
   return Status::OK();
 }
 
+XQueryEngine::CacheStats XQueryEngine::cache_stats() const {
+  CacheStats snapshot;
+  snapshot.hits = cache_stats_.hits.load(std::memory_order_relaxed);
+  snapshot.misses = cache_stats_.misses.load(std::memory_order_relaxed);
+  snapshot.uncacheable =
+      cache_stats_.uncacheable.load(std::memory_order_relaxed);
+  snapshot.invalidations =
+      cache_stats_.invalidations.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
 Result<Sequence> XQueryEngine::ExecuteCached(std::string_view query) {
-  auto hit = result_cache_.find(query);
-  if (hit != result_cache_.end()) {
-    ++cache_stats_.hits;
-    return hit->second;
+  uint64_t epoch;
+  {
+    std::shared_lock lock(mu_);
+    auto hit = result_cache_.find(query);
+    if (hit != result_cache_.end()) {
+      cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      return hit->second;
+    }
+    epoch = cache_epoch_;
   }
+  // Compile and execute outside the lock so cache misses run concurrently.
   XQP_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> compiled, Compile(query));
   XQP_ASSIGN_OR_RETURN(Sequence result, compiled->Execute());
   // Node-constructing queries must produce fresh identities per run, so
   // their results are not shareable across calls.
   if (compiled->module().body->props.creates_nodes) {
-    ++cache_stats_.uncacheable;
+    cache_stats_.uncacheable.fetch_add(1, std::memory_order_relaxed);
     return result;
   }
-  ++cache_stats_.misses;
-  result_cache_.emplace(std::string(query), result);
+  cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock lock(mu_);
+    // Drop the result if a registration superseded the inputs meanwhile;
+    // concurrent misses of the same query insert one winner, identical by
+    // determinism.
+    if (cache_epoch_ == epoch) {
+      result_cache_.emplace(std::string(query), result);
+    }
+  }
   return result;
+}
+
+std::vector<Result<Sequence>> XQueryEngine::ExecuteBatchParallel(
+    std::span<const std::string_view> queries) {
+  std::vector<Result<Sequence>> out(
+      queries.size(), Result<Sequence>(Status::Internal("query did not run")));
+  int threads =
+      options_.num_threads > 0 ? options_.num_threads : DefaultParallelism();
+  ParallelFor(queries.size(), threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = ExecuteCached(queries[i]);
+    }
+  });
+  return out;
 }
 
 Result<std::shared_ptr<const Document>> XQueryEngine::GetDocument(
     const std::string& uri) {
+  std::shared_lock lock(mu_);
   auto it = documents_.find(uri);
   if (it == documents_.end()) {
     return Status::DynamicError("document not found: " + uri);
@@ -71,6 +120,7 @@ Result<std::shared_ptr<const Document>> XQueryEngine::GetDocument(
 }
 
 Result<Sequence> XQueryEngine::GetCollection(const std::string& uri) {
+  std::shared_lock lock(mu_);
   auto it = collections_.find(uri);
   if (it == collections_.end()) {
     return Status::DynamicError("collection not found: " + uri);
@@ -80,12 +130,24 @@ Result<Sequence> XQueryEngine::GetCollection(const std::string& uri) {
 
 Result<std::shared_ptr<const TagIndex>> XQueryEngine::GetTagIndex(
     const std::string& uri) {
-  auto cached = tag_indexes_.find(uri);
-  if (cached != tag_indexes_.end()) return cached->second;
+  {
+    std::shared_lock lock(mu_);
+    auto cached = tag_indexes_.find(uri);
+    if (cached != tag_indexes_.end()) return cached->second;
+  }
+  // Build outside the lock (index construction scans the whole document);
+  // the first finished builder wins, racers adopt its index.
   XQP_ASSIGN_OR_RETURN(std::shared_ptr<const Document> doc, GetDocument(uri));
   auto index = std::make_shared<const TagIndex>(doc);
-  tag_indexes_[uri] = index;
-  return std::shared_ptr<const TagIndex>(index);
+  std::unique_lock lock(mu_);
+  auto current = documents_.find(uri);
+  if (current == documents_.end() || current->second != doc) {
+    // The document was replaced while we built; serve the (correct) index
+    // for the snapshot we read without caching it.
+    return std::shared_ptr<const TagIndex>(index);
+  }
+  auto [it, inserted] = tag_indexes_.try_emplace(uri, index);
+  return it->second;
 }
 
 Result<std::unique_ptr<CompiledQuery>> XQueryEngine::Compile(
@@ -124,6 +186,10 @@ Status CompiledQuery::SetupContext(const ExecOptions& options,
                                    DynamicContext* ctx) const {
   ctx->module = module_.get();
   ctx->provider = engine_;
+  if (engine_ != nullptr) {
+    ctx->parallel_threshold = engine_->options().parallel_threshold;
+    ctx->num_threads = engine_->options().num_threads;
+  }
   if (options.has_context_item) {
     ctx->initial_context = LazySeq::FromItem(options.context_item);
   }
@@ -208,8 +274,19 @@ Result<Sequence> CompiledQuery::ExecuteViaTwigJoin() const {
   if (engine_ == nullptr) return Status::Internal("query has no engine");
   XQP_ASSIGN_OR_RETURN(std::shared_ptr<const TagIndex> index,
                        engine_->GetTagIndex(pattern.anchor_uri));
-  XQP_ASSIGN_OR_RETURN(std::vector<NodeIndex> matches,
-                       TwigStackMatch(*index, pattern));
+  // Threshold dispatch: the parallel variant degrades to the serial
+  // algorithm internally when the posting lists are small, so small
+  // queries keep their latency.
+  const EngineOptions& opts = engine_->options();
+  std::vector<NodeIndex> matches;
+  if (opts.parallel_threshold > 0) {
+    XQP_ASSIGN_OR_RETURN(
+        matches, TwigStackMatchParallel(*index, pattern, nullptr,
+                                        opts.num_threads,
+                                        opts.parallel_threshold));
+  } else {
+    XQP_ASSIGN_OR_RETURN(matches, TwigStackMatch(*index, pattern));
+  }
   Sequence out;
   out.reserve(matches.size());
   for (NodeIndex n : matches) {

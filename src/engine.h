@@ -1,10 +1,14 @@
 #ifndef XQP_ENGINE_H_
 #define XQP_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "base/status.h"
 #include "exec/dynamic_context.h"
@@ -19,6 +23,19 @@ namespace xqp {
 
 class CompiledQuery;
 
+/// Engine-wide tuning knobs.
+struct EngineOptions {
+  /// Combined input size (nodes) above which path/join evaluation routes
+  /// to the morsel-parallel kernels; smaller inputs keep the serial
+  /// algorithms and their latency. 0 disables parallel dispatch.
+  size_t parallel_threshold = 16384;
+
+  /// Worker count for parallel kernels and ExecuteBatchParallel; 0 means
+  /// DefaultParallelism() (the XQP_THREADS environment override, else
+  /// std::thread::hardware_concurrency()).
+  int num_threads = 0;
+};
+
 /// The public facade: an in-memory XML store plus the XQuery compiler and
 /// its two execution engines (eager reference interpreter and lazy
 /// streaming iterator engine). Typical use:
@@ -29,9 +46,20 @@ class CompiledQuery;
 ///       "for $b in doc('bib.xml')//book where $b/@year = 1998 "
 ///       "return $b/title");
 ///   auto result = query.value()->Execute();
+/// Thread-safety contract: registration (RegisterDocument /
+/// ParseAndRegister / RegisterCollection) and execution (Execute /
+/// ExecuteCached / ExecuteBatchParallel / GetTagIndex) may be called from
+/// any number of threads concurrently. The read-mostly caches
+/// (result_cache_, tag_indexes_) sit behind a shared_mutex; statistics
+/// counters are atomics. Registration invalidates derived caches under the
+/// exclusive lock, and an epoch counter keeps an in-flight execution from
+/// caching a result computed against superseded documents.
 class XQueryEngine : public DocumentProvider {
  public:
   XQueryEngine() = default;
+  explicit XQueryEngine(const EngineOptions& options) : options_(options) {}
+
+  const EngineOptions& options() const { return options_; }
 
   /// Registers an already-built document under `uri` for fn:doc.
   Status RegisterDocument(const std::string& uri,
@@ -77,6 +105,13 @@ class XQueryEngine : public DocumentProvider {
   /// every evaluation.
   Result<Sequence> ExecuteCached(std::string_view query);
 
+  /// Executes a batch of queries (the many-concurrent-users serving
+  /// shape), fanning them across the thread pool via ExecuteCached.
+  /// Results are positional: out[i] belongs to queries[i]. Runs serially
+  /// when the pool is serial or the batch is a singleton.
+  std::vector<Result<Sequence>> ExecuteBatchParallel(
+      std::span<const std::string_view> queries);
+
   /// Cache statistics for the memoization experiment/tests.
   struct CacheStats {
     uint64_t hits = 0;
@@ -84,20 +119,38 @@ class XQueryEngine : public DocumentProvider {
     uint64_t uncacheable = 0;
     uint64_t invalidations = 0;
   };
-  const CacheStats& cache_stats() const { return cache_stats_; }
+  /// Returns a snapshot (counters advance concurrently with execution).
+  CacheStats cache_stats() const;
 
   /// Tag index for a registered document, built on first use and cached
   /// (substrate for the structural/twig join execution strategy).
   Result<std::shared_ptr<const TagIndex>> GetTagIndex(const std::string& uri);
 
  private:
-  void InvalidateCaches();
+  /// Clears derived caches and bumps the epoch. Caller must hold mu_
+  /// exclusively.
+  void InvalidateCachesLocked();
 
+  EngineOptions options_;
+
+  /// Guards the maps below. Executions take it shared; registration and
+  /// cache fills take it exclusive.
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::shared_ptr<const Document>> documents_;
   std::map<std::string, Sequence> collections_;
   std::map<std::string, std::shared_ptr<const TagIndex>> tag_indexes_;
   std::map<std::string, Sequence, std::less<>> result_cache_;
-  CacheStats cache_stats_;
+  /// Incremented on every invalidation; ExecuteCached only inserts a
+  /// result computed in the current epoch.
+  uint64_t cache_epoch_ = 0;
+
+  struct AtomicCacheStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> uncacheable{0};
+    std::atomic<uint64_t> invalidations{0};
+  };
+  mutable AtomicCacheStats cache_stats_;
 };
 
 /// An open, incrementally consumable query result: the engine-level

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "base/parallel.h"
 #include "exec/lazy_seq.h"
 #include "query/static_context.h"
 
@@ -50,6 +51,13 @@ class DynamicContext {
   /// Guard against runaway recursion in user functions.
   int call_depth = 0;
   static constexpr int kMaxCallDepth = 4096;
+
+  /// Parallel dispatch knobs, copied from EngineOptions at context setup:
+  /// materialized node sequences at least this large route through the
+  /// parallel sort/join kernels (0 disables), with `num_threads` workers
+  /// (0 = DefaultParallelism()).
+  size_t parallel_threshold = kDefaultParallelThreshold;
+  int num_threads = 0;
 
   /// Counters the experiments report (node-id elision, buffer usage).
   struct Stats {

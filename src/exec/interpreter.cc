@@ -348,7 +348,8 @@ Result<Sequence> Interpreter::EvalPath(const PathExpr* e) {
   }
   if (saw_node) {
     if (e->needs_sort) {
-      XQP_RETURN_NOT_OK(SortDocOrderDistinct(&out));
+      XQP_RETURN_NOT_OK(SortDocOrderDistinct(&out, ctx_->parallel_threshold,
+                                             ctx_->num_threads));
     } else if (e->needs_dedup) {
       XQP_RETURN_NOT_OK(DedupNodesPreservingOrder(&out));
     }

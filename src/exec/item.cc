@@ -40,16 +40,23 @@ Result<bool> EffectiveBooleanValue(const Sequence& seq) {
   return Status::TypeError("effective boolean value: unsupported type");
 }
 
-Status SortDocOrderDistinct(Sequence* seq) {
+Status SortDocOrderDistinct(Sequence* seq, size_t parallel_threshold,
+                            int num_threads) {
   for (const Item& item : *seq) {
     if (!item.IsNode()) {
       return Status::TypeError(
           "path/union result contains an atomic value; expected nodes only");
     }
   }
-  std::stable_sort(seq->begin(), seq->end(), [](const Item& a, const Item& b) {
+  auto cmp = [](const Item& a, const Item& b) {
     return Node::CompareDocOrder(a.AsNode(), b.AsNode()) < 0;
-  });
+  };
+  if (parallel_threshold > 0 && seq->size() >= parallel_threshold) {
+    ParallelStableSort(seq->begin(), seq->end(), cmp, num_threads,
+                       parallel_threshold);
+  } else {
+    std::stable_sort(seq->begin(), seq->end(), cmp);
+  }
   seq->erase(std::unique(seq->begin(), seq->end(),
                          [](const Item& a, const Item& b) {
                            return a.AsNode().SameNode(b.AsNode());

@@ -164,7 +164,9 @@ class PathIt : public ItemIterator {
     }
     if (saw_node_) {
       if (e_->needs_sort) {
-        XQP_RETURN_NOT_OK(SortDocOrderDistinct(&buffer_));
+        // Large materialized path results route to the parallel sort.
+        XQP_RETURN_NOT_OK(SortDocOrderDistinct(
+            &buffer_, ctx_->parallel_threshold, ctx_->num_threads));
       } else if (e_->needs_dedup) {
         XQP_RETURN_NOT_OK(DedupNodesPreservingOrder(&buffer_));
       }

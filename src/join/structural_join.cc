@@ -1,6 +1,7 @@
 #include "join/structural_join.h"
 
 #include <algorithm>
+#include <span>
 
 namespace xqp {
 
@@ -20,8 +21,8 @@ inline bool EdgeOk(const Document& doc, NodeIndex a, NodeIndex d,
 }  // namespace
 
 std::vector<JoinPair> StackTreeDesc(const Document& doc,
-                                    const std::vector<NodeIndex>& ancestors,
-                                    const std::vector<NodeIndex>& descendants,
+                                    std::span<const NodeIndex> ancestors,
+                                    std::span<const NodeIndex> descendants,
                                     bool parent_child) {
   std::vector<JoinPair> out;
   std::vector<NodeIndex> stack;
@@ -48,8 +49,8 @@ std::vector<JoinPair> StackTreeDesc(const Document& doc,
 }
 
 std::vector<JoinPair> StackTreeAnc(const Document& doc,
-                                   const std::vector<NodeIndex>& ancestors,
-                                   const std::vector<NodeIndex>& descendants,
+                                   std::span<const NodeIndex> ancestors,
+                                   std::span<const NodeIndex> descendants,
                                    bool parent_child) {
   // Each stack entry keeps a self-list (its own pairs, in descendant order)
   // and an inherit-list (pairs of already-closed ancestors nested inside
@@ -97,8 +98,8 @@ std::vector<JoinPair> StackTreeAnc(const Document& doc,
 }
 
 std::vector<JoinPair> MpmgJoin(const Document& doc,
-                               const std::vector<NodeIndex>& ancestors,
-                               const std::vector<NodeIndex>& descendants,
+                               std::span<const NodeIndex> ancestors,
+                               std::span<const NodeIndex> descendants,
                                bool parent_child) {
   std::vector<JoinPair> out;
   size_t ai = 0;
@@ -119,8 +120,8 @@ std::vector<JoinPair> MpmgJoin(const Document& doc,
 }
 
 std::vector<JoinPair> NestedLoopJoin(const Document& doc,
-                                     const std::vector<NodeIndex>& ancestors,
-                                     const std::vector<NodeIndex>& descendants,
+                                     std::span<const NodeIndex> ancestors,
+                                     std::span<const NodeIndex> descendants,
                                      bool parent_child) {
   std::vector<JoinPair> out;
   for (NodeIndex a : ancestors) {
@@ -139,8 +140,8 @@ std::vector<JoinPair> NestedLoopJoin(const Document& doc,
 }
 
 std::vector<NodeIndex> JoinDescendants(const Document& doc,
-                                       const std::vector<NodeIndex>& ancestors,
-                                       const std::vector<NodeIndex>& descendants,
+                                       std::span<const NodeIndex> ancestors,
+                                       std::span<const NodeIndex> descendants,
                                        bool parent_child) {
   std::vector<NodeIndex> out;
   std::vector<NodeIndex> stack;
@@ -172,8 +173,8 @@ std::vector<NodeIndex> JoinDescendants(const Document& doc,
 }
 
 std::vector<NodeIndex> JoinAncestors(const Document& doc,
-                                     const std::vector<NodeIndex>& ancestors,
-                                     const std::vector<NodeIndex>& descendants,
+                                     std::span<const NodeIndex> ancestors,
+                                     std::span<const NodeIndex> descendants,
                                      bool parent_child) {
   // Mark matched ancestors, then emit in input (document) order.
   std::vector<char> matched(ancestors.size(), 0);

@@ -1,8 +1,10 @@
 #ifndef XQP_JOIN_STRUCTURAL_JOIN_H_
 #define XQP_JOIN_STRUCTURAL_JOIN_H_
 
+#include <span>
 #include <vector>
 
+#include "base/parallel.h"
 #include "xml/document.h"
 
 namespace xqp {
@@ -32,37 +34,86 @@ struct JoinPair {
 /// `parent_child` restricts matches to level(descendant) == level(anc)+1.
 
 std::vector<JoinPair> StackTreeDesc(const Document& doc,
-                                    const std::vector<NodeIndex>& ancestors,
-                                    const std::vector<NodeIndex>& descendants,
+                                    std::span<const NodeIndex> ancestors,
+                                    std::span<const NodeIndex> descendants,
                                     bool parent_child = false);
 
 std::vector<JoinPair> StackTreeAnc(const Document& doc,
-                                   const std::vector<NodeIndex>& ancestors,
-                                   const std::vector<NodeIndex>& descendants,
+                                   std::span<const NodeIndex> ancestors,
+                                   std::span<const NodeIndex> descendants,
                                    bool parent_child = false);
 
 std::vector<JoinPair> MpmgJoin(const Document& doc,
-                               const std::vector<NodeIndex>& ancestors,
-                               const std::vector<NodeIndex>& descendants,
+                               std::span<const NodeIndex> ancestors,
+                               std::span<const NodeIndex> descendants,
                                bool parent_child = false);
 
 std::vector<JoinPair> NestedLoopJoin(const Document& doc,
-                                     const std::vector<NodeIndex>& ancestors,
-                                     const std::vector<NodeIndex>& descendants,
+                                     std::span<const NodeIndex> ancestors,
+                                     std::span<const NodeIndex> descendants,
                                      bool parent_child = false);
 
 /// Semi-join projections (what an XPath step actually needs): the distinct
 /// descendants with at least one ancestor in `ancestors`, in document
 /// order; and the dual. Both run the stack algorithm with early-out, so no
 /// pair list is materialized.
-std::vector<NodeIndex> JoinDescendants(
-    const Document& doc, const std::vector<NodeIndex>& ancestors,
-    const std::vector<NodeIndex>& descendants, bool parent_child = false);
+std::vector<NodeIndex> JoinDescendants(const Document& doc,
+                                       std::span<const NodeIndex> ancestors,
+                                       std::span<const NodeIndex> descendants,
+                                       bool parent_child = false);
 
 std::vector<NodeIndex> JoinAncestors(const Document& doc,
-                                     const std::vector<NodeIndex>& ancestors,
-                                     const std::vector<NodeIndex>& descendants,
+                                     std::span<const NodeIndex> ancestors,
+                                     std::span<const NodeIndex> descendants,
                                      bool parent_child = false);
+
+/// ---------------------------------------------------------------------
+/// Morsel-driven parallel variants.
+///
+/// The ancestor list is split into contiguous chunks cut only at subtree
+/// boundaries: position i is a valid cut iff start(ancestors[i]) >
+/// max_{j<i} end(ancestors[j]). Region labels nest or are disjoint, so a
+/// cut at i guarantees no ancestor before the cut contains one after it
+/// (and a later start can never contain an earlier one) — every
+/// (ancestor, descendant) match therefore falls in exactly one chunk, and
+/// each chunk's descendant sub-range is found by binary search on the
+/// chunk's [first start, max end] window. Workers run the serial kernel on
+/// their chunk; concatenating chunk outputs in order reproduces the serial
+/// output bit for bit (matched descendant windows are disjoint and
+/// increasing across chunks).
+///
+/// `num_threads` ≤ 0 uses DefaultParallelism() (XQP_THREADS env override);
+/// the serial kernel runs inline when the effective thread count is 1 or
+/// the combined input is smaller than `min_parallel`.
+
+std::vector<JoinPair> StackTreeDescParallel(
+    const Document& doc, std::span<const NodeIndex> ancestors,
+    std::span<const NodeIndex> descendants, bool parent_child = false,
+    int num_threads = 0, size_t min_parallel = kDefaultParallelThreshold);
+
+std::vector<NodeIndex> JoinDescendantsParallel(
+    const Document& doc, std::span<const NodeIndex> ancestors,
+    std::span<const NodeIndex> descendants, bool parent_child = false,
+    int num_threads = 0, size_t min_parallel = kDefaultParallelThreshold);
+
+std::vector<NodeIndex> JoinAncestorsParallel(
+    const Document& doc, std::span<const NodeIndex> ancestors,
+    std::span<const NodeIndex> descendants, bool parent_child = false,
+    int num_threads = 0, size_t min_parallel = kDefaultParallelThreshold);
+
+/// The chunk descriptor ParallelJoinPartition produces (exposed for tests:
+/// the partitioning invariant is what makes the parallel kernels exact).
+struct JoinChunk {
+  size_t anc_begin, anc_end;    // Ancestor sub-range [begin, end).
+  size_t desc_begin, desc_end;  // Descendant sub-range [begin, end).
+};
+
+/// Splits `ancestors` into up to `target_chunks` subtree-closed chunks and
+/// binary-searches each chunk's candidate descendant window. Exact: the
+/// union of per-chunk matches equals the full join's matches, disjointly.
+std::vector<JoinChunk> ParallelJoinPartition(
+    const Document& doc, std::span<const NodeIndex> ancestors,
+    std::span<const NodeIndex> descendants, size_t target_chunks);
 
 }  // namespace xqp
 

@@ -1,0 +1,138 @@
+#include <algorithm>
+#include <span>
+
+#include "base/parallel.h"
+#include "join/structural_join.h"
+
+namespace xqp {
+
+namespace {
+
+/// Effective worker count for one parallel join call.
+int EffectiveThreads(int num_threads) {
+  return num_threads > 0 ? num_threads : DefaultParallelism();
+}
+
+/// Concatenates per-chunk outputs in chunk order. Matched descendants of
+/// chunk c all precede those of chunk c+1 in document order (the chunk's
+/// candidate window ends before the next chunk's first ancestor starts),
+/// so this is exactly the serial output order.
+template <typename T>
+std::vector<T> Concatenate(std::vector<std::vector<T>> parts) {
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<T> out;
+  out.reserve(total);
+  for (auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+/// Runs `kernel(chunk_ancestors, chunk_descendants)` over a subtree-closed
+/// partition and concatenates the results.
+template <typename Kernel>
+auto PartitionedJoin(const Document& doc, std::span<const NodeIndex> ancestors,
+                     std::span<const NodeIndex> descendants, int threads,
+                     Kernel kernel) {
+  // Oversplit a little so one dense chunk does not straggle the join.
+  std::vector<JoinChunk> chunks = ParallelJoinPartition(
+      doc, ancestors, descendants, static_cast<size_t>(threads) * 4);
+  using ResultVec = decltype(kernel(ancestors, descendants));
+  std::vector<ResultVec> parts(chunks.size());
+  ParallelForChunks(chunks.size(), [&](size_t c) {
+    const JoinChunk& ck = chunks[c];
+    parts[c] =
+        kernel(ancestors.subspan(ck.anc_begin, ck.anc_end - ck.anc_begin),
+               descendants.subspan(ck.desc_begin, ck.desc_end - ck.desc_begin));
+  });
+  return Concatenate(std::move(parts));
+}
+
+}  // namespace
+
+std::vector<JoinChunk> ParallelJoinPartition(
+    const Document& doc, std::span<const NodeIndex> ancestors,
+    std::span<const NodeIndex> descendants, size_t target_chunks) {
+  std::vector<JoinChunk> chunks;
+  if (ancestors.empty() || descendants.empty() || target_chunks == 0) {
+    return chunks;
+  }
+  const size_t target_size =
+      std::max<size_t>(1, ancestors.size() / target_chunks);
+  size_t chunk_begin = 0;
+  // Running max of region ends over the whole prefix. Within a chunk this
+  // equals the chunk's own max end: the cut condition guarantees earlier
+  // chunks' regions close before the current chunk's first start.
+  NodeIndex max_end = doc.node(ancestors[0]).end;
+  auto close_chunk = [&](size_t chunk_end, NodeIndex chunk_max_end) {
+    // Candidate descendants: strictly after the chunk's first ancestor
+    // start, and no later than the last position any chunk region covers.
+    auto d_lo = std::upper_bound(descendants.begin(), descendants.end(),
+                                 ancestors[chunk_begin]);
+    auto d_hi =
+        std::upper_bound(d_lo, descendants.end(), chunk_max_end);
+    chunks.push_back(JoinChunk{chunk_begin, chunk_end,
+                               static_cast<size_t>(d_lo - descendants.begin()),
+                               static_cast<size_t>(d_hi - descendants.begin())});
+    chunk_begin = chunk_end;
+  };
+  for (size_t i = 1; i < ancestors.size(); ++i) {
+    // A cut is legal only at a subtree boundary: every earlier region must
+    // have closed, else an open ancestor's matches would span two chunks.
+    if (i - chunk_begin >= target_size && ancestors[i] > max_end) {
+      close_chunk(i, max_end);
+    }
+    max_end = std::max(max_end, doc.node(ancestors[i]).end);
+  }
+  close_chunk(ancestors.size(), max_end);
+  return chunks;
+}
+
+std::vector<JoinPair> StackTreeDescParallel(const Document& doc,
+                                            std::span<const NodeIndex> ancestors,
+                                            std::span<const NodeIndex> descendants,
+                                            bool parent_child, int num_threads,
+                                            size_t min_parallel) {
+  int threads = EffectiveThreads(num_threads);
+  if (threads <= 1 || ancestors.size() + descendants.size() < min_parallel) {
+    return StackTreeDesc(doc, ancestors, descendants, parent_child);
+  }
+  return PartitionedJoin(
+      doc, ancestors, descendants, threads,
+      [&](std::span<const NodeIndex> a, std::span<const NodeIndex> d) {
+        return StackTreeDesc(doc, a, d, parent_child);
+      });
+}
+
+std::vector<NodeIndex> JoinDescendantsParallel(
+    const Document& doc, std::span<const NodeIndex> ancestors,
+    std::span<const NodeIndex> descendants, bool parent_child, int num_threads,
+    size_t min_parallel) {
+  int threads = EffectiveThreads(num_threads);
+  if (threads <= 1 || ancestors.size() + descendants.size() < min_parallel) {
+    return JoinDescendants(doc, ancestors, descendants, parent_child);
+  }
+  return PartitionedJoin(
+      doc, ancestors, descendants, threads,
+      [&](std::span<const NodeIndex> a, std::span<const NodeIndex> d) {
+        return JoinDescendants(doc, a, d, parent_child);
+      });
+}
+
+std::vector<NodeIndex> JoinAncestorsParallel(
+    const Document& doc, std::span<const NodeIndex> ancestors,
+    std::span<const NodeIndex> descendants, bool parent_child, int num_threads,
+    size_t min_parallel) {
+  int threads = EffectiveThreads(num_threads);
+  if (threads <= 1 || ancestors.size() + descendants.size() < min_parallel) {
+    return JoinAncestors(doc, ancestors, descendants, parent_child);
+  }
+  // Ancestor-major output: chunks own disjoint, increasing ancestor ranges,
+  // so chunk-order concatenation preserves the serial (input) order.
+  return PartitionedJoin(
+      doc, ancestors, descendants, threads,
+      [&](std::span<const NodeIndex> a, std::span<const NodeIndex> d) {
+        return JoinAncestors(doc, a, d, parent_child);
+      });
+}
+
+}  // namespace xqp

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "base/parallel.h"
 #include "join/structural_join.h"
 
 namespace xqp {
@@ -71,18 +72,31 @@ bool EdgeSatisfied(const Document& doc, NodeIndex parent, NodeIndex child,
   return doc.node(child).level == doc.node(parent).level + 1;
 }
 
+/// Per-pattern-node posting lists (nullptr for names absent from the
+/// document). Factored out of TwigMachine so callers can substitute
+/// filtered lists (the parallel leaf-matching pass).
+using PostingLists = std::vector<const std::vector<NodeIndex>*>;
+
+PostingLists LookupPostings(const TagIndex& index, const TwigPattern& pattern) {
+  PostingLists lists(pattern.nodes.size());
+  for (size_t q = 0; q < pattern.nodes.size(); ++q) {
+    lists[q] = index.Lookup(pattern.nodes[q].uri, pattern.nodes[q].local);
+  }
+  return lists;
+}
+
 /// Shared driver over the posting cursors: runs the TwigStack control loop
 /// and invokes `on_leaf_push(q)` whenever a leaf pattern node is pushed
 /// (i.e., a root-to-leaf path solution exists on the stacks).
 class TwigMachine {
  public:
-  TwigMachine(const TagIndex& index, const TwigPattern& pattern)
-      : doc_(index.doc()), pattern_(pattern) {
+  TwigMachine(const Document& doc, const TwigPattern& pattern,
+              const PostingLists& lists)
+      : doc_(doc), pattern_(pattern) {
     cursors_.resize(pattern.nodes.size());
     stacks_.resize(pattern.nodes.size());
     for (size_t q = 0; q < pattern.nodes.size(); ++q) {
-      cursors_[q].list =
-          index.Lookup(pattern.nodes[q].uri, pattern.nodes[q].local);
+      cursors_[q].list = lists[q];
     }
   }
 
@@ -162,17 +176,17 @@ class TwigMachine {
   std::vector<std::vector<StackEntry>> stacks_;
 };
 
-}  // namespace
-
-Result<std::vector<NodeIndex>> PathStackMatch(const TagIndex& index,
-                                              const TwigPattern& pattern,
-                                              TwigStats* stats) {
+/// PathStackMatch over explicit posting lists (the parallel pass feeds
+/// filtered leaf lists through here).
+Result<std::vector<NodeIndex>> PathStackMatchLists(const Document& doc,
+                                                   const TwigPattern& pattern,
+                                                   const PostingLists& lists,
+                                                   TwigStats* stats) {
   if (!pattern.IsPath()) {
     return Status::InvalidArgument("PathStack requires a linear pattern");
   }
-  const Document& doc = index.doc();
   std::set<NodeIndex> matched;
-  TwigMachine machine(index, pattern);
+  TwigMachine machine(doc, pattern, lists);
   // Pattern node chain root..leaf.
   std::vector<int> chain;
   {
@@ -250,25 +264,24 @@ Result<std::vector<NodeIndex>> PathStackMatch(const TagIndex& index,
   return out;
 }
 
-Result<std::vector<NodeIndex>> TwigStackMatch(const TagIndex& index,
-                                              const TwigPattern& pattern,
-                                              TwigStats* stats) {
+Result<std::vector<NodeIndex>> TwigStackMatchLists(const Document& doc,
+                                                   const TwigPattern& pattern,
+                                                   const PostingLists& lists,
+                                                   TwigStats* stats) {
   if (pattern.nodes.size() == 1) {
-    const auto* postings =
-        index.Lookup(pattern.nodes[0].uri, pattern.nodes[0].local);
-    std::vector<NodeIndex> out = postings ? *postings : std::vector<NodeIndex>{};
+    std::vector<NodeIndex> out =
+        lists[0] ? *lists[0] : std::vector<NodeIndex>{};
     if (stats != nullptr) stats->output_matches = out.size();
     return out;
   }
-  if (pattern.IsPath()) return PathStackMatch(index, pattern, stats);
+  if (pattern.IsPath()) return PathStackMatchLists(doc, pattern, lists, stats);
 
-  const Document& doc = index.doc();
   // Edge-pair sets recorded from path solutions; keyed by child pattern
   // node (each non-root node has exactly one incoming edge).
   std::vector<std::set<std::pair<NodeIndex, NodeIndex>>> edge_pairs(
       pattern.nodes.size());
 
-  TwigMachine machine(index, pattern);
+  TwigMachine machine(doc, pattern, lists);
   machine.Run([&](int leaf_q) {
     // Record pairs along the root-to-leaf chain of leaf_q, for every
     // compatible stack combination (bounded by parent pointers).
@@ -355,6 +368,65 @@ Result<std::vector<NodeIndex>> TwigStackMatch(const TagIndex& index,
                              reach[pattern.output].end());
   if (stats != nullptr) stats->output_matches = out.size();
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<NodeIndex>> PathStackMatch(const TagIndex& index,
+                                              const TwigPattern& pattern,
+                                              TwigStats* stats) {
+  return PathStackMatchLists(index.doc(), pattern,
+                             LookupPostings(index, pattern), stats);
+}
+
+Result<std::vector<NodeIndex>> TwigStackMatch(const TagIndex& index,
+                                              const TwigPattern& pattern,
+                                              TwigStats* stats) {
+  return TwigStackMatchLists(index.doc(), pattern,
+                             LookupPostings(index, pattern), stats);
+}
+
+Result<std::vector<NodeIndex>> TwigStackMatchParallel(const TagIndex& index,
+                                                      const TwigPattern& pattern,
+                                                      TwigStats* stats,
+                                                      int num_threads,
+                                                      size_t min_parallel) {
+  const Document& doc = index.doc();
+  PostingLists lists = LookupPostings(index, pattern);
+  size_t total_postings = 0;
+  for (const auto* list : lists) {
+    if (list != nullptr) total_postings += list->size();
+  }
+  int threads = num_threads > 0 ? num_threads : DefaultParallelism();
+  if (threads <= 1 || pattern.nodes.size() < 2 ||
+      total_postings < min_parallel) {
+    return TwigStackMatchLists(doc, pattern, lists, stats);
+  }
+  // Parallel leaf-matching pass: shrink every leaf's posting list to the
+  // entries satisfying the leaf's incoming edge against its parent's tag —
+  // a necessary condition for any solution, so the match set is unchanged
+  // while the (serial) TwigStack pass that follows sees far fewer leaf
+  // postings. Leaves filter concurrently, and each filter is itself a
+  // partitioned parallel semi-join.
+  std::vector<int> leaves;
+  for (size_t q = 0; q < pattern.nodes.size(); ++q) {
+    const auto& pn = pattern.nodes[q];
+    if (pn.children.empty() && pn.parent >= 0 && lists[q] != nullptr &&
+        lists[pn.parent] != nullptr) {
+      leaves.push_back(static_cast<int>(q));
+    }
+  }
+  std::vector<std::vector<NodeIndex>> filtered(pattern.nodes.size());
+  ParallelForChunks(leaves.size(), [&](size_t i) {
+    int q = leaves[i];
+    int p = pattern.nodes[q].parent;
+    filtered[q] =
+        JoinDescendantsParallel(doc, *lists[p], *lists[q],
+                                pattern.nodes[q].child_edge, threads,
+                                min_parallel);
+  });
+  for (int q : leaves) lists[q] = &filtered[q];
+  return TwigStackMatchLists(doc, pattern, lists, stats);
 }
 
 Result<std::vector<NodeIndex>> BinaryJoinMatch(const TagIndex& index,
