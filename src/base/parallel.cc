@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "base/metrics.h"
+
 namespace xqp {
 
 struct ThreadPool::Impl {
@@ -90,12 +92,15 @@ struct ForkJoin {
   std::mutex mu;
   std::condition_variable cv;
 
-  /// Claims and runs chunks until none are left; returns chunks completed.
-  void Drain() {
+  /// Claims and runs chunks until none are left. `chunks_executed`, when
+  /// non-null, tallies this participant's completed chunks into the pool
+  /// utilization metrics (caller vs worker split).
+  void Drain(metrics::Counter* chunks_executed) {
     while (true) {
       size_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
       (*fn)(c);
+      if (chunks_executed != nullptr) chunks_executed->Increment();
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
@@ -111,8 +116,27 @@ void ParallelForChunks(size_t num_chunks,
   if (num_chunks == 0) return;
   ThreadPool& pool = ThreadPool::Global();
   if (num_chunks == 1 || pool.num_threads() == 0) {
+    if (metrics::Enabled()) {
+      static metrics::Counter* serial_regions =
+          metrics::MetricsRegistry::Global().counter("pool.serial_regions");
+      serial_regions->Increment();
+    }
     for (size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
+  }
+  metrics::Counter* caller_chunks = nullptr;
+  metrics::Counter* worker_chunks = nullptr;
+  if (metrics::Enabled()) {
+    auto& reg = metrics::MetricsRegistry::Global();
+    static metrics::Counter* regions = reg.counter("pool.forkjoin_regions");
+    static metrics::Counter* tasks = reg.counter("pool.tasks_submitted");
+    static metrics::Counter* by_caller = reg.counter("pool.chunks.caller");
+    static metrics::Counter* by_worker = reg.counter("pool.chunks.worker");
+    regions->Increment();
+    caller_chunks = by_caller;
+    worker_chunks = by_worker;
+    tasks->Add(std::min<size_t>(static_cast<size_t>(pool.num_threads()),
+                                num_chunks - 1));
   }
   auto state = std::make_shared<ForkJoin>();
   state->fn = &fn;
@@ -122,9 +146,9 @@ void ParallelForChunks(size_t num_chunks,
   size_t helpers = std::min<size_t>(
       static_cast<size_t>(pool.num_threads()), num_chunks - 1);
   for (size_t h = 0; h < helpers; ++h) {
-    pool.Submit([state] { state->Drain(); });
+    pool.Submit([state, worker_chunks] { state->Drain(worker_chunks); });
   }
-  state->Drain();
+  state->Drain(caller_chunks);
   // The caller ran out of chunks to claim; wait for stragglers. `fn` stays
   // alive (and the shared_ptr keeps `state` alive) until every helper has
   // left Drain — helpers that lost the claim race exit without touching fn.

@@ -1,5 +1,6 @@
 #include "engine.h"
 
+#include <chrono>
 #include <mutex>
 
 #include "base/parallel.h"
@@ -13,6 +14,12 @@
 #include "query/parser.h"
 
 namespace xqp {
+
+XQueryEngine::XQueryEngine(const EngineOptions& options) : options_(options) {
+  if (options_.collect_stats || metrics::TraceEnvRequested()) {
+    metrics::MetricsRegistry::Global().set_enabled(true);
+  }
+}
 
 void XQueryEngine::InvalidateCachesLocked() {
   if (!result_cache_.empty()) {
@@ -223,6 +230,129 @@ Result<Sequence> CompiledQuery::Execute(const ExecOptions& options) const {
     return ExecuteLazy(module_->body.get(), &ctx);
   }
   return EvalExpr(module_->body.get(), &ctx);
+}
+
+Result<ProfileReport> CompiledQuery::Profile(const ExecOptions& options) const {
+  ProfileReport report;
+  report.module = module_.get();
+  report.rewrites = rewrite_stats_;
+  report.used_lazy_engine = options.use_lazy_engine;
+
+  // Force the global registry on for the run so kernel counters and
+  // dispatch decisions are captured, restoring the caller's setting after.
+  auto& registry = metrics::MetricsRegistry::Global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  metrics::MetricsSnapshot before = registry.Snapshot();
+
+  DynamicContext ctx;
+  ctx.profile = &report.ops;
+  Status setup = SetupContext(options, &ctx);
+  Result<Sequence> result = Sequence{};
+  const auto start = std::chrono::steady_clock::now();
+  if (setup.ok()) {
+    result = options.use_lazy_engine ? ExecuteLazy(module_->body.get(), &ctx)
+                                     : EvalExpr(module_->body.get(), &ctx);
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+  report.engine_metrics = registry.Snapshot().Delta(before);
+  registry.set_enabled(was_enabled);
+  XQP_RETURN_NOT_OK(setup);
+  XQP_ASSIGN_OR_RETURN(report.result, std::move(result));
+  report.total_wall_ns = ns < 0 ? 0 : uint64_t(ns);
+  if (engine_ != nullptr) report.cache = engine_->cache_stats();
+  return report;
+}
+
+const OpStats* ProfileReport::RootStats() const {
+  if (module == nullptr) return nullptr;
+  return ops.Find(module->body.get());
+}
+
+std::string ProfileReport::ToText() const {
+  std::string out = "engine: ";
+  out += used_lazy_engine ? "lazy (streaming iterators)\n"
+                          : "eager (reference interpreter)\n";
+  out += "result items: " + std::to_string(result.size()) + "\n";
+  out += "total wall ns: " + std::to_string(total_wall_ns) + "\n\n";
+  if (module != nullptr) {
+    out += RenderProfileText(*module->body, ops);
+  }
+  if (!rewrites.empty()) {
+    out += "\nrewrites fired:\n";
+    for (const auto& [rule, count] : rewrites) {
+      out += "  " + rule + ": " + std::to_string(count) + "\n";
+    }
+  }
+  if (!engine_metrics.counters.empty()) {
+    out += "\nengine counters (this run):\n";
+    for (const auto& [name, value] : engine_metrics.counters) {
+      if (value == 0) continue;
+      out += "  " + name + ": " + std::to_string(value) + "\n";
+    }
+  }
+  out += "\ncache: hits=" + std::to_string(cache.hits) +
+         " misses=" + std::to_string(cache.misses) +
+         " uncacheable=" + std::to_string(cache.uncacheable) +
+         " invalidations=" + std::to_string(cache.invalidations) + "\n";
+  return out;
+}
+
+std::string ProfileReport::ToJson() const {
+  std::string out = "{\"engine\":\"";
+  out += used_lazy_engine ? "lazy" : "eager";
+  out += "\",\"result_items\":" + std::to_string(result.size());
+  out += ",\"total_wall_ns\":" + std::to_string(total_wall_ns);
+  out += ",\"plan\":";
+  if (module != nullptr) {
+    out += RenderProfileJson(*module->body, ops);
+  } else {
+    out += "null";
+  }
+  out += ",\"rewrites\":{";
+  bool first = true;
+  for (const auto& [rule, count] : rewrites) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(rule, &out);
+    out += "\":" + std::to_string(count);
+  }
+  out += "},\"cache\":{\"hits\":" + std::to_string(cache.hits) +
+         ",\"misses\":" + std::to_string(cache.misses) +
+         ",\"uncacheable\":" + std::to_string(cache.uncacheable) +
+         ",\"invalidations\":" + std::to_string(cache.invalidations) + "}";
+  out += ",\"counters\":{";
+  first = true;
+  for (const auto& [name, value] : engine_metrics.counters) {
+    if (value == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : engine_metrics.histograms) {
+    if (h.count == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.min) +
+           ",\"max\":" + std::to_string(h.max) +
+           ",\"p50\":" + std::to_string(h.Percentile(50)) +
+           ",\"p95\":" + std::to_string(h.Percentile(95)) +
+           ",\"p99\":" + std::to_string(h.Percentile(99)) + "}";
+  }
+  out += "}}";
+  return out;
 }
 
 Result<std::string> CompiledQuery::ExecuteToXml(

@@ -10,9 +10,11 @@
 #include <string_view>
 #include <vector>
 
+#include "base/metrics.h"
 #include "base/status.h"
 #include "exec/dynamic_context.h"
 #include "exec/lazy_seq.h"
+#include "exec/profile.h"
 #include "join/tag_index.h"
 #include "opt/rewriter.h"
 #include "query/static_context.h"
@@ -34,6 +36,13 @@ struct EngineOptions {
   /// DefaultParallelism() (the XQP_THREADS environment override, else
   /// std::thread::hardware_concurrency()).
   int num_threads = 0;
+
+  /// Turns on the process-wide metrics registry (kernel counters, rewrite
+  /// fire counts, pool utilization) for engines constructed with this set.
+  /// The XQP_TRACE environment variable forces it on regardless. Off by
+  /// default: every instrumentation point then costs one relaxed atomic
+  /// load and a predictable branch.
+  bool collect_stats = false;
 };
 
 /// The public facade: an in-memory XML store plus the XQuery compiler and
@@ -56,8 +65,8 @@ struct EngineOptions {
 /// caching a result computed against superseded documents.
 class XQueryEngine : public DocumentProvider {
  public:
-  XQueryEngine() = default;
-  explicit XQueryEngine(const EngineOptions& options) : options_(options) {}
+  XQueryEngine() : XQueryEngine(EngineOptions{}) {}
+  explicit XQueryEngine(const EngineOptions& options);
 
   const EngineOptions& options() const { return options_; }
 
@@ -153,6 +162,32 @@ class XQueryEngine : public DocumentProvider {
   mutable AtomicCacheStats cache_stats_;
 };
 
+/// Everything one profiled execution produced: the result itself plus the
+/// per-operator statistics, compile-time rewrite fire counts, engine cache
+/// counters, and the delta of the global metrics registry over the run
+/// (join kernel calls, parallel-dispatch decisions, pool utilization).
+/// `module` is a non-owning view of the CompiledQuery's plan — keep the
+/// query alive while rendering.
+struct ProfileReport {
+  Sequence result;
+  QueryProfile ops;
+  RewriteStats rewrites;
+  XQueryEngine::CacheStats cache;
+  metrics::MetricsSnapshot engine_metrics;
+  uint64_t total_wall_ns = 0;
+  bool used_lazy_engine = true;
+  const ParsedModule* module = nullptr;
+
+  /// Stats of the plan root; its `items` equals the result cardinality.
+  const OpStats* RootStats() const;
+
+  /// Human-readable profile: annotated operator tree + engine counters.
+  std::string ToText() const;
+
+  /// Machine-readable profile as a single JSON object.
+  std::string ToJson() const;
+};
+
 /// An open, incrementally consumable query result: the engine-level
 /// embodiment of the paper's streaming requirement ("output parts of the
 /// result BEFORE the entire data input is received"). Owns the dynamic
@@ -219,6 +254,18 @@ class CompiledQuery {
 
   /// Expression-tree dump after optimization (plan explanation).
   std::string Explain() const { return module_->body->ToString(); }
+
+  /// Deterministic indented operator tree for the optimized plan — the
+  /// EXPLAIN rendering (no runtime numbers; stable across runs).
+  std::string ExplainTree() const { return RenderExplainTree(*module_->body); }
+
+  /// Executes the query with per-operator profiling: every iterator pull /
+  /// interpreter evaluation is counted and timed, and the global metrics
+  /// registry is force-enabled for the duration so kernel counters and
+  /// parallel-dispatch decisions land in the report. Slower than Execute()
+  /// by design; Execute() itself is untouched.
+  Result<ProfileReport> Profile(const ExecOptions& options) const;
+  Result<ProfileReport> Profile() const { return Profile(ExecOptions()); }
 
   /// Rule-application counts from compilation.
   const RewriteStats& rewrite_stats() const { return rewrite_stats_; }

@@ -12,6 +12,8 @@
 
 namespace xqp {
 
+class QueryProfile;
+
 /// Supplies documents and collections to fn:doc / fn:collection ("available
 /// documents and collections" of the paper's dynamic context). The engine
 /// provides an in-memory registry implementation.
@@ -58,6 +60,12 @@ class DynamicContext {
   /// (0 = DefaultParallelism()).
   size_t parallel_threshold = kDefaultParallelThreshold;
   int num_threads = 0;
+
+  /// Per-operator statistics sink for this run, or null (the default) for
+  /// unprofiled execution. When set, the lazy compiler wraps every iterator
+  /// in a profiling decorator and the eager interpreter times every Eval;
+  /// when null, neither engine pays more than a pointer test.
+  QueryProfile* profile = nullptr;
 
   /// Counters the experiments report (node-id elision, buffer usage).
   struct Stats {

@@ -1,9 +1,11 @@
 #include "exec/interpreter.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 #include "base/string_util.h"
+#include "exec/profile.h"
 #include "exec/arithmetic.h"
 #include "exec/axes.h"
 #include "exec/compare.h"
@@ -65,6 +67,20 @@ FocusInfo Interpreter::CurrentFocusInfo() const {
 }
 
 Result<Sequence> Interpreter::Eval(const Expr* e) {
+  if (ctx_->profile == nullptr) return EvalDispatch(e);
+  OpStats* stats = ctx_->profile->StatsFor(e);
+  const auto start = std::chrono::steady_clock::now();
+  Result<Sequence> result = EvalDispatch(e);
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  stats->wall_ns += ns < 0 ? 0 : uint64_t(ns);
+  ++stats->next_calls;
+  if (result.ok()) stats->items += result.value().size();
+  return result;
+}
+
+Result<Sequence> Interpreter::EvalDispatch(const Expr* e) {
   switch (e->kind()) {
     case ExprKind::kLiteral:
       return Sequence{Item(static_cast<const LiteralExpr*>(e)->value)};

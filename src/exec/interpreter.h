@@ -17,10 +17,16 @@ class Interpreter {
   explicit Interpreter(DynamicContext* ctx) : ctx_(ctx) {}
 
   /// Evaluates `e` under the current context. If the dynamic context has an
-  /// initial context item, it is in scope as "." at the top level.
+  /// initial context item, it is in scope as "." at the top level. When the
+  /// context carries a QueryProfile, each evaluation records invocation
+  /// count, result cardinality, and inclusive wall time per expression node;
+  /// otherwise the profiling hook is a single pointer test.
   Result<Sequence> Eval(const Expr* e);
 
  private:
+  /// The unprofiled evaluation switch Eval dispatches to.
+  Result<Sequence> EvalDispatch(const Expr* e);
+
   struct Focus {
     Item item;
     int64_t position = 0;

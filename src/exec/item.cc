@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "base/metrics.h"
+
 namespace xqp {
 
 Sequence Atomize(const Sequence& seq) {
@@ -51,7 +53,19 @@ Status SortDocOrderDistinct(Sequence* seq, size_t parallel_threshold,
   auto cmp = [](const Item& a, const Item& b) {
     return Node::CompareDocOrder(a.AsNode(), b.AsNode()) < 0;
   };
-  if (parallel_threshold > 0 && seq->size() >= parallel_threshold) {
+  const bool go_parallel =
+      parallel_threshold > 0 && seq->size() >= parallel_threshold;
+  if (metrics::Enabled()) {
+    static metrics::Counter* parallel_sorts =
+        metrics::MetricsRegistry::Global().counter("sort.ddo.parallel");
+    static metrics::Counter* serial_sorts =
+        metrics::MetricsRegistry::Global().counter("sort.ddo.serial");
+    static metrics::Counter* sorted_items =
+        metrics::MetricsRegistry::Global().counter("sort.ddo.items");
+    (go_parallel ? parallel_sorts : serial_sorts)->Increment();
+    sorted_items->Add(seq->size());
+  }
+  if (go_parallel) {
     ParallelStableSort(seq->begin(), seq->end(), cmp, num_threads,
                        parallel_threshold);
   } else {

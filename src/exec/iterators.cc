@@ -1,5 +1,6 @@
 #include "exec/iterators.h"
 
+#include <chrono>
 #include <vector>
 
 #include "exec/arithmetic.h"
@@ -7,9 +8,30 @@
 #include "exec/compare.h"
 #include "exec/constructor.h"
 #include "exec/interpreter.h"
+#include "exec/profile.h"
 #include "exec/type_match.h"
 
 namespace xqp {
+
+namespace {
+
+/// Compile-time profiling gate. Set (via ProfileWrapScope) while compiling
+/// an iterator tree for a profiled run: CompileIterator then wraps every
+/// operator in a ProfileIt decorator. Unprofiled compilations see a single
+/// thread_local bool test and produce undecorated trees, so disabled-mode
+/// execution is byte-for-byte the pre-profiling engine.
+thread_local bool tls_profile_wrap = false;
+
+struct ProfileWrapScope {
+  explicit ProfileWrapScope(bool enable)
+      : saved_(tls_profile_wrap) {
+    tls_profile_wrap = enable;
+  }
+  ~ProfileWrapScope() { tls_profile_wrap = saved_; }
+  bool saved_;
+};
+
+}  // namespace
 
 namespace lazy_internal {
 
@@ -725,7 +747,10 @@ class FunctionCallIt : public ItemIterator {
       frame_[fn.param_slots[i]] = LazySeq::FromVector(std::move(arg));
     }
     // Compile the body once per call site, on demand, with no focus. The
-    // recursion-depth slot stays held while the body streams.
+    // recursion-depth slot stays held while the body streams. Runtime
+    // compilation happens outside OpenLazy's wrap scope, so re-derive the
+    // profiling gate from the active context.
+    ProfileWrapScope wrap(ctx_->profile != nullptr);
     XQP_ASSIGN_OR_RETURN(body_, CompileIterator(fn.body.get(), nullptr));
     ++ctx_->call_depth;
     depth_held_ = true;
@@ -900,8 +925,48 @@ class TryCatchIt : public ItemIterator {
 // Compiler dispatch
 // ---------------------------------------------------------------------------
 
-Result<std::unique_ptr<ItemIterator>> CompileIterator(const Expr* e,
-                                                      const LazyFocus* focus) {
+namespace {
+
+/// Decorator recording Next() pulls, items produced, and inclusive wall
+/// time into the run's QueryProfile. Only ever instantiated when a profiled
+/// compilation requested it (tls_profile_wrap), so unprofiled plans carry
+/// zero overhead.
+class ProfileIt : public ItemIterator {
+ public:
+  ProfileIt(const Expr* e, std::unique_ptr<ItemIterator> inner)
+      : e_(e), inner_(std::move(inner)) {}
+
+  Status Reset(DynamicContext* ctx) override {
+    if (ctx->profile != profile_) {
+      profile_ = ctx->profile;
+      stats_ = profile_ == nullptr ? nullptr : profile_->StatsFor(e_);
+    }
+    if (stats_ != nullptr) ++stats_->resets;
+    return inner_->Reset(ctx);
+  }
+
+  Result<bool> Next(Item* out) override {
+    if (stats_ == nullptr) return inner_->Next(out);
+    const auto start = std::chrono::steady_clock::now();
+    Result<bool> got = inner_->Next(out);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    stats_->wall_ns += ns < 0 ? 0 : uint64_t(ns);
+    ++stats_->next_calls;
+    if (got.ok() && got.value()) ++stats_->items;
+    return got;
+  }
+
+ private:
+  const Expr* e_;
+  std::unique_ptr<ItemIterator> inner_;
+  QueryProfile* profile_ = nullptr;
+  OpStats* stats_ = nullptr;
+};
+
+Result<std::unique_ptr<ItemIterator>> CompileIteratorImpl(
+    const Expr* e, const LazyFocus* focus) {
   switch (e->kind()) {
     case ExprKind::kLiteral:
       return std::unique_ptr<ItemIterator>(
@@ -1040,8 +1105,22 @@ Result<std::unique_ptr<ItemIterator>> CompileIterator(const Expr* e,
   return Status::Internal("unhandled expression kind in lazy compiler");
 }
 
+}  // namespace
+
+Result<std::unique_ptr<ItemIterator>> CompileIterator(const Expr* e,
+                                                      const LazyFocus* focus) {
+  XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> it,
+                       CompileIteratorImpl(e, focus));
+  if (tls_profile_wrap) {
+    return std::unique_ptr<ItemIterator>(
+        std::make_unique<ProfileIt>(e, std::move(it)));
+  }
+  return it;
+}
+
 Result<std::unique_ptr<ItemIterator>> OpenLazy(const Expr* e,
                                                DynamicContext* ctx) {
+  ProfileWrapScope wrap(ctx->profile != nullptr);
   XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> it,
                        CompileIterator(e, nullptr));
   XQP_RETURN_NOT_OK(it->Reset(ctx));

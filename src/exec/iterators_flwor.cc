@@ -1,5 +1,7 @@
+#include "base/metrics.h"
 #include "exec/interpreter.h"
 #include "exec/iterators.h"
+#include "exec/profile.h"
 
 namespace xqp {
 namespace lazy_internal {
@@ -59,8 +61,21 @@ class FlworIt : public ItemIterator {
     if (has_order_) {
       if (!ordered_done_) {
         // Sorting blocks; reuse the reference evaluator for the whole
-        // order-by FLWOR (a legitimate materialization point).
-        XQP_ASSIGN_OR_RETURN(ordered_result_, EvalExpr(e_, ctx_));
+        // order-by FLWOR (a legitimate materialization point). Suppress
+        // per-operator profiling inside the fallback: the enclosing
+        // ProfileIt already attributes the whole subtree to this FLWOR
+        // node, and letting the interpreter record against the same
+        // expression nodes would double-count.
+        if (metrics::Enabled()) {
+          static metrics::Counter* fallbacks = metrics::MetricsRegistry::
+              Global().counter("lazy.flwor.orderby_eager_fallback");
+          fallbacks->Increment();
+        }
+        QueryProfile* saved_profile = ctx_->profile;
+        ctx_->profile = nullptr;
+        auto ordered = EvalExpr(e_, ctx_);
+        ctx_->profile = saved_profile;
+        XQP_ASSIGN_OR_RETURN(ordered_result_, std::move(ordered));
         ordered_done_ = true;
       }
       if (ordered_pos_ >= ordered_result_.size()) return false;

@@ -1,5 +1,6 @@
 #include <optional>
 
+#include "base/metrics.h"
 #include "exec/axes.h"
 #include "exec/iterators.h"
 
@@ -72,6 +73,11 @@ class PathIt : public ItemIterator {
 
   Status Reset(DynamicContext* ctx) override {
     ctx_ = ctx;
+    if (!blocking_ && metrics::Enabled()) {
+      static metrics::Counter* streaming_paths =
+          metrics::MetricsRegistry::Global().counter("lazy.path.streaming");
+      streaming_paths->Increment();
+    }
     XQP_RETURN_NOT_OK(lhs_->Reset(ctx));
     focus_ = LazyFocus{};
     rhs_active_ = false;
@@ -150,6 +156,11 @@ class PathIt : public ItemIterator {
   }
 
   Status FillBuffer() {
+    if (metrics::Enabled()) {
+      static metrics::Counter* blocking_paths =
+          metrics::MetricsRegistry::Global().counter("lazy.path.blocking");
+      blocking_paths->Increment();
+    }
     while (true) {
       XQP_ASSIGN_OR_RETURN(bool advanced, AdvanceLhs());
       if (!advanced) break;

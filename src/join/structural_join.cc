@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <span>
 
+#include "base/metrics.h"
+
 namespace xqp {
 
 namespace {
@@ -24,6 +26,8 @@ std::vector<JoinPair> StackTreeDesc(const Document& doc,
                                     std::span<const NodeIndex> ancestors,
                                     std::span<const NodeIndex> descendants,
                                     bool parent_child) {
+  static metrics::OpMetrics m("join.stack_tree_desc");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
   std::vector<JoinPair> out;
   std::vector<NodeIndex> stack;
   size_t ai = 0;
@@ -45,6 +49,10 @@ std::vector<JoinPair> StackTreeDesc(const Document& doc,
       if (EdgeOk(doc, a, d, parent_child)) out.push_back(JoinPair{a, d});
     }
   }
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    m.items->Add(out.size());
+  }
   return out;
 }
 
@@ -52,6 +60,8 @@ std::vector<JoinPair> StackTreeAnc(const Document& doc,
                                    std::span<const NodeIndex> ancestors,
                                    std::span<const NodeIndex> descendants,
                                    bool parent_child) {
+  static metrics::OpMetrics m("join.stack_tree_anc");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
   // Each stack entry keeps a self-list (its own pairs, in descendant order)
   // and an inherit-list (pairs of already-closed ancestors nested inside
   // it). On pop, self precedes inherit, which yields ancestor-major output
@@ -94,6 +104,10 @@ std::vector<JoinPair> StackTreeAnc(const Document& doc,
     }
   }
   while (!stack.empty()) pop();
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    m.items->Add(out.size());
+  }
   return out;
 }
 
@@ -101,6 +115,8 @@ std::vector<JoinPair> MpmgJoin(const Document& doc,
                                std::span<const NodeIndex> ancestors,
                                std::span<const NodeIndex> descendants,
                                bool parent_child) {
+  static metrics::OpMetrics m("join.mpmg");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
   std::vector<JoinPair> out;
   size_t ai = 0;
   for (NodeIndex d : descendants) {
@@ -116,6 +132,10 @@ std::vector<JoinPair> MpmgJoin(const Document& doc,
       }
     }
   }
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    m.items->Add(out.size());
+  }
   return out;
 }
 
@@ -123,6 +143,8 @@ std::vector<JoinPair> NestedLoopJoin(const Document& doc,
                                      std::span<const NodeIndex> ancestors,
                                      std::span<const NodeIndex> descendants,
                                      bool parent_child) {
+  static metrics::OpMetrics m("join.nested_loop");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
   std::vector<JoinPair> out;
   for (NodeIndex a : ancestors) {
     for (NodeIndex d : descendants) {
@@ -136,6 +158,10 @@ std::vector<JoinPair> NestedLoopJoin(const Document& doc,
     if (x.descendant != y.descendant) return x.descendant < y.descendant;
     return x.ancestor < y.ancestor;
   });
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    m.items->Add(out.size());
+  }
   return out;
 }
 
@@ -143,6 +169,8 @@ std::vector<NodeIndex> JoinDescendants(const Document& doc,
                                        std::span<const NodeIndex> ancestors,
                                        std::span<const NodeIndex> descendants,
                                        bool parent_child) {
+  static metrics::OpMetrics m("join.semi_desc");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
   std::vector<NodeIndex> out;
   std::vector<NodeIndex> stack;
   size_t ai = 0;
@@ -169,6 +197,10 @@ std::vector<NodeIndex> JoinDescendants(const Document& doc,
       }
     }
   }
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    m.items->Add(out.size());
+  }
   return out;  // Already in document order and distinct.
 }
 
@@ -176,6 +208,8 @@ std::vector<NodeIndex> JoinAncestors(const Document& doc,
                                      std::span<const NodeIndex> ancestors,
                                      std::span<const NodeIndex> descendants,
                                      bool parent_child) {
+  static metrics::OpMetrics m("join.semi_anc");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
   // Mark matched ancestors, then emit in input (document) order.
   std::vector<char> matched(ancestors.size(), 0);
   std::vector<size_t> stack;  // Indices into `ancestors`.
@@ -202,6 +236,10 @@ std::vector<NodeIndex> JoinAncestors(const Document& doc,
   std::vector<NodeIndex> out;
   for (size_t i = 0; i < ancestors.size(); ++i) {
     if (matched[i]) out.push_back(ancestors[i]);
+  }
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    m.items->Add(out.size());
   }
   return out;
 }

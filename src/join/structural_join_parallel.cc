@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <span>
 
+#include "base/metrics.h"
 #include "base/parallel.h"
 #include "join/structural_join.h"
 
@@ -11,6 +12,19 @@ namespace {
 /// Effective worker count for one parallel join call.
 int EffectiveThreads(int num_threads) {
   return num_threads > 0 ? num_threads : DefaultParallelism();
+}
+
+/// Records one threshold decision: did this join call fan out across the
+/// pool or fall back to the serial kernel? EXPLAIN/PROFILE reports these
+/// under "parallel-dispatch decisions".
+void NoteDispatch(bool went_parallel) {
+  if (!metrics::Enabled()) return;
+  static metrics::Counter* dispatched =
+      metrics::MetricsRegistry::Global().counter("join.parallel.dispatched");
+  static metrics::Counter* fallback =
+      metrics::MetricsRegistry::Global().counter(
+          "join.parallel.serial_fallback");
+  (went_parallel ? dispatched : fallback)->Increment();
 }
 
 /// Concatenates per-chunk outputs in chunk order. Matched descendants of
@@ -94,8 +108,10 @@ std::vector<JoinPair> StackTreeDescParallel(const Document& doc,
                                             size_t min_parallel) {
   int threads = EffectiveThreads(num_threads);
   if (threads <= 1 || ancestors.size() + descendants.size() < min_parallel) {
+    NoteDispatch(false);
     return StackTreeDesc(doc, ancestors, descendants, parent_child);
   }
+  NoteDispatch(true);
   return PartitionedJoin(
       doc, ancestors, descendants, threads,
       [&](std::span<const NodeIndex> a, std::span<const NodeIndex> d) {
@@ -109,8 +125,10 @@ std::vector<NodeIndex> JoinDescendantsParallel(
     size_t min_parallel) {
   int threads = EffectiveThreads(num_threads);
   if (threads <= 1 || ancestors.size() + descendants.size() < min_parallel) {
+    NoteDispatch(false);
     return JoinDescendants(doc, ancestors, descendants, parent_child);
   }
+  NoteDispatch(true);
   return PartitionedJoin(
       doc, ancestors, descendants, threads,
       [&](std::span<const NodeIndex> a, std::span<const NodeIndex> d) {
@@ -124,8 +142,10 @@ std::vector<NodeIndex> JoinAncestorsParallel(
     size_t min_parallel) {
   int threads = EffectiveThreads(num_threads);
   if (threads <= 1 || ancestors.size() + descendants.size() < min_parallel) {
+    NoteDispatch(false);
     return JoinAncestors(doc, ancestors, descendants, parent_child);
   }
+  NoteDispatch(true);
   // Ancestor-major output: chunks own disjoint, increasing ancestor ranges,
   // so chunk-order concatenation preserves the serial (input) order.
   return PartitionedJoin(

@@ -1,10 +1,11 @@
 #include "join/twig.h"
-#include <functional>
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 
+#include "base/metrics.h"
 #include "base/parallel.h"
 #include "join/structural_join.h"
 
@@ -375,15 +376,29 @@ Result<std::vector<NodeIndex>> TwigStackMatchLists(const Document& doc,
 Result<std::vector<NodeIndex>> PathStackMatch(const TagIndex& index,
                                               const TwigPattern& pattern,
                                               TwigStats* stats) {
-  return PathStackMatchLists(index.doc(), pattern,
-                             LookupPostings(index, pattern), stats);
+  static metrics::OpMetrics m("twig.path_stack");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
+  auto result = PathStackMatchLists(index.doc(), pattern,
+                                    LookupPostings(index, pattern), stats);
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    if (result.ok()) m.items->Add(result.value().size());
+  }
+  return result;
 }
 
 Result<std::vector<NodeIndex>> TwigStackMatch(const TagIndex& index,
                                               const TwigPattern& pattern,
                                               TwigStats* stats) {
-  return TwigStackMatchLists(index.doc(), pattern,
-                             LookupPostings(index, pattern), stats);
+  static metrics::OpMetrics m("twig.twig_stack");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
+  auto result = TwigStackMatchLists(index.doc(), pattern,
+                                    LookupPostings(index, pattern), stats);
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    if (result.ok()) m.items->Add(result.value().size());
+  }
+  return result;
 }
 
 Result<std::vector<NodeIndex>> TwigStackMatchParallel(const TagIndex& index,
@@ -398,8 +413,17 @@ Result<std::vector<NodeIndex>> TwigStackMatchParallel(const TagIndex& index,
     if (list != nullptr) total_postings += list->size();
   }
   int threads = num_threads > 0 ? num_threads : DefaultParallelism();
-  if (threads <= 1 || pattern.nodes.size() < 2 ||
-      total_postings < min_parallel) {
+  const bool go_parallel = threads > 1 && pattern.nodes.size() >= 2 &&
+                           total_postings >= min_parallel;
+  if (metrics::Enabled()) {
+    static metrics::Counter* dispatched =
+        metrics::MetricsRegistry::Global().counter("twig.parallel.dispatched");
+    static metrics::Counter* fallback =
+        metrics::MetricsRegistry::Global().counter(
+            "twig.parallel.serial_fallback");
+    (go_parallel ? dispatched : fallback)->Increment();
+  }
+  if (!go_parallel) {
     return TwigStackMatchLists(doc, pattern, lists, stats);
   }
   // Parallel leaf-matching pass: shrink every leaf's posting list to the

@@ -1,11 +1,26 @@
 #include "opt/rewriter.h"
 
+#include "base/metrics.h"
 #include "opt/properties.h"
 #include "query/expr.h"
 
 namespace xqp {
 
 using opt_internal::RuleContext;
+
+namespace opt_internal {
+
+void RuleContext::Count(const char* rule) {
+  ++(*stats)[rule];
+  changed = true;
+  if (metrics::Enabled()) {
+    metrics::MetricsRegistry::Global()
+        .counter(std::string("rewrite.") + rule)
+        ->Increment();
+  }
+}
+
+}  // namespace opt_internal
 
 namespace {
 

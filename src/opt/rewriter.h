@@ -57,10 +57,11 @@ struct RuleContext {
   int* next_slot;
   bool changed = false;
 
-  void Count(const char* rule) {
-    ++(*stats)[rule];
-    changed = true;
-  }
+  /// Records one application of `rule`: bumps the per-compilation stats,
+  /// marks the pass as having changed the tree, and (when the global
+  /// metrics registry collects) bumps the process-wide "rewrite.<rule>"
+  /// fire counter.
+  void Count(const char* rule);
 };
 
 // Rule entry points (one translation unit per family).

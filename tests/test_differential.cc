@@ -1,10 +1,20 @@
 // Randomized differential testing: generated path/FLWOR queries over random
 // documents must produce identical results on the eager interpreter and the
-// lazy streaming engine, optimized and not.
+// lazy streaming engine, optimized and not. The XMark suite below adds
+// ExecuteBatchParallel to the cross-check and asserts the profile
+// invariant (plan-root item count == result cardinality) on every
+// generated query.
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "engine.h"
 #include "tests/test_util.h"
+#include "xmark/generator.h"
 
 namespace xqp {
 namespace {
@@ -82,6 +92,145 @@ TEST_P(DifferentialTest, EnginesAndOptimizerAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
                                            12, 13, 14, 15));
+
+// --- XMark differential suite ---------------------------------------------
+
+/// One XMark scale-0.02 document parsed once and shared by every test
+/// instance (parsing dominates the suite's runtime otherwise).
+std::shared_ptr<const Document> SharedXMarkDoc() {
+  static auto* doc = new std::shared_ptr<const Document>([] {
+    XMarkOptions options;
+    options.scale = 0.02;
+    return Document::Parse(GenerateXMarkXml(options)).ValueOrDie();
+  }());
+  return *doc;
+}
+
+/// Random queries over the real XMark vocabulary: anchored descendant
+/// paths with positional / existence / twig predicates, wrapped in the
+/// aggregate and FLWOR shapes the engines treat differently (streaming vs
+/// materializing, rewritten vs not).
+std::string RandomXMarkQuery(SplitMix64* rng) {
+  static constexpr const char* kTags[] = {
+      "item",     "name",     "keyword",  "bidder",   "increase",
+      "seller",   "open_auction", "description", "mailbox", "date",
+      "price",    "payment",  "category", "location", "quantity",
+      "person",   "emph",     "listitem", "bold",     "text"};
+  auto tag = [&] {
+    return std::string(kTags[rng->Below(std::size(kTags))]);
+  };
+  auto step = [&](bool first) -> std::string {
+    switch (rng->Below(6)) {
+      case 0:
+        return "//" + tag();
+      case 1:
+        return (first ? "//" : "/") + tag();
+      case 2:
+        return "//" + tag() + "[" + std::to_string(1 + rng->Below(3)) + "]";
+      case 3:
+        return "//" + tag() + "[" + tag() + "]";
+      case 4:
+        return first ? "//" + tag() : "/*";
+      default:
+        return "//" + tag() + "[.//" + tag() + "]";
+    }
+  };
+  std::string path = "doc('xmark.xml')";
+  size_t steps = 1 + rng->Below(3);
+  for (size_t i = 0; i < steps; ++i) path += step(i == 0);
+
+  switch (rng->Below(8)) {
+    case 0:
+      return "count(" + path + ")";
+    case 1:
+      return "string-join(for $n in " + path + " return name($n), ',')";
+    case 2:
+      return "for $n in " + path + " where count($n/*) > 2 return name($n)";
+    case 3:
+      return "let $s := " + path +
+             " return count($s) * 10 + count($s[.//keyword])";
+    case 4:
+      return "some $n in " + path + " satisfies count($n/*) > 3";
+    case 5:
+      return "sum(for $n in " + path + " return string-length(name($n)))";
+    case 6:
+      return "for $n in " + path +
+             " order by string($n/name[1]) return name($n)";
+    default:
+      return "count(" + path + " union doc('xmark.xml')//keyword)";
+  }
+}
+
+class XMarkDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XMarkDifferentialTest, EnginesBatchAndProfileAgree) {
+  SplitMix64 rng(GetParam() * 7919 + 13);
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.RegisterDocument("xmark.xml", SharedXMarkDoc()));
+
+  XQueryEngine::CompileOptions no_opt;
+  no_opt.optimize = false;
+  CompiledQuery::ExecOptions eager;
+  eager.use_lazy_engine = false;
+  CompiledQuery::ExecOptions lazy;
+  lazy.use_lazy_engine = true;
+
+  std::vector<std::string> queries;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 8; ++i) {
+    std::string query = RandomXMarkQuery(&rng);
+
+    // Reference: eager interpreter on the unoptimized plan.
+    auto reference = engine.Compile(query, no_opt);
+    ASSERT_TRUE(reference.ok()) << query << ": "
+                                << reference.status().ToString();
+    XQP_ASSERT_OK_AND_ASSIGN(std::string want,
+                             reference.value()->ExecuteToXml(eager));
+    EXPECT_EQ(reference.value()->ExecuteToXml(lazy).ValueOrDie(), want)
+        << query;
+
+    // Optimized plan, both engines.
+    auto optimized = engine.Compile(query);
+    ASSERT_TRUE(optimized.ok()) << query;
+    EXPECT_EQ(optimized.value()->ExecuteToXml(eager).ValueOrDie(), want)
+        << query;
+    EXPECT_EQ(optimized.value()->ExecuteToXml(lazy).ValueOrDie(), want)
+        << query;
+
+    // Profile invariant on the optimized plan, both engines: the root
+    // operator's item count is the result cardinality and the profiled
+    // result is the reference result.
+    for (const auto& exec : {lazy, eager}) {
+      auto report = optimized.value()->Profile(exec);
+      ASSERT_TRUE(report.ok()) << query << ": "
+                               << report.status().ToString();
+      const OpStats* root = report.value().RootStats();
+      ASSERT_NE(root, nullptr) << query;
+      EXPECT_EQ(root->items, report.value().result.size())
+          << query << " (lazy=" << exec.use_lazy_engine << ")";
+      EXPECT_EQ(SerializeSequence(report.value().result).ValueOrDie(), want)
+          << query;
+    }
+
+    queries.push_back(std::move(query));
+    expected.push_back(std::move(want));
+  }
+
+  // The whole batch fanned across the thread pool must be positionally
+  // identical to the serial reference runs.
+  std::vector<std::string_view> views(queries.begin(), queries.end());
+  auto batch = engine.ExecuteBatchParallel(views);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok())
+        << queries[i] << ": " << batch[i].status().ToString();
+    EXPECT_EQ(SerializeSequence(batch[i].value()).ValueOrDie(), expected[i])
+        << queries[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XMarkDifferentialTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
 
 }  // namespace
 }  // namespace xqp

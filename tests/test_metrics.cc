@@ -1,0 +1,311 @@
+// Tests for the observability subsystem: striped counters and log2-bucket
+// histograms (exact count/sum/min/max, bounded percentiles, correctness
+// under concurrent recording from the thread pool), registry snapshots and
+// deltas, EXPLAIN output stability, and the profile invariant that the plan
+// root's item count equals the query's result cardinality on both engines.
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/metrics.h"
+#include "base/parallel.h"
+#include "engine.h"
+#include "xmark/generator.h"
+
+namespace xqp {
+namespace {
+
+using metrics::Counter;
+using metrics::Histogram;
+using metrics::MetricsRegistry;
+using metrics::MetricsSnapshot;
+
+TEST(CounterTest, SingleThreadExact) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsMergeExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), uint64_t(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, RecordingFromPoolWorkersIsExact) {
+  // ParallelForChunks runs chunks on pool workers and the caller; every
+  // increment must land regardless of which thread executed the chunk.
+  Counter c;
+  constexpr size_t kChunks = 64;
+  constexpr uint64_t kPerChunk = 1000;
+  ParallelForChunks(kChunks, [&c](size_t) {
+    for (uint64_t i = 0; i < kPerChunk; ++i) c.Add(3);
+  });
+  EXPECT_EQ(c.Value(), kChunks * kPerChunk * 3);
+}
+
+TEST(HistogramTest, CountSumMinMaxExact) {
+  Histogram h;
+  auto empty = h.TakeSnapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.Percentile(50), 0u);
+  EXPECT_EQ(empty.Mean(), 0.0);
+
+  for (uint64_t v : {7u, 0u, 100u, 3u, 100000u}) h.Record(v);
+  auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 7u + 0u + 100u + 3u + 100000u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 100000u);
+  EXPECT_DOUBLE_EQ(s.Mean(), double(s.sum) / 5.0);
+}
+
+TEST(HistogramTest, PercentileBoundsAndEndpoints) {
+  Histogram h;
+  for (uint64_t v : {1u, 2u, 3u, 4u, 1000u}) h.Record(v);
+  auto s = h.TakeSnapshot();
+  // Endpoints are exact.
+  EXPECT_EQ(s.Percentile(0), 1u);
+  EXPECT_EQ(s.Percentile(100), 1000u);
+  // Interior percentiles resolve to a bucket's inclusive upper bound: the
+  // result is >= the true value and < 2x the true value (log2 buckets).
+  // The median of {1,2,3,4,1000} is 3, whose bucket [2,3] tops out at 3.
+  EXPECT_EQ(s.Percentile(50), 3u);
+  // Rank floor(0.95 * 5) = 4 selects the value 4, bucket [4,7] -> bound 7.
+  EXPECT_EQ(s.Percentile(95), 7u);
+}
+
+TEST(HistogramTest, SingleValueAllPercentilesEqual) {
+  Histogram h;
+  h.Record(42);
+  auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.min, 42u);
+  EXPECT_EQ(s.max, 42u);
+  // Bucket bound for 42 is 63, clamped to max = 42.
+  for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_EQ(s.Percentile(p), 42u) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordingExactAggregates) {
+  Histogram h;
+  constexpr size_t kChunks = 32;
+  constexpr uint64_t kPerChunk = 5000;
+  ParallelForChunks(kChunks, [&h](size_t chunk) {
+    for (uint64_t i = 0; i < kPerChunk; ++i) h.Record(chunk * kPerChunk + i);
+  });
+  auto s = h.TakeSnapshot();
+  const uint64_t n = kChunks * kPerChunk;
+  EXPECT_EQ(s.count, n);
+  EXPECT_EQ(s.sum, n * (n - 1) / 2);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, n - 1);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoOp) {
+  metrics::ScopedTimer t(nullptr);  // Must not crash or record anything.
+}
+
+TEST(ScopedTimerTest, RecordsOneSample) {
+  Histogram h;
+  { metrics::ScopedTimer t(&h); }
+  auto s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 1u);
+}
+
+TEST(RegistryTest, SameNameSameObject) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.counter("test.registry.same");
+  Counter* b = reg.counter("test.registry.same");
+  EXPECT_EQ(a, b);
+  Histogram* ha = reg.histogram("test.registry.same_h");
+  Histogram* hb = reg.histogram("test.registry.same_h");
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(RegistryTest, SnapshotDeltaIsPerRun) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* c = reg.counter("test.registry.delta");
+  Histogram* h = reg.histogram("test.registry.delta_h");
+  c->Add(5);
+  h->Record(10);
+  MetricsSnapshot before = reg.Snapshot();
+  c->Add(7);
+  h->Record(20);
+  h->Record(30);
+  MetricsSnapshot delta = reg.Snapshot().Delta(before);
+  EXPECT_EQ(delta.counters.at("test.registry.delta"), 7u);
+  EXPECT_EQ(delta.histograms.at("test.registry.delta_h").count, 2u);
+  EXPECT_EQ(delta.histograms.at("test.registry.delta_h").sum, 50u);
+}
+
+TEST(RegistryTest, OpMetricsRegistersTriple) {
+  metrics::OpMetrics m("test.registry.op");
+  auto& reg = MetricsRegistry::Global();
+  EXPECT_EQ(m.calls, reg.counter("test.registry.op.calls"));
+  EXPECT_EQ(m.items, reg.counter("test.registry.op.items"));
+  EXPECT_EQ(m.wall_ns, reg.histogram("test.registry.op.wall_ns"));
+}
+
+TEST(RegistryTest, ConcurrentRegistrationAndSnapshot) {
+  auto& reg = MetricsRegistry::Global();
+  ParallelForChunks(16, [&reg](size_t chunk) {
+    std::string name = "test.registry.concurrent." + std::to_string(chunk % 4);
+    for (int i = 0; i < 1000; ++i) reg.counter(name)->Increment();
+    (void)reg.Snapshot();  // Snapshots race with registration safely.
+  });
+  MetricsSnapshot s = reg.Snapshot();
+  uint64_t total = 0;
+  for (int k = 0; k < 4; ++k) {
+    total += s.counters.at("test.registry.concurrent." + std::to_string(k));
+  }
+  EXPECT_EQ(total, 16u * 1000u);
+}
+
+// --- EXPLAIN / PROFILE on real queries ------------------------------------
+
+std::unique_ptr<XQueryEngine> SmallXMarkEngine() {
+  EngineOptions options;
+  options.collect_stats = true;
+  auto engine = std::make_unique<XQueryEngine>(options);
+  XMarkOptions xmark;
+  xmark.scale = 0.01;
+  auto doc = engine->ParseAndRegister("xmark.xml", GenerateXMarkXml(xmark));
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return engine;
+}
+
+/// EXPLAIN output is part of the tool contract — golden strings so plan
+/// rendering (or an optimizer change that alters these plans) fails loudly
+/// here instead of silently changing xqp_profile output.
+TEST(ExplainTest, CanonicalPlansAreStable) {
+  auto engine = SmallXMarkEngine();
+
+  auto path = engine->Compile(
+      "doc('xmark.xml')/site/open_auctions/open_auction/bidder/increase");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path.value()->ExplainTree(),
+            "path\n"
+            "  path\n"
+            "    path\n"
+            "      path\n"
+            "        path\n"
+            "          call doc\n"
+            "            literal xmark.xml\n"
+            "          step child::site\n"
+            "        step child::open_auctions\n"
+            "      step child::open_auction\n"
+            "    step child::bidder\n"
+            "  step child::increase\n");
+
+  auto count = engine->Compile("count(doc('xmark.xml')//item)");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count.value()->ExplainTree(),
+            "call count\n"
+            "  path\n"
+            "    call doc\n"
+            "      literal xmark.xml\n"
+            "    step descendant::item\n");
+
+  auto flwor = engine->Compile(
+      "for $i in doc('xmark.xml')//item where $i/payment return $i/name");
+  ASSERT_TRUE(flwor.ok()) << flwor.status().ToString();
+  EXPECT_EQ(flwor.value()->ExplainTree(),
+            "flwor\n"
+            "  for $i in: path\n"
+            "    call doc\n"
+            "      literal xmark.xml\n"
+            "    step descendant::item\n"
+            "  where: path [sort dedup]\n"
+            "    var $i\n"
+            "    step child::payment\n"
+            "  return: path [sort dedup]\n"
+            "    var $i\n"
+            "    step child::name\n");
+}
+
+/// The acceptance invariant: the plan root's profiled item count equals the
+/// result cardinality, for both the lazy and the eager engine.
+TEST(ProfileTest, RootItemsMatchCardinalityBothEngines) {
+  auto engine = SmallXMarkEngine();
+  const char* queries[] = {
+      "doc('xmark.xml')/site/open_auctions/open_auction/bidder/increase",
+      "count(doc('xmark.xml')//item)",
+      "for $i in doc('xmark.xml')//item where $i/payment return $i/name",
+      "for $i in doc('xmark.xml')//item order by $i/name return $i/name",
+  };
+  for (const char* q : queries) {
+    auto compiled = engine->Compile(q);
+    ASSERT_TRUE(compiled.ok()) << q << ": " << compiled.status().ToString();
+    for (bool lazy : {true, false}) {
+      CompiledQuery::ExecOptions exec;
+      exec.use_lazy_engine = lazy;
+      auto report = compiled.value()->Profile(exec);
+      ASSERT_TRUE(report.ok()) << q << ": " << report.status().ToString();
+      const OpStats* root = report.value().RootStats();
+      ASSERT_NE(root, nullptr) << q;
+      EXPECT_EQ(root->items, report.value().result.size())
+          << q << " (lazy=" << lazy << ")";
+      EXPECT_GE(root->next_calls, 1u) << q;
+      // Profile must match plain execution.
+      auto plain = compiled.value()->Execute(exec);
+      ASSERT_TRUE(plain.ok());
+      EXPECT_EQ(plain.value().size(), report.value().result.size()) << q;
+    }
+  }
+}
+
+TEST(ProfileTest, ReportRendersTextAndJson) {
+  auto engine = SmallXMarkEngine();
+  auto compiled = engine->Compile("count(doc('xmark.xml')//item)");
+  ASSERT_TRUE(compiled.ok());
+  auto report = compiled.value()->Profile();
+  ASSERT_TRUE(report.ok());
+  std::string text = report.value().ToText();
+  EXPECT_NE(text.find("call count"), std::string::npos);
+  EXPECT_NE(text.find("step descendant::item"), std::string::npos);
+  std::string json = report.value().ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"result_items\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"plan\":"), std::string::npos);
+}
+
+TEST(ProfileTest, DisabledEngineLeavesRegistryOff) {
+  // A default-constructed engine must not flip the global registry on, and
+  // Profile() must restore the previous enabled state afterwards.
+  MetricsRegistry::Global().set_enabled(false);
+  XQueryEngine engine;
+  XMarkOptions xmark;
+  xmark.scale = 0.01;
+  ASSERT_TRUE(
+      engine.ParseAndRegister("xmark.xml", GenerateXMarkXml(xmark)).ok());
+  EXPECT_FALSE(metrics::Enabled());
+  auto compiled = engine.Compile("count(doc('xmark.xml')//item)");
+  ASSERT_TRUE(compiled.ok());
+  auto report = compiled.value()->Profile();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(metrics::Enabled());
+  // The forced-on window still captured engine counters for the run.
+  EXPECT_FALSE(report.value().engine_metrics.counters.empty());
+}
+
+}  // namespace
+}  // namespace xqp

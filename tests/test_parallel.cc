@@ -4,12 +4,15 @@
 // ExecuteCached / ExecuteBatchParallel / GetTagIndex callers.
 
 #include <atomic>
+#include <functional>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "base/metrics.h"
 #include "base/parallel.h"
 #include "engine.h"
 #include "join/structural_join.h"
@@ -200,6 +203,118 @@ TEST(ParallelTwig, IdenticalOnRecursiveData) {
         TwigStackMatchParallel(index, p, nullptr, kThreads, kForce).value();
     EXPECT_EQ(serial, parallel);
   }
+}
+
+/// Runs fn with the metrics registry temporarily enabled and returns the
+/// per-run counter delta.
+metrics::MetricsSnapshot CountersDuring(const std::function<void()>& fn) {
+  auto& reg = metrics::MetricsRegistry::Global();
+  bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  metrics::MetricsSnapshot before = reg.Snapshot();
+  fn();
+  metrics::MetricsSnapshot delta = reg.Snapshot().Delta(before);
+  reg.set_enabled(was_enabled);
+  return delta;
+}
+
+TEST(ParallelJoin, BelowThresholdTakesSerialPath) {
+  // XMark posting lists at scale 0.02 are far below the default
+  // min_parallel (16384): the wrappers must not partition, and the
+  // dispatch decision must be visible in the metrics.
+  auto doc = SmallXMark();
+  TagIndex index(doc);
+  const auto* anc = index.Lookup("", "item");
+  const auto* desc = index.Lookup("", "keyword");
+  ASSERT_TRUE(anc != nullptr && desc != nullptr);
+  std::vector<JoinPair> result;
+  auto delta = CountersDuring([&] {
+    result = StackTreeDescParallel(*doc, *anc, *desc, false, kThreads);
+  });
+  EXPECT_EQ(result, StackTreeDesc(*doc, *anc, *desc, false));
+  EXPECT_EQ(delta.counters["join.parallel.serial_fallback"], 1u);
+  EXPECT_EQ(delta.counters["join.parallel.dispatched"], 0u);
+}
+
+TEST(ParallelJoin, ForcedDispatchIsCountedAndIdentical) {
+  auto doc = SmallXMark();
+  TagIndex index(doc);
+  const auto* anc = index.Lookup("", "item");
+  const auto* desc = index.Lookup("", "keyword");
+  ASSERT_TRUE(anc != nullptr && desc != nullptr);
+  std::vector<JoinPair> result;
+  auto delta = CountersDuring([&] {
+    result = StackTreeDescParallel(*doc, *anc, *desc, false, kThreads, kForce);
+  });
+  EXPECT_EQ(result, StackTreeDesc(*doc, *anc, *desc, false));
+  EXPECT_EQ(delta.counters["join.parallel.dispatched"], 1u);
+  EXPECT_EQ(delta.counters["join.parallel.serial_fallback"], 0u);
+}
+
+TEST(ParallelTwig, EmptyAndSingletonPostingLists) {
+  auto doc = SmallXMark();
+  TagIndex index(doc);
+  {
+    // A tag absent from the document: one empty posting list empties the
+    // whole match set on both paths.
+    TwigPattern p;
+    int root = p.Add("open_auction");
+    p.Add("no_such_tag", root);
+    p.output = p.Add("bidder", root);
+    auto serial = TwigStackMatch(index, p).value();
+    auto parallel =
+        TwigStackMatchParallel(index, p, nullptr, kThreads, kForce).value();
+    EXPECT_TRUE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+  }
+  {
+    // "site" occurs exactly once: a single-node posting list as the twig
+    // root leaves nothing to partition.
+    TwigPattern p;
+    int root = p.Add("site");
+    p.output = p.Add("keyword", root);
+    auto serial = TwigStackMatch(index, p).value();
+    auto parallel =
+        TwigStackMatchParallel(index, p, nullptr, kThreads, kForce).value();
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+TEST(ParallelTwig, GiantSubtreeNoCutPoints) {
+  // The umbrella shape: every <a> and <b> lives inside one giant <a>
+  // subtree, so no subtree-closed cut exists and the parallel path must
+  // degrade gracefully to a single chunk.
+  std::string xml = "<root><a>";
+  for (int i = 0; i < 500; ++i) xml += "<a><x/></a>";
+  for (int i = 0; i < 500; ++i) xml += "<b/>";
+  xml += "</a></root>";
+  auto doc = Document::Parse(xml).value();
+  TagIndex index(doc);
+  ExpectJoinsIdentical(*doc, *index.Lookup("", "a"), *index.Lookup("", "b"));
+  TwigPattern p;
+  int root = p.Add("a");
+  p.output = p.Add("b", root);
+  auto serial = TwigStackMatch(index, p).value();
+  auto parallel =
+      TwigStackMatchParallel(index, p, nullptr, kThreads, kForce).value();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelTwig, BelowThresholdTakesSerialPath) {
+  auto doc = SmallXMark();
+  TagIndex index(doc);
+  TwigPattern p;
+  int root = p.Add("open_auction");
+  p.Add("bidder", root);
+  p.output = p.Add("increase", root);
+  auto delta = CountersDuring([&] {
+    auto parallel = TwigStackMatchParallel(index, p, nullptr, kThreads);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel.value(), TwigStackMatch(index, p).value());
+  });
+  EXPECT_EQ(delta.counters["twig.parallel.serial_fallback"], 1u);
+  EXPECT_EQ(delta.counters["twig.parallel.dispatched"], 0u);
 }
 
 TEST(ParallelSort, MatchesSerialStableSort) {

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The full CI gate: a Release build running the whole test suite, followed
+# by a ThreadSanitizer build of the concurrency-sensitive tests (everything
+# carrying the `tsan` ctest label — the parallel join kernels and the
+# lock-free metrics/profile subsystem).
+#
+# Usage: tools/run_ci.sh [release-build-dir] [tsan-build-dir]
+#   Defaults: build and build-tsan. The two trees are kept separate so
+#   instrumented objects never mix with release ones.
+#
+# XQP_THREADS is forced to 4 for the TSan phase so the pool spawns workers
+# even on single-core CI machines; TSan only sees races threads exercise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+
+echo "=== Release build + full test suite ==="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "=== ThreadSanitizer build + tsan-labelled tests ==="
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXQP_SANITIZE=thread
+cmake --build "$TSAN_DIR" --target test_parallel test_metrics -j"$(nproc)"
+
+export XQP_THREADS=4
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
+
+echo "CI run clean."
