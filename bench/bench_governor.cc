@@ -1,0 +1,98 @@
+// Experiment E15 — resource-governor overhead. Every execution now runs
+// under a ResourceGovernor: iterator loops that can do unbounded work per
+// delivered item poll it, and allocation points charge its byte account.
+// The design claim is that with no limits configured this costs only
+// relaxed atomic traffic — within run-to-run noise of the pre-governor
+// engine. Measured configurations:
+//
+//   NoLimits     — default QueryLimits: polls check a null token and skip
+//                  the clock; charges maintain counts nobody reads (the
+//                  production path; must be within noise of PR-2)
+//   CancelToken  — an (uncancelled) token attached: each poll adds one
+//                  relaxed load of the shared flag
+//   FullLimits   — deadline + generous memory/result budgets: polls take
+//                  the amortized clock path, charges compare against caps
+//
+// NoLimits vs CancelToken isolates token checking; CancelToken vs
+// FullLimits isolates deadline/budget accounting. Run on the E1 streaming
+// path, the E6 twig query, and a FLWOR whose tuple loop polls per tuple.
+
+#include <benchmark/benchmark.h>
+
+#include "base/limits.h"
+#include "bench/bench_util.h"
+
+namespace xqp {
+namespace {
+
+constexpr const char* kPathQuery =
+    "doc('xmark.xml')/site/open_auctions/open_auction/bidder/increase";
+constexpr const char* kTwigQuery =
+    "doc('xmark.xml')//item[mailbox//date]//keyword";
+constexpr const char* kFlworQuery =
+    "for $a in doc('xmark.xml')//open_auction "
+    "where $a/bidder/increase > 10 return $a/reserve";
+
+const char* QueryFor(int which) {
+  switch (which) {
+    case 0: return kPathQuery;
+    case 1: return kTwigQuery;
+    default: return kFlworQuery;
+  }
+}
+const char* LabelFor(int which) {
+  switch (which) {
+    case 0: return "E1-path";
+    case 1: return "E6-twig";
+    default: return "flwor";
+  }
+}
+
+void RunGoverned(benchmark::State& state, const QueryLimits& limits) {
+  auto engine = bench::MakeXMarkEngine(bench::ScaleFromArg(state.range(0)));
+  auto query = bench::MustCompile(engine.get(), QueryFor(state.range(1)));
+  CompiledQuery::ExecOptions options;
+  options.limits = limits;
+  size_t items = 0;
+  for (auto _ : state) {
+    auto result = query->Execute(options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    items = result.ok() ? result.value().size() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["items"] = static_cast<double>(items);
+  state.SetLabel(LabelFor(state.range(1)));
+}
+
+void BM_Governor_NoLimits(benchmark::State& state) {
+  RunGoverned(state, QueryLimits{});
+}
+BENCHMARK(BM_Governor_NoLimits)
+    ->Args({20, 0})->Args({20, 1})->Args({20, 2})
+    ->Args({100, 0})->Args({100, 1})->Args({100, 2});
+
+void BM_Governor_CancelToken(benchmark::State& state) {
+  QueryLimits limits;
+  limits.cancel = std::make_shared<CancelToken>();  // Never cancelled.
+  RunGoverned(state, limits);
+}
+BENCHMARK(BM_Governor_CancelToken)
+    ->Args({20, 0})->Args({20, 1})->Args({20, 2})
+    ->Args({100, 0})->Args({100, 1})->Args({100, 2});
+
+void BM_Governor_FullLimits(benchmark::State& state) {
+  QueryLimits limits;
+  limits.cancel = std::make_shared<CancelToken>();
+  limits.timeout = std::chrono::milliseconds(60000);
+  limits.memory_budget_bytes = 8ULL << 30;  // Generous: never trips.
+  limits.max_result_items = 1ULL << 40;
+  RunGoverned(state, limits);
+}
+BENCHMARK(BM_Governor_FullLimits)
+    ->Args({20, 0})->Args({20, 1})->Args({20, 2})
+    ->Args({100, 0})->Args({100, 1})->Args({100, 2});
+
+}  // namespace
+}  // namespace xqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+#include "base/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "base/metrics.h"
+
+namespace xqp {
+namespace fault {
+
+namespace {
+
+/// The single armed slot. `armed` is the fast-path gate; the slot fields
+/// are guarded by `mu` so arming from one thread while pool workers hit
+/// sites from others stays race-free (hits are rare once Armed() gates).
+std::atomic<bool> armed{false};
+std::mutex mu;
+std::string armed_site;        // Guarded by mu.
+uint64_t armed_nth = 0;        // Guarded by mu.
+uint64_t hits = 0;             // Guarded by mu.
+StatusCode armed_code = StatusCode::kInternal;  // Guarded by mu.
+
+Status MakeStatus(StatusCode code, std::string_view site) {
+  std::string msg = "injected fault at ";
+  msg += site;
+  return Status(code, std::move(msg));
+}
+
+}  // namespace
+
+bool Armed() { return armed.load(std::memory_order_relaxed); }
+
+Status MaybeInject(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (!armed.load(std::memory_order_relaxed) || site != armed_site) {
+    return Status::OK();
+  }
+  if (++hits < armed_nth) return Status::OK();
+  armed.store(false, std::memory_order_relaxed);  // Fire exactly once.
+  static metrics::Counter* injected =
+      metrics::MetricsRegistry::Global().counter("fault.injected");
+  injected->Increment();
+  return MakeStatus(armed_code, site);
+}
+
+void Arm(std::string_view site, uint64_t nth, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu);
+  armed_site.assign(site);
+  armed_nth = nth == 0 ? 1 : nth;
+  armed_code = code;
+  hits = 0;
+  armed.store(true, std::memory_order_relaxed);
+}
+
+void Disarm() {
+  std::lock_guard<std::mutex> lock(mu);
+  armed.store(false, std::memory_order_relaxed);
+  armed_site.clear();
+  hits = 0;
+}
+
+void ArmFromEnv() {
+  const char* env = std::getenv("XQP_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec(env);
+  size_t c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0) return;
+  size_t c2 = spec.find(':', c1 + 1);
+  std::string site = spec.substr(0, c1);
+  std::string nth_str = spec.substr(
+      c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+  char* end = nullptr;
+  unsigned long long nth = std::strtoull(nth_str.c_str(), &end, 10);
+  if (end == nth_str.c_str() || *end != '\0' || nth == 0) return;
+  StatusCode code = StatusCode::kInternal;
+  if (c2 != std::string::npos) {
+    std::string name = spec.substr(c2 + 1);
+    if (name == "cancelled") {
+      code = StatusCode::kCancelled;
+    } else if (name == "exhausted") {
+      code = StatusCode::kResourceExhausted;
+    } else if (name == "io") {
+      code = StatusCode::kIoError;
+    } else if (name != "internal") {
+      return;
+    }
+  }
+  Arm(site, nth, code);
+}
+
+}  // namespace fault
+}  // namespace xqp

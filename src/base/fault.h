@@ -1,0 +1,66 @@
+#ifndef XQP_BASE_FAULT_H_
+#define XQP_BASE_FAULT_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace xqp {
+namespace fault {
+
+/// Deterministic fault injection for error-path testing. At most one fault
+/// is armed at a time: a (site, nth, code) triple meaning "the nth time
+/// execution reaches `site`, fail once with `code`". The disarmed fast
+/// path — by far the common case — is one relaxed atomic load and a
+/// branch, the same gating trick as the metrics registry.
+///
+/// Sites in the tree today:
+///   "alloc"          DocumentBuilder node/text allocation
+///   "parse.next"     XmlPullParser::Next
+///   "pool.submit"    ThreadPool::Submit (task then runs inline, so the
+///                    fork/join region still completes; the submitting
+///                    query observes the failure at its next poll)
+///   "iterators.next" root result drain (lazy) / Interpreter::Eval (eager)
+///
+/// Arm via the scoped test API or the XQP_FAULT environment variable
+/// ("site:nth" or "site:nth:code" with code in {cancelled, exhausted,
+/// internal, io}); faults fire exactly once and then disarm themselves.
+
+/// True when a fault is armed anywhere in the process (one relaxed load).
+bool Armed();
+
+/// Counts a hit at `site` and returns the armed fault's Status on the nth
+/// hit (then disarms). Call only under Armed(); the canonical use is
+///   if (fault::Armed()) XQP_RETURN_NOT_OK(fault::MaybeInject("site"));
+Status MaybeInject(std::string_view site);
+
+/// Arms (site, nth, code): the nth hit of `site` from now fails. nth is
+/// 1-based; code defaults to kInternal. Replaces any armed fault and
+/// resets the hit counter.
+void Arm(std::string_view site, uint64_t nth,
+         StatusCode code = StatusCode::kInternal);
+
+/// Disarms whatever is armed and resets the hit counter.
+void Disarm();
+
+/// Arms from XQP_FAULT if set ("site:nth[:code]"); the engine calls this
+/// at construction. Malformed values are ignored.
+void ArmFromEnv();
+
+/// RAII arm/disarm for tests.
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view site, uint64_t nth,
+              StatusCode code = StatusCode::kInternal) {
+    Arm(site, nth, code);
+  }
+  ~ScopedFault() { Disarm(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace fault
+}  // namespace xqp
+
+#endif  // XQP_BASE_FAULT_H_

@@ -1,0 +1,111 @@
+#include "base/limits.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "base/metrics.h"
+
+namespace xqp {
+
+namespace {
+
+thread_local ResourceGovernor* tls_governor = nullptr;
+
+/// Parses "64m", "2g", "1048576" into bytes; 0 on anything malformed.
+uint64_t ParseByteSize(const char* s) {
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return 0;
+  switch (std::tolower(static_cast<unsigned char>(*end))) {
+    case 'k':
+      return v * 1024ull;
+    case 'm':
+      return v * 1024ull * 1024ull;
+    case 'g':
+      return v * 1024ull * 1024ull * 1024ull;
+    case '\0':
+      return v;
+    default:
+      return 0;
+  }
+}
+
+void NoteTrip(bool cancelled) {
+  // Trips are rare and worth counting even when tracing is off, so they
+  // show up in the next PROFILE report; registration is once per process.
+  static metrics::Counter* cancelled_count =
+      metrics::MetricsRegistry::Global().counter("governor.cancelled");
+  static metrics::Counter* budget_trips =
+      metrics::MetricsRegistry::Global().counter("governor.budget_trips");
+  (cancelled ? cancelled_count : budget_trips)->Increment();
+}
+
+}  // namespace
+
+QueryLimits ApplyLimitsEnv(QueryLimits base) {
+  if (base.timeout.count() == 0) {
+    if (const char* env = std::getenv("XQP_DEADLINE_MS")) {
+      long ms = std::atol(env);
+      if (ms > 0) base.timeout = std::chrono::milliseconds(ms);
+    }
+  }
+  if (base.memory_budget_bytes == 0) {
+    if (const char* env = std::getenv("XQP_MEM_BUDGET")) {
+      base.memory_budget_bytes = ParseByteSize(env);
+    }
+  }
+  return base;
+}
+
+ResourceGovernor::ResourceGovernor(const QueryLimits& limits,
+                                   std::shared_ptr<CancelToken> extra_cancel)
+    : limits_(limits), extra_cancel_(std::move(extra_cancel)) {
+  if (limits_.timeout.count() > 0) {
+    has_deadline_ = true;
+    deadline_ = Clock::now() + limits_.timeout;
+  }
+}
+
+Status ResourceGovernor::Trip(TripCode code) {
+  TripCode expected = TripCode::kNone;
+  if (trip_.compare_exchange_strong(expected, code,
+                                    std::memory_order_relaxed)) {
+    NoteTrip(code == TripCode::kCancelled);
+    return TripStatus(code);
+  }
+  // Another thread tripped first; report its (sticky) verdict.
+  return TripStatus(expected);
+}
+
+Status ResourceGovernor::TripStatus(TripCode code) const {
+  switch (code) {
+    case TripCode::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case TripCode::kDeadline:
+      return Status::Cancelled(
+          "query deadline of " + std::to_string(limits_.timeout.count()) +
+          "ms exceeded");
+    case TripCode::kMemory:
+      return Status::ResourceExhausted(
+          "query memory budget of " +
+          std::to_string(limits_.memory_budget_bytes) + " bytes exceeded");
+    case TripCode::kResultItems:
+      return Status::ResourceExhausted(
+          "query result cap of " +
+          std::to_string(limits_.max_result_items) + " items exceeded");
+    case TripCode::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+ResourceGovernor* CurrentGovernor() { return tls_governor; }
+
+GovernorScope::GovernorScope(ResourceGovernor* g) : saved_(tls_governor) {
+  tls_governor = g;
+}
+
+GovernorScope::~GovernorScope() { tls_governor = saved_; }
+
+}  // namespace xqp

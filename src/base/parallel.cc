@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "base/fault.h"
+#include "base/limits.h"
 #include "base/metrics.h"
 
 namespace xqp {
@@ -53,6 +55,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
+  // Fault site "pool.submit": model a refused enqueue. The task runs
+  // inline on the caller instead, which is exactly the degradation the
+  // help-first fork/join protocol must tolerate without deadlocking.
+  if (fault::Armed() && !fault::MaybeInject("pool.submit").ok()) {
+    fn();
+    return;
+  }
   if (num_threads_ == 0) {
     fn();
     return;
@@ -142,11 +151,18 @@ void ParallelForChunks(size_t num_chunks,
   state->fn = &fn;
   state->num_chunks = num_chunks;
   // One helper per worker (capped by chunk count); each drains the shared
-  // counter, so idle workers cost one no-op wakeup at most.
+  // counter, so idle workers cost one no-op wakeup at most. The caller's
+  // resource governor rides along: chunk bodies on worker threads see the
+  // same CurrentGovernor() as the submitting query, so morsel loops can
+  // honor cancellation from any thread.
+  ResourceGovernor* governor = CurrentGovernor();
   size_t helpers = std::min<size_t>(
       static_cast<size_t>(pool.num_threads()), num_chunks - 1);
   for (size_t h = 0; h < helpers; ++h) {
-    pool.Submit([state, worker_chunks] { state->Drain(worker_chunks); });
+    pool.Submit([state, worker_chunks, governor] {
+      GovernorScope scope(governor);
+      state->Drain(worker_chunks);
+    });
   }
   state->Drain(caller_chunks);
   // The caller ran out of chunks to claim; wait for stragglers. `fn` stays

@@ -25,6 +25,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Type error";
     case StatusCode::kDynamicError:
       return "Dynamic error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -28,6 +28,10 @@ enum class StatusCode : uint8_t {
   kTypeError,
   // XQuery dynamic errors (err:FOER*, division by zero, ...).
   kDynamicError,
+  // Execution stopped by a CancelToken / deadline (resource governor).
+  kCancelled,
+  // A query limit was exceeded: memory budget, result-count cap, depth.
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for `code` ("Ok", "Type error", ...).
@@ -77,6 +81,12 @@ class Status {
   }
   static Status DynamicError(std::string msg) {
     return Status(StatusCode::kDynamicError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <mutex>
 
+#include "base/fault.h"
+#include "base/limits.h"
 #include "base/parallel.h"
 #include "exec/interpreter.h"
 #include "exec/iterators.h"
@@ -15,10 +17,28 @@
 
 namespace xqp {
 
-XQueryEngine::XQueryEngine(const EngineOptions& options) : options_(options) {
+XQueryEngine::XQueryEngine(const EngineOptions& options)
+    : options_(options), cancel_token_(std::make_shared<CancelToken>()) {
   if (options_.collect_stats || metrics::TraceEnvRequested()) {
     metrics::MetricsRegistry::Global().set_enabled(true);
   }
+  options_.default_limits = ApplyLimitsEnv(options_.default_limits);
+  fault::ArmFromEnv();
+}
+
+void XQueryEngine::CancelAll() {
+  std::shared_ptr<CancelToken> doomed;
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    doomed = std::move(cancel_token_);
+    cancel_token_ = std::make_shared<CancelToken>();
+  }
+  doomed->Cancel();
+}
+
+std::shared_ptr<CancelToken> XQueryEngine::current_cancel_token() const {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  return cancel_token_;
 }
 
 void XQueryEngine::InvalidateCachesLocked() {
@@ -41,8 +61,12 @@ Status XQueryEngine::RegisterDocument(const std::string& uri,
 
 Result<std::shared_ptr<const Document>> XQueryEngine::ParseAndRegister(
     const std::string& uri, std::string_view xml, const ParseOptions& options) {
+  ParseOptions effective = options;
+  if (effective.max_parse_depth == 0) {
+    effective.max_parse_depth = options_.default_limits.max_parse_depth;
+  }
   XQP_ASSIGN_OR_RETURN(std::shared_ptr<Document> doc,
-                       Document::Parse(xml, options));
+                       Document::Parse(xml, effective));
   doc->set_base_uri(uri);
   std::unique_lock lock(mu_);
   documents_[uri] = doc;
@@ -70,6 +94,11 @@ XQueryEngine::CacheStats XQueryEngine::cache_stats() const {
 }
 
 Result<Sequence> XQueryEngine::ExecuteCached(std::string_view query) {
+  return ExecuteCachedInternal(query, nullptr);
+}
+
+Result<Sequence> XQueryEngine::ExecuteCachedInternal(
+    std::string_view query, std::shared_ptr<CancelToken> cancel) {
   uint64_t epoch;
   {
     std::shared_lock lock(mu_);
@@ -82,7 +111,9 @@ Result<Sequence> XQueryEngine::ExecuteCached(std::string_view query) {
   }
   // Compile and execute outside the lock so cache misses run concurrently.
   XQP_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> compiled, Compile(query));
-  XQP_ASSIGN_OR_RETURN(Sequence result, compiled->Execute());
+  CompiledQuery::ExecOptions exec_options;
+  exec_options.limits.cancel = std::move(cancel);
+  XQP_ASSIGN_OR_RETURN(Sequence result, compiled->Execute(exec_options));
   // Node-constructing queries must produce fresh identities per run, so
   // their results are not shareable across calls.
   if (compiled->module().body->props.creates_nodes) {
@@ -108,9 +139,15 @@ std::vector<Result<Sequence>> XQueryEngine::ExecuteBatchParallel(
       queries.size(), Result<Sequence>(Status::Internal("query did not run")));
   int threads =
       options_.num_threads > 0 ? options_.num_threads : DefaultParallelism();
+  // One token snapshot for the whole batch: CancelAll() during the batch
+  // stops members that have not been picked up by a worker yet, not just
+  // the in-flight ones.
+  std::shared_ptr<CancelToken> batch_token = current_cancel_token();
   ParallelFor(queries.size(), threads, [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      out[i] = ExecuteCached(queries[i]);
+      out[i] = batch_token->cancelled()
+                   ? Result<Sequence>(Status::Cancelled("query cancelled"))
+                   : ExecuteCachedInternal(queries[i], batch_token);
     }
   });
   return out;
@@ -160,7 +197,9 @@ Result<std::shared_ptr<const TagIndex>> XQueryEngine::GetTagIndex(
 Result<std::unique_ptr<CompiledQuery>> XQueryEngine::Compile(
     std::string_view query, const CompileOptions& options) {
   auto compiled = std::unique_ptr<CompiledQuery>(new CompiledQuery());
-  XQP_ASSIGN_OR_RETURN(compiled->module_, ParseQuery(query));
+  XQP_ASSIGN_OR_RETURN(
+      compiled->module_,
+      ParseQuery(query, options_.default_limits.max_expr_depth));
   XQP_RETURN_NOT_OK(NormalizeModule(compiled->module_.get()));
   if (options.static_typing) {
     XQP_RETURN_NOT_OK(StaticTypeCheck(compiled->module_.get()));
@@ -187,6 +226,65 @@ Result<std::unique_ptr<CompiledQuery>> XQueryEngine::Compile(
 Result<Sequence> XQueryEngine::Execute(std::string_view query) {
   XQP_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> compiled, Compile(query));
   return compiled->Execute();
+}
+
+namespace {
+
+/// Field-by-field limit merge: a set (non-zero / non-null) field in `over`
+/// wins over `base`.
+QueryLimits MergeLimits(const QueryLimits& base, const QueryLimits& over) {
+  QueryLimits out = base;
+  if (over.timeout.count() != 0) out.timeout = over.timeout;
+  if (over.memory_budget_bytes != 0) {
+    out.memory_budget_bytes = over.memory_budget_bytes;
+  }
+  if (over.max_parse_depth != 0) out.max_parse_depth = over.max_parse_depth;
+  if (over.max_expr_depth != 0) out.max_expr_depth = over.max_expr_depth;
+  if (over.max_result_items != 0) {
+    out.max_result_items = over.max_result_items;
+  }
+  if (over.cancel != nullptr) out.cancel = over.cancel;
+  return out;
+}
+
+/// Approximate per-item cost charged to the memory budget as the result
+/// sequence materializes. Item payloads (strings, nodes) are dominated by
+/// document storage, which is charged at construction.
+constexpr uint64_t kResultItemCost = sizeof(Item) + 16;
+
+/// Opens and drains the lazy plan under governor control: the root drain
+/// polls per item, maintains the result-count and byte accounts, and hosts
+/// the "iterators.next" fault site.
+Result<Sequence> DrainGoverned(const Expr* body, DynamicContext* ctx) {
+  XQP_ASSIGN_OR_RETURN(std::unique_ptr<ItemIterator> it, OpenLazy(body, ctx));
+  ResourceGovernor* gov = ctx->governor;
+  Sequence out;
+  Item item;
+  while (true) {
+    if (fault::Armed()) {
+      XQP_RETURN_NOT_OK(fault::MaybeInject("iterators.next"));
+    }
+    XQP_ASSIGN_OR_RETURN(bool got, it->Next(&item));
+    if (!got) break;
+    if (gov != nullptr) {
+      XQP_RETURN_NOT_OK(gov->Poll());
+      XQP_RETURN_NOT_OK(gov->ChargeResultItems(1));
+      XQP_RETURN_NOT_OK(gov->ChargeBytes(kResultItemCost));
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryLimits CompiledQuery::EffectiveLimits(const ExecOptions& options) const {
+  if (engine_ == nullptr) return options.limits;
+  return MergeLimits(engine_->options().default_limits, options.limits);
+}
+
+std::shared_ptr<CancelToken> CompiledQuery::EngineToken() const {
+  return engine_ == nullptr ? nullptr : engine_->current_cancel_token();
 }
 
 Status CompiledQuery::SetupContext(const ExecOptions& options,
@@ -224,12 +322,17 @@ Status CompiledQuery::SetupContext(const ExecOptions& options,
 }
 
 Result<Sequence> CompiledQuery::Execute(const ExecOptions& options) const {
+  ResourceGovernor governor(EffectiveLimits(options), EngineToken());
+  GovernorScope scope(&governor);
   DynamicContext ctx;
+  ctx.governor = &governor;
   XQP_RETURN_NOT_OK(SetupContext(options, &ctx));
   if (options.use_lazy_engine) {
-    return ExecuteLazy(module_->body.get(), &ctx);
+    return DrainGoverned(module_->body.get(), &ctx);
   }
-  return EvalExpr(module_->body.get(), &ctx);
+  XQP_ASSIGN_OR_RETURN(Sequence result, EvalExpr(module_->body.get(), &ctx));
+  XQP_RETURN_NOT_OK(governor.ChargeResultItems(result.size()));
+  return result;
 }
 
 Result<ProfileReport> CompiledQuery::Profile(const ExecOptions& options) const {
@@ -245,13 +348,16 @@ Result<ProfileReport> CompiledQuery::Profile(const ExecOptions& options) const {
   registry.set_enabled(true);
   metrics::MetricsSnapshot before = registry.Snapshot();
 
+  ResourceGovernor governor(EffectiveLimits(options), EngineToken());
+  GovernorScope scope(&governor);
   DynamicContext ctx;
+  ctx.governor = &governor;
   ctx.profile = &report.ops;
   Status setup = SetupContext(options, &ctx);
   Result<Sequence> result = Sequence{};
   const auto start = std::chrono::steady_clock::now();
   if (setup.ok()) {
-    result = options.use_lazy_engine ? ExecuteLazy(module_->body.get(), &ctx)
+    result = options.use_lazy_engine ? DrainGoverned(module_->body.get(), &ctx)
                                      : EvalExpr(module_->body.get(), &ctx);
   }
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -364,11 +470,27 @@ Result<std::string> CompiledQuery::ExecuteToXml(
 Result<std::unique_ptr<ResultStream>> CompiledQuery::Open(
     const ExecOptions& options) const {
   auto stream = std::unique_ptr<ResultStream>(new ResultStream());
+  stream->governor_ =
+      std::make_unique<ResourceGovernor>(EffectiveLimits(options),
+                                         EngineToken());
+  GovernorScope scope(stream->governor_.get());
   stream->ctx_ = std::make_unique<DynamicContext>();
+  stream->ctx_->governor = stream->governor_.get();
   XQP_RETURN_NOT_OK(SetupContext(options, stream->ctx_.get()));
   XQP_ASSIGN_OR_RETURN(stream->iterator_,
                        OpenLazy(module_->body.get(), stream->ctx_.get()));
   return stream;
+}
+
+Result<bool> ResultStream::Next(Item* out) {
+  if (fault::Armed()) {
+    XQP_RETURN_NOT_OK(fault::MaybeInject("iterators.next"));
+  }
+  XQP_RETURN_NOT_OK(governor_->Poll());
+  GovernorScope scope(governor_.get());
+  XQP_ASSIGN_OR_RETURN(bool got, iterator_->Next(out));
+  if (got) XQP_RETURN_NOT_OK(governor_->ChargeResultItems(1));
+  return got;
 }
 
 Result<std::string> ResultStream::DrainToXml() {
@@ -376,7 +498,7 @@ Result<std::string> ResultStream::DrainToXml() {
   bool prev_atomic = false;
   Item item;
   while (true) {
-    XQP_ASSIGN_OR_RETURN(bool got, iterator_->Next(&item));
+    XQP_ASSIGN_OR_RETURN(bool got, Next(&item));
     if (!got) break;
     if (item.IsNode()) {
       XQP_RETURN_NOT_OK(SerializeNode(item.AsNode(), SerializeOptions{}, &out));

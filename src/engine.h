@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/limits.h"
 #include "base/metrics.h"
 #include "base/status.h"
 #include "exec/dynamic_context.h"
@@ -43,6 +44,13 @@ struct EngineOptions {
   /// default: every instrumentation point then costs one relaxed atomic
   /// load and a predictable branch.
   bool collect_stats = false;
+
+  /// Resource limits applied to every execution on this engine. Per-call
+  /// ExecOptions::limits override field-by-field (non-zero wins); the
+  /// XQP_DEADLINE_MS / XQP_MEM_BUDGET environment knobs fill in fields
+  /// both leave unset. The `cancel` token here is ignored — the engine
+  /// maintains its own token for CancelAll().
+  QueryLimits default_limits;
 };
 
 /// The public facade: an in-memory XML store plus the XQuery compiler and
@@ -121,6 +129,16 @@ class XQueryEngine : public DocumentProvider {
   std::vector<Result<Sequence>> ExecuteBatchParallel(
       std::span<const std::string_view> queries);
 
+  /// Cancels every execution in flight on this engine (including queued
+  /// ExecuteBatchParallel members that have not started): they fail with
+  /// kCancelled at their next governor poll. A fresh token is installed
+  /// atomically, so executions started after this call run normally.
+  void CancelAll();
+
+  /// The token executions started now would observe (tests; callers that
+  /// want per-query cancellation pass their own via ExecOptions::limits).
+  std::shared_ptr<CancelToken> current_cancel_token() const;
+
   /// Cache statistics for the memoization experiment/tests.
   struct CacheStats {
     uint64_t hits = 0;
@@ -139,6 +157,12 @@ class XQueryEngine : public DocumentProvider {
   /// Clears derived caches and bumps the epoch. Caller must hold mu_
   /// exclusively.
   void InvalidateCachesLocked();
+
+  /// ExecuteCached with an optional extra cancel token — the batch-wide
+  /// snapshot ExecuteBatchParallel takes so CancelAll() reaches batch
+  /// members that have not started yet.
+  Result<Sequence> ExecuteCachedInternal(std::string_view query,
+                                         std::shared_ptr<CancelToken> cancel);
 
   EngineOptions options_;
 
@@ -160,6 +184,12 @@ class XQueryEngine : public DocumentProvider {
     std::atomic<uint64_t> invalidations{0};
   };
   mutable AtomicCacheStats cache_stats_;
+
+  /// The CancelAll() token. Executions snapshot it at start (under
+  /// cancel_mu_); CancelAll cancels the current one and swaps in a fresh
+  /// token so later executions are unaffected.
+  mutable std::mutex cancel_mu_;
+  std::shared_ptr<CancelToken> cancel_token_;
 };
 
 /// Everything one profiled execution produced: the result itself plus the
@@ -194,8 +224,10 @@ struct ProfileReport {
 /// context; pull items with Next().
 class ResultStream {
  public:
-  /// Produces the next result item; false at end.
-  Result<bool> Next(Item* out) { return iterator_->Next(out); }
+  /// Produces the next result item; false at end. Polls the stream's
+  /// resource governor, so an open stream honors cancellation, deadlines,
+  /// and the result-item cap between pulls.
+  Result<bool> Next(Item* out);
 
   /// Serializes the remaining items to XML text (nodes as markup, atomics
   /// space-separated), pulling lazily.
@@ -205,6 +237,9 @@ class ResultStream {
   friend class CompiledQuery;
   ResultStream() = default;
 
+  // Declaration order is destruction-safety order: the iterator tree and
+  // context hold raw pointers into the governor, so it must die last.
+  std::unique_ptr<ResourceGovernor> governor_;
   std::unique_ptr<DynamicContext> ctx_;
   std::unique_ptr<ItemIterator> iterator_;
 };
@@ -221,11 +256,22 @@ class CompiledQuery {
     /// Engine selection: the lazy streaming iterator engine (default) or
     /// the eager materializing interpreter.
     bool use_lazy_engine = true;
+
+    /// Per-call resource limits; non-zero fields override the engine's
+    /// default_limits. A `cancel` token here is watched *in addition to*
+    /// the engine's CancelAll() token.
+    QueryLimits limits;
   };
 
   /// Runs the query and materializes the full result.
   Result<Sequence> Execute(const ExecOptions& options) const;
   Result<Sequence> Execute() const { return Execute(ExecOptions()); }
+  /// Convenience: run with limits and otherwise-default options.
+  Result<Sequence> Execute(const QueryLimits& limits) const {
+    ExecOptions options;
+    options.limits = limits;
+    return Execute(options);
+  }
 
   /// Runs the query and serializes the result sequence as XML text.
   Result<std::string> ExecuteToXml(const ExecOptions& options) const;
@@ -276,6 +322,12 @@ class CompiledQuery {
 
   /// Binds globals and prepares a dynamic context for one run.
   Status SetupContext(const ExecOptions& options, DynamicContext* ctx) const;
+
+  /// Engine default_limits overridden by the per-call limits.
+  QueryLimits EffectiveLimits(const ExecOptions& options) const;
+
+  /// Snapshot of the engine's CancelAll() token (null without an engine).
+  std::shared_ptr<CancelToken> EngineToken() const;
 
   std::unique_ptr<ParsedModule> module_;
   XQueryEngine* engine_ = nullptr;

@@ -1,6 +1,7 @@
 #include "exec/arithmetic.h"
 
 #include <cmath>
+#include <cstdint>
 
 namespace xqp {
 
@@ -37,14 +38,31 @@ Result<Sequence> EvalArithmetic(ArithOp op, const Sequence& lhs,
   XQP_ASSIGN_OR_RETURN(AtomicValue b, ToNumeric(rhs[0].AsAtomic()));
 
   if (op == ArithOp::kIDiv) {
+    // Integer-typed operands take an exact integer path: the double route
+    // below loses precision past 2^53, and INT64_MIN idiv -1 would cast a
+    // non-representable double back to int64 (UB).
+    if (a.type() == XsType::kInteger && b.type() == XsType::kInteger) {
+      int64_t x = a.AsInt();
+      int64_t y = b.AsInt();
+      if (y == 0) return Status::DynamicError("integer division by zero");
+      if (x == INT64_MIN && y == -1) {
+        return Status::DynamicError(
+            "err:FOAR0002: integer overflow in idiv");
+      }
+      return Sequence{Item(AtomicValue::Integer(x / y))};
+    }
     double y = b.NumericAsDouble();
     if (y == 0.0) return Status::DynamicError("integer division by zero");
     double x = a.NumericAsDouble();
     if (std::isnan(x) || std::isnan(y) || std::isinf(x)) {
       return Status::DynamicError("idiv with NaN or INF operand");
     }
-    return Sequence{Item(AtomicValue::Integer(
-        static_cast<int64_t>(std::trunc(x / y))))};
+    double q = std::trunc(x / y);
+    // Casting a value outside int64's range is UB; make it err:FOAR0002.
+    if (!(q >= -9223372036854775808.0 && q < 9223372036854775808.0)) {
+      return Status::DynamicError("err:FOAR0002: integer overflow in idiv");
+    }
+    return Sequence{Item(AtomicValue::Integer(static_cast<int64_t>(q)))};
   }
 
   int rank = std::max(Rank(a.type()), Rank(b.type()));
@@ -52,17 +70,34 @@ Result<Sequence> EvalArithmetic(ArithOp op, const Sequence& lhs,
   if (op == ArithOp::kDiv && rank == 0) rank = 1;
 
   if (rank == 0) {
+    // Checked integer arithmetic: signed overflow is UB in C++, and the
+    // XQuery spec makes it a dynamic error (err:FOAR0002), not a trap.
     int64_t x = a.AsInt();
     int64_t y = b.AsInt();
+    int64_t r = 0;
     switch (op) {
       case ArithOp::kAdd:
-        return Sequence{Item(AtomicValue::Integer(x + y))};
+        if (__builtin_add_overflow(x, y, &r)) {
+          return Status::DynamicError(
+              "err:FOAR0002: integer overflow in addition");
+        }
+        return Sequence{Item(AtomicValue::Integer(r))};
       case ArithOp::kSub:
-        return Sequence{Item(AtomicValue::Integer(x - y))};
+        if (__builtin_sub_overflow(x, y, &r)) {
+          return Status::DynamicError(
+              "err:FOAR0002: integer overflow in subtraction");
+        }
+        return Sequence{Item(AtomicValue::Integer(r))};
       case ArithOp::kMul:
-        return Sequence{Item(AtomicValue::Integer(x * y))};
+        if (__builtin_mul_overflow(x, y, &r)) {
+          return Status::DynamicError(
+              "err:FOAR0002: integer overflow in multiplication");
+        }
+        return Sequence{Item(AtomicValue::Integer(r))};
       case ArithOp::kMod:
         if (y == 0) return Status::DynamicError("modulus by zero");
+        // INT64_MIN % -1 traps on x86 even though the result is 0.
+        if (y == -1) return Sequence{Item(AtomicValue::Integer(0))};
         return Sequence{Item(AtomicValue::Integer(x % y))};
       default:
         break;
@@ -112,8 +147,15 @@ Result<Sequence> EvalUnary(bool negate, const Sequence& operand) {
   XQP_ASSIGN_OR_RETURN(AtomicValue v, ToNumeric(operand[0].AsAtomic()));
   if (!negate) return Sequence{Item(v)};
   switch (v.type()) {
-    case XsType::kInteger:
-      return Sequence{Item(AtomicValue::Integer(-v.AsInt()))};
+    case XsType::kInteger: {
+      int64_t x = v.AsInt();
+      // -INT64_MIN is not representable; negating it is UB.
+      if (x == INT64_MIN) {
+        return Status::DynamicError(
+            "err:FOAR0002: integer overflow in unary minus");
+      }
+      return Sequence{Item(AtomicValue::Integer(-x))};
+    }
     case XsType::kDecimal:
       return Sequence{Item(AtomicValue::Decimal(-v.AsRawDouble()))};
     default:

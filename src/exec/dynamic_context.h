@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "base/limits.h"
 #include "base/parallel.h"
 #include "exec/lazy_seq.h"
 #include "query/static_context.h"
@@ -60,6 +61,12 @@ class DynamicContext {
   /// (0 = DefaultParallelism()).
   size_t parallel_threshold = kDefaultParallelThreshold;
   int num_threads = 0;
+
+  /// This run's resource governor, or null (the default) for ungoverned
+  /// execution: iterators and the interpreter then pay one pointer test
+  /// per check site. The engine owns the governor (stack or ResultStream);
+  /// it outlives the context and every iterator compiled against it.
+  ResourceGovernor* governor = nullptr;
 
   /// Per-operator statistics sink for this run, or null (the default) for
   /// unprofiled execution. When set, the lazy compiler wraps every iterator

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 
+#include "base/fault.h"
 #include "base/string_util.h"
 #include "exec/profile.h"
 #include "exec/arithmetic.h"
@@ -67,6 +68,14 @@ FocusInfo Interpreter::CurrentFocusInfo() const {
 }
 
 Result<Sequence> Interpreter::Eval(const Expr* e) {
+  // The eager engine's cooperative check sites: one poll per expression
+  // evaluation bounds the work between checks by the cheapest leaf eval.
+  if (ctx_->governor != nullptr) {
+    XQP_RETURN_NOT_OK(ctx_->governor->Poll());
+  }
+  if (fault::Armed()) {
+    XQP_RETURN_NOT_OK(fault::MaybeInject("iterators.next"));
+  }
   if (ctx_->profile == nullptr) return EvalDispatch(e);
   OpStats* stats = ctx_->profile->StatsFor(e);
   const auto start = std::chrono::steady_clock::now();
@@ -133,6 +142,14 @@ Result<Sequence> Interpreter::EvalDispatch(const Expr* e) {
                            hi_s[0].Atomized().CastTo(XsType::kInteger));
       Sequence out;
       for (int64_t v = lo.AsInt(); v <= hi.AsInt(); ++v) {
+        // A range literal can materialize an arbitrarily large sequence in
+        // one Eval; amortized governor checks keep it cancellable and
+        // budgeted.
+        if (ctx_->governor != nullptr && (out.size() & 1023) == 0) {
+          XQP_RETURN_NOT_OK(ctx_->governor->Poll());
+          XQP_RETURN_NOT_OK(
+              ctx_->governor->ChargeBytes(1024 * sizeof(Item)));
+        }
         out.push_back(Item(AtomicValue::Integer(v)));
       }
       return out;

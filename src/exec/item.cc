@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "base/limits.h"
 #include "base/metrics.h"
 
 namespace xqp {
@@ -44,6 +45,11 @@ Result<bool> EffectiveBooleanValue(const Sequence& seq) {
 
 Status SortDocOrderDistinct(Sequence* seq, size_t parallel_threshold,
                             int num_threads) {
+  // ddo sorts run at materialization points over arbitrarily large
+  // sequences; check the governing query before committing to the work.
+  if (ResourceGovernor* governor = CurrentGovernor()) {
+    XQP_RETURN_NOT_OK(governor->Poll());
+  }
   for (const Item& item : *seq) {
     if (!item.IsNode()) {
       return Status::TypeError(

@@ -83,6 +83,11 @@ class FlworIt : public ItemIterator {
       return true;
     }
     while (true) {
+      // Per-tuple poll: cartesian for-clauses make the tuple space (and
+      // the where-miss stream) unbounded relative to the items returned.
+      if (ctx_->governor != nullptr) {
+        XQP_RETURN_NOT_OK(ctx_->governor->Poll());
+      }
       if (tuple_open_) {
         XQP_ASSIGN_OR_RETURN(bool got, ReturnIter()->Next(out));
         if (got) return true;
@@ -127,6 +132,12 @@ class FlworIt : public ItemIterator {
     size_t n = e_->clauses.size();
     size_t i = start;
     while (i < n) {
+      // Poll here, not just in Next(): a run of where-misses backtracks and
+      // reopens entirely inside this loop, so a selective where over a big
+      // cartesian domain would otherwise never reach a governor check.
+      if (ctx_->governor != nullptr) {
+        XQP_RETURN_NOT_OK(ctx_->governor->Poll());
+      }
       const FlworExpr::Clause& c = e_->clauses[i];
       switch (c.type) {
         case FlworExpr::Clause::Type::kLet: {
@@ -249,6 +260,9 @@ class QuantifiedIt : public ItemIterator {
     }
     XQP_RETURN_NOT_OK(children_[bi]->Reset(ctx_));
     while (true) {
+      if (ctx_->governor != nullptr) {
+        XQP_RETURN_NOT_OK(ctx_->governor->Poll());
+      }
       Item item;
       XQP_ASSIGN_OR_RETURN(bool got, children_[bi]->Next(&item));
       if (!got) break;

@@ -103,6 +103,12 @@ class PathIt : public ItemIterator {
     }
     // Streaming mode.
     while (true) {
+      // One cooperative governor check per lhs context item: cancellation
+      // and deadlines reach long-running paths even when no item escapes
+      // to the root drain for a while.
+      if (ctx_->governor != nullptr) {
+        XQP_RETURN_NOT_OK(ctx_->governor->Poll());
+      }
       if (rhs_active_) {
         Item item;
         XQP_ASSIGN_OR_RETURN(bool got, rhs_->Next(&item));
@@ -162,6 +168,9 @@ class PathIt : public ItemIterator {
       blocking_paths->Increment();
     }
     while (true) {
+      if (ctx_->governor != nullptr) {
+        XQP_RETURN_NOT_OK(ctx_->governor->Poll());
+      }
       XQP_ASSIGN_OR_RETURN(bool advanced, AdvanceLhs());
       if (!advanced) break;
       XQP_RETURN_NOT_OK(rhs_->Reset(ctx_));
@@ -170,6 +179,11 @@ class PathIt : public ItemIterator {
         XQP_ASSIGN_OR_RETURN(bool got, rhs_->Next(&item));
         if (!got) break;
         XQP_RETURN_NOT_OK(NoteKind(item));
+        // This is a blocking (materialization) point: account the buffer
+        // growth so memory budgets cover non-streaming paths.
+        if (ctx_->governor != nullptr) {
+          XQP_RETURN_NOT_OK(ctx_->governor->ChargeBytes(sizeof(Item)));
+        }
         buffer_.push_back(std::move(item));
       }
     }
@@ -238,6 +252,11 @@ class FilterIt : public ItemIterator {
   Result<bool> Next(Item* out) override {
     if (done_) return false;
     while (true) {
+      // Per-candidate poll: a selective predicate may reject unboundedly
+      // many base items before this Next() returns.
+      if (ctx_->governor != nullptr) {
+        XQP_RETURN_NOT_OK(ctx_->governor->Poll());
+      }
       Item item;
       XQP_ASSIGN_OR_RETURN(bool got, PullBase(&item));
       if (!got) return false;

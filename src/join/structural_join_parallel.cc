@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <span>
 
+#include "base/limits.h"
 #include "base/metrics.h"
 #include "base/parallel.h"
 #include "join/structural_join.h"
@@ -53,6 +54,12 @@ auto PartitionedJoin(const Document& doc, std::span<const NodeIndex> ancestors,
   using ResultVec = decltype(kernel(ancestors, descendants));
   std::vector<ResultVec> parts(chunks.size());
   ParallelForChunks(chunks.size(), [&](size_t c) {
+    // Morsel-boundary governor check: once the owning query has tripped
+    // (cancel/deadline/budget), remaining chunks skip their kernel work.
+    // Partial output is fine — the caller polls at its next iterator
+    // boundary and discards the join result with the trip status.
+    ResourceGovernor* governor = CurrentGovernor();
+    if (governor != nullptr && governor->tripped()) return;
     const JoinChunk& ck = chunks[c];
     parts[c] =
         kernel(ancestors.subspan(ck.anc_begin, ck.anc_end - ck.anc_begin),

@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "base/limits.h"
 #include "base/metrics.h"
 #include "base/parallel.h"
 #include "join/structural_join.h"
@@ -442,6 +443,10 @@ Result<std::vector<NodeIndex>> TwigStackMatchParallel(const TagIndex& index,
   }
   std::vector<std::vector<NodeIndex>> filtered(pattern.nodes.size());
   ParallelForChunks(leaves.size(), [&](size_t i) {
+    // Skip remaining leaf filters once the owning query has tripped; the
+    // caller's next governor poll surfaces the error.
+    ResourceGovernor* governor = CurrentGovernor();
+    if (governor != nullptr && governor->tripped()) return;
     int q = leaves[i];
     int p = pattern.nodes[q].parent;
     filtered[q] =

@@ -2,6 +2,26 @@
 
 namespace xqp {
 
+Expr::~Expr() {
+  // Flatten the subtree into a worklist before any child destructor runs:
+  // each unique_ptr reset then frees a node whose children vector is
+  // already empty, so destruction is O(depth 1) in C++ stack no matter
+  // how deep the expression tree is (100k nested parens included).
+  std::vector<std::unique_ptr<Expr>> worklist;
+  for (auto& c : children_) {
+    if (c != nullptr) worklist.push_back(std::move(c));
+  }
+  children_.clear();
+  while (!worklist.empty()) {
+    std::unique_ptr<Expr> e = std::move(worklist.back());
+    worklist.pop_back();
+    for (auto& c : e->children_) {
+      if (c != nullptr) worklist.push_back(std::move(c));
+    }
+    e->children_.clear();
+  }
+}
+
 std::string_view ExprKindName(ExprKind kind) {
   switch (kind) {
     case ExprKind::kLiteral: return "literal";

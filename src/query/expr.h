@@ -154,7 +154,9 @@ struct ExprProps {
 /// subclasses define what each child position means.
 class Expr {
  public:
-  virtual ~Expr() = default;
+  /// Iterative teardown (see expr.cc): destroying a pathologically deep
+  /// tree must not recurse once per nesting level.
+  virtual ~Expr();
 
   ExprKind kind() const { return kind_; }
 

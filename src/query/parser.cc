@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "base/limits.h"
 #include "base/string_util.h"
 #include "query/lexer.h"
 
@@ -20,7 +21,10 @@ bool IsKindTestName(std::string_view name) {
 
 class Parser {
  public:
-  explicit Parser(std::string_view query) : lex_(query) {}
+  Parser(std::string_view query, uint32_t max_expr_depth)
+      : lex_(query),
+        max_depth_(max_expr_depth == 0 ? QueryLimits::kDefaultMaxExprDepth
+                                       : max_expr_depth) {}
 
   Result<std::unique_ptr<ParsedModule>> ParseModule();
 
@@ -120,6 +124,7 @@ class Parser {
 
   Result<ExprPtr> ParseExpr();  // Comma.
   Result<ExprPtr> ParseExprSingle();
+  Result<ExprPtr> ParseExprSingleGuarded();
   Result<ExprPtr> ParseFlwor();
   Result<ExprPtr> ParseQuantified();
   Result<ExprPtr> ParseTypeswitch();
@@ -154,6 +159,9 @@ class Parser {
   Result<bool> LooksLikeComputedCtor();
 
   Lexer lex_;
+  /// ParseExprSingle recursion bookkeeping (see the guard there).
+  uint32_t max_depth_;
+  uint32_t depth_ = 0;
   std::unique_ptr<ParsedModule> module_;
   /// Namespace scopes opened by direct element constructors during parsing.
   std::vector<std::vector<std::pair<std::string, std::string>>> ctor_ns_;
@@ -422,6 +430,21 @@ Result<ExprPtr> Parser::ParseExpr() {
 }
 
 Result<ExprPtr> Parser::ParseExprSingle() {
+  // Depth guard on the recursive-descent funnel: every nested expression
+  // form passes through here, so bounding it bounds the parser's own C++
+  // stack (a deeply parenthesized query would otherwise overflow it long
+  // before any runtime limit could help).
+  if (depth_ >= max_depth_) {
+    return lex_.Error("expression nesting exceeds maximum depth of " +
+                      std::to_string(max_depth_));
+  }
+  ++depth_;
+  Result<ExprPtr> result = ParseExprSingleGuarded();
+  --depth_;
+  return result;
+}
+
+Result<ExprPtr> Parser::ParseExprSingleGuarded() {
   XQP_ASSIGN_OR_RETURN(const Tok* t, lex_.Peek());
   if (t->type == TokType::kNCName) {
     XQP_ASSIGN_OR_RETURN(const Tok* next, lex_.Peek(1));
@@ -1644,9 +1667,14 @@ Result<std::unique_ptr<ParsedModule>> Parser::ParseModule() {
 
 }  // namespace
 
-Result<std::unique_ptr<ParsedModule>> ParseQuery(std::string_view query) {
-  Parser parser(query);
+Result<std::unique_ptr<ParsedModule>> ParseQuery(std::string_view query,
+                                                 uint32_t max_expr_depth) {
+  Parser parser(query, max_expr_depth);
   return parser.ParseModule();
+}
+
+Result<std::unique_ptr<ParsedModule>> ParseQuery(std::string_view query) {
+  return ParseQuery(query, 0);
 }
 
 }  // namespace xqp

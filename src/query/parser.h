@@ -1,6 +1,7 @@
 #ifndef XQP_QUERY_PARSER_H_
 #define XQP_QUERY_PARSER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
@@ -16,6 +17,12 @@ namespace xqp {
 /// global variables, and the operator suite of the paper's expression
 /// hierarchy.
 Result<std::unique_ptr<ParsedModule>> ParseQuery(std::string_view query);
+
+/// As above with an explicit cap on expression nesting (0 means
+/// QueryLimits::kDefaultMaxExprDepth); exceeding it is a kStaticError.
+/// The cap bounds the recursive-descent parser's C++ stack usage.
+Result<std::unique_ptr<ParsedModule>> ParseQuery(std::string_view query,
+                                                 uint32_t max_expr_depth);
 
 }  // namespace xqp
 

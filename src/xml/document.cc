@@ -1,7 +1,10 @@
 #include "xml/document.h"
 
+#include <algorithm>
 #include <atomic>
 
+#include "base/fault.h"
+#include "base/limits.h"
 #include "base/string_util.h"
 #include "xml/pull_parser.h"
 
@@ -143,6 +146,17 @@ DocumentBuilder::DocumentBuilder(const ParseOptions& options)
   stack_.push_back(Open{0});
 }
 
+Status DocumentBuilder::ChargeNode(size_t value_bytes) {
+  if (fault::Armed()) {
+    XQP_RETURN_NOT_OK(fault::MaybeInject("alloc"));
+  }
+  if (ResourceGovernor* governor = CurrentGovernor()) {
+    XQP_RETURN_NOT_OK(
+        governor->ChargeBytes(sizeof(NodeRecord) + value_bytes));
+  }
+  return Status::OK();
+}
+
 uint32_t DocumentBuilder::InternName(const QName& name) {
   auto it = doc_->name_index_.find(name);
   if (it != doc_->name_index_.end()) return it->second;
@@ -192,6 +206,17 @@ NodeIndex DocumentBuilder::Append(NodeKind kind, uint32_t name_id,
 
 Status DocumentBuilder::BeginElement(const QName& name) {
   if (finished_) return Status::Internal("builder already finished");
+  // Constructed documents bypass the pull parser, so the builder enforces
+  // the nesting ceiling itself (NodeRecord.level is 16 bits).
+  uint32_t max_depth = std::min<uint32_t>(
+      options_.max_parse_depth == 0 ? QueryLimits::kDefaultMaxParseDepth
+                                    : options_.max_parse_depth,
+      65535);
+  if (stack_.size() > max_depth) {
+    return Status::ParseError("element nesting exceeds maximum depth of " +
+                              std::to_string(max_depth));
+  }
+  XQP_RETURN_NOT_OK(ChargeNode(0));
   NodeIndex index = Append(NodeKind::kElement, InternName(name), kNoValue);
   stack_.push_back(Open{index});
   return Status::OK();
@@ -227,6 +252,7 @@ Status DocumentBuilder::Attribute(const QName& name, std::string_view value) {
       return Status::DynamicError("duplicate attribute: " + name.Lexical());
     }
   }
+  XQP_RETURN_NOT_OK(ChargeNode(value.size()));
   Append(NodeKind::kAttribute, name_id, doc_->pool_.Intern(value));
   return Status::OK();
 }
@@ -236,6 +262,7 @@ Status DocumentBuilder::OrphanAttribute(const QName& name,
   if (stack_.size() != 1) {
     return Status::Internal("OrphanAttribute inside an open element");
   }
+  XQP_RETURN_NOT_OK(ChargeNode(value.size()));
   Append(NodeKind::kAttribute, InternName(name), doc_->pool_.Intern(value));
   return Status::OK();
 }
@@ -257,6 +284,7 @@ Status DocumentBuilder::Text(std::string_view text) {
       stack_.size() > 1) {
     return Status::OK();
   }
+  XQP_RETURN_NOT_OK(ChargeNode(text.size()));
   Open& top = stack_.back();
   if (top.last_was_text) {
     // Coalesce with the preceding text node.
@@ -271,12 +299,14 @@ Status DocumentBuilder::Text(std::string_view text) {
 }
 
 Status DocumentBuilder::Comment(std::string_view text) {
+  XQP_RETURN_NOT_OK(ChargeNode(text.size()));
   Append(NodeKind::kComment, kNoName, doc_->pool_.Intern(text));
   return Status::OK();
 }
 
 Status DocumentBuilder::ProcessingInstruction(std::string_view target,
                                               std::string_view data) {
+  XQP_RETURN_NOT_OK(ChargeNode(data.size()));
   Append(NodeKind::kProcessingInstruction,
          InternName(QName(std::string(target))), doc_->pool_.Intern(data));
   return Status::OK();

@@ -62,6 +62,10 @@ struct ParseOptions {
   /// Dictionary-compress text and attribute values (paper's pooling
   /// optimization). Disable to measure its benefit (experiment E4).
   bool pool_strings = true;
+  /// Maximum element nesting depth the parser accepts before failing with
+  /// kParseError; 0 means QueryLimits::kDefaultMaxParseDepth. Hard upper
+  /// bound 65535 — NodeRecord stores levels in a uint16_t.
+  uint32_t max_parse_depth = 0;
 };
 
 /// An immutable XML document: a pre-order node table plus string/name pools.
@@ -182,6 +186,11 @@ class DocumentBuilder {
  private:
   uint32_t InternName(const QName& name);
   NodeIndex Append(NodeKind kind, uint32_t name_id, StringPool::Id value_id);
+
+  /// Per-node admission control, called before every Append: hosts the
+  /// "alloc" fault-injection site and charges the node's approximate
+  /// storage cost to the governing query's memory budget.
+  Status ChargeNode(size_t value_bytes);
 
   struct Open {
     NodeIndex index;

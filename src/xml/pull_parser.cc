@@ -1,7 +1,10 @@
 #include "xml/pull_parser.h"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "base/fault.h"
+#include "base/limits.h"
 #include "base/string_util.h"
 
 namespace xqp {
@@ -11,6 +14,11 @@ XmlPullParser::XmlPullParser(std::string_view input,
     : input_(input), options_(options) {
   // The "xml" prefix is always bound.
   ns_bindings_.emplace_back("xml", "http://www.w3.org/XML/1998/namespace");
+  uint32_t depth = options_.max_parse_depth == 0
+                       ? QueryLimits::kDefaultMaxParseDepth
+                       : options_.max_parse_depth;
+  // NodeRecord.level is 16 bits; clamp whatever the caller asked for.
+  max_depth_ = std::min<uint32_t>(depth, 65535);
 }
 
 Status XmlPullParser::Error(const std::string& message) const {
@@ -218,6 +226,13 @@ Status XmlPullParser::ParseStartTag() {
                      std::move(a.value)});
   }
 
+  // Explicit depth bound: the event stream is iterative, but the document
+  // builder, serializer, and navigation code index levels with 16 bits and
+  // hostile inputs should fail early with a clear position.
+  if (open_elements_.size() >= max_depth_) {
+    return Error("element nesting exceeds maximum depth of " +
+                 std::to_string(max_depth_));
+  }
   open_elements_.emplace_back(lexical);
   if (self_closing) {
     pending_end_element_ = true;
@@ -318,6 +333,9 @@ Status XmlPullParser::SkipXmlDecl() {
 }
 
 Result<const XmlEvent*> XmlPullParser::Next() {
+  if (fault::Armed()) {
+    XQP_RETURN_NOT_OK(fault::MaybeInject("parse.next"));
+  }
   if (state_ == State::kDone) return static_cast<const XmlEvent*>(nullptr);
 
   if (state_ == State::kBeforeDocument) {

@@ -105,6 +105,7 @@ class XmlPullParser {
   std::vector<size_t> ns_frames_;
   std::vector<std::string> open_elements_;  // Lexical names for tag matching.
   bool pending_end_element_ = false;        // Set by <empty/> tags.
+  uint32_t max_depth_ = 0;  // Resolved element-nesting ceiling.
 };
 
 }  // namespace xqp

@@ -1,0 +1,105 @@
+#ifndef XQP_TOOLS_FUZZ_COMMON_H_
+#define XQP_TOOLS_FUZZ_COMMON_H_
+
+// Shared driver for the fuzz targets. Built two ways:
+//
+//   -DXQP_FUZZ=ON   libFuzzer owns main(); the target only provides
+//                   LLVMFuzzerTestOneInput (requires clang's
+//                   -fsanitize=fuzzer).
+//   default         XQP_FUZZ_STANDALONE_MAIN expands to a main() that runs
+//                   a deterministic mutation smoke loop over the target's
+//                   seed corpus — the ctest entry that keeps the fuzz entry
+//                   points honest on every CI run, no libFuzzer needed.
+//
+// The standalone loop is fully deterministic (SplitMix64 from a fixed
+// seed), so a smoke failure reproduces exactly.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/string_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace xqp {
+namespace fuzz {
+
+/// Applies one deterministic mutation to `buf` in place.
+inline void MutateOnce(std::string* buf, SplitMix64* rng) {
+  switch (rng->Below(5)) {
+    case 0:  // Flip a byte.
+      if (!buf->empty()) {
+        (*buf)[rng->Below(buf->size())] =
+            static_cast<char>(rng->Below(256));
+      }
+      break;
+    case 1:  // Insert a byte.
+      buf->insert(buf->begin() + rng->Below(buf->size() + 1),
+                  static_cast<char>(rng->Below(256)));
+      break;
+    case 2:  // Truncate.
+      if (!buf->empty()) buf->resize(rng->Below(buf->size()));
+      break;
+    case 3:  // Duplicate a slice.
+      if (!buf->empty()) {
+        size_t from = rng->Below(buf->size());
+        size_t len = rng->Below(buf->size() - from) + 1;
+        buf->insert(rng->Below(buf->size()), buf->substr(from, len));
+      }
+      break;
+    default:  // Swap two bytes.
+      if (buf->size() >= 2) {
+        std::swap((*buf)[rng->Below(buf->size())],
+                  (*buf)[rng->Below(buf->size())]);
+      }
+      break;
+  }
+}
+
+/// The standalone smoke driver: `iters` deterministic mutants per seed
+/// (default 20000 total), each fed to LLVMFuzzerTestOneInput. Any crash /
+/// sanitizer report fails the process; "clean" exits 0.
+inline int SmokeMain(int argc, char** argv,
+                     const std::vector<std::string>& corpus) {
+  uint64_t iters = 20000;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      iters = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  SplitMix64 rng(0x5eed5eed5eed5eedULL);
+  uint64_t executed = 0;
+  while (executed < iters) {
+    for (const std::string& seed : corpus) {
+      std::string buf = seed;
+      // A short mutation chain per run drifts inputs away from the seeds
+      // without losing all structure.
+      uint64_t chain = rng.Below(8) + 1;
+      for (uint64_t m = 0; m < chain; ++m) MutateOnce(&buf, &rng);
+      LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(buf.data()),
+                             buf.size());
+      if (++executed >= iters) break;
+    }
+  }
+  std::printf("smoke fuzz clean: %llu inputs\n",
+              static_cast<unsigned long long>(executed));
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace xqp
+
+#ifdef XQP_FUZZ_LIBFUZZER
+#define XQP_FUZZ_STANDALONE_MAIN(corpus)
+#else
+#define XQP_FUZZ_STANDALONE_MAIN(corpus) \
+  int main(int argc, char** argv) {      \
+    return xqp::fuzz::SmokeMain(argc, argv, corpus); \
+  }
+#endif
+
+#endif  // XQP_TOOLS_FUZZ_COMMON_H_

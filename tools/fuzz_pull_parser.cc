@@ -1,0 +1,35 @@
+// Fuzz target for the XML pull parser / document builder: arbitrary bytes
+// must produce either a Document or a clean kParseError — never a crash,
+// hang, or sanitizer report. A tight max_parse_depth variant additionally
+// exercises the depth-budget path on every input.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/fuzz_common.h"
+#include "xml/document.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view xml(reinterpret_cast<const char*>(data), size);
+  { auto r = xqp::Document::Parse(xml); (void)r; }
+  {
+    xqp::ParseOptions options;
+    options.strip_whitespace = true;
+    options.max_parse_depth = 16;
+    auto r = xqp::Document::Parse(xml, options);
+    (void)r;
+  }
+  return 0;
+}
+
+namespace {
+const std::vector<std::string> kCorpus = {
+    "<a><b x=\"1\">t</b><!--c--><?pi d?></a>",
+    "<r xmlns:p=\"u\"><p:e p:a='v'>&lt;&#65;</p:e><![CDATA[<raw>]]></r>",
+    "<?xml version=\"1.0\"?><!DOCTYPE r><r>  <s/>  </r>",
+    "<a><a><a><a><a><a>deep</a></a></a></a></a></a>",
+};
+}  // namespace
+
+XQP_FUZZ_STANDALONE_MAIN(kCorpus)

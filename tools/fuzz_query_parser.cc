@@ -1,0 +1,32 @@
+// Fuzz target for the XQuery lexer/parser: arbitrary bytes must produce a
+// ParsedModule or a clean kStaticError — never a crash or unbounded
+// recursion. A tight max_expr_depth variant exercises the expression-depth
+// budget, and destruction of whatever tree was built exercises the
+// iterative ~Expr path.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/parser.h"
+#include "tools/fuzz_common.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view query(reinterpret_cast<const char*>(data), size);
+  { auto r = xqp::ParseQuery(query); (void)r; }
+  { auto r = xqp::ParseQuery(query, /*max_expr_depth=*/16); (void)r; }
+  return 0;
+}
+
+namespace {
+const std::vector<std::string> kCorpus = {
+    "for $b in doc('bib.xml')//book where $b/@year = 1998 "
+    "order by $b/title return <r>{$b/title}</r>",
+    "let $x := (1, 2.5, 'three') return some $y in $x satisfies $y > 1",
+    "declare variable $v external; $v[position() = last()] | //a/b[2]",
+    "if (1 idiv 2 eq 0) then element e { attribute a { 'v' } } else ()",
+    "((((((1 + 2) * 3) - 4) div 5) mod 6) to 7)",
+};
+}  // namespace
+
+XQP_FUZZ_STANDALONE_MAIN(kCorpus)

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# The full CI gate: a Release build running the whole test suite, followed
-# by a ThreadSanitizer build of the concurrency-sensitive tests (everything
+# The full CI gate: a Release build running the whole test suite, a
+# ThreadSanitizer build of the concurrency-sensitive tests (everything
 # carrying the `tsan` ctest label — the parallel join kernels and the
-# lock-free metrics/profile subsystem).
+# lock-free metrics/profile subsystem), and an ASan+UBSan build of the
+# suite that leans hardest on error paths and object lifetimes (the
+# robustness/governance tests plus the fuzz smoke drivers).
 #
-# Usage: tools/run_ci.sh [release-build-dir] [tsan-build-dir]
-#   Defaults: build and build-tsan. The two trees are kept separate so
+# Usage: tools/run_ci.sh [release-build-dir] [tsan-build-dir] [asan-build-dir]
+#   Defaults: build, build-tsan, build-asan. The trees are kept separate so
 #   instrumented objects never mix with release ones.
 #
 # XQP_THREADS is forced to 4 for the TSan phase so the pool spawns workers
@@ -15,6 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
+ASAN_DIR="${3:-build-asan}"
 
 echo "=== Release build + full test suite ==="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
@@ -30,5 +33,22 @@ cmake --build "$TSAN_DIR" --target test_parallel test_metrics -j"$(nproc)"
 export XQP_THREADS=4
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ctest --test-dir "$TSAN_DIR" -L tsan --output-on-failure
+unset XQP_THREADS
+
+echo "=== ASan+UBSan build + robustness and fuzz-smoke tests ==="
+# The governance/fault-injection suite unwinds iterator trees mid-stream
+# and the smoke drivers feed the parsers hostile bytes; ASan proves the
+# error paths leak and corrupt nothing, UBSan that the checked-arithmetic
+# rewrites removed the last signed-overflow UB.
+cmake -B "$ASAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXQP_SANITIZE=address,undefined
+cmake --build "$ASAN_DIR" \
+  --target test_robustness fuzz_pull_parser fuzz_query_parser -j"$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+ctest --test-dir "$ASAN_DIR" --output-on-failure \
+  -R 'test_robustness|tool_fuzz_smoke'
 
 echo "CI run clean."
