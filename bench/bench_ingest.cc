@@ -1,0 +1,161 @@
+// Experiment E16 — fast-path ingest: the SWAR/zero-copy parser and
+// memoized-name builders against the frozen seed implementation
+// (tests/reference_parser.h), plus serial-vs-parallel bulk load through
+// XQueryEngine::LoadDocumentsParallel. The seed baselines live in the same
+// binary so one run yields the before/after ratio on identical inputs.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "tests/reference_parser.h"
+#include "tokens/token_stream.h"
+#include "xml/document.h"
+#include "xml/pull_parser.h"
+
+namespace xqp {
+namespace {
+
+// --- Fast path vs frozen seed, identical inputs -------------------------
+
+void BM_Ingest_Events_Fast(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    XmlPullParser parser(xml, ParseOptions{});
+    int64_t events = 0;
+    while (true) {
+      auto e = parser.Next();
+      if (!e.ok() || e.value() == nullptr) break;
+      ++events;
+    }
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Ingest_Events_Fast)->Arg(200);
+
+void BM_Ingest_Events_Seed(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    reference::RefXmlPullParser parser(xml, ParseOptions{});
+    int64_t events = 0;
+    while (true) {
+      auto e = parser.Next();
+      if (!e.ok() || e.value() == nullptr) break;
+      ++events;
+    }
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Ingest_Events_Seed)->Arg(200);
+
+void BM_Ingest_Document_Fast(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto doc = Document::Parse(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Ingest_Document_Fast)->Arg(200)->Arg(500);
+
+void BM_Ingest_Document_Seed(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto doc = reference::ParseDocument(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Ingest_Document_Seed)->Arg(200)->Arg(500);
+
+void BM_Ingest_Tokens_Fast(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto ts = TokenStream::FromXml(xml);
+    benchmark::DoNotOptimize(ts);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Ingest_Tokens_Fast)->Arg(200);
+
+void BM_Ingest_Tokens_Seed(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    auto ts = reference::ParseTokenStream(xml);
+    benchmark::DoNotOptimize(ts);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Ingest_Tokens_Seed)->Arg(200);
+
+// --- Bulk load: serial loop vs LoadDocumentsParallel --------------------
+
+std::vector<XQueryEngine::BulkDocument> BulkBatch(const std::string& xml,
+                                                  std::vector<std::string>* uris,
+                                                  int count) {
+  uris->clear();
+  for (int i = 0; i < count; ++i) {
+    uris->push_back("doc" + std::to_string(i) + ".xml");
+  }
+  std::vector<XQueryEngine::BulkDocument> batch;
+  for (int i = 0; i < count; ++i) batch.push_back({(*uris)[i], xml});
+  return batch;
+}
+
+constexpr int kBulkDocs = 16;
+
+void BM_Ingest_BulkLoad_SerialLoop(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  for (auto _ : state) {
+    XQueryEngine engine;
+    for (int i = 0; i < kBulkDocs; ++i) {
+      auto doc = Document::Parse(xml);
+      Status st = engine.RegisterDocument("doc" + std::to_string(i) + ".xml",
+                                          std::move(doc).value());
+      if (!st.ok()) state.SkipWithError("register failed");
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) * kBulkDocs *
+                          state.iterations());
+}
+BENCHMARK(BM_Ingest_BulkLoad_SerialLoop)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_Ingest_BulkLoad_Parallel(benchmark::State& state) {
+  const std::string& xml = bench::XMarkXml(bench::ScaleFromArg(state.range(0)));
+  EngineOptions options;
+  options.num_threads = static_cast<int>(state.range(1));
+  std::vector<std::string> uris;
+  auto batch = BulkBatch(xml, &uris, kBulkDocs);
+  for (auto _ : state) {
+    XQueryEngine engine(options);
+    auto results = engine.LoadDocumentsParallel(batch);
+    for (const auto& r : results) {
+      if (!r.ok()) state.SkipWithError("bulk load failed");
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) * kBulkDocs *
+                          state.iterations());
+}
+BENCHMARK(BM_Ingest_BulkLoad_Parallel)
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 4})
+    ->Args({50, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xqp
+
+XQP_BENCH_JSON_MAIN("BENCH_ingest.json")

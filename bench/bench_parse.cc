@@ -108,4 +108,4 @@ BENCHMARK(BM_RoundTrip)->Arg(200);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_parse.json")

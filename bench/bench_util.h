@@ -1,10 +1,14 @@
 #ifndef XQP_BENCH_BENCH_UTIL_H_
 #define XQP_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "base/metrics.h"
 #include "engine.h"
@@ -12,6 +16,44 @@
 
 namespace xqp {
 namespace bench {
+
+/// main() body for bench targets that support a `--json` convenience flag:
+/// `--json` (or `--json=FILE`) is rewritten into google-benchmark's
+/// `--benchmark_out=FILE --benchmark_out_format=json` pair so CI lanes can
+/// emit machine-readable results (BENCH_*.json) without remembering the
+/// native flag spelling. All other arguments pass through untouched.
+inline int JsonAwareMain(int argc, char** argv, const char* default_json_file) {
+  std::vector<char*> args(argv, argv + argc);
+  static std::string out_flag;
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--json") == 0) {
+      out_flag = std::string("--benchmark_out=") + default_json_file;
+      it = args.erase(it);
+    } else if (std::strncmp(*it, "--json=", 7) == 0) {
+      out_flag = std::string("--benchmark_out=") + (*it + 7);
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  args.resize(static_cast<size_t>(new_argc));
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#define XQP_BENCH_JSON_MAIN(default_json_file)                    \
+  int main(int argc, char** argv) {                               \
+    return xqp::bench::JsonAwareMain(argc, argv, default_json_file); \
+  }
 
 /// Scale arguments are passed to benchmarks as integer permille of XMark
 /// scale 1.0 (e.g. Arg(50) = scale 0.05).

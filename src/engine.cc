@@ -74,6 +74,59 @@ Result<std::shared_ptr<const Document>> XQueryEngine::ParseAndRegister(
   return std::shared_ptr<const Document>(doc);
 }
 
+std::vector<Result<std::shared_ptr<const Document>>>
+XQueryEngine::LoadDocumentsParallel(std::span<const BulkDocument> docs,
+                                    const ParseOptions& options) {
+  std::vector<Result<std::shared_ptr<const Document>>> out(
+      docs.size(), Result<std::shared_ptr<const Document>>(
+                       Status::Internal("document did not load")));
+  ParseOptions effective = options;
+  if (effective.max_parse_depth == 0) {
+    effective.max_parse_depth = options_.default_limits.max_parse_depth;
+  }
+  int threads =
+      options_.num_threads > 0 ? options_.num_threads : DefaultParallelism();
+  // One token snapshot for the whole batch (same contract as
+  // ExecuteBatchParallel): CancelAll() during the load also stops members
+  // no worker has picked up yet.
+  std::shared_ptr<CancelToken> batch_token = current_cancel_token();
+  ParallelFor(docs.size(), threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (batch_token->cancelled()) {
+        out[i] = Status::Cancelled("bulk load cancelled");
+        continue;
+      }
+      Result<std::shared_ptr<Document>> parsed =
+          Document::Parse(docs[i].xml, effective);
+      if (!parsed.ok()) {
+        out[i] = parsed.status();
+        continue;
+      }
+      parsed.value()->set_base_uri(docs[i].uri);
+      out[i] = std::shared_ptr<const Document>(std::move(parsed.value()));
+    }
+  });
+  size_t loaded = 0;
+  {
+    std::unique_lock lock(mu_);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (!out[i].ok()) continue;
+      documents_[docs[i].uri] = out[i].value();
+      ++loaded;
+    }
+    if (loaded > 0) InvalidateCachesLocked();
+  }
+  if (metrics::Enabled()) {
+    static metrics::Counter* docs_loaded =
+        metrics::MetricsRegistry::Global().counter("ingest.docs");
+    static metrics::Counter* batches =
+        metrics::MetricsRegistry::Global().counter("ingest.parallel_batches");
+    docs_loaded->Add(loaded);
+    batches->Add(1);
+  }
+  return out;
+}
+
 Status XQueryEngine::RegisterCollection(const std::string& uri,
                                         Sequence items) {
   std::unique_lock lock(mu_);

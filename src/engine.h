@@ -90,6 +90,24 @@ class XQueryEngine : public DocumentProvider {
   /// Registers a named collection for fn:collection.
   Status RegisterCollection(const std::string& uri, Sequence items);
 
+  /// One input of LoadDocumentsParallel. `xml` is borrowed for the duration
+  /// of the call only.
+  struct BulkDocument {
+    std::string uri;
+    std::string_view xml;
+  };
+
+  /// Bulk load: parses every input, fanning the parses across the thread
+  /// pool (the multi-tenant serving shape — many fresh documents arriving
+  /// at once). Parses run under the caller's ambient resource governor,
+  /// honor CancelAll(), and the successful documents are registered
+  /// atomically: one exclusive lock acquisition and a single cache
+  /// invalidation for the whole batch instead of one per document.
+  /// Results are positional: out[i] belongs to docs[i]; failed parses
+  /// leave any previously registered document under that URI untouched.
+  std::vector<Result<std::shared_ptr<const Document>>> LoadDocumentsParallel(
+      std::span<const BulkDocument> docs, const ParseOptions& options = {});
+
   // DocumentProvider:
   Result<std::shared_ptr<const Document>> GetDocument(
       const std::string& uri) override;

@@ -26,10 +26,14 @@ void TokenStream::AppendEndDocument() {
 }
 
 void TokenStream::AppendStartElement(const QName& name, NodeIndex node_id) {
+  AppendStartElement(InternName(name), node_id);
+}
+
+void TokenStream::AppendStartElement(uint32_t name_id, NodeIndex node_id) {
   open_elements_.push_back(static_cast<uint32_t>(tokens_.size()));
   Token t;
   t.kind = TokenKind::kStartElement;
-  t.name_id = InternName(name);
+  t.name_id = name_id;
   t.node_id = node_id;
   tokens_.push_back(t);
 }
@@ -45,9 +49,14 @@ void TokenStream::AppendEndElement() {
 
 void TokenStream::AppendAttribute(const QName& name, std::string_view value,
                                   NodeIndex node_id) {
+  AppendAttribute(InternName(name), value, node_id);
+}
+
+void TokenStream::AppendAttribute(uint32_t name_id, std::string_view value,
+                                  NodeIndex node_id) {
   Token t;
   t.kind = TokenKind::kAttribute;
-  t.name_id = InternName(name);
+  t.name_id = name_id;
   t.value_id = pool_.Intern(value);
   t.node_id = node_id;
   tokens_.push_back(t);
@@ -157,9 +166,20 @@ Result<TokenStream> TokenStream::FromXml(std::string_view xml,
   popts.pool_strings = options.pool_strings;
   XmlPullParser parser(xml, popts);
   TokenStream ts(options);
+  ts.ReserveForInput(xml.size());
   NodeIndex next_id = 0;
   auto id = [&]() {
     return options.with_node_ids ? next_id++ : kNullNode;
+  };
+  // Memoized name interning via parser name tokens (see Document::Parse);
+  // stored as name_id + 1, 0 = unseen.
+  std::vector<uint32_t> name_ids;
+  auto name_id_for = [&](uint32_t token, const QName& name) -> uint32_t {
+    if (token >= name_ids.size()) name_ids.resize(token + 1, 0);
+    if (name_ids[token] == 0) {
+      name_ids[token] = ts.InternNameId(name) + 1;
+    }
+    return name_ids[token] - 1;
   };
   while (true) {
     XQP_ASSIGN_OR_RETURN(const XmlEvent* event, parser.Next());
@@ -173,12 +193,14 @@ Result<TokenStream> TokenStream::FromXml(std::string_view xml,
         ts.AppendEndDocument();
         break;
       case XmlEventType::kStartElement: {
-        ts.AppendStartElement(event->name, id());
+        ts.AppendStartElement(name_id_for(event->name_token, event->name),
+                              id());
         for (const auto& ns : event->ns_decls) {
           ts.AppendNamespaceDecl(ns.prefix, ns.uri);
         }
         for (const auto& attr : event->attributes) {
-          ts.AppendAttribute(attr.name, attr.value, id());
+          ts.AppendAttribute(name_id_for(attr.name_token, attr.name),
+                             attr.value, id());
         }
         break;
       }
@@ -197,6 +219,14 @@ Result<TokenStream> TokenStream::FromXml(std::string_view xml,
     }
   }
   return ts;
+}
+
+void TokenStream::ReserveForInput(size_t input_bytes) {
+  // Begin/end token pairs put tokens at roughly twice the node count;
+  // ~12 bytes of markup per token on XMark-like documents.
+  size_t tokens = input_bytes / 12 + 8;
+  tokens_.reserve(tokens_.size() + tokens);
+  pool_.Reserve(tokens / 8);
 }
 
 size_t TokenStream::MemoryUsage() const {

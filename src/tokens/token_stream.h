@@ -57,11 +57,22 @@ class TokenStream {
   /// Approximate heap footprint (tokens + pools); experiment E3.
   size_t MemoryUsage() const;
 
+  /// Sizes the token array and pool for `input_bytes` of serialized XML
+  /// (ingest fast path; purely an optimization).
+  void ReserveForInput(size_t input_bytes);
+
   // --- Appending interface (used by builders/sinks) ---
 
   void AppendStartDocument();
   void AppendEndDocument();
   void AppendStartElement(const QName& name, NodeIndex node_id = kNullNode);
+  /// Interns `name` into the stream's name table (the id AppendStartElement
+  /// / AppendAttribute would assign); lets event sources memoize names and
+  /// use the id overloads (see XmlEvent::name_token).
+  uint32_t InternNameId(const QName& name) { return InternName(name); }
+  void AppendStartElement(uint32_t name_id, NodeIndex node_id = kNullNode);
+  void AppendAttribute(uint32_t name_id, std::string_view value,
+                       NodeIndex node_id = kNullNode);
   void AppendEndElement();
   void AppendAttribute(const QName& name, std::string_view value,
                        NodeIndex node_id = kNullNode);

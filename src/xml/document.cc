@@ -91,11 +91,24 @@ Result<std::shared_ptr<Document>> Document::Parse(std::string_view xml,
                                                   const ParseOptions& options) {
   XmlPullParser parser(xml, options);
   DocumentBuilder builder(options);
+  builder.ReserveForInput(xml.size());
   // Builder-detected violations (e.g. duplicate attributes) are dynamic
   // errors in constructor contexts but well-formedness errors here.
   auto as_parse_error = [](Status st) {
     if (st.ok() || st.code() == StatusCode::kParseError) return st;
     return Status::ParseError(st.message());
+  };
+  // Memoized name interning: the parser stamps each distinct resolved name
+  // with a dense token, so every name is hashed into the builder's name
+  // table exactly once (stored as name_id + 1; 0 = unseen). Intern order is
+  // unchanged, so name ids are identical to interning per event.
+  std::vector<uint32_t> name_ids;
+  auto name_id_for = [&](uint32_t token, const QName& name) -> uint32_t {
+    if (token >= name_ids.size()) name_ids.resize(token + 1, 0);
+    if (name_ids[token] == 0) {
+      name_ids[token] = builder.InternNameId(name) + 1;
+    }
+    return name_ids[token] - 1;
   };
   while (true) {
     XQP_ASSIGN_OR_RETURN(const XmlEvent* event, parser.Next());
@@ -105,14 +118,16 @@ Result<std::shared_ptr<Document>> Document::Parse(std::string_view xml,
       case XmlEventType::kEndDocument:
         break;
       case XmlEventType::kStartElement: {
-        XQP_RETURN_NOT_OK(as_parse_error(builder.BeginElement(event->name)));
+        XQP_RETURN_NOT_OK(as_parse_error(builder.BeginElement(
+            name_id_for(event->name_token, event->name))));
         for (const XmlNamespaceDecl& ns : event->ns_decls) {
           XQP_RETURN_NOT_OK(
               as_parse_error(builder.NamespaceDecl(ns.prefix, ns.uri)));
         }
         for (const XmlAttribute& attr : event->attributes) {
-          XQP_RETURN_NOT_OK(
-              as_parse_error(builder.Attribute(attr.name, attr.value)));
+          XQP_RETURN_NOT_OK(as_parse_error(builder.Attribute(
+              name_id_for(attr.name_token, attr.name), attr.name,
+              attr.value)));
         }
         break;
       }
@@ -144,6 +159,14 @@ DocumentBuilder::DocumentBuilder(const ParseOptions& options)
                                     kNullNode, kNullNode, kNullNode, kNullNode,
                                     0});
   stack_.push_back(Open{0});
+}
+
+void DocumentBuilder::ReserveForInput(size_t input_bytes) {
+  // XMark-like markup averages ~18 bytes per node; reserving at 24 keeps a
+  // single doubling in the worst case while text-heavy inputs stay modest.
+  size_t nodes = input_bytes / 24 + 8;
+  doc_->nodes_.reserve(doc_->nodes_.size() + nodes);
+  doc_->pool_.Reserve(nodes / 4);
 }
 
 Status DocumentBuilder::ChargeNode(size_t value_bytes) {
@@ -222,6 +245,22 @@ Status DocumentBuilder::BeginElement(const QName& name) {
   return Status::OK();
 }
 
+Status DocumentBuilder::BeginElement(uint32_t name_id) {
+  if (finished_) return Status::Internal("builder already finished");
+  uint32_t max_depth = std::min<uint32_t>(
+      options_.max_parse_depth == 0 ? QueryLimits::kDefaultMaxParseDepth
+                                    : options_.max_parse_depth,
+      65535);
+  if (stack_.size() > max_depth) {
+    return Status::ParseError("element nesting exceeds maximum depth of " +
+                              std::to_string(max_depth));
+  }
+  XQP_RETURN_NOT_OK(ChargeNode(0));
+  NodeIndex index = Append(NodeKind::kElement, name_id, kNoValue);
+  stack_.push_back(Open{index});
+  return Status::OK();
+}
+
 Status DocumentBuilder::EndElement() {
   if (stack_.size() <= 1) {
     return Status::Internal("EndElement without matching BeginElement");
@@ -244,8 +283,27 @@ Status DocumentBuilder::Attribute(const QName& name, std::string_view value) {
         "attribute \"" + name.Lexical() +
         "\" constructed after non-attribute content of element");
   }
+  return AttributeById(InternName(name), name, value);
+}
+
+Status DocumentBuilder::Attribute(uint32_t name_id, const QName& name,
+                                  std::string_view value) {
+  const NodeRecord& parent = doc_->nodes_[stack_.back().index];
+  if (parent.kind != NodeKind::kElement) {
+    return Status::DynamicError("attribute outside element");
+  }
+  if (stack_.back().last_child != kNullNode) {
+    return Status::DynamicError(
+        "attribute \"" + name.Lexical() +
+        "\" constructed after non-attribute content of element");
+  }
+  return AttributeById(name_id, name, value);
+}
+
+Status DocumentBuilder::AttributeById(uint32_t name_id, const QName& name,
+                                      std::string_view value) {
+  const NodeRecord& parent = doc_->nodes_[stack_.back().index];
   // Reject duplicate attribute names on the same element.
-  uint32_t name_id = InternName(name);
   for (NodeIndex a = parent.first_attr; a != kNullNode;
        a = doc_->nodes_[a].next_sibling) {
     if (doc_->nodes_[a].name_id == name_id) {

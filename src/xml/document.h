@@ -159,6 +159,20 @@ class DocumentBuilder {
   Status BeginElement(const QName& name);
   Status EndElement();
   Status Attribute(const QName& name, std::string_view value);
+
+  /// Interns `name` into the document's name table (first-appearance order)
+  /// and returns its dense id — the same id BeginElement/Attribute would
+  /// assign. Event sources that can memoize names (see
+  /// XmlEvent::name_token) intern once and then use the id overloads below,
+  /// skipping the per-event QName hash.
+  uint32_t InternNameId(const QName& name) { return InternName(name); }
+  /// BeginElement with a pre-interned name id (ingest fast path).
+  Status BeginElement(uint32_t name_id);
+  /// Attribute with a pre-interned name id (ingest fast path). `name` is
+  /// only read on error paths (diagnostics print the caller's lexical
+  /// form, which may differ in prefix from the first-interned spelling).
+  Status Attribute(uint32_t name_id, const QName& name,
+                   std::string_view value);
   /// Appends a parentless attribute node directly under the document node
   /// (XDM allows attribute items outside any element; XQuery computed
   /// attribute constructors produce them).
@@ -174,6 +188,12 @@ class DocumentBuilder {
   /// node identities.
   Status CopySubtree(const Document& src, NodeIndex root);
 
+  /// Sizes the node table and string pool for an input of `input_bytes`
+  /// of serialized XML (ingest fast path). Estimates are deliberately
+  /// conservative — roughly one node per 24 bytes of markup — so text-heavy
+  /// documents do not over-allocate; purely an optimization.
+  void ReserveForInput(size_t input_bytes);
+
   /// Number of nodes appended so far.
   size_t NumNodes() const { return doc_->nodes_.size(); }
 
@@ -186,6 +206,12 @@ class DocumentBuilder {
  private:
   uint32_t InternName(const QName& name);
   NodeIndex Append(NodeKind kind, uint32_t name_id, StringPool::Id value_id);
+
+  /// Shared tail of the Attribute overloads: duplicate check, admission,
+  /// append. Caller has already validated the parent element; `name` is
+  /// read only for error text.
+  Status AttributeById(uint32_t name_id, const QName& name,
+                       std::string_view value);
 
   /// Per-node admission control, called before every Append: hosts the
   /// "alloc" fault-injection site and charges the node's approximate

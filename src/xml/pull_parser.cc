@@ -1,13 +1,70 @@
 #include "xml/pull_parser.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
+#include <cstring>
 
 #include "base/fault.h"
 #include "base/limits.h"
+#include "base/metrics.h"
 #include "base/string_util.h"
 
 namespace xqp {
+
+namespace {
+
+/// XML name classification tables ('[A-Za-z_:]' / name chars plus bytes >=
+/// 0x80, exactly the IsNameStartChar/IsNameChar predicates): one indexed
+/// load per byte instead of a chain of range compares.
+struct NameTables {
+  bool start[256] = {};  // Name start chars, ':' included.
+  bool cont[256] = {};   // Name continuation chars, ':' included.
+  constexpr NameTables() {
+    for (int i = 0; i < 256; ++i) {
+      bool s = (i >= 'a' && i <= 'z') || (i >= 'A' && i <= 'Z') || i == '_' ||
+               i >= 0x80;
+      bool c = s || (i >= '0' && i <= '9') || i == '-' || i == '.';
+      start[i] = s || i == ':';
+      cont[i] = c || i == ':';
+    }
+  }
+};
+constexpr NameTables kNameTables;
+
+/// SWAR byte-equality probe: a non-zero result has bit 7 set in every lane
+/// of `w` that equals the byte replicated in `pattern`.
+inline uint64_t HasByte(uint64_t w, uint64_t pattern) {
+  uint64_t x = w ^ pattern;
+  return (x - 0x0101010101010101ULL) & ~x & 0x8080808080808080ULL;
+}
+
+/// Index of the first '<' or '&' at/after `from`, or in.size() when the
+/// rest of the input contains neither. Eight bytes per step via the SWAR
+/// probe; the structural-scan core of the fast text path.
+size_t FindLtOrAmp(std::string_view in, size_t from) {
+  const char* p = in.data();
+  const size_t n = in.size();
+  size_t i = from;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  constexpr uint64_t kLt = 0x3C3C3C3C3C3C3C3CULL;   // '<' in every lane.
+  constexpr uint64_t kAmp = 0x2626262626262626ULL;  // '&' in every lane.
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    uint64_t hit = HasByte(w, kLt) | HasByte(w, kAmp);
+    if (hit != 0) {
+      return i + (static_cast<size_t>(std::countr_zero(hit)) >> 3);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (p[i] == '<' || p[i] == '&') return i;
+  }
+  return n;
+}
+
+}  // namespace
 
 XmlPullParser::XmlPullParser(std::string_view input,
                              const ParseOptions& options)
@@ -21,32 +78,42 @@ XmlPullParser::XmlPullParser(std::string_view input,
   max_depth_ = std::min<uint32_t>(depth, 65535);
 }
 
-Status XmlPullParser::Error(const std::string& message) const {
-  return Status::ParseError(std::to_string(line_) + ":" +
-                            std::to_string(column_) + ": " + message);
+std::pair<size_t, size_t> XmlPullParser::LineColAt(size_t pos) const {
+  size_t line = 1;
+  size_t line_start = 0;
+  const char* base = input_.data();
+  size_t searched = 0;
+  while (searched < pos) {
+    const void* nl = std::memchr(base + searched, '\n', pos - searched);
+    if (nl == nullptr) break;
+    searched = static_cast<size_t>(static_cast<const char*>(nl) - base) + 1;
+    ++line;
+    line_start = searched;
+  }
+  return {line, pos - line_start + 1};
 }
 
-void XmlPullParser::Advance(size_t n) {
-  for (size_t i = 0; i < n && pos_ < input_.size(); ++i, ++pos_) {
-    if (input_[pos_] == '\n') {
-      ++line_;
-      column_ = 1;
-    } else {
-      ++column_;
-    }
-  }
+Status XmlPullParser::Error(const std::string& message) const {
+  auto [line, column] = LineColAt(pos_);
+  return Status::ParseError(std::to_string(line) + ":" +
+                            std::to_string(column) + ": " + message);
 }
 
 void XmlPullParser::SkipWhitespace() {
-  while (!Eof() && IsXmlWhitespace(Peek())) Advance(1);
+  while (pos_ < input_.size() && IsXmlWhitespace(input_[pos_])) ++pos_;
 }
 
 Status XmlPullParser::ParseName(std::string_view* out) {
   size_t start = pos_;
-  if (Eof() || !(IsNameStartChar(Peek()) || Peek() == ':')) {
+  if (Eof() ||
+      !kNameTables.start[static_cast<unsigned char>(input_[pos_])]) {
     return Error("expected a name");
   }
-  while (!Eof() && (IsNameChar(Peek()) || Peek() == ':')) Advance(1);
+  ++pos_;
+  while (pos_ < input_.size() &&
+         kNameTables.cont[static_cast<unsigned char>(input_[pos_])]) {
+    ++pos_;
+  }
   *out = input_.substr(start, pos_ - start);
   return Status::OK();
 }
@@ -55,17 +122,20 @@ Status XmlPullParser::DecodeEntitiesInto(std::string_view raw,
                                          std::string* out) {
   size_t i = 0;
   while (i < raw.size()) {
-    char c = raw[i];
-    if (c != '&') {
-      out->push_back(c);
-      ++i;
-      continue;
+    // Copy the run up to the next '&' in one append.
+    const void* ampp = std::memchr(raw.data() + i, '&', raw.size() - i);
+    if (ampp == nullptr) {
+      out->append(raw.data() + i, raw.size() - i);
+      return Status::OK();
     }
-    size_t semi = raw.find(';', i + 1);
+    size_t a = static_cast<size_t>(static_cast<const char*>(ampp) -
+                                   raw.data());
+    out->append(raw.data() + i, a - i);
+    size_t semi = raw.find(';', a + 1);
     if (semi == std::string_view::npos) {
       return Error("unterminated entity reference");
     }
-    std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    std::string_view entity = raw.substr(a + 1, semi - a - 1);
     if (entity == "amp") {
       out->push_back('&');
     } else if (entity == "lt") {
@@ -134,96 +204,143 @@ Result<std::string> XmlPullParser::ResolvePrefix(std::string_view prefix,
                             std::string(prefix));
 }
 
-Status XmlPullParser::ParseAttributeValue(std::string* out) {
+Status XmlPullParser::ResolveName(std::string_view lexical, bool is_attribute,
+                                  QName* out, uint32_t* token) {
+  auto& cache = is_attribute ? attr_names_ : elem_names_;
+  auto it = cache.find(lexical);
+  if (it != cache.end()) {
+    *out = it->second.qname;
+    *token = it->second.token;
+    return Status::OK();
+  }
+  std::string_view prefix, local;
+  SplitQName(lexical, &prefix, &local);
+  XQP_ASSIGN_OR_RETURN(std::string uri, ResolvePrefix(prefix, is_attribute));
+  *out = QName(std::move(uri), std::string(prefix), std::string(local));
+  *token = next_name_token_++;
+  cache.emplace(lexical, CachedName{*out, *token});
+  return Status::OK();
+}
+
+void XmlPullParser::InvalidateNameCaches() {
+  elem_names_.clear();
+  attr_names_.clear();
+}
+
+Status XmlPullParser::ParseAttributeValue(std::string_view* out, bool* decoded,
+                                          size_t* buf_off, size_t* buf_len) {
   char quote = Peek();
   if (quote != '"' && quote != '\'') {
     return Error("expected quoted attribute value");
   }
-  Advance(1);
-  size_t start = pos_;
-  while (!Eof() && Peek() != quote) {
-    if (Peek() == '<') return Error("'<' in attribute value");
-    Advance(1);
+  ++pos_;
+  const size_t start = pos_;
+  const char* base = input_.data();
+  const size_t n = input_.size();
+  const void* qp = std::memchr(base + start, quote, n - start);
+  const size_t qpos =
+      qp == nullptr ? n
+                    : static_cast<size_t>(static_cast<const char*>(qp) - base);
+  // A '<' before the closing quote (or before EOF when the quote is
+  // missing) is reported first, at its own position — seed parser order.
+  const void* ltp = std::memchr(base + start, '<', qpos - start);
+  if (ltp != nullptr) {
+    pos_ = static_cast<size_t>(static_cast<const char*>(ltp) - base);
+    return Error("'<' in attribute value");
   }
-  if (Eof()) return Error("unterminated attribute value");
-  std::string_view raw = input_.substr(start, pos_ - start);
-  Advance(1);  // Closing quote.
-  XQP_RETURN_NOT_OK(DecodeEntitiesInto(raw, out));
+  if (qp == nullptr) {
+    pos_ = n;
+    return Error("unterminated attribute value");
+  }
+  std::string_view raw = input_.substr(start, qpos - start);
+  pos_ = qpos + 1;  // Closing quote.
+  if (std::memchr(raw.data(), '&', raw.size()) == nullptr) {
+    *out = raw;  // Zero-copy: the common, entity-free case.
+    *decoded = false;
+    return Status::OK();
+  }
+  *decoded = true;
+  *buf_off = attr_buf_.size();
+  XQP_RETURN_NOT_OK(DecodeEntitiesInto(raw, &attr_buf_));
+  *buf_len = attr_buf_.size() - *buf_off;
   return Status::OK();
 }
 
 Status XmlPullParser::ParseStartTag() {
-  Advance(1);  // '<'
+  ++pos_;  // '<'
   std::string_view lexical;
   XQP_RETURN_NOT_OK(ParseName(&lexical));
 
   event_.type = XmlEventType::kStartElement;
   event_.attributes.clear();
   event_.ns_decls.clear();
+  raw_attrs_.clear();
+  attr_buf_.clear();
 
   // First pass: collect raw attributes so namespace declarations on this
   // element apply to its own name and attribute names.
-  struct RawAttr {
-    std::string_view lexical;
-    std::string value;
-  };
-  std::vector<RawAttr> raw_attrs;
   bool self_closing = false;
   while (true) {
     SkipWhitespace();
     if (Eof()) return Error("unterminated start tag");
-    if (Peek() == '>') {
-      Advance(1);
+    char c = input_[pos_];
+    if (c == '>') {
+      ++pos_;
       break;
     }
-    if (Peek() == '/' && Peek(1) == '>') {
-      Advance(2);
+    if (c == '/' && Peek(1) == '>') {
+      pos_ += 2;
       self_closing = true;
       break;
     }
-    std::string_view attr_name;
-    XQP_RETURN_NOT_OK(ParseName(&attr_name));
+    RawAttr a;
+    XQP_RETURN_NOT_OK(ParseName(&a.lexical));
     SkipWhitespace();
     if (Peek() != '=') return Error("expected '=' after attribute name");
-    Advance(1);
+    ++pos_;
     SkipWhitespace();
-    std::string value;
-    XQP_RETURN_NOT_OK(ParseAttributeValue(&value));
-    raw_attrs.push_back(RawAttr{attr_name, std::move(value)});
+    XQP_RETURN_NOT_OK(
+        ParseAttributeValue(&a.value, &a.decoded, &a.buf_off, &a.buf_len));
+    raw_attrs_.push_back(a);
+  }
+  // attr_buf_ is stable now; materialize the decoded slices.
+  for (RawAttr& a : raw_attrs_) {
+    if (a.decoded) {
+      a.value = std::string_view(attr_buf_).substr(a.buf_off, a.buf_len);
+    }
   }
 
   // Open a namespace frame and register xmlns declarations.
   ns_frames_.push_back(ns_bindings_.size());
-  for (const RawAttr& a : raw_attrs) {
+  for (const RawAttr& a : raw_attrs_) {
     if (a.lexical == "xmlns") {
-      ns_bindings_.emplace_back("", a.value);
-      event_.ns_decls.push_back(XmlNamespaceDecl{"", a.value});
+      ns_bindings_.emplace_back("", std::string(a.value));
+      event_.ns_decls.push_back(XmlNamespaceDecl{"", std::string(a.value)});
     } else if (a.lexical.size() > 6 && a.lexical.substr(0, 6) == "xmlns:") {
       std::string prefix(a.lexical.substr(6));
-      ns_bindings_.emplace_back(prefix, a.value);
-      event_.ns_decls.push_back(XmlNamespaceDecl{prefix, a.value});
+      ns_bindings_.emplace_back(prefix, std::string(a.value));
+      event_.ns_decls.push_back(
+          XmlNamespaceDecl{std::move(prefix), std::string(a.value)});
     }
   }
+  if (ns_bindings_.size() != ns_frames_.back()) InvalidateNameCaches();
 
-  // Resolve the element name.
-  std::string_view prefix, local;
-  SplitQName(lexical, &prefix, &local);
-  XQP_ASSIGN_OR_RETURN(std::string uri, ResolvePrefix(prefix, false));
-  event_.name = QName(std::move(uri), std::string(prefix), std::string(local));
+  // Resolve the element name (cached per lexical form while the namespace
+  // context is unchanged — on namespace-free documents every distinct tag
+  // name resolves exactly once).
+  XQP_RETURN_NOT_OK(
+      ResolveName(lexical, false, &event_.name, &event_.name_token));
 
   // Resolve attribute names (skipping xmlns declarations).
-  for (RawAttr& a : raw_attrs) {
+  for (const RawAttr& a : raw_attrs_) {
     if (a.lexical == "xmlns" ||
         (a.lexical.size() > 6 && a.lexical.substr(0, 6) == "xmlns:")) {
       continue;
     }
-    std::string_view aprefix, alocal;
-    SplitQName(a.lexical, &aprefix, &alocal);
-    XQP_ASSIGN_OR_RETURN(std::string auri, ResolvePrefix(aprefix, true));
-    event_.attributes.push_back(
-        XmlAttribute{QName(std::move(auri), std::string(aprefix),
-                           std::string(alocal)),
-                     std::move(a.value)});
+    XmlAttribute& attr = event_.attributes.emplace_back();
+    XQP_RETURN_NOT_OK(ResolveName(a.lexical, true, &attr.name,
+                                  &attr.name_token));
+    attr.value = a.value;
   }
 
   // Explicit depth bound: the event stream is iterative, but the document
@@ -233,7 +350,7 @@ Status XmlPullParser::ParseStartTag() {
     return Error("element nesting exceeds maximum depth of " +
                  std::to_string(max_depth_));
   }
-  open_elements_.emplace_back(lexical);
+  open_elements_.push_back(lexical);
   if (self_closing) {
     pending_end_element_ = true;
   }
@@ -241,39 +358,42 @@ Status XmlPullParser::ParseStartTag() {
 }
 
 Status XmlPullParser::ParseEndTag() {
-  Advance(2);  // "</"
+  pos_ += 2;  // "</"
   std::string_view lexical;
   XQP_RETURN_NOT_OK(ParseName(&lexical));
   SkipWhitespace();
   if (Peek() != '>') return Error("expected '>' in end tag");
-  Advance(1);
+  ++pos_;
   if (open_elements_.empty()) {
     return Error("unexpected end tag </" + std::string(lexical) + ">");
   }
   if (open_elements_.back() != lexical) {
     return Error("mismatched end tag </" + std::string(lexical) +
-                 ">, expected </" + open_elements_.back() + ">");
+                 ">, expected </" + std::string(open_elements_.back()) + ">");
   }
   open_elements_.pop_back();
   // Pop this element's namespace frame.
-  ns_bindings_.resize(ns_frames_.back());
+  if (ns_bindings_.size() != ns_frames_.back()) {
+    ns_bindings_.resize(ns_frames_.back());
+    InvalidateNameCaches();
+  }
   ns_frames_.pop_back();
   event_.type = XmlEventType::kEndElement;
   return Status::OK();
 }
 
 Status XmlPullParser::ParseComment() {
-  Advance(4);  // "<!--"
+  pos_ += 4;  // "<!--"
   size_t end = input_.find("-->", pos_);
   if (end == std::string_view::npos) return Error("unterminated comment");
   event_.type = XmlEventType::kComment;
-  event_.text.assign(input_.substr(pos_, end - pos_));
-  Advance(end - pos_ + 3);
+  event_.text = input_.substr(pos_, end - pos_);
+  pos_ = end + 3;
   return Status::OK();
 }
 
 Status XmlPullParser::ParsePi() {
-  Advance(2);  // "<?"
+  pos_ += 2;  // "<?"
   std::string_view target;
   XQP_RETURN_NOT_OK(ParseName(&target));
   size_t end = input_.find("?>", pos_);
@@ -282,28 +402,45 @@ Status XmlPullParser::ParsePi() {
   }
   event_.type = XmlEventType::kProcessingInstruction;
   event_.name = QName(std::string(target));
-  event_.text.assign(TrimXmlWhitespace(input_.substr(pos_, end - pos_)));
-  Advance(end - pos_ + 2);
+  event_.name_token = kNoNameToken;
+  event_.text = TrimXmlWhitespace(input_.substr(pos_, end - pos_));
+  pos_ = end + 2;
   return Status::OK();
 }
 
 Status XmlPullParser::ParseCData() {
-  Advance(9);  // "<![CDATA["
+  pos_ += 9;  // "<![CDATA["
   size_t end = input_.find("]]>", pos_);
   if (end == std::string_view::npos) return Error("unterminated CDATA section");
   event_.type = XmlEventType::kText;
-  event_.text.assign(input_.substr(pos_, end - pos_));
-  Advance(end - pos_ + 3);
+  event_.text = input_.substr(pos_, end - pos_);  // Zero-copy, no decoding.
+  pos_ = end + 3;
   return Status::OK();
 }
 
 Status XmlPullParser::ParseText() {
-  size_t start = pos_;
-  while (!Eof() && Peek() != '<') Advance(1);
-  std::string_view raw = input_.substr(start, pos_ - start);
+  const size_t start = pos_;
+  const size_t m = FindLtOrAmp(input_, pos_);
   event_.type = XmlEventType::kText;
-  event_.text.clear();
-  XQP_RETURN_NOT_OK(DecodeEntitiesInto(raw, &event_.text));
+  if (m >= input_.size() || input_[m] == '<') {
+    // Entity-free run: the event aliases the input.
+    pos_ = m;
+    event_.text = input_.substr(start, m - start);
+    return Status::OK();
+  }
+  // '&' before the next '<': locate the end of the run, then decode into
+  // the reused scratch buffer.
+  const char* base = input_.data();
+  const void* ltp = std::memchr(base + m + 1, '<', input_.size() - m - 1);
+  const size_t end =
+      ltp == nullptr
+          ? input_.size()
+          : static_cast<size_t>(static_cast<const char*>(ltp) - base);
+  pos_ = end;
+  text_buf_.clear();
+  XQP_RETURN_NOT_OK(
+      DecodeEntitiesInto(input_.substr(start, end - start), &text_buf_));
+  event_.text = text_buf_;
   return Status::OK();
 }
 
@@ -311,16 +448,16 @@ Status XmlPullParser::SkipDoctype() {
   // "<!DOCTYPE" ... '>' with possible [...] internal subset.
   int depth = 0;
   while (!Eof()) {
-    char c = Peek();
+    char c = input_[pos_];
     if (c == '[') {
       ++depth;
     } else if (c == ']') {
       --depth;
     } else if (c == '>' && depth == 0) {
-      Advance(1);
+      ++pos_;
       return Status::OK();
     }
-    Advance(1);
+    ++pos_;
   }
   return Error("unterminated DOCTYPE");
 }
@@ -328,7 +465,7 @@ Status XmlPullParser::SkipDoctype() {
 Status XmlPullParser::SkipXmlDecl() {
   size_t end = input_.find("?>", pos_);
   if (end == std::string_view::npos) return Error("unterminated XML declaration");
-  Advance(end - pos_ + 2);
+  pos_ = end + 2;
   return Status::OK();
 }
 
@@ -346,7 +483,8 @@ Result<const XmlEvent*> XmlPullParser::Next() {
     event_.type = XmlEventType::kStartDocument;
     event_.attributes.clear();
     event_.ns_decls.clear();
-    event_.text.clear();
+    event_.text = {};
+    ++events_;
     return &event_;
   }
 
@@ -356,10 +494,14 @@ Result<const XmlEvent*> XmlPullParser::Next() {
       return Status::ParseError("internal: dangling self-closing tag");
     }
     open_elements_.pop_back();
-    ns_bindings_.resize(ns_frames_.back());
+    if (ns_bindings_.size() != ns_frames_.back()) {
+      ns_bindings_.resize(ns_frames_.back());
+      InvalidateNameCaches();
+    }
     ns_frames_.pop_back();
     event_.type = XmlEventType::kEndElement;
     if (open_elements_.empty()) state_ = State::kAfterDocument;
+    ++events_;
     return &event_;
   }
 
@@ -367,18 +509,32 @@ Result<const XmlEvent*> XmlPullParser::Next() {
     if (Eof()) {
       if (!open_elements_.empty()) {
         return Error("unexpected end of input; unclosed <" +
-                     open_elements_.back() + ">");
+                     std::string(open_elements_.back()) + ">");
       }
       state_ = State::kDone;
       event_.type = XmlEventType::kEndDocument;
+      ++events_;
+      if (metrics::Enabled()) {
+        static metrics::Counter* bytes =
+            metrics::MetricsRegistry::Global().counter("parse.bytes");
+        static metrics::Counter* events =
+            metrics::MetricsRegistry::Global().counter("parse.events");
+        bytes->Add(input_.size());
+        events->Add(events_);
+      }
       return &event_;
     }
 
-    if (Peek() != '<') {
+    if (input_[pos_] != '<') {
       if (state_ == State::kAfterDocument || open_elements_.empty()) {
         // Only whitespace is allowed outside the root element.
         size_t start = pos_;
-        while (!Eof() && Peek() != '<') Advance(1);
+        const void* lt = std::memchr(input_.data() + pos_, '<',
+                                     input_.size() - pos_);
+        pos_ = lt == nullptr
+                   ? input_.size()
+                   : static_cast<size_t>(static_cast<const char*>(lt) -
+                                         input_.data());
         if (!IsAllXmlWhitespace(input_.substr(start, pos_ - start))) {
           return Error("character data outside the root element");
         }
@@ -388,35 +544,44 @@ Result<const XmlEvent*> XmlPullParser::Next() {
       if (options_.strip_whitespace && IsAllXmlWhitespace(event_.text)) {
         continue;  // Swallow ignorable whitespace without surfacing it.
       }
+      ++events_;
       return &event_;
     }
 
-    if (Looking("<!--")) {
-      XQP_RETURN_NOT_OK(ParseComment());
-      return &event_;
-    }
-    if (Looking("<![CDATA[")) {
-      if (open_elements_.empty()) return Error("CDATA outside root element");
-      XQP_RETURN_NOT_OK(ParseCData());
-      return &event_;
-    }
-    if (Looking("<!DOCTYPE")) {
-      XQP_RETURN_NOT_OK(SkipDoctype());
-      continue;
-    }
-    if (Looking("<?")) {
+    // One-character dispatch on the byte after '<' before the (rarer)
+    // multi-byte Looking() probes.
+    const char next = Peek(1);
+    if (next == '!') {
+      if (Looking("<!--")) {
+        XQP_RETURN_NOT_OK(ParseComment());
+        ++events_;
+        return &event_;
+      }
+      if (Looking("<![CDATA[")) {
+        if (open_elements_.empty()) return Error("CDATA outside root element");
+        XQP_RETURN_NOT_OK(ParseCData());
+        ++events_;
+        return &event_;
+      }
+      if (Looking("<!DOCTYPE")) {
+        XQP_RETURN_NOT_OK(SkipDoctype());
+        continue;
+      }
+    } else if (next == '?') {
       XQP_RETURN_NOT_OK(ParsePi());
+      ++events_;
       return &event_;
-    }
-    if (Looking("</")) {
+    } else if (next == '/') {
       XQP_RETURN_NOT_OK(ParseEndTag());
       if (open_elements_.empty()) state_ = State::kAfterDocument;
+      ++events_;
       return &event_;
     }
     if (open_elements_.empty() && state_ == State::kAfterDocument) {
       return Error("multiple root elements");
     }
     XQP_RETURN_NOT_OK(ParseStartTag());
+    ++events_;
     return &event_;
   }
 }

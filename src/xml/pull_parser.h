@@ -1,8 +1,11 @@
 #ifndef XQP_XML_PULL_PARSER_H_
 #define XQP_XML_PULL_PARSER_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
@@ -23,9 +26,14 @@ enum class XmlEventType : uint8_t {
   kEndDocument,
 };
 
+/// Sentinel for XmlEvent/XmlAttribute name_token: no token assigned.
+constexpr uint32_t kNoNameToken = UINT32_MAX;
+
 struct XmlAttribute {
   QName name;
-  std::string value;
+  std::string_view value;  // Slice of the input, or parser scratch.
+  /// See XmlEvent::name_token.
+  uint32_t name_token = kNoNameToken;
 };
 
 struct XmlNamespaceDecl {
@@ -33,14 +41,23 @@ struct XmlNamespaceDecl {
   std::string uri;
 };
 
-/// One parse event. String members are owned by the parser and valid until
-/// the next call to Next().
+/// One parse event. `text` and attribute values are zero-copy slices of the
+/// parser input whenever possible (no entities to expand); otherwise they
+/// point into parser-owned scratch storage. Either way they are valid only
+/// until the next call to Next(), and only while the input buffer lives.
 struct XmlEvent {
   XmlEventType type;
-  QName name;         // Element name; PI target in name.local.
-  std::string text;   // Text / comment / PI data.
-  std::vector<XmlAttribute> attributes;   // kStartElement only.
+  QName name;              // Element name; PI target in name.local.
+  std::string_view text;   // Text / comment / PI data.
+  std::vector<XmlAttribute> attributes;    // kStartElement only.
   std::vector<XmlNamespaceDecl> ns_decls;  // kStartElement only.
+  /// Dense parser-assigned id for `name`: two events with the same token
+  /// carry value-identical QNames, so consumers can memoize per-token
+  /// work (e.g. builder name-table interning) instead of re-hashing the
+  /// name. Tokens are never reused within one parse; the same expanded
+  /// name may map to several tokens (e.g. after a namespace re-binding).
+  /// kNoNameToken for events without a tokenized name (PI targets).
+  uint32_t name_token = kNoNameToken;
 };
 
 /// Hand-written, namespace-aware, non-validating XML 1.0 pull parser.
@@ -48,6 +65,14 @@ struct XmlEvent {
 /// comments, processing instructions, the five predefined entities, and
 /// numeric character references. DOCTYPE declarations are skipped (no DTD
 /// processing). Input must outlive the parser.
+///
+/// The scan loop is block-oriented: structural characters ('<', '&',
+/// closing quotes) are located with memchr / SWAR word probes rather than a
+/// byte-at-a-time cursor, events alias the input instead of copying, and
+/// line:column positions are recomputed from the byte offset only when an
+/// error is actually raised. tests/test_ingest.cc pins this fast path
+/// byte-for-byte (events, node tables, error strings) against a frozen
+/// copy of the original per-byte parser.
 class XmlPullParser {
  public:
   XmlPullParser(std::string_view input, const ParseOptions& options = {});
@@ -56,13 +81,13 @@ class XmlPullParser {
   /// Malformed input yields a ParseError with "line:column: message".
   Result<const XmlEvent*> Next();
 
-  /// 1-based position of the parse cursor, for error reporting.
-  size_t line() const { return line_; }
-  size_t column() const { return column_; }
+  /// 1-based position of the parse cursor, for error reporting. Computed on
+  /// demand by scanning the consumed prefix (not O(1); error paths only).
+  size_t line() const { return LineColAt(pos_).first; }
+  size_t column() const { return LineColAt(pos_).second; }
 
  private:
   Status Error(const std::string& message) const;
-  void Advance(size_t n);
   bool Eof() const { return pos_ >= input_.size(); }
   char Peek(size_t ahead = 0) const {
     return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
@@ -72,9 +97,18 @@ class XmlPullParser {
   }
   void SkipWhitespace();
 
+  /// Line/column of byte offset `pos`, derived lazily: one memchr sweep
+  /// over the prefix instead of two branches per byte in the hot loop.
+  std::pair<size_t, size_t> LineColAt(size_t pos) const;
+
   Status ParseName(std::string_view* out);
   Status DecodeEntitiesInto(std::string_view raw, std::string* out);
-  Status ParseAttributeValue(std::string* out);
+  /// Scans a quoted attribute value. Zero-copy: `*out` aliases the input
+  /// when no entity reference occurs, else `*decoded` is set and the value
+  /// text is appended to attr_buf_ (caller slices it after the tag is
+  /// complete, since the buffer may reallocate while attributes accumulate).
+  Status ParseAttributeValue(std::string_view* out, bool* decoded,
+                             size_t* buf_off, size_t* buf_len);
   Status ParseStartTag();
   Status ParseEndTag();
   Status ParseComment();
@@ -88,11 +122,17 @@ class XmlPullParser {
   Result<std::string> ResolvePrefix(std::string_view prefix,
                                     bool is_attribute) const;
 
+  /// Cached lexical-name -> resolved QName lookup (the cache is invalidated
+  /// whenever the in-scope namespace bindings change, so hits are sound).
+  Status ResolveName(std::string_view lexical, bool is_attribute, QName* out,
+                     uint32_t* token);
+
+  /// Drops both name caches; call after any ns_bindings_ push or pop.
+  void InvalidateNameCaches();
+
   std::string_view input_;
   ParseOptions options_;
   size_t pos_ = 0;
-  size_t line_ = 1;
-  size_t column_ = 1;
 
   enum class State { kBeforeDocument, kInDocument, kAfterDocument, kDone };
   State state_ = State::kBeforeDocument;
@@ -103,9 +143,38 @@ class XmlPullParser {
   // by the corresponding open element.
   std::vector<std::pair<std::string, std::string>> ns_bindings_;
   std::vector<size_t> ns_frames_;
-  std::vector<std::string> open_elements_;  // Lexical names for tag matching.
-  bool pending_end_element_ = false;        // Set by <empty/> tags.
+  /// Lexical names for end-tag matching; slices of the input.
+  std::vector<std::string_view> open_elements_;
+  bool pending_end_element_ = false;  // Set by <empty/> tags.
   uint32_t max_depth_ = 0;  // Resolved element-nesting ceiling.
+
+  /// Scratch storage backing non-zero-copy event slices; reused across
+  /// events so steady-state parsing does not allocate.
+  std::string text_buf_;  // Entity-decoded character data.
+  std::string attr_buf_;  // Entity-decoded attribute values.
+
+  /// Raw attributes of the tag being parsed, reused across start tags.
+  struct RawAttr {
+    std::string_view lexical;
+    std::string_view value;  // Input slice; empty when decoded.
+    size_t buf_off = 0;      // Range in attr_buf_ when decoded.
+    size_t buf_len = 0;
+    bool decoded = false;
+  };
+  std::vector<RawAttr> raw_attrs_;
+
+  /// Resolved-name caches keyed by lexical name (slices of the input, so
+  /// keys stay valid for the whole parse). Separate maps because attribute
+  /// and element resolution differ on the default namespace.
+  struct CachedName {
+    QName qname;
+    uint32_t token;
+  };
+  std::unordered_map<std::string_view, CachedName> elem_names_;
+  std::unordered_map<std::string_view, CachedName> attr_names_;
+  uint32_t next_name_token_ = 0;  // Monotone; survives cache invalidation.
+
+  uint64_t events_ = 0;  // Delivered events, for the parse.* counters.
 };
 
 }  // namespace xqp

@@ -1,17 +1,42 @@
 #include "xml/string_pool.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace xqp {
 
+std::string_view StringPool::Append(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  if (s.size() > chunk_cap_ - chunk_used_) {
+    // Strings wider than a chunk get a dedicated one; the abandoned tail of
+    // the previous chunk is bounded by one chunk per oversized string.
+    size_t cap = std::max(s.size(), kChunkBytes);
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    retired_bytes_ += chunk_used_;
+    chunk_cap_ = cap;
+    chunk_used_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, s.data(), s.size());
+  chunk_used_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
 StringPool::Id StringPool::Intern(std::string_view s) {
-  if (pooling_enabled_) {
-    auto it = index_.find(s);
-    if (it != index_.end()) return it->second;
+  Id id = static_cast<Id>(views_.size());
+  if (!pooling_enabled_) {
+    views_.push_back(Append(s));
+    return id;
   }
-  Id id = static_cast<Id>(strings_.size());
-  strings_.emplace_back(s);
-  if (pooling_enabled_) {
-    index_.emplace(std::string_view(strings_.back()), id);
+  // Single-probe intern: append first so the index key points at stable
+  // arena storage, then try_emplace; a duplicate undoes the tail append.
+  std::string_view stored = Append(s);
+  auto [it, inserted] = index_.try_emplace(stored, id);
+  if (!inserted) {
+    chunk_used_ -= s.size();
+    return it->second;
   }
+  views_.push_back(stored);
   return id;
 }
 
@@ -20,11 +45,14 @@ StringPool::Id StringPool::Find(std::string_view s) const {
   return it == index_.end() ? kInvalid : it->second;
 }
 
+void StringPool::Reserve(size_t expected_strings) {
+  views_.reserve(expected_strings);
+  if (pooling_enabled_) index_.reserve(expected_strings);
+}
+
 size_t StringPool::MemoryUsage() const {
-  size_t bytes = 0;
-  for (const std::string& s : strings_) {
-    bytes += sizeof(std::string) + (s.capacity() > 15 ? s.capacity() : 0);
-  }
+  size_t bytes = retired_bytes_ + chunk_used_;
+  bytes += views_.capacity() * sizeof(std::string_view);
   // Rough estimate of the hash index overhead.
   bytes += index_.size() * (sizeof(void*) * 2 + sizeof(std::string_view) +
                             sizeof(Id));

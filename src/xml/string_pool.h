@@ -2,10 +2,10 @@
 #define XQP_XML_STRING_POOL_H_
 
 #include <cstdint>
-#include <deque>
-#include <string>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace xqp {
 
@@ -13,7 +13,12 @@ namespace xqp {
 /// and referenced by a dense 32-bit id ("Pooling: store strings only once",
 /// the TokenStream optimization in the paper). Ids are stable for the
 /// lifetime of the pool; returned string_views remain valid as well because
-/// the backing storage is a deque of strings that never relocates.
+/// the backing storage is a bump arena of fixed chunks that never relocate.
+///
+/// Intern is a single hash probe: the candidate bytes are appended to the
+/// arena first, then try_emplace'd into the index keyed by the arena copy;
+/// a duplicate rolls the (tail) append back. Compared with the classic
+/// find-then-insert this halves the number of times long values are hashed.
 class StringPool {
  public:
   using Id = uint32_t;
@@ -30,15 +35,21 @@ class StringPool {
   Id Intern(std::string_view s);
 
   /// The interned string for `id`.
-  std::string_view Get(Id id) const { return strings_[id]; }
+  std::string_view Get(Id id) const { return views_[id]; }
 
   /// Looks up `s` without inserting; returns kInvalid when absent.
   Id Find(std::string_view s) const;
 
   /// Number of entries (distinct strings when pooling is on).
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return views_.size(); }
 
-  /// Approximate heap bytes used by the pooled strings and the index.
+  /// Sizes the id table and hash index for an expected number of distinct
+  /// strings (bulk-load hint; purely an optimization).
+  void Reserve(size_t expected_strings);
+
+  /// Approximate heap bytes used by the pooled strings and the index:
+  /// arena bytes actually written (each chunk at its high-water mark), the
+  /// id table, and the hash-index nodes.
   size_t MemoryUsage() const;
 
   /// Disables deduplication: Intern always appends. Exists so benchmarks can
@@ -47,7 +58,16 @@ class StringPool {
   bool pooling_enabled() const { return pooling_enabled_; }
 
  private:
-  std::deque<std::string> strings_;
+  /// Copies `s` to the arena tail and returns the stable stored view.
+  std::string_view Append(std::string_view s);
+
+  static constexpr size_t kChunkBytes = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_cap_ = 0;        // Capacity of chunks_.back(); 0 when empty.
+  size_t chunk_used_ = 0;       // Bytes written into chunks_.back().
+  size_t retired_bytes_ = 0;    // Sum of capacities of all full chunks.
+  std::vector<std::string_view> views_;
   std::unordered_map<std::string_view, Id> index_;
   bool pooling_enabled_ = true;
 };

@@ -1,0 +1,638 @@
+#ifndef XQP_TESTS_REFERENCE_PARSER_H_
+#define XQP_TESTS_REFERENCE_PARSER_H_
+
+// Frozen copy of the seed (pre-fast-path) XML pull parser, kept verbatim as
+// the differential-testing oracle for tests/test_ingest.cc and the
+// fuzz_pull_parser cross-check. Do NOT "fix" or optimize this file: its
+// whole value is that it preserves the seed parser's behavior byte for byte
+// (event streams, line:column error strings). The only intentional edit is
+// the removed "parse.next" fault-injection hook, so fault tests exercise
+// the production parser alone.
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/limits.h"
+#include "base/status.h"
+#include "base/string_util.h"
+#include "tokens/token_stream.h"
+#include "xml/document.h"
+#include "xml/qname.h"
+
+namespace xqp {
+namespace reference {
+
+
+/// Parse event types (DM1 "parse" step of the paper's data-model life
+/// cycle). The granularity mirrors SAX / the TokenStream begin-end tokens.
+enum class RefXmlEventType : uint8_t {
+  kStartDocument,
+  kStartElement,
+  kEndElement,
+  kText,
+  kComment,
+  kProcessingInstruction,
+  kEndDocument,
+};
+
+struct RefXmlAttribute {
+  QName name;
+  std::string value;
+};
+
+struct RefXmlNamespaceDecl {
+  std::string prefix;  // Empty for the default namespace.
+  std::string uri;
+};
+
+/// One parse event. String members are owned by the parser and valid until
+/// the next call to Next().
+struct RefXmlEvent {
+  RefXmlEventType type;
+  QName name;         // Element name; PI target in name.local.
+  std::string text;   // Text / comment / PI data.
+  std::vector<RefXmlAttribute> attributes;   // kStartElement only.
+  std::vector<RefXmlNamespaceDecl> ns_decls;  // kStartElement only.
+};
+
+/// Hand-written, namespace-aware, non-validating XML 1.0 pull parser.
+/// Supports elements, attributes, namespaces, character data, CDATA,
+/// comments, processing instructions, the five predefined entities, and
+/// numeric character references. DOCTYPE declarations are skipped (no DTD
+/// processing). Input must outlive the parser.
+class RefXmlPullParser {
+ public:
+  RefXmlPullParser(std::string_view input, const ParseOptions& options = {});
+
+  /// Returns the next event, or nullptr after kEndDocument was delivered.
+  /// Malformed input yields a ParseError with "line:column: message".
+  Result<const RefXmlEvent*> Next();
+
+  /// 1-based position of the parse cursor, for error reporting.
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+ private:
+  Status Error(const std::string& message) const;
+  void Advance(size_t n);
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  bool Looking(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+  void SkipWhitespace();
+
+  Status ParseName(std::string_view* out);
+  Status DecodeEntitiesInto(std::string_view raw, std::string* out);
+  Status ParseAttributeValue(std::string* out);
+  Status ParseStartTag();
+  Status ParseEndTag();
+  Status ParseComment();
+  Status ParsePi();
+  Status ParseCData();
+  Status ParseText();
+  Status SkipDoctype();
+  Status SkipXmlDecl();
+
+  /// Resolves `prefix` against the in-scope namespace stack.
+  Result<std::string> ResolvePrefix(std::string_view prefix,
+                                    bool is_attribute) const;
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+
+  enum class State { kBeforeDocument, kInDocument, kAfterDocument, kDone };
+  State state_ = State::kBeforeDocument;
+
+  RefXmlEvent event_;
+
+  // In-scope namespace bindings; each frame is the number of bindings pushed
+  // by the corresponding open element.
+  std::vector<std::pair<std::string, std::string>> ns_bindings_;
+  std::vector<size_t> ns_frames_;
+  std::vector<std::string> open_elements_;  // Lexical names for tag matching.
+  bool pending_end_element_ = false;        // Set by <empty/> tags.
+  uint32_t max_depth_ = 0;  // Resolved element-nesting ceiling.
+};
+
+
+
+
+inline RefXmlPullParser::RefXmlPullParser(std::string_view input,
+                             const ParseOptions& options)
+    : input_(input), options_(options) {
+  // The "xml" prefix is always bound.
+  ns_bindings_.emplace_back("xml", "http://www.w3.org/XML/1998/namespace");
+  uint32_t depth = options_.max_parse_depth == 0
+                       ? QueryLimits::kDefaultMaxParseDepth
+                       : options_.max_parse_depth;
+  // NodeRecord.level is 16 bits; clamp whatever the caller asked for.
+  max_depth_ = std::min<uint32_t>(depth, 65535);
+}
+
+inline Status RefXmlPullParser::Error(const std::string& message) const {
+  return Status::ParseError(std::to_string(line_) + ":" +
+                            std::to_string(column_) + ": " + message);
+}
+
+inline void RefXmlPullParser::Advance(size_t n) {
+  for (size_t i = 0; i < n && pos_ < input_.size(); ++i, ++pos_) {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+  }
+}
+
+inline void RefXmlPullParser::SkipWhitespace() {
+  while (!Eof() && IsXmlWhitespace(Peek())) Advance(1);
+}
+
+inline Status RefXmlPullParser::ParseName(std::string_view* out) {
+  size_t start = pos_;
+  if (Eof() || !(IsNameStartChar(Peek()) || Peek() == ':')) {
+    return Error("expected a name");
+  }
+  while (!Eof() && (IsNameChar(Peek()) || Peek() == ':')) Advance(1);
+  *out = input_.substr(start, pos_ - start);
+  return Status::OK();
+}
+
+inline Status RefXmlPullParser::DecodeEntitiesInto(std::string_view raw,
+                                         std::string* out) {
+  size_t i = 0;
+  while (i < raw.size()) {
+    char c = raw[i];
+    if (c != '&') {
+      out->push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Error("unterminated entity reference");
+    }
+    std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      char* end = nullptr;
+      std::string digits(entity.substr(1));
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        code = std::strtol(digits.c_str() + 1, &end, 16);
+        if (end != digits.c_str() + digits.size()) {
+          return Error("bad character reference");
+        }
+      } else {
+        code = std::strtol(digits.c_str(), &end, 10);
+        if (end != digits.c_str() + digits.size()) {
+          return Error("bad character reference");
+        }
+      }
+      // Encode the code point as UTF-8.
+      unsigned long cp = static_cast<unsigned long>(code);
+      if (cp == 0 || cp > 0x10FFFF) return Error("character reference out of range");
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      return Error("unknown entity: &" + std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return Status::OK();
+}
+
+inline Result<std::string> RefXmlPullParser::ResolvePrefix(std::string_view prefix,
+                                                 bool is_attribute) const {
+  if (prefix.empty()) {
+    if (is_attribute) return std::string();  // Attrs don't use default ns.
+    // Walk bindings innermost-out for the default namespace.
+    for (auto it = ns_bindings_.rbegin(); it != ns_bindings_.rend(); ++it) {
+      if (it->first.empty()) return it->second;
+    }
+    return std::string();
+  }
+  for (auto it = ns_bindings_.rbegin(); it != ns_bindings_.rend(); ++it) {
+    if (it->first == prefix) return it->second;
+  }
+  return Status::ParseError("undeclared namespace prefix: " +
+                            std::string(prefix));
+}
+
+inline Status RefXmlPullParser::ParseAttributeValue(std::string* out) {
+  char quote = Peek();
+  if (quote != '"' && quote != '\'') {
+    return Error("expected quoted attribute value");
+  }
+  Advance(1);
+  size_t start = pos_;
+  while (!Eof() && Peek() != quote) {
+    if (Peek() == '<') return Error("'<' in attribute value");
+    Advance(1);
+  }
+  if (Eof()) return Error("unterminated attribute value");
+  std::string_view raw = input_.substr(start, pos_ - start);
+  Advance(1);  // Closing quote.
+  XQP_RETURN_NOT_OK(DecodeEntitiesInto(raw, out));
+  return Status::OK();
+}
+
+inline Status RefXmlPullParser::ParseStartTag() {
+  Advance(1);  // '<'
+  std::string_view lexical;
+  XQP_RETURN_NOT_OK(ParseName(&lexical));
+
+  event_.type = RefXmlEventType::kStartElement;
+  event_.attributes.clear();
+  event_.ns_decls.clear();
+
+  // First pass: collect raw attributes so namespace declarations on this
+  // element apply to its own name and attribute names.
+  struct RawAttr {
+    std::string_view lexical;
+    std::string value;
+  };
+  std::vector<RawAttr> raw_attrs;
+  bool self_closing = false;
+  while (true) {
+    SkipWhitespace();
+    if (Eof()) return Error("unterminated start tag");
+    if (Peek() == '>') {
+      Advance(1);
+      break;
+    }
+    if (Peek() == '/' && Peek(1) == '>') {
+      Advance(2);
+      self_closing = true;
+      break;
+    }
+    std::string_view attr_name;
+    XQP_RETURN_NOT_OK(ParseName(&attr_name));
+    SkipWhitespace();
+    if (Peek() != '=') return Error("expected '=' after attribute name");
+    Advance(1);
+    SkipWhitespace();
+    std::string value;
+    XQP_RETURN_NOT_OK(ParseAttributeValue(&value));
+    raw_attrs.push_back(RawAttr{attr_name, std::move(value)});
+  }
+
+  // Open a namespace frame and register xmlns declarations.
+  ns_frames_.push_back(ns_bindings_.size());
+  for (const RawAttr& a : raw_attrs) {
+    if (a.lexical == "xmlns") {
+      ns_bindings_.emplace_back("", a.value);
+      event_.ns_decls.push_back(RefXmlNamespaceDecl{"", a.value});
+    } else if (a.lexical.size() > 6 && a.lexical.substr(0, 6) == "xmlns:") {
+      std::string prefix(a.lexical.substr(6));
+      ns_bindings_.emplace_back(prefix, a.value);
+      event_.ns_decls.push_back(RefXmlNamespaceDecl{prefix, a.value});
+    }
+  }
+
+  // Resolve the element name.
+  std::string_view prefix, local;
+  SplitQName(lexical, &prefix, &local);
+  XQP_ASSIGN_OR_RETURN(std::string uri, ResolvePrefix(prefix, false));
+  event_.name = QName(std::move(uri), std::string(prefix), std::string(local));
+
+  // Resolve attribute names (skipping xmlns declarations).
+  for (RawAttr& a : raw_attrs) {
+    if (a.lexical == "xmlns" ||
+        (a.lexical.size() > 6 && a.lexical.substr(0, 6) == "xmlns:")) {
+      continue;
+    }
+    std::string_view aprefix, alocal;
+    SplitQName(a.lexical, &aprefix, &alocal);
+    XQP_ASSIGN_OR_RETURN(std::string auri, ResolvePrefix(aprefix, true));
+    event_.attributes.push_back(
+        RefXmlAttribute{QName(std::move(auri), std::string(aprefix),
+                           std::string(alocal)),
+                     std::move(a.value)});
+  }
+
+  // Explicit depth bound: the event stream is iterative, but the document
+  // builder, serializer, and navigation code index levels with 16 bits and
+  // hostile inputs should fail early with a clear position.
+  if (open_elements_.size() >= max_depth_) {
+    return Error("element nesting exceeds maximum depth of " +
+                 std::to_string(max_depth_));
+  }
+  open_elements_.emplace_back(lexical);
+  if (self_closing) {
+    pending_end_element_ = true;
+  }
+  return Status::OK();
+}
+
+inline Status RefXmlPullParser::ParseEndTag() {
+  Advance(2);  // "</"
+  std::string_view lexical;
+  XQP_RETURN_NOT_OK(ParseName(&lexical));
+  SkipWhitespace();
+  if (Peek() != '>') return Error("expected '>' in end tag");
+  Advance(1);
+  if (open_elements_.empty()) {
+    return Error("unexpected end tag </" + std::string(lexical) + ">");
+  }
+  if (open_elements_.back() != lexical) {
+    return Error("mismatched end tag </" + std::string(lexical) +
+                 ">, expected </" + open_elements_.back() + ">");
+  }
+  open_elements_.pop_back();
+  // Pop this element's namespace frame.
+  ns_bindings_.resize(ns_frames_.back());
+  ns_frames_.pop_back();
+  event_.type = RefXmlEventType::kEndElement;
+  return Status::OK();
+}
+
+inline Status RefXmlPullParser::ParseComment() {
+  Advance(4);  // "<!--"
+  size_t end = input_.find("-->", pos_);
+  if (end == std::string_view::npos) return Error("unterminated comment");
+  event_.type = RefXmlEventType::kComment;
+  event_.text.assign(input_.substr(pos_, end - pos_));
+  Advance(end - pos_ + 3);
+  return Status::OK();
+}
+
+inline Status RefXmlPullParser::ParsePi() {
+  Advance(2);  // "<?"
+  std::string_view target;
+  XQP_RETURN_NOT_OK(ParseName(&target));
+  size_t end = input_.find("?>", pos_);
+  if (end == std::string_view::npos) {
+    return Error("unterminated processing instruction");
+  }
+  event_.type = RefXmlEventType::kProcessingInstruction;
+  event_.name = QName(std::string(target));
+  event_.text.assign(TrimXmlWhitespace(input_.substr(pos_, end - pos_)));
+  Advance(end - pos_ + 2);
+  return Status::OK();
+}
+
+inline Status RefXmlPullParser::ParseCData() {
+  Advance(9);  // "<![CDATA["
+  size_t end = input_.find("]]>", pos_);
+  if (end == std::string_view::npos) return Error("unterminated CDATA section");
+  event_.type = RefXmlEventType::kText;
+  event_.text.assign(input_.substr(pos_, end - pos_));
+  Advance(end - pos_ + 3);
+  return Status::OK();
+}
+
+inline Status RefXmlPullParser::ParseText() {
+  size_t start = pos_;
+  while (!Eof() && Peek() != '<') Advance(1);
+  std::string_view raw = input_.substr(start, pos_ - start);
+  event_.type = RefXmlEventType::kText;
+  event_.text.clear();
+  XQP_RETURN_NOT_OK(DecodeEntitiesInto(raw, &event_.text));
+  return Status::OK();
+}
+
+inline Status RefXmlPullParser::SkipDoctype() {
+  // "<!DOCTYPE" ... '>' with possible [...] internal subset.
+  int depth = 0;
+  while (!Eof()) {
+    char c = Peek();
+    if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      --depth;
+    } else if (c == '>' && depth == 0) {
+      Advance(1);
+      return Status::OK();
+    }
+    Advance(1);
+  }
+  return Error("unterminated DOCTYPE");
+}
+
+inline Status RefXmlPullParser::SkipXmlDecl() {
+  size_t end = input_.find("?>", pos_);
+  if (end == std::string_view::npos) return Error("unterminated XML declaration");
+  Advance(end - pos_ + 2);
+  return Status::OK();
+}
+
+inline Result<const RefXmlEvent*> RefXmlPullParser::Next() {
+  if (state_ == State::kDone) return static_cast<const RefXmlEvent*>(nullptr);
+
+  if (state_ == State::kBeforeDocument) {
+    state_ = State::kInDocument;
+    if (Looking("<?xml ") || Looking("<?xml\t") || Looking("<?xml?")) {
+      XQP_RETURN_NOT_OK(SkipXmlDecl());
+    }
+    event_.type = RefXmlEventType::kStartDocument;
+    event_.attributes.clear();
+    event_.ns_decls.clear();
+    event_.text.clear();
+    return &event_;
+  }
+
+  if (pending_end_element_) {
+    pending_end_element_ = false;
+    if (open_elements_.empty()) {
+      return Status::ParseError("internal: dangling self-closing tag");
+    }
+    open_elements_.pop_back();
+    ns_bindings_.resize(ns_frames_.back());
+    ns_frames_.pop_back();
+    event_.type = RefXmlEventType::kEndElement;
+    if (open_elements_.empty()) state_ = State::kAfterDocument;
+    return &event_;
+  }
+
+  while (true) {
+    if (Eof()) {
+      if (!open_elements_.empty()) {
+        return Error("unexpected end of input; unclosed <" +
+                     open_elements_.back() + ">");
+      }
+      state_ = State::kDone;
+      event_.type = RefXmlEventType::kEndDocument;
+      return &event_;
+    }
+
+    if (Peek() != '<') {
+      if (state_ == State::kAfterDocument || open_elements_.empty()) {
+        // Only whitespace is allowed outside the root element.
+        size_t start = pos_;
+        while (!Eof() && Peek() != '<') Advance(1);
+        if (!IsAllXmlWhitespace(input_.substr(start, pos_ - start))) {
+          return Error("character data outside the root element");
+        }
+        continue;
+      }
+      XQP_RETURN_NOT_OK(ParseText());
+      if (options_.strip_whitespace && IsAllXmlWhitespace(event_.text)) {
+        continue;  // Swallow ignorable whitespace without surfacing it.
+      }
+      return &event_;
+    }
+
+    if (Looking("<!--")) {
+      XQP_RETURN_NOT_OK(ParseComment());
+      return &event_;
+    }
+    if (Looking("<![CDATA[")) {
+      if (open_elements_.empty()) return Error("CDATA outside root element");
+      XQP_RETURN_NOT_OK(ParseCData());
+      return &event_;
+    }
+    if (Looking("<!DOCTYPE")) {
+      XQP_RETURN_NOT_OK(SkipDoctype());
+      continue;
+    }
+    if (Looking("<?")) {
+      XQP_RETURN_NOT_OK(ParsePi());
+      return &event_;
+    }
+    if (Looking("</")) {
+      XQP_RETURN_NOT_OK(ParseEndTag());
+      if (open_elements_.empty()) state_ = State::kAfterDocument;
+      return &event_;
+    }
+    if (open_elements_.empty() && state_ == State::kAfterDocument) {
+      return Error("multiple root elements");
+    }
+    XQP_RETURN_NOT_OK(ParseStartTag());
+    return &event_;
+  }
+}
+
+
+/// Seed Document::Parse, verbatim: pumps the reference parser into a
+/// DocumentBuilder through the per-event QName interfaces (no name-token
+/// memoization, no arena reservation).
+inline Result<std::shared_ptr<Document>> ParseDocument(
+    std::string_view xml, const ParseOptions& options = {}) {
+  RefXmlPullParser parser(xml, options);
+  DocumentBuilder builder(options);
+  auto as_parse_error = [](Status st) {
+    if (st.ok() || st.code() == StatusCode::kParseError) return st;
+    return Status::ParseError(st.message());
+  };
+  while (true) {
+    XQP_ASSIGN_OR_RETURN(const RefXmlEvent* event, parser.Next());
+    if (event == nullptr) break;
+    switch (event->type) {
+      case RefXmlEventType::kStartDocument:
+      case RefXmlEventType::kEndDocument:
+        break;
+      case RefXmlEventType::kStartElement: {
+        XQP_RETURN_NOT_OK(as_parse_error(builder.BeginElement(event->name)));
+        for (const RefXmlNamespaceDecl& ns : event->ns_decls) {
+          XQP_RETURN_NOT_OK(
+              as_parse_error(builder.NamespaceDecl(ns.prefix, ns.uri)));
+        }
+        for (const RefXmlAttribute& attr : event->attributes) {
+          XQP_RETURN_NOT_OK(
+              as_parse_error(builder.Attribute(attr.name, attr.value)));
+        }
+        break;
+      }
+      case RefXmlEventType::kEndElement:
+        XQP_RETURN_NOT_OK(as_parse_error(builder.EndElement()));
+        break;
+      case RefXmlEventType::kText:
+        XQP_RETURN_NOT_OK(as_parse_error(builder.Text(event->text)));
+        break;
+      case RefXmlEventType::kComment:
+        XQP_RETURN_NOT_OK(as_parse_error(builder.Comment(event->text)));
+        break;
+      case RefXmlEventType::kProcessingInstruction:
+        XQP_RETURN_NOT_OK(as_parse_error(
+            builder.ProcessingInstruction(event->name.local, event->text)));
+        break;
+    }
+  }
+  return builder.Finish();
+}
+
+/// Seed TokenStream::FromXml, verbatim (per-event QName interning).
+inline Result<TokenStream> ParseTokenStream(
+    std::string_view xml, const TokenStreamOptions& options = {}) {
+  ParseOptions popts;
+  popts.pool_strings = options.pool_strings;
+  RefXmlPullParser parser(xml, popts);
+  TokenStream ts(options);
+  NodeIndex next_id = 0;
+  auto id = [&]() { return options.with_node_ids ? next_id++ : kNullNode; };
+  while (true) {
+    XQP_ASSIGN_OR_RETURN(const RefXmlEvent* event, parser.Next());
+    if (event == nullptr) break;
+    switch (event->type) {
+      case RefXmlEventType::kStartDocument:
+        ts.AppendStartDocument();
+        id();
+        break;
+      case RefXmlEventType::kEndDocument:
+        ts.AppendEndDocument();
+        break;
+      case RefXmlEventType::kStartElement: {
+        ts.AppendStartElement(event->name, id());
+        for (const auto& ns : event->ns_decls) {
+          ts.AppendNamespaceDecl(ns.prefix, ns.uri);
+        }
+        for (const auto& attr : event->attributes) {
+          ts.AppendAttribute(attr.name, attr.value, id());
+        }
+        break;
+      }
+      case RefXmlEventType::kEndElement:
+        ts.AppendEndElement();
+        break;
+      case RefXmlEventType::kText:
+        ts.AppendText(event->text, id());
+        break;
+      case RefXmlEventType::kComment:
+        ts.AppendComment(event->text, id());
+        break;
+      case RefXmlEventType::kProcessingInstruction:
+        ts.AppendProcessingInstruction(event->name.local, event->text, id());
+        break;
+    }
+  }
+  return ts;
+}
+
+}  // namespace reference
+}  // namespace xqp
+
+#endif  // XQP_TESTS_REFERENCE_PARSER_H_

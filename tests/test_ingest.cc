@@ -1,0 +1,492 @@
+// Differential suite for the fast-path ingest pipeline: the SWAR/zero-copy
+// parser, memoized-name document build, and parallel bulk load must be
+// BIT-IDENTICAL to the frozen seed implementation in
+// tests/reference_parser.h — same event streams, same node tables and pool
+// ids, same TokenStreams, and byte-identical error strings for malformed
+// input.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/fault.h"
+#include "base/metrics.h"
+#include "engine.h"
+#include "tests/reference_parser.h"
+#include "tests/test_util.h"
+#include "tokens/token_stream.h"
+#include "xmark/generator.h"
+#include "xml/document.h"
+#include "xml/pull_parser.h"
+
+namespace xqp {
+namespace {
+
+std::string RenderQName(const QName& q) {
+  return "{" + q.uri + "}" + q.prefix + ":" + q.local;
+}
+
+/// Pumps the fast parser, rendering every event canonically. On parse
+/// error, returns the rendered prefix and sets *error.
+std::vector<std::string> PumpFast(std::string_view xml,
+                                  const ParseOptions& options, Status* error) {
+  *error = Status::OK();
+  XmlPullParser parser(xml, options);
+  std::vector<std::string> out;
+  while (true) {
+    auto next = parser.Next();
+    if (!next.ok()) {
+      *error = next.status();
+      return out;
+    }
+    const XmlEvent* e = next.value();
+    if (e == nullptr) break;
+    std::string s = std::to_string(static_cast<int>(e->type));
+    s += "|" + RenderQName(e->name);
+    s += "|" + std::string(e->text);
+    for (const auto& a : e->attributes) {
+      s += "|A:" + RenderQName(a.name) + "=" + std::string(a.value);
+    }
+    for (const auto& ns : e->ns_decls) {
+      s += "|N:" + ns.prefix + "=" + ns.uri;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> PumpReference(std::string_view xml,
+                                       const ParseOptions& options,
+                                       Status* error) {
+  *error = Status::OK();
+  reference::RefXmlPullParser parser(xml, options);
+  std::vector<std::string> out;
+  while (true) {
+    auto next = parser.Next();
+    if (!next.ok()) {
+      *error = next.status();
+      return out;
+    }
+    const reference::RefXmlEvent* e = next.value();
+    if (e == nullptr) break;
+    std::string s = std::to_string(static_cast<int>(e->type));
+    s += "|" + RenderQName(e->name);
+    s += "|" + e->text;
+    for (const auto& a : e->attributes) {
+      s += "|A:" + RenderQName(a.name) + "=" + a.value;
+    }
+    for (const auto& ns : e->ns_decls) {
+      s += "|N:" + ns.prefix + "=" + ns.uri;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ExpectIdenticalEvents(std::string_view xml,
+                           const ParseOptions& options = {}) {
+  Status fast_err, ref_err;
+  auto fast = PumpFast(xml, options, &fast_err);
+  auto ref = PumpReference(xml, options, &ref_err);
+  EXPECT_EQ(fast_err.ToString(), ref_err.ToString())
+      << "input: " << xml.substr(0, 200);
+  EXPECT_EQ(fast, ref) << "input: " << xml.substr(0, 200);
+}
+
+void ExpectIdenticalDocuments(const Document& fast, const Document& ref) {
+  ASSERT_EQ(fast.NumNodes(), ref.NumNodes());
+  for (NodeIndex i = 0; i < fast.NumNodes(); ++i) {
+    const NodeRecord& a = fast.node(i);
+    const NodeRecord& b = ref.node(i);
+    ASSERT_EQ(a.kind, b.kind) << "node " << i;
+    ASSERT_EQ(a.level, b.level) << "node " << i;
+    ASSERT_EQ(a.name_id, b.name_id) << "node " << i;
+    ASSERT_EQ(a.value_id, b.value_id) << "node " << i;
+    ASSERT_EQ(a.parent, b.parent) << "node " << i;
+    ASSERT_EQ(a.next_sibling, b.next_sibling) << "node " << i;
+    ASSERT_EQ(a.first_attr, b.first_attr) << "node " << i;
+    ASSERT_EQ(a.first_child, b.first_child) << "node " << i;
+    ASSERT_EQ(a.end, b.end) << "node " << i;
+  }
+  ASSERT_EQ(fast.NumNames(), ref.NumNames());
+  for (uint32_t n = 0; n < fast.NumNames(); ++n) {
+    const QName& a = fast.name_at(n);
+    const QName& b = ref.name_at(n);
+    ASSERT_EQ(RenderQName(a), RenderQName(b)) << "name " << n;
+  }
+  // Pool-id identity: same number of pooled strings, same bytes per id.
+  ASSERT_EQ(fast.pool().size(), ref.pool().size());
+  for (StringPool::Id id = 0;
+       id < static_cast<StringPool::Id>(fast.pool().size()); ++id) {
+    ASSERT_EQ(fast.pool().Get(id), ref.pool().Get(id)) << "pool id " << id;
+  }
+}
+
+void ExpectIdenticalParses(std::string_view xml,
+                           const ParseOptions& options = {}) {
+  auto fast = Document::Parse(xml, options);
+  auto ref = reference::ParseDocument(xml, options);
+  ASSERT_EQ(fast.ok(), ref.ok());
+  if (!fast.ok()) {
+    EXPECT_EQ(fast.status().ToString(), ref.status().ToString());
+    return;
+  }
+  ExpectIdenticalDocuments(**fast, **ref);
+}
+
+void ExpectIdenticalStreams(const TokenStream& fast, const TokenStream& ref) {
+  ASSERT_EQ(fast.size(), ref.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    const Token& a = fast.token(i);
+    const Token& b = ref.token(i);
+    ASSERT_EQ(a.kind, b.kind) << "token " << i;
+    ASSERT_EQ(a.name_id, b.name_id) << "token " << i;
+    ASSERT_EQ(a.value_id, b.value_id) << "token " << i;
+    ASSERT_EQ(a.aux_id, b.aux_id) << "token " << i;
+    ASSERT_EQ(a.node_id, b.node_id) << "token " << i;
+    ASSERT_EQ(a.skip_to, b.skip_to) << "token " << i;
+    ASSERT_EQ(fast.value(a), ref.value(b)) << "token " << i;
+    ASSERT_EQ(fast.aux(a), ref.aux(b)) << "token " << i;
+    if (a.name_id != kNoName) {
+      ASSERT_EQ(RenderQName(fast.name(a)), RenderQName(ref.name(b)))
+          << "token " << i;
+    }
+  }
+}
+
+void ExpectIdenticalTokenization(std::string_view xml,
+                                 const TokenStreamOptions& options = {}) {
+  auto fast = TokenStream::FromXml(xml, options);
+  auto ref = reference::ParseTokenStream(xml, options);
+  ASSERT_EQ(fast.ok(), ref.ok());
+  if (!fast.ok()) {
+    EXPECT_EQ(fast.status().ToString(), ref.status().ToString());
+    return;
+  }
+  ExpectIdenticalStreams(*fast, *ref);
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written well-formed corpus.
+
+const char* kWellFormed[] = {
+    "<a/>",
+    "<a>hi</a>",
+    "<a><b>x</b><c>y</c></a>",
+    "<?xml version=\"1.0\"?>\n<a>text</a>\n",
+    "<a x=\"1\" y='2'>t</a>",
+    "<a>one&amp;two&lt;three&gt;&quot;&apos;</a>",
+    "<a x=\"a&amp;b\" y=\"&#65;&#x42;\">&#169;&#x1F600;</a>",
+    "<a><![CDATA[raw <markup> & entities]]></a>",
+    "<a>pre<![CDATA[mid]]>post</a>",
+    "<a><!-- a comment --><b/><?target  pi data ?></a>",
+    "<!DOCTYPE a [<!ELEMENT a ANY>]><a/>",
+    "<ns:a xmlns:ns=\"urn:x\"><ns:b ns:attr=\"v\"/></ns:a>",
+    "<a xmlns=\"urn:default\"><b/><c xmlns=\"urn:other\"><d/></c><e/></a>",
+    "<a xmlns:p=\"u1\"><p:b/><c xmlns:p=\"u2\"><p:d/></c><p:e/></a>",
+    "<a>\n  <b>  </b>\n  mixed <i>text</i> tail\n</a>",
+    "<root><empty/><empty/><empty/></root>",
+    "  \n\t<a/>\n  ",
+    "<a.b-c_d><e.f/></a.b-c_d>",
+    "<a>&#10;&#13;&#9;</a>",
+    "<p:a xmlns:p=\"u\" xmlns:q=\"u\"><q:b/></p:a>",
+};
+
+TEST(IngestDifferential, WellFormedEvents) {
+  for (const char* xml : kWellFormed) {
+    ExpectIdenticalEvents(xml);
+    ParseOptions strip;
+    strip.strip_whitespace = true;
+    ExpectIdenticalEvents(xml, strip);
+  }
+}
+
+TEST(IngestDifferential, WellFormedDocuments) {
+  for (const char* xml : kWellFormed) {
+    ExpectIdenticalParses(xml);
+    ParseOptions strip;
+    strip.strip_whitespace = true;
+    ExpectIdenticalParses(xml, strip);
+    ParseOptions unpooled;
+    unpooled.pool_strings = false;
+    ExpectIdenticalParses(xml, unpooled);
+  }
+}
+
+TEST(IngestDifferential, WellFormedTokenStreams) {
+  for (const char* xml : kWellFormed) {
+    ExpectIdenticalTokenization(xml);
+    TokenStreamOptions no_ids;
+    no_ids.with_node_ids = false;
+    ExpectIdenticalTokenization(xml, no_ids);
+    TokenStreamOptions unpooled;
+    unpooled.pool_strings = false;
+    ExpectIdenticalTokenization(xml, unpooled);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed corpus: the error string (line:column and message) must be
+// byte-identical to the seed parser's.
+
+const char* kMalformed[] = {
+    "<a>",
+    "<a><b></a>",
+    "</a>",
+    "<a></a><b/>",
+    "<a></a>junk",
+    "text before <a/>",
+    "<a x></a>",
+    "<a x=></a>",
+    "<a x=\"1></a>",
+    "<a x=\"a<b\"/>",
+    "<a x='1' x='2'/>",
+    "<a xmlns:p='u' xmlns:q='u' p:x='1' q:x='2'/>",
+    "<p:a/>",
+    "<a p:x='1'/>",
+    "<a>&unknown;</a>",
+    "<a>&amp</a>",
+    "<a>&#xZZ;</a>",
+    "<a>&#0;</a>",
+    "<a>&#1114112;</a>",
+    "<a x=\"&bad;\"/>",
+    "<a x=\"&#xQ;\"/>",
+    "<a><!-- unterminated </a>",
+    "<a><![CDATA[unterminated</a>",
+    "<![CDATA[x]]>",
+    "<a><?pi unterminated</a>",
+    "<?xml version=\"1.0\"",
+    "<!DOCTYPE a [ <a/>",
+    "<a>\n<b></c>",
+    "<a>\r\n\r\n<b></c></b></a>",
+    "line1\n<a/>",
+    "<a>\n  <b x=\"1\"\n     y=></b></a>",
+    "<",
+    "<a",
+    "<a ",
+    "<a x",
+    "<!bad><a/>",
+    "<a><5/></a>",
+};
+
+TEST(IngestDifferential, MalformedErrorsIdentical) {
+  for (const char* xml : kMalformed) {
+    ExpectIdenticalEvents(xml);
+    ExpectIdenticalParses(xml);
+    ExpectIdenticalTokenization(xml);
+  }
+}
+
+TEST(IngestDifferential, DepthCeilingIdentical) {
+  std::string deep;
+  for (int i = 0; i < 40; ++i) deep += "<d>";
+  deep += "x";  // Never closed; depth error fires first.
+  ParseOptions options;
+  options.max_parse_depth = 16;
+  ExpectIdenticalEvents(deep, options);
+  ExpectIdenticalParses(deep, options);
+}
+
+// ---------------------------------------------------------------------------
+// XMark corpus (the scales the acceptance criteria pin).
+
+void RunXMarkScale(double scale) {
+  XMarkOptions gen;
+  gen.scale = scale;
+  std::string xml = GenerateXMarkXml(gen);
+  ExpectIdenticalEvents(xml);
+  ExpectIdenticalParses(xml);
+  ExpectIdenticalTokenization(xml);
+  ParseOptions strip;
+  strip.strip_whitespace = true;
+  ExpectIdenticalParses(xml, strip);
+  ParseOptions unpooled;
+  unpooled.pool_strings = false;
+  ExpectIdenticalParses(xml, unpooled);
+}
+
+TEST(IngestDifferential, XMarkScale20) { RunXMarkScale(0.02); }
+
+TEST(IngestDifferential, XMarkScale200) { RunXMarkScale(0.2); }
+
+TEST(IngestDifferential, RandomDocuments) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    std::string xml = testing_util::RandomXml(seed);
+    ExpectIdenticalEvents(xml);
+    ExpectIdenticalParses(xml);
+    ExpectIdenticalTokenization(xml);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy safety: documents must own their bytes — nothing may alias the
+// input buffer after parsing completes.
+
+TEST(Ingest, DocumentOwnsItsStrings) {
+  auto xml = std::make_unique<std::string>(
+      "<a attr=\"value\"><b>text one</b><b>text&amp;two</b></a>");
+  auto doc = Document::Parse(*xml).value();
+  xml->assign(xml->size(), 'X');  // Scribble over the input buffer.
+  xml.reset();
+  EXPECT_EQ(doc->StringValue(doc->root_element()), "text onetext&two");
+  NodeIndex attr = doc->node(doc->root_element()).first_attr;
+  EXPECT_EQ(doc->value(attr), "value");
+}
+
+TEST(Ingest, EventViewsValidUntilNextAdvance) {
+  // The zero-copy contract: an event's views must stay valid until the
+  // next Next() call, including decoded-entity attribute values.
+  std::string xml = "<a one=\"1&amp;1\" two=\"plain\">body&gt;tail</a>";
+  XmlPullParser parser(xml);
+  std::string one, two, text;
+  while (true) {
+    const XmlEvent* e = parser.Next().value();
+    if (e == nullptr) break;
+    if (e->type == XmlEventType::kStartElement) {
+      one = std::string(e->attributes[0].value);
+      two = std::string(e->attributes[1].value);
+    } else if (e->type == XmlEventType::kText) {
+      text = std::string(e->text);
+    }
+  }
+  EXPECT_EQ(one, "1&1");
+  EXPECT_EQ(two, "plain");
+  EXPECT_EQ(text, "body>tail");
+}
+
+// ---------------------------------------------------------------------------
+// Parallel bulk load.
+
+TEST(BulkLoad, MatchesSerialParses) {
+  std::vector<std::string> xmls;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    xmls.push_back(testing_util::RandomXml(seed));
+  }
+  XQueryEngine engine;
+  std::vector<XQueryEngine::BulkDocument> batch;
+  for (size_t i = 0; i < xmls.size(); ++i) {
+    batch.push_back({"doc" + std::to_string(i) + ".xml", xmls[i]});
+  }
+  auto results = engine.LoadDocumentsParallel(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    XQP_ASSERT_OK(results[i].status());
+    auto serial = reference::ParseDocument(xmls[i]).value();
+    ExpectIdenticalDocuments(*results[i].value(), *serial);
+    // And the registration is visible to fn:doc.
+    auto via_engine = engine.GetDocument(batch[i].uri);
+    XQP_ASSERT_OK(via_engine.status());
+    EXPECT_EQ(via_engine.value().get(), results[i].value().get());
+    EXPECT_EQ(via_engine.value()->base_uri(), batch[i].uri);
+  }
+}
+
+TEST(BulkLoad, PositionalErrorsLeaveOthersLoaded) {
+  XQueryEngine engine;
+  std::string good1 = "<a>one</a>";
+  std::string bad = "<a><b></a>";
+  std::string good2 = "<c/>";
+  std::vector<XQueryEngine::BulkDocument> batch = {
+      {"g1.xml", good1}, {"bad.xml", bad}, {"g2.xml", good2}};
+  auto results = engine.LoadDocumentsParallel(batch);
+  ASSERT_EQ(results.size(), 3u);
+  XQP_ASSERT_OK(results[0].status());
+  ASSERT_FALSE(results[1].ok());
+  // The parse error is byte-identical to the serial path's.
+  EXPECT_EQ(results[1].status().ToString(),
+            Document::Parse(bad).status().ToString());
+  XQP_ASSERT_OK(results[2].status());
+  XQP_ASSERT_OK(engine.GetDocument("g1.xml").status());
+  EXPECT_FALSE(engine.GetDocument("bad.xml").ok());
+  XQP_ASSERT_OK(engine.GetDocument("g2.xml").status());
+}
+
+TEST(BulkLoad, QueriesSeeBulkLoadedDocuments) {
+  XQueryEngine engine;
+  std::string xml = "<bib><book year=\"1998\"><t>A</t></book>"
+                    "<book year=\"2001\"><t>B</t></book></bib>";
+  std::vector<XQueryEngine::BulkDocument> batch = {{"bib.xml", xml}};
+  auto results = engine.LoadDocumentsParallel(batch);
+  XQP_ASSERT_OK(results[0].status());
+  auto seq = engine.Execute("count(doc('bib.xml')//book)");
+  XQP_ASSERT_OK(seq.status());
+  ASSERT_EQ(seq.value().size(), 1u);
+}
+
+TEST(BulkLoad, SubmitFaultDegradesInline) {
+  // "pool.submit" failures degrade to inline execution: the batch still
+  // completes and every document loads.
+  XQueryEngine engine;
+  std::vector<std::string> xmls;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    xmls.push_back(testing_util::RandomXml(seed, 60));
+  }
+  std::vector<XQueryEngine::BulkDocument> batch;
+  for (size_t i = 0; i < xmls.size(); ++i) {
+    batch.push_back({"f" + std::to_string(i) + ".xml", xmls[i]});
+  }
+  fault::ScopedFault fault("pool.submit", 1);
+  auto results = engine.LoadDocumentsParallel(batch);
+  for (size_t i = 0; i < results.size(); ++i) {
+    XQP_ASSERT_OK(results[i].status());
+  }
+}
+
+TEST(BulkLoad, ParseFaultFailsExactlyOneDocument) {
+  // The "parse.next" fault fires exactly once, so exactly one positional
+  // result carries the injected status; the rest parse normally.
+  XQueryEngine engine;
+  std::vector<std::string> xmls;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    xmls.push_back(testing_util::RandomXml(seed, 60));
+  }
+  std::vector<XQueryEngine::BulkDocument> batch;
+  for (size_t i = 0; i < xmls.size(); ++i) {
+    batch.push_back({"p" + std::to_string(i) + ".xml", xmls[i]});
+  }
+  fault::ScopedFault fault("parse.next", 3, StatusCode::kIoError);
+  auto results = engine.LoadDocumentsParallel(batch);
+  size_t failed = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      ++failed;
+      EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: ingest counters land in the global registry.
+
+TEST(IngestMetrics, CountersAdvance) {
+  auto& registry = metrics::MetricsRegistry::Global();
+  bool was_enabled = metrics::Enabled();
+  registry.set_enabled(true);
+  uint64_t bytes_before = registry.counter("parse.bytes")->Value();
+  uint64_t events_before = registry.counter("parse.events")->Value();
+  uint64_t docs_before = registry.counter("ingest.docs")->Value();
+  uint64_t batches_before =
+      registry.counter("ingest.parallel_batches")->Value();
+
+  std::string xml = "<a><b>x</b><b>y</b></a>";
+  XQP_ASSERT_OK(Document::Parse(xml).status());
+  XQueryEngine engine;
+  std::vector<XQueryEngine::BulkDocument> batch = {{"m.xml", xml}};
+  auto results = engine.LoadDocumentsParallel(batch);
+  XQP_ASSERT_OK(results[0].status());
+
+  EXPECT_GE(registry.counter("parse.bytes")->Value(),
+            bytes_before + 2 * xml.size());
+  // <a>, two <b>, two texts, plus start/end document and end elements.
+  EXPECT_GT(registry.counter("parse.events")->Value(), events_before);
+  EXPECT_EQ(registry.counter("ingest.docs")->Value(), docs_before + 1);
+  EXPECT_EQ(registry.counter("ingest.parallel_batches")->Value(),
+            batches_before + 1);
+  registry.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace xqp

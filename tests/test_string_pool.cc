@@ -61,6 +61,54 @@ TEST(StringPool, MemoryUsageGrowsWithContent) {
   EXPECT_GT(pool.MemoryUsage(), before + 900);
 }
 
+TEST(StringPool, DuplicateInternRollsBackArena) {
+  // The single-probe intern appends first and rolls the bytes back on a
+  // duplicate hit: repeated interning of the same strings must not grow the
+  // accounted footprint at all.
+  StringPool pool;
+  for (int i = 0; i < 50; ++i) pool.Intern("value" + std::to_string(i));
+  size_t after_first = pool.MemoryUsage();
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 50; ++i) pool.Intern("value" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.MemoryUsage(), after_first);
+  EXPECT_EQ(pool.size(), 50u);
+}
+
+TEST(StringPool, OversizedStringsSpanChunks) {
+  // Strings larger than the arena chunk get dedicated storage; views from
+  // before and after must both stay valid.
+  StringPool pool;
+  auto small = pool.Intern("before");
+  std::string big(200 * 1024, 'B');
+  auto big_id = pool.Intern(big);
+  auto after = pool.Intern("after");
+  EXPECT_EQ(pool.Get(small), "before");
+  EXPECT_EQ(pool.Get(big_id).size(), big.size());
+  EXPECT_EQ(pool.Get(big_id), big);
+  EXPECT_EQ(pool.Get(after), "after");
+  EXPECT_EQ(pool.Intern(big), big_id);
+  EXPECT_GE(pool.MemoryUsage(), big.size());
+}
+
+TEST(StringPool, ReservePreservesSemantics) {
+  StringPool pool;
+  pool.Reserve(10000);
+  auto a = pool.Intern("alpha");
+  EXPECT_EQ(pool.Intern("alpha"), a);
+  EXPECT_EQ(pool.Find("alpha"), a);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPool, MemoryUsageCountsBytesWrittenNotCapacity) {
+  // A pool holding a handful of short strings must account roughly what was
+  // written, not the full chunk capacity (64 KiB).
+  StringPool pool;
+  pool.Intern("a");
+  pool.Intern("b");
+  EXPECT_LT(pool.MemoryUsage(), 8 * 1024u);
+}
+
 TEST(StringPool, PoolingSavesMemoryOnRepeats) {
   StringPool pooled;
   StringPool unpooled;

@@ -26,7 +26,7 @@ Result<Events> Pump(std::string_view xml, ParseOptions options = {}) {
       case XmlEventType::kStartElement: {
         std::string s = "<" + e->name.Clark();
         for (const auto& a : e->attributes) {
-          s += " " + a.name.Clark() + "=" + a.value;
+          s += " " + a.name.Clark() + "=" + std::string(a.value);
         }
         for (const auto& ns : e->ns_decls) {
           s += " xmlns:" + ns.prefix + "=" + ns.uri;
@@ -38,13 +38,13 @@ Result<Events> Pump(std::string_view xml, ParseOptions options = {}) {
         out.push_back(">");
         break;
       case XmlEventType::kText:
-        out.push_back("T:" + e->text);
+        out.push_back("T:" + std::string(e->text));
         break;
       case XmlEventType::kComment:
-        out.push_back("C:" + e->text);
+        out.push_back("C:" + std::string(e->text));
         break;
       case XmlEventType::kProcessingInstruction:
-        out.push_back("PI:" + e->name.local + ":" + e->text);
+        out.push_back("PI:" + e->name.local + ":" + std::string(e->text));
         break;
     }
   }

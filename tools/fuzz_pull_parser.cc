@@ -2,13 +2,95 @@
 // must produce either a Document or a clean kParseError — never a crash,
 // hang, or sanitizer report. A tight max_parse_depth variant additionally
 // exercises the depth-budget path on every input.
+//
+// Every input is also differentially cross-checked against the frozen seed
+// parser (tests/reference_parser.h): the fast path must produce the same
+// event stream and the byte-identical error status, or the process aborts
+// with a minimized report.
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "tests/reference_parser.h"
 #include "tools/fuzz_common.h"
 #include "xml/document.h"
+#include "xml/pull_parser.h"
+
+namespace {
+
+std::string RenderQName(const xqp::QName& q) {
+  return "{" + q.uri + "}" + q.prefix + ":" + q.local;
+}
+
+// Pumps the fast parser into a canonical rendering; errors render as
+// "ERR:<status>".
+std::string RenderFast(std::string_view xml, const xqp::ParseOptions& opts) {
+  xqp::XmlPullParser parser(xml, opts);
+  std::string out;
+  while (true) {
+    auto next = parser.Next();
+    if (!next.ok()) {
+      out += "ERR:" + next.status().ToString();
+      return out;
+    }
+    const xqp::XmlEvent* e = next.value();
+    if (e == nullptr) return out;
+    out += std::to_string(static_cast<int>(e->type));
+    out += "|" + RenderQName(e->name) + "|";
+    out.append(e->text);
+    for (const auto& a : e->attributes) {
+      out += "|A:" + RenderQName(a.name) + "=";
+      out.append(a.value);
+    }
+    for (const auto& ns : e->ns_decls) {
+      out += "|N:" + ns.prefix + "=" + ns.uri;
+    }
+    out += "\n";
+  }
+}
+
+std::string RenderReference(std::string_view xml,
+                            const xqp::ParseOptions& opts) {
+  xqp::reference::RefXmlPullParser parser(xml, opts);
+  std::string out;
+  while (true) {
+    auto next = parser.Next();
+    if (!next.ok()) {
+      out += "ERR:" + next.status().ToString();
+      return out;
+    }
+    const xqp::reference::RefXmlEvent* e = next.value();
+    if (e == nullptr) return out;
+    out += std::to_string(static_cast<int>(e->type));
+    out += "|" + RenderQName(e->name) + "|" + e->text;
+    for (const auto& a : e->attributes) {
+      out += "|A:" + RenderQName(a.name) + "=" + a.value;
+    }
+    for (const auto& ns : e->ns_decls) {
+      out += "|N:" + ns.prefix + "=" + ns.uri;
+    }
+    out += "\n";
+  }
+}
+
+void CrossCheck(std::string_view xml, const xqp::ParseOptions& opts) {
+  std::string fast = RenderFast(xml, opts);
+  std::string ref = RenderReference(xml, opts);
+  if (fast != ref) {
+    std::fprintf(stderr,
+                 "ingest divergence on %zu-byte input:\n--- input ---\n%.*s\n"
+                 "--- fast ---\n%s\n--- reference ---\n%s\n",
+                 xml.size(), static_cast<int>(xml.size() > 512 ? 512
+                                                               : xml.size()),
+                 xml.data(), fast.c_str(), ref.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::string_view xml(reinterpret_cast<const char*>(data), size);
@@ -19,6 +101,13 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     options.max_parse_depth = 16;
     auto r = xqp::Document::Parse(xml, options);
     (void)r;
+  }
+  CrossCheck(xml, xqp::ParseOptions{});
+  {
+    xqp::ParseOptions options;
+    options.strip_whitespace = true;
+    options.max_parse_depth = 16;
+    CrossCheck(xml, options);
   }
   return 0;
 }

@@ -24,11 +24,21 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
+echo "=== Release bench smoke (ingest fast path) ==="
+# A short-min-time pass over the ingest benchmarks keeps the fast-path
+# numbers honest on every CI run; BENCH_ingest.json / BENCH_parse.json land
+# in the release build dir for the perf dashboard to pick up.
+(cd "$BUILD_DIR" && \
+  ./bench/bench_ingest --json --benchmark_min_time=0.1 && \
+  ./bench/bench_parse --json --benchmark_min_time=0.1 \
+    --benchmark_filter='BM_Parse_ToDocument|BM_PullParser_EventsOnly')
+
 echo "=== ThreadSanitizer build + tsan-labelled tests ==="
 cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DXQP_SANITIZE=thread
-cmake --build "$TSAN_DIR" --target test_parallel test_metrics -j"$(nproc)"
+cmake --build "$TSAN_DIR" --target test_parallel test_metrics test_ingest \
+  -j"$(nproc)"
 
 export XQP_THREADS=4
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -44,11 +54,12 @@ cmake -B "$ASAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DXQP_SANITIZE=address,undefined
 cmake --build "$ASAN_DIR" \
-  --target test_robustness fuzz_pull_parser fuzz_query_parser -j"$(nproc)"
+  --target test_robustness test_ingest fuzz_pull_parser fuzz_query_parser \
+  -j"$(nproc)"
 
 export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 ctest --test-dir "$ASAN_DIR" --output-on-failure \
-  -R 'test_robustness|tool_fuzz_smoke'
+  -R 'test_robustness|test_ingest|tool_fuzz_smoke'
 
 echo "CI run clean."
