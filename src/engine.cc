@@ -1,9 +1,12 @@
 #include "engine.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
+#include <string_view>
 
 #include "base/fault.h"
+#include "index/index_planner.h"
 #include "base/limits.h"
 #include "base/parallel.h"
 #include "exec/interpreter.h"
@@ -23,6 +26,26 @@ XQueryEngine::XQueryEngine(const EngineOptions& options)
     metrics::MetricsRegistry::Global().set_enabled(true);
   }
   options_.default_limits = ApplyLimitsEnv(options_.default_limits);
+  // XQP_INDEXES overrides the index knobs: off / on / synopsis-only / one
+  // value family. Unrecognized values are ignored.
+  if (const char* env = std::getenv("XQP_INDEXES")) {
+    std::string_view v(env);
+    if (v == "0" || v == "off") {
+      options_.enable_indexes = false;
+    } else if (v == "1" || v == "on" || v == "all") {
+      options_.enable_indexes = true;
+      options_.index_value_kinds = kIndexValueAll;
+    } else if (v == "path") {
+      options_.enable_indexes = true;
+      options_.index_value_kinds = 0;
+    } else if (v == "string") {
+      options_.enable_indexes = true;
+      options_.index_value_kinds = kIndexValueString;
+    } else if (v == "numeric") {
+      options_.enable_indexes = true;
+      options_.index_value_kinds = kIndexValueNumeric;
+    }
+  }
   fault::ArmFromEnv();
 }
 
@@ -47,6 +70,7 @@ void XQueryEngine::InvalidateCachesLocked() {
   }
   result_cache_.clear();
   tag_indexes_.clear();
+  index_manager_.Invalidate();
   ++cache_epoch_;
 }
 
@@ -236,6 +260,12 @@ Result<std::shared_ptr<const TagIndex>> XQueryEngine::GetTagIndex(
   // the first finished builder wins, racers adopt its index.
   XQP_ASSIGN_OR_RETURN(std::shared_ptr<const Document> doc, GetDocument(uri));
   auto index = std::make_shared<const TagIndex>(doc);
+  // The building query pays for the structure it materializes — without
+  // this charge a query could drive the process past XQP_MEM_BUDGET by
+  // being the first to touch a large document's tag index.
+  if (ResourceGovernor* gov = CurrentGovernor()) {
+    XQP_RETURN_NOT_OK(gov->ChargeBytes(index->MemoryUsage()));
+  }
   std::unique_lock lock(mu_);
   auto current = documents_.find(uri);
   if (current == documents_.end() || current->second != doc) {
@@ -245,6 +275,16 @@ Result<std::shared_ptr<const TagIndex>> XQueryEngine::GetTagIndex(
   }
   auto [it, inserted] = tag_indexes_.try_emplace(uri, index);
   return it->second;
+}
+
+Result<std::shared_ptr<const DocumentIndexes>>
+XQueryEngine::GetDocumentIndexes(const std::string& uri) {
+  if (!options_.enable_indexes) {
+    return std::shared_ptr<const DocumentIndexes>();  // Null: fall back.
+  }
+  XQP_ASSIGN_OR_RETURN(std::shared_ptr<const Document> doc, GetDocument(uri));
+  return index_manager_.GetOrBuild(uri, std::move(doc),
+                                   options_.index_value_kinds);
 }
 
 Result<std::unique_ptr<CompiledQuery>> XQueryEngine::Compile(
@@ -258,9 +298,14 @@ Result<std::unique_ptr<CompiledQuery>> XQueryEngine::Compile(
     XQP_RETURN_NOT_OK(StaticTypeCheck(compiled->module_.get()));
   }
   if (options.optimize) {
+    // With indexes disabled, index marking is forced off too, so the
+    // optimized tree (and its EXPLAIN rendering) is bit-identical to a
+    // build without the index subsystem.
+    RewriterOptions rewriter = options.rewriter;
+    if (!options_.enable_indexes) rewriter.index_paths = false;
     XQP_ASSIGN_OR_RETURN(
         compiled->rewrite_stats_,
-        OptimizeModule(compiled->module_.get(), options.rewriter));
+        OptimizeModule(compiled->module_.get(), rewriter));
   }
   // Final analysis pass: the lazy compiler consults properties (uses_last
   // and friends) even when optimization is disabled.
@@ -577,20 +622,62 @@ Result<Sequence> CompiledQuery::ExecuteViaTwigJoin() const {
         "twig execution requires a doc('uri')-anchored path");
   }
   if (engine_ == nullptr) return Status::Internal("query has no engine");
+  // Twig execution is governed like the navigational engines: index builds
+  // charge the memory budget, parallel morsels observe trips.
+  ResourceGovernor governor(EffectiveLimits(ExecOptions()), EngineToken());
+  GovernorScope scope(&governor);
   XQP_ASSIGN_OR_RETURN(std::shared_ptr<const TagIndex> index,
                        engine_->GetTagIndex(pattern.anchor_uri));
+  const EngineOptions& opts = engine_->options();
+  std::vector<NodeIndex> matches;
+  bool answered = false;
+  if (opts.enable_indexes) {
+    // Index-aware planning: resolve each pattern node's root chain against
+    // the path synopsis. A linear pattern whose output is the leaf is a
+    // complete synopsis answer (no join at all); otherwise the synopsis-
+    // filtered posting lists replace the full per-tag leaf streams and the
+    // join runs over far fewer postings. Results are identical either way:
+    // the filtered lists are supersets of the solution participants.
+    XQP_ASSIGN_OR_RETURN(std::shared_ptr<const DocumentIndexes> indexes,
+                         engine_->GetDocumentIndexes(pattern.anchor_uri));
+    if (indexes != nullptr && indexes->doc_ptr() == index->doc_ptr()) {
+      auto lists = SynopsisPostingsForPattern(*indexes, pattern);
+      if (lists.has_value()) {
+        static metrics::Counter* synopsis_answered =
+            metrics::MetricsRegistry::Global().counter(
+                "twig.synopsis_answered");
+        static metrics::Counter* synopsis_substituted =
+            metrics::MetricsRegistry::Global().counter(
+                "twig.synopsis_substituted");
+        if (pattern.IsPath() &&
+            pattern.nodes[pattern.output].children.empty()) {
+          matches = std::move((*lists)[pattern.output]);
+          if (metrics::Enabled()) synopsis_answered->Add(1);
+        } else {
+          std::vector<const std::vector<NodeIndex>*> ptrs;
+          ptrs.reserve(lists->size());
+          for (const auto& l : *lists) ptrs.push_back(&l);
+          XQP_ASSIGN_OR_RETURN(
+              matches,
+              TwigStackMatchWithLists(indexes->doc(), pattern, ptrs));
+          if (metrics::Enabled()) synopsis_substituted->Add(1);
+        }
+        answered = true;
+      }
+    }
+  }
   // Threshold dispatch: the parallel variant degrades to the serial
   // algorithm internally when the posting lists are small, so small
   // queries keep their latency.
-  const EngineOptions& opts = engine_->options();
-  std::vector<NodeIndex> matches;
-  if (opts.parallel_threshold > 0) {
-    XQP_ASSIGN_OR_RETURN(
-        matches, TwigStackMatchParallel(*index, pattern, nullptr,
-                                        opts.num_threads,
-                                        opts.parallel_threshold));
-  } else {
-    XQP_ASSIGN_OR_RETURN(matches, TwigStackMatch(*index, pattern));
+  if (!answered) {
+    if (opts.parallel_threshold > 0) {
+      XQP_ASSIGN_OR_RETURN(
+          matches, TwigStackMatchParallel(*index, pattern, nullptr,
+                                          opts.num_threads,
+                                          opts.parallel_threshold));
+    } else {
+      XQP_ASSIGN_OR_RETURN(matches, TwigStackMatch(*index, pattern));
+    }
   }
   Sequence out;
   out.reserve(matches.size());

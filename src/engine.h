@@ -16,6 +16,7 @@
 #include "exec/dynamic_context.h"
 #include "exec/lazy_seq.h"
 #include "exec/profile.h"
+#include "index/index_manager.h"
 #include "join/tag_index.h"
 #include "opt/rewriter.h"
 #include "query/static_context.h"
@@ -51,6 +52,19 @@ struct EngineOptions {
   /// both leave unset. The `cancel` token here is ignored — the engine
   /// maintains its own token for CancelAll().
   QueryLimits default_limits;
+
+  /// Maintain per-document path/value indexes (index/document_indexes.h),
+  /// built lazily on first use and cached beside the tag indexes. When
+  /// false, compilation also skips index marking, reproducing non-indexed
+  /// plans bit-identically. The XQP_INDEXES environment knob overrides:
+  /// "0"/"off" disables, "1"/"on"/"all" enables both value families,
+  /// "path" enables the synopsis only, "string"/"numeric" one family.
+  bool enable_indexes = true;
+
+  /// Which value-index families to build (IndexValueKinds bitmask). The
+  /// path synopsis is always built when enable_indexes is set; value
+  /// predicates whose family is off fall back to normal evaluation.
+  uint32_t index_value_kinds = kIndexValueAll;
 };
 
 /// The public facade: an in-memory XML store plus the XQuery compiler and
@@ -112,6 +126,10 @@ class XQueryEngine : public DocumentProvider {
   Result<std::shared_ptr<const Document>> GetDocument(
       const std::string& uri) override;
   Result<Sequence> GetCollection(const std::string& uri) override;
+  /// Path synopsis + value index for a registered document, built on first
+  /// use and cached (null, not an error, when enable_indexes is off).
+  Result<std::shared_ptr<const DocumentIndexes>> GetDocumentIndexes(
+      const std::string& uri) override;
 
   struct CompileOptions {
     /// Run the rewrite-rule optimizer (SQ5/optimization step).
@@ -190,6 +208,10 @@ class XQueryEngine : public DocumentProvider {
   std::map<std::string, std::shared_ptr<const Document>> documents_;
   std::map<std::string, Sequence> collections_;
   std::map<std::string, std::shared_ptr<const TagIndex>> tag_indexes_;
+  /// Path/value index cache; owns its own lock (never taken while holding
+  /// mu_ exclusively except for invalidation, and it never calls back into
+  /// the engine, so the mu_ -> index lock order is acyclic).
+  IndexManager index_manager_;
   std::map<std::string, Sequence, std::less<>> result_cache_;
   /// Incremented on every invalidation; ExecuteCached only inserts a
   /// result computed in the current epoch.

@@ -14,6 +14,7 @@
 namespace xqp {
 
 class QueryProfile;
+class DocumentIndexes;
 
 /// Supplies documents and collections to fn:doc / fn:collection ("available
 /// documents and collections" of the paper's dynamic context). The engine
@@ -24,6 +25,15 @@ class DocumentProvider {
   virtual Result<std::shared_ptr<const Document>> GetDocument(
       const std::string& uri) = 0;
   virtual Result<Sequence> GetCollection(const std::string& uri) = 0;
+  /// Secondary index structures for `uri` (index/document_indexes.h), or
+  /// nullptr when the provider does not maintain indexes — path evaluation
+  /// then falls back to navigation/structural joins. The engine overrides
+  /// this with the lazily built, cached IndexManager entry.
+  virtual Result<std::shared_ptr<const DocumentIndexes>> GetDocumentIndexes(
+      const std::string& uri) {
+    (void)uri;
+    return std::shared_ptr<const DocumentIndexes>();
+  }
 };
 
 /// The dynamic (evaluation-time) context: variable frames, external

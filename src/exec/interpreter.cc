@@ -12,6 +12,7 @@
 #include "exec/compare.h"
 #include "exec/constructor.h"
 #include "exec/type_match.h"
+#include "index/index_planner.h"
 
 namespace xqp {
 
@@ -360,6 +361,11 @@ Result<Sequence> Interpreter::EvalDispatch(const Expr* e) {
 }
 
 Result<Sequence> Interpreter::EvalPath(const PathExpr* e) {
+  if (e->index_candidate) {
+    XQP_ASSIGN_OR_RETURN(std::optional<Sequence> answered,
+                         TryAnswerPathFromIndex(e, ctx_));
+    if (answered.has_value()) return std::move(*answered);
+  }
   XQP_ASSIGN_OR_RETURN(Sequence input, Eval(e->child(0)));
   Sequence out;
   bool saw_node = false;

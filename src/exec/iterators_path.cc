@@ -3,6 +3,7 @@
 #include "base/metrics.h"
 #include "exec/axes.h"
 #include "exec/iterators.h"
+#include "index/index_planner.h"
 
 namespace xqp {
 namespace lazy_internal {
@@ -345,6 +346,39 @@ class FilterIt : public ItemIterator {
   bool done_ = false;
 };
 
+/// Decorator over a marked path (PathExpr::index_candidate): Reset() first
+/// offers the path to the document's synopsis / value index — the context
+/// (and with it the provider and governor) only arrives here, so the
+/// attempt cannot happen at compile time. An index answer is served from
+/// the materialized buffer; a decline delegates every call to the wrapped
+/// PathIt, which was compiled unconditionally.
+class IndexPathIt : public ItemIterator {
+ public:
+  IndexPathIt(const PathExpr* e, std::unique_ptr<ItemIterator> inner)
+      : e_(e), inner_(std::move(inner)) {}
+
+  Status Reset(DynamicContext* ctx) override {
+    buffer_.reset();
+    pos_ = 0;
+    XQP_ASSIGN_OR_RETURN(buffer_, TryAnswerPathFromIndex(e_, ctx));
+    if (buffer_.has_value()) return Status::OK();
+    return inner_->Reset(ctx);
+  }
+
+  Result<bool> Next(Item* out) override {
+    if (!buffer_.has_value()) return inner_->Next(out);
+    if (pos_ >= buffer_->size()) return false;
+    *out = (*buffer_)[pos_++];
+    return true;
+  }
+
+ private:
+  const PathExpr* e_;
+  std::unique_ptr<ItemIterator> inner_;
+  std::optional<Sequence> buffer_;
+  size_t pos_ = 0;
+};
+
 }  // namespace
 
 Result<std::unique_ptr<ItemIterator>> CompileStep(const StepExpr* e,
@@ -356,6 +390,10 @@ Result<std::unique_ptr<ItemIterator>> CompilePath(const PathExpr* e,
                                                   const LazyFocus* focus) {
   auto it = std::make_unique<PathIt>(e);
   XQP_RETURN_NOT_OK(it->Init(focus));
+  if (e->index_candidate) {
+    return std::unique_ptr<ItemIterator>(
+        std::make_unique<IndexPathIt>(e, std::move(it)));
+  }
   return std::unique_ptr<ItemIterator>(std::move(it));
 }
 

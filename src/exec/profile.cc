@@ -8,10 +8,12 @@ namespace xqp {
 namespace {
 
 std::string FlagSuffix(const PathExpr& p) {
-  if (p.needs_sort && p.needs_dedup) return " [sort dedup]";
-  if (p.needs_sort) return " [sort]";
-  if (p.needs_dedup) return " [dedup]";
-  return "";
+  std::string flags;
+  if (p.needs_sort) flags += "sort";
+  if (p.needs_dedup) flags += flags.empty() ? "dedup" : " dedup";
+  if (p.index_candidate) flags += flags.empty() ? "index" : " index";
+  if (flags.empty()) return "";
+  return " [" + flags + "]";
 }
 
 /// Clause/role annotation for child `i` of `parent`, e.g. "for $x in: ".

@@ -1,0 +1,42 @@
+#ifndef XQP_INDEX_INDEX_MANAGER_H_
+#define XQP_INDEX_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "index/document_indexes.h"
+
+namespace xqp {
+
+/// Lazily built, engine-cached DocumentIndexes, living beside the TagIndex
+/// cache on XQueryEngine. Same concurrency discipline: shared-lock probe,
+/// build outside any lock, exclusive-lock publish with a document-identity
+/// recheck — so a racing re-registration can never leave a stale index
+/// serving a new document snapshot. The builder's query pays for the index:
+/// MemoryUsage() is charged to the thread's current ResourceGovernor, and a
+/// tripped budget fails that query without poisoning the cache.
+class IndexManager {
+ public:
+  /// Returns the cached indexes for (uri, doc), building them on first use
+  /// or after the document changed. `doc` is the caller's snapshot of the
+  /// registered document — identity (pointer) mismatch with the cache entry
+  /// forces a rebuild.
+  Result<std::shared_ptr<const DocumentIndexes>> GetOrBuild(
+      const std::string& uri, std::shared_ptr<const Document> doc,
+      uint32_t value_kinds);
+
+  /// Drops every cached index (document re-registration, engine epoch bump).
+  void Invalidate();
+
+  size_t NumCached() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<const DocumentIndexes>> cache_;
+};
+
+}  // namespace xqp
+
+#endif  // XQP_INDEX_INDEX_MANAGER_H_

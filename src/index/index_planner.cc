@@ -1,0 +1,484 @@
+#include "index/index_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/metrics.h"
+
+namespace xqp {
+namespace {
+
+/// True for descendant-or-self::node() — the "//" connector step.
+bool IsDosConnector(const Expr* e) {
+  if (e->kind() != ExprKind::kStep) return false;
+  const auto* step = static_cast<const StepExpr*>(e);
+  return step->axis == Axis::kDescendantOrSelf &&
+         step->test.kind == NodeTest::Kind::kAnyKind;
+}
+
+/// A named forward step the synopsis can resolve: child / descendant /
+/// attribute axis with a non-wildcard name test.
+const StepExpr* AsIndexableStep(const Expr* e) {
+  if (e->kind() != ExprKind::kStep) return nullptr;
+  const auto* step = static_cast<const StepExpr*>(e);
+  if (step->axis != Axis::kChild && step->axis != Axis::kDescendant &&
+      step->axis != Axis::kAttribute) {
+    return nullptr;
+  }
+  if (step->test.kind != NodeTest::Kind::kName || step->test.wildcard_local ||
+      step->test.wildcard_uri) {
+    return nullptr;
+  }
+  return step;
+}
+
+/// Flattens a left-deep path chain into its sequence of rhs expressions,
+/// returning the anchor (leftmost) expression.
+const Expr* FlattenChain(const Expr* e, std::vector<const Expr*>* steps) {
+  if (e->kind() == ExprKind::kPath) {
+    const Expr* anchor = FlattenChain(e->child(0), steps);
+    steps->push_back(e->child(1));
+    return anchor;
+  }
+  return e;
+}
+
+/// Mirrors `literal op step` into `step op' literal`.
+CompOp FlipOp(CompOp op) {
+  switch (op) {
+    case CompOp::kGenLt: return CompOp::kGenGt;
+    case CompOp::kGenLe: return CompOp::kGenGe;
+    case CompOp::kGenGt: return CompOp::kGenLt;
+    case CompOp::kGenGe: return CompOp::kGenLe;
+    default: return op;  // eq / ne are symmetric.
+  }
+}
+
+/// Parses one predicate expression into an IndexPredicate, or nullopt when
+/// it is outside the fragment (positional, non-comparison, non-literal
+/// operand, boolean literal, value comparison, ...).
+std::optional<IndexPredicate> PlanPredicate(const Expr* p) {
+  if (p->kind() != ExprKind::kComparison) return std::nullopt;
+  const auto* cmp = static_cast<const ComparisonExpr*>(p);
+  if (!IsGeneralComp(cmp->op)) return std::nullopt;
+  const Expr* a = cmp->child(0);
+  const Expr* b = cmp->child(1);
+  const Expr* step_e = nullptr;
+  const Expr* lit_e = nullptr;
+  bool flipped = false;
+  if (a->kind() == ExprKind::kStep && b->kind() == ExprKind::kLiteral) {
+    step_e = a;
+    lit_e = b;
+  } else if (b->kind() == ExprKind::kStep && a->kind() == ExprKind::kLiteral) {
+    step_e = b;
+    lit_e = a;
+    flipped = true;
+  } else {
+    return std::nullopt;
+  }
+  const auto* step = static_cast<const StepExpr*>(step_e);
+  if (step->axis != Axis::kChild && step->axis != Axis::kAttribute) {
+    return std::nullopt;
+  }
+  if (step->test.kind != NodeTest::Kind::kName || step->test.wildcard_local ||
+      step->test.wildcard_uri) {
+    return std::nullopt;
+  }
+  const AtomicValue& v = static_cast<const LiteralExpr*>(lit_e)->value;
+  // Boolean (and exotic) operands take the untyped-vs-boolean cast route;
+  // leave those to normal evaluation.
+  if (!v.IsNumeric() && !v.IsStringLike()) return std::nullopt;
+  IndexPredicate pred;
+  pred.target.uri = step->test.uri;
+  pred.target.local = step->test.local;
+  pred.target.attribute = step->axis == Axis::kAttribute;
+  pred.op = flipped ? FlipOp(cmp->op) : cmp->op;
+  pred.operand = v;
+  return pred;
+}
+
+/// Attribute children of the synopsis subtree rooted at `s`, inclusive of
+/// `s` itself — the resolution of `X//@name` (descendant-or-self + the
+/// attribute axis reaches X's own attributes too).
+void CollectAttrsInclusive(const DocumentIndexes& idx, int32_t s,
+                           uint32_t name_id, std::vector<int32_t>* out) {
+  int32_t a = idx.FindChild(s, NodeKind::kAttribute, name_id);
+  if (a >= 0) out->push_back(a);
+  for (int32_t c : idx.synopsis_node(s).children) {
+    if (idx.synopsis_node(c).kind == NodeKind::kElement) {
+      CollectAttrsInclusive(idx, c, name_id, out);
+    }
+  }
+}
+
+void SortUnique(std::vector<int32_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+/// Advances a synopsis frontier across one step. Frontier sets stay sorted
+/// and duplicate-free.
+std::vector<int32_t> ResolveStep(const DocumentIndexes& idx,
+                                 const std::vector<int32_t>& frontier,
+                                 const IndexStep& st, uint32_t name_id) {
+  std::vector<int32_t> next;
+  if (name_id == kNoName) return next;  // Name absent from the document.
+  NodeKind kind = st.attribute ? NodeKind::kAttribute : NodeKind::kElement;
+  for (int32_t s : frontier) {
+    if (!st.descendant) {
+      int32_t c = idx.FindChild(s, kind, name_id);
+      if (c >= 0) next.push_back(c);
+    } else if (st.attribute) {
+      CollectAttrsInclusive(idx, s, name_id, &next);
+    } else {
+      idx.FindDescendants(s, kind, name_id, &next);
+    }
+  }
+  SortUnique(&next);
+  return next;
+}
+
+/// Concatenate-and-sort of the (pairwise disjoint) posting lists of a
+/// synopsis set: the document-order distinct node set on those paths.
+std::vector<NodeIndex> MergedPostings(const DocumentIndexes& idx,
+                                      const std::vector<int32_t>& syn) {
+  if (syn.size() == 1) return idx.postings(syn[0]);
+  std::vector<NodeIndex> out;
+  size_t total = 0;
+  for (int32_t s : syn) total += idx.postings(s).size();
+  out.reserve(total);
+  for (int32_t s : syn) {
+    const auto& p = idx.postings(s);
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AppendRange(
+    std::vector<std::pair<std::string, NodeIndex>>::const_iterator lo,
+    std::vector<std::pair<std::string, NodeIndex>>::const_iterator hi,
+    std::vector<NodeIndex>* out) {
+  for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+}
+
+void AppendRange(
+    std::vector<std::pair<double, NodeIndex>>::const_iterator lo,
+    std::vector<std::pair<double, NodeIndex>>::const_iterator hi,
+    std::vector<NodeIndex>* out) {
+  for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+}
+
+/// Range scan over one path's sorted string postings, mirroring
+/// general-comparison string semantics (byte-wise compare).
+void ScanStrings(const DocumentIndexes::ValuePostings& vp, CompOp op,
+                 const std::string& val, std::vector<NodeIndex>* out) {
+  const auto& v = vp.by_string;
+  auto lo = std::lower_bound(
+      v.begin(), v.end(), val,
+      [](const auto& p, const std::string& s) { return p.first < s; });
+  auto hi = std::upper_bound(
+      v.begin(), v.end(), val,
+      [](const std::string& s, const auto& p) { return s < p.first; });
+  switch (op) {
+    case CompOp::kGenEq: AppendRange(lo, hi, out); break;
+    case CompOp::kGenNe:
+      AppendRange(v.begin(), lo, out);
+      AppendRange(hi, v.end(), out);
+      break;
+    case CompOp::kGenLt: AppendRange(v.begin(), lo, out); break;
+    case CompOp::kGenLe: AppendRange(v.begin(), hi, out); break;
+    case CompOp::kGenGt: AppendRange(hi, v.end(), out); break;
+    case CompOp::kGenGe: AppendRange(lo, v.end(), out); break;
+    default: break;
+  }
+}
+
+/// Range scan over one path's sorted numeric postings (NaN entries last),
+/// mirroring ApplyOpNanAware: an unordered pair satisfies only !=.
+void ScanNumbers(const DocumentIndexes::ValuePostings& vp, CompOp op,
+                 double val, std::vector<NodeIndex>* out) {
+  const auto& v = vp.by_number;
+  auto nan_begin = std::partition_point(
+      v.begin(), v.end(), [](const auto& p) { return !std::isnan(p.first); });
+  if (std::isnan(val)) {
+    // NaN literal: every pair is unordered, so != matches everything and
+    // the ordering operators match nothing.
+    if (op == CompOp::kGenNe) AppendRange(v.begin(), v.end(), out);
+    return;
+  }
+  auto lo = std::lower_bound(
+      v.begin(), nan_begin, val,
+      [](const auto& p, double d) { return p.first < d; });
+  auto hi = std::upper_bound(
+      v.begin(), nan_begin, val,
+      [](double d, const auto& p) { return d < p.first; });
+  switch (op) {
+    case CompOp::kGenEq: AppendRange(lo, hi, out); break;
+    case CompOp::kGenNe:
+      // Everything but the equal run — NaN-valued nodes included.
+      AppendRange(v.begin(), lo, out);
+      AppendRange(hi, v.end(), out);
+      break;
+    case CompOp::kGenLt: AppendRange(v.begin(), lo, out); break;
+    case CompOp::kGenLe: AppendRange(v.begin(), hi, out); break;
+    case CompOp::kGenGt: AppendRange(hi, nan_begin, out); break;
+    case CompOp::kGenGe: AppendRange(lo, nan_begin, out); break;
+    default: break;
+  }
+}
+
+/// Applies the value predicate over a synopsis frontier: range-scans the
+/// target paths' value postings, then maps matched targets to their parent
+/// elements (the filtered step's nodes). nullopt = the value index cannot
+/// prove this predicate; fall back.
+std::optional<std::vector<NodeIndex>> ApplyPredicate(
+    const DocumentIndexes& idx, const std::vector<int32_t>& frontier,
+    const IndexPredicate& pred) {
+  const Document& doc = idx.doc();
+  bool numeric = pred.operand.IsNumeric();
+  if (numeric && !(idx.value_kinds() & kIndexValueNumeric)) return std::nullopt;
+  if (!numeric && !(idx.value_kinds() & kIndexValueString)) return std::nullopt;
+  uint32_t tname = doc.FindNameId(pred.target.uri, pred.target.local);
+  if (tname == kNoName) return std::vector<NodeIndex>{};  // Never satisfied.
+  NodeKind tkind =
+      pred.target.attribute ? NodeKind::kAttribute : NodeKind::kElement;
+  std::vector<NodeIndex> targets;
+  std::string sval = numeric ? std::string() : pred.operand.AsString();
+  double dval = numeric ? pred.operand.NumericAsDouble() : 0.0;
+  for (int32_t s : frontier) {
+    int32_t t = idx.FindChild(s, tkind, tname);
+    if (t < 0) continue;
+    const DocumentIndexes::ValuePostings* vp = idx.values(t);
+    if (vp == nullptr || !vp->indexable) return std::nullopt;
+    if (numeric) {
+      // A single uncastable value on the path means normal evaluation
+      // would raise FORG0001 the moment it compares that node; only the
+      // fallback plan can reproduce that.
+      if (!vp->all_numeric) return std::nullopt;
+      ScanNumbers(*vp, pred.op, dval, &targets);
+    } else {
+      ScanStrings(*vp, pred.op, sval, &targets);
+    }
+  }
+  // Existential semantics: a base qualifies when any target child matched.
+  std::vector<NodeIndex> bases;
+  bases.reserve(targets.size());
+  for (NodeIndex t : targets) bases.push_back(doc.node(t).parent);
+  std::sort(bases.begin(), bases.end());
+  bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
+  return bases;
+}
+
+/// Navigates one step from materialized nodes (the steps after a mid-chain
+/// predicate). Output is doc-order distinct.
+std::vector<NodeIndex> NavigateStep(const Document& doc,
+                                    const std::vector<NodeIndex>& base,
+                                    const IndexStep& st) {
+  std::vector<NodeIndex> out;
+  uint32_t name_id = doc.FindNameId(st.uri, st.local);
+  if (name_id == kNoName) return out;
+  for (NodeIndex n : base) {
+    const NodeRecord& r = doc.node(n);
+    if (st.attribute && st.descendant) {
+      // Attributes anywhere in the subtree, owner included: attributes are
+      // rows inside the region, so one region sweep finds them.
+      for (NodeIndex d = n; d <= r.end; ++d) {
+        const NodeRecord& dr = doc.node(d);
+        if (dr.kind == NodeKind::kAttribute && dr.name_id == name_id) {
+          out.push_back(d);
+        }
+      }
+    } else if (st.attribute) {
+      for (NodeIndex a = r.first_attr; a != kNullNode;
+           a = doc.node(a).next_sibling) {
+        if (doc.node(a).name_id == name_id) out.push_back(a);
+      }
+    } else if (st.descendant) {
+      for (NodeIndex d = n + 1; d <= r.end; ++d) {
+        const NodeRecord& dr = doc.node(d);
+        if (dr.kind == NodeKind::kElement && dr.name_id == name_id) {
+          out.push_back(d);
+        }
+      }
+    } else {
+      for (NodeIndex c = r.first_child; c != kNullNode;
+           c = doc.node(c).next_sibling) {
+        const NodeRecord& cr = doc.node(c);
+        if (cr.kind == NodeKind::kElement && cr.name_id == name_id) {
+          out.push_back(c);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::optional<IndexQuery> PlanIndexPath(const Expr& e) {
+  if (e.kind() != ExprKind::kPath) return std::nullopt;
+  std::vector<const Expr*> rhs;
+  const Expr* anchor = FlattenChain(&e, &rhs);
+  if (rhs.empty()) return std::nullopt;
+  // Only literal doc('uri') anchors: the synopsis lives per registered
+  // document, and the uri must be known statically for EXPLAIN to show it.
+  if (anchor->kind() != ExprKind::kFunctionCall) return std::nullopt;
+  const auto* call = static_cast<const FunctionCallExpr*>(anchor);
+  if (call->name.local != "doc" && call->name.local != "document") {
+    return std::nullopt;
+  }
+  if (call->NumChildren() != 1 ||
+      call->child(0)->kind() != ExprKind::kLiteral) {
+    return std::nullopt;
+  }
+  const auto* lit = static_cast<const LiteralExpr*>(call->child(0));
+  if (!lit->value.IsStringLike()) return std::nullopt;
+
+  IndexQuery q;
+  q.doc_uri = lit->value.AsString();
+  bool pending_descendant = false;
+  for (const Expr* raw : rhs) {
+    const Expr* base = raw;
+    const FilterExpr* filter = nullptr;
+    if (raw->kind() == ExprKind::kFilter) {
+      filter = static_cast<const FilterExpr*>(raw);
+      base = filter->child(0);
+    }
+    if (IsDosConnector(base)) {
+      if (filter != nullptr) return std::nullopt;  // Predicate on "//".
+      pending_descendant = true;
+      continue;
+    }
+    const StepExpr* step = AsIndexableStep(base);
+    if (step == nullptr) return std::nullopt;
+    IndexStep st;
+    st.uri = step->test.uri;
+    st.local = step->test.local;
+    st.attribute = step->axis == Axis::kAttribute;
+    st.descendant = step->axis == Axis::kDescendant || pending_descendant;
+    pending_descendant = false;
+    q.steps.push_back(std::move(st));
+    if (filter != nullptr) {
+      if (q.predicate.has_value()) return std::nullopt;  // One predicate.
+      if (filter->NumChildren() != 2) return std::nullopt;
+      std::optional<IndexPredicate> pred = PlanPredicate(filter->child(1));
+      if (!pred) return std::nullopt;
+      pred->step = q.steps.size() - 1;
+      q.predicate = std::move(pred);
+    }
+  }
+  if (pending_descendant || q.steps.empty()) return std::nullopt;
+  return q;
+}
+
+std::optional<std::vector<NodeIndex>> AnswerIndexQuery(
+    const DocumentIndexes& idx, const IndexQuery& q) {
+  const Document& doc = idx.doc();
+  std::vector<int32_t> frontier{0};  // Synopsis node 0: the document root.
+  std::vector<NodeIndex> bases;
+  bool materialized = false;
+  for (size_t si = 0; si < q.steps.size(); ++si) {
+    const IndexStep& st = q.steps[si];
+    if (materialized) {
+      bases = NavigateStep(doc, bases, st);
+      continue;
+    }
+    frontier = ResolveStep(idx, frontier, st,
+                           doc.FindNameId(st.uri, st.local));
+    if (q.predicate.has_value() && q.predicate->step == si) {
+      std::optional<std::vector<NodeIndex>> filtered =
+          ApplyPredicate(idx, frontier, *q.predicate);
+      if (!filtered.has_value()) return std::nullopt;  // Fall back.
+      bases = std::move(*filtered);
+      materialized = true;
+    }
+  }
+  if (materialized) return bases;
+  return MergedPostings(idx, frontier);
+}
+
+Result<std::optional<Sequence>> TryAnswerPathFromIndex(const PathExpr* e,
+                                                       DynamicContext* ctx) {
+  static metrics::Counter* synopsis_hits =
+      metrics::MetricsRegistry::Global().counter("index.synopsis_hits");
+  static metrics::Counter* value_hits =
+      metrics::MetricsRegistry::Global().counter("index.value_hits");
+  static metrics::Counter* fallbacks =
+      metrics::MetricsRegistry::Global().counter("index.fallbacks");
+  std::optional<Sequence> declined;
+  if (ctx == nullptr || ctx->provider == nullptr) return declined;
+  std::optional<IndexQuery> plan = PlanIndexPath(*e);
+  if (!plan.has_value()) {
+    if (metrics::Enabled()) fallbacks->Add(1);
+    return declined;
+  }
+  auto indexes_r = ctx->provider->GetDocumentIndexes(plan->doc_uri);
+  if (!indexes_r.ok()) {
+    // A missing document falls back so normal evaluation raises the
+    // canonical fn:doc error; resource trips and injected faults during a
+    // governed index build must surface as this query's failure.
+    if (indexes_r.status().code() == StatusCode::kDynamicError) {
+      if (metrics::Enabled()) fallbacks->Add(1);
+      return declined;
+    }
+    return indexes_r.status();
+  }
+  std::shared_ptr<const DocumentIndexes> indexes = indexes_r.value();
+  if (indexes == nullptr) return declined;  // Indexes disabled.
+  std::optional<std::vector<NodeIndex>> nodes =
+      AnswerIndexQuery(*indexes, *plan);
+  if (!nodes.has_value()) {
+    if (metrics::Enabled()) fallbacks->Add(1);
+    return declined;
+  }
+  if (metrics::Enabled()) {
+    (plan->predicate.has_value() ? value_hits : synopsis_hits)->Add(1);
+  }
+  Sequence out;
+  out.reserve(nodes->size());
+  for (NodeIndex n : *nodes) {
+    out.push_back(Item(Node(indexes->doc_ptr(), n)));
+  }
+  if (ctx->governor != nullptr) {
+    XQP_RETURN_NOT_OK(ctx->governor->Poll());
+    XQP_RETURN_NOT_OK(ctx->governor->ChargeBytes(out.size() * sizeof(Item)));
+  }
+  return std::optional<Sequence>(std::move(out));
+}
+
+std::optional<std::vector<std::vector<NodeIndex>>> SynopsisPostingsForPattern(
+    const DocumentIndexes& idx, const TwigPattern& pattern) {
+  const Document& doc = idx.doc();
+  const size_t n = pattern.nodes.size();
+  std::vector<std::vector<int32_t>> syn(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& pn = pattern.nodes[i];
+    uint32_t name_id = doc.FindNameId(pn.uri, pn.local);
+    std::vector<int32_t>& frontier = syn[i];
+    if (name_id == kNoName) continue;  // Empty set: tag absent.
+    if (pn.parent < 0) {
+      // The twig machine admits every element with the root tag regardless
+      // of depth (its root node carries no parent edge), so the root
+      // resolves with descendant semantics to keep results identical.
+      idx.FindDescendants(0, NodeKind::kElement, name_id, &frontier);
+    } else {
+      for (int32_t s : syn[pn.parent]) {
+        if (pn.child_edge) {
+          int32_t c = idx.FindChild(s, NodeKind::kElement, name_id);
+          if (c >= 0) frontier.push_back(c);
+        } else {
+          idx.FindDescendants(s, NodeKind::kElement, name_id, &frontier);
+        }
+      }
+      SortUnique(&frontier);
+    }
+  }
+  std::vector<std::vector<NodeIndex>> lists(n);
+  for (size_t i = 0; i < n; ++i) lists[i] = MergedPostings(idx, syn[i]);
+  return lists;
+}
+
+}  // namespace xqp

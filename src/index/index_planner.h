@@ -1,0 +1,81 @@
+#ifndef XQP_INDEX_INDEX_PLANNER_H_
+#define XQP_INDEX_INDEX_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/dynamic_context.h"
+#include "index/document_indexes.h"
+#include "join/twig.h"
+#include "query/expr.h"
+
+namespace xqp {
+
+/// One step of an index-answerable path chain.
+struct IndexStep {
+  std::string uri;
+  std::string local;
+  /// Edge from the previous step: descendant (//) vs child (/).
+  bool descendant = false;
+  /// attribute:: axis (element child:: / descendant:: otherwise).
+  bool attribute = false;
+};
+
+/// A single value predicate [target op literal] carried by one step.
+struct IndexPredicate {
+  /// Position in IndexQuery::steps of the step the predicate filters.
+  size_t step = 0;
+  /// The compared step: a child element or attribute of the filtered step.
+  IndexStep target;
+  /// Normalized so the node side is on the left (flipped when the query
+  /// wrote `literal op step`). Always a general-comparison op.
+  CompOp op = CompOp::kGenEq;
+  /// The literal operand; string-like or numeric.
+  AtomicValue operand;
+};
+
+/// The index-answerable query fragment: a doc('uri')-anchored chain of
+/// named child/descendant/attribute steps with at most one value predicate.
+struct IndexQuery {
+  std::string doc_uri;
+  std::vector<IndexStep> steps;
+  std::optional<IndexPredicate> predicate;
+};
+
+/// Recognizes the index-answerable fragment, mirroring (and extending with
+/// the attribute axis and one value predicate) TwigPlanner's convertibility
+/// rules. Purely structural — no document needed — so the rewriter uses it
+/// to mark PathExpr::index_candidate and EXPLAIN re-derives it to print the
+/// access path.
+std::optional<IndexQuery> PlanIndexPath(const Expr& e);
+
+/// Answers `q` from the synopsis / value index. nullopt means the index
+/// cannot *prove* the answer (numeric predicate over a non-numeric path,
+/// complex-content target, disabled value family) and the caller must fall
+/// back to normal evaluation; an empty vector is a real (empty) answer.
+/// Results are in document order, duplicate-free.
+std::optional<std::vector<NodeIndex>> AnswerIndexQuery(
+    const DocumentIndexes& idx, const IndexQuery& q);
+
+/// Execution hook shared by the lazy iterator tree and the eager
+/// interpreter: plans `e`, fetches the document's indexes through
+/// ctx->provider, and answers. Returns nullopt (not an error) whenever any
+/// stage declines, so the fallback plan reproduces today's results and
+/// errors bit-identically; resource errors from a governed index build are
+/// propagated. Charges the materialized buffer to ctx->governor.
+Result<std::optional<Sequence>> TryAnswerPathFromIndex(const PathExpr* e,
+                                                       DynamicContext* ctx);
+
+/// Resolves every node of a twig `pattern` against the synopsis: node i of
+/// the result is the merged postings of the synopsis paths matching pattern
+/// node i's root chain, in document order. nullopt when the synopsis cannot
+/// mirror the pattern (never happens for planner-built patterns; defensive).
+/// The lists are supersets of the per-node solution participants, so
+/// TwigStackMatchWithLists over them returns exactly the TwigStack answer.
+std::optional<std::vector<std::vector<NodeIndex>>> SynopsisPostingsForPattern(
+    const DocumentIndexes& idx, const TwigPattern& pattern);
+
+}  // namespace xqp
+
+#endif  // XQP_INDEX_INDEX_PLANNER_H_

@@ -402,6 +402,26 @@ Result<std::vector<NodeIndex>> TwigStackMatch(const TagIndex& index,
   return result;
 }
 
+Result<std::vector<NodeIndex>> TwigStackMatchWithLists(
+    const Document& doc, const TwigPattern& pattern,
+    const std::vector<const std::vector<NodeIndex>*>& lists,
+    TwigStats* stats) {
+  static metrics::OpMetrics m("twig.twig_stack_lists");
+  metrics::ScopedTimer timer(metrics::Enabled() ? m.wall_ns : nullptr);
+  if (lists.size() != pattern.nodes.size()) {
+    return Status::InvalidArgument("one posting list per pattern node");
+  }
+  for (const auto* l : lists) {
+    if (l == nullptr) return Status::InvalidArgument("null posting list");
+  }
+  auto result = TwigStackMatchLists(doc, pattern, lists, stats);
+  if (metrics::Enabled()) {
+    m.calls->Increment();
+    if (result.ok()) m.items->Add(result.value().size());
+  }
+  return result;
+}
+
 Result<std::vector<NodeIndex>> TwigStackMatchParallel(const TagIndex& index,
                                                       const TwigPattern& pattern,
                                                       TwigStats* stats,

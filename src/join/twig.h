@@ -54,6 +54,17 @@ Result<std::vector<NodeIndex>> TwigStackMatch(const TagIndex& index,
                                               const TwigPattern& pattern,
                                               TwigStats* stats = nullptr);
 
+/// TwigStackMatch over caller-supplied posting lists, one per pattern node
+/// in document order — the seam the index-aware planner feeds with
+/// synopsis-filtered lists (index/index_planner.h). Any list may be a
+/// subset of the node's full per-tag postings as long as it retains every
+/// solution participant; the match set is then identical to TwigStackMatch.
+/// `lists` must have pattern.nodes.size() non-null entries.
+Result<std::vector<NodeIndex>> TwigStackMatchWithLists(
+    const Document& doc, const TwigPattern& pattern,
+    const std::vector<const std::vector<NodeIndex>*>& lists,
+    TwigStats* stats = nullptr);
+
 /// TwigStackMatch preceded by a morsel-parallel leaf-matching pass: each
 /// leaf's posting list is first shrunk by a partitioned parallel semi-join
 /// against its parent's postings (a necessary condition for any root-to-

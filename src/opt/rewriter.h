@@ -21,6 +21,7 @@ struct RewriterOptions {
   bool for_to_path = true;             // FOR clause minimization.
   bool ddo_elision = true;             // Doc-order/dup-elim elimination.
   bool cse = true;                     // Common subexpression factorization.
+  bool index_paths = true;             // Mark index-answerable path subtrees.
   int max_passes = 4;
   /// Inline only functions whose body has at most this many expression
   /// nodes (recursive functions are never inlined).
@@ -30,7 +31,7 @@ struct RewriterOptions {
     RewriterOptions o;
     o.constant_folding = o.boolean_simplification = o.let_folding =
         o.function_inlining = o.flwor_unnesting = o.for_to_path =
-            o.ddo_elision = o.cse = false;
+            o.ddo_elision = o.cse = o.index_paths = false;
     return o;
   }
 };

@@ -1,3 +1,4 @@
+#include "index/index_planner.h"
 #include "opt/properties.h"
 #include "opt/rewriter.h"
 #include "query/expr.h"
@@ -97,6 +98,20 @@ Status ApplyPathRules(ExprPtr& e, RuleContext* ctx) {
     // Refresh properties of this subtree (children may have changed flags).
     AnalyzeExpr(e.get(), ctx->module);
     ElideDdo(static_cast<PathExpr*>(e.get()), ctx);
+  }
+  if (e->kind() == ExprKind::kPath && ctx->options->index_paths) {
+    // Index marking: purely structural recognition of the fragment the
+    // document synopsis / value index can answer (index/index_planner.h).
+    // The plan itself is re-derived at execution time, so the flag can
+    // never go stale against the expression tree; other rules reshaping
+    // the path simply flip it on the next pass. Only the false->true
+    // transition counts as a change, so marking converges.
+    auto* path = static_cast<PathExpr*>(e.get());
+    bool candidate = PlanIndexPath(*path).has_value();
+    if (candidate != path->index_candidate) {
+      path->index_candidate = candidate;
+      if (candidate) ctx->Count("index-path-mark");
+    }
   }
   return Status::OK();
 }

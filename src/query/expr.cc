@@ -316,6 +316,7 @@ std::unique_ptr<Expr> PathExpr::Clone() const {
   auto e = std::make_unique<PathExpr>(child(0)->Clone(), child(1)->Clone());
   e->needs_sort = needs_sort;
   e->needs_dedup = needs_dedup;
+  e->index_candidate = index_candidate;
   return e;
 }
 

@@ -119,8 +119,26 @@ std::string RandomXMarkQuery(SplitMix64* rng) {
   auto tag = [&] {
     return std::string(kTags[rng->Below(std::size(kTags))]);
   };
+  // Value predicates over typed XMark content — the shapes the value index
+  // answers (index/index_planner.h), so indexed and unindexed plans get
+  // cross-checked on numeric ranges, attribute equality, and string
+  // comparisons alike.
+  auto value_pred = [&]() -> std::string {
+    switch (rng->Below(5)) {
+      case 0:
+        return "[quantity < " + std::to_string(1 + rng->Below(6)) + "]";
+      case 1:
+        return "[quantity = " + std::to_string(1 + rng->Below(6)) + "]";
+      case 2:
+        return "[@id = 'person" + std::to_string(rng->Below(40)) + "']";
+      case 3:
+        return "[price >= " + std::to_string(10 * rng->Below(12)) + "]";
+      default:
+        return "[date != '01/01/2000']";
+    }
+  };
   auto step = [&](bool first) -> std::string {
-    switch (rng->Below(6)) {
+    switch (rng->Below(8)) {
       case 0:
         return "//" + tag();
       case 1:
@@ -131,6 +149,10 @@ std::string RandomXMarkQuery(SplitMix64* rng) {
         return "//" + tag() + "[" + tag() + "]";
       case 4:
         return first ? "//" + tag() : "/*";
+      case 5:
+        return "//item" + value_pred();
+      case 6:
+        return "//" + tag() + value_pred();
       default:
         return "//" + tag() + "[.//" + tag() + "]";
     }
@@ -168,6 +190,14 @@ TEST_P(XMarkDifferentialTest, EnginesBatchAndProfileAgree) {
   XQueryEngine engine;
   XQP_ASSERT_OK(engine.RegisterDocument("xmark.xml", SharedXMarkDoc()));
 
+  // Twin engine with the index subsystem off: optimized plans here carry no
+  // index marks, so comparing its output pins indexed execution to the
+  // join/navigation plans byte for byte.
+  EngineOptions unindexed_options;
+  unindexed_options.enable_indexes = false;
+  XQueryEngine unindexed(unindexed_options);
+  XQP_ASSERT_OK(unindexed.RegisterDocument("xmark.xml", SharedXMarkDoc()));
+
   XQueryEngine::CompileOptions no_opt;
   no_opt.optimize = false;
   CompiledQuery::ExecOptions eager;
@@ -196,6 +226,11 @@ TEST_P(XMarkDifferentialTest, EnginesBatchAndProfileAgree) {
         << query;
     EXPECT_EQ(optimized.value()->ExecuteToXml(lazy).ValueOrDie(), want)
         << query;
+
+    // Optimized plan with indexes disabled engine-wide.
+    auto plain = unindexed.Compile(query);
+    ASSERT_TRUE(plain.ok()) << query;
+    EXPECT_EQ(plain.value()->ExecuteToXml(lazy).ValueOrDie(), want) << query;
 
     // Profile invariant on the optimized plan, both engines: the root
     // operator's item count is the result cardinality and the profiled

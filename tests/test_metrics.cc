@@ -202,11 +202,11 @@ TEST(ExplainTest, CanonicalPlansAreStable) {
       "doc('xmark.xml')/site/open_auctions/open_auction/bidder/increase");
   ASSERT_TRUE(path.ok()) << path.status().ToString();
   EXPECT_EQ(path.value()->ExplainTree(),
-            "path\n"
-            "  path\n"
-            "    path\n"
-            "      path\n"
-            "        path\n"
+            "path [index]\n"
+            "  path [index]\n"
+            "    path [index]\n"
+            "      path [index]\n"
+            "        path [index]\n"
             "          call doc\n"
             "            literal xmark.xml\n"
             "          step child::site\n"
@@ -219,7 +219,7 @@ TEST(ExplainTest, CanonicalPlansAreStable) {
   ASSERT_TRUE(count.ok()) << count.status().ToString();
   EXPECT_EQ(count.value()->ExplainTree(),
             "call count\n"
-            "  path\n"
+            "  path [index]\n"
             "    call doc\n"
             "      literal xmark.xml\n"
             "    step descendant::item\n");
@@ -229,7 +229,7 @@ TEST(ExplainTest, CanonicalPlansAreStable) {
   ASSERT_TRUE(flwor.ok()) << flwor.status().ToString();
   EXPECT_EQ(flwor.value()->ExplainTree(),
             "flwor\n"
-            "  for $i in: path\n"
+            "  for $i in: path [index]\n"
             "    call doc\n"
             "      literal xmark.xml\n"
             "    step descendant::item\n"

@@ -26,10 +26,23 @@
 #include <string>
 
 #include "engine.h"
+#include "index/index_planner.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
 
 namespace {
+
+/// Pre-order scan for the outermost index-answerable path in the plan.
+const xqp::PathExpr* FindIndexedPath(const xqp::Expr& e) {
+  if (e.kind() == xqp::ExprKind::kPath) {
+    const auto& p = static_cast<const xqp::PathExpr&>(e);
+    if (p.index_candidate) return &p;
+  }
+  for (size_t i = 0; i < e.NumChildren(); ++i) {
+    if (const xqp::PathExpr* hit = FindIndexedPath(*e.child(i))) return hit;
+  }
+  return nullptr;
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -116,6 +129,18 @@ int main(int argc, char** argv) {
 
   if (explain_only) {
     std::fputs(compiled.value()->ExplainTree().c_str(), stdout);
+    const xqp::Expr* body = compiled.value()->module().body.get();
+    const xqp::PathExpr* marked =
+        body == nullptr ? nullptr : FindIndexedPath(*body);
+    std::optional<xqp::IndexQuery> plan;
+    if (marked != nullptr) plan = xqp::PlanIndexPath(*marked);
+    if (plan.has_value()) {
+      std::printf("access path: %s on doc('%s')\n",
+                  plan->predicate.has_value() ? "value index" : "path synopsis",
+                  plan->doc_uri.c_str());
+    } else {
+      std::fputs("access path: twig / navigation fallback\n", stdout);
+    }
     return 0;
   }
 
