@@ -104,4 +104,4 @@ BENCHMARK(BM_SharedLet_RecomputedTwice);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_ddo.json")

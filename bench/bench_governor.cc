@@ -95,4 +95,4 @@ BENCHMARK(BM_Governor_FullLimits)
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_governor.json")

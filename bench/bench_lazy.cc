@@ -111,4 +111,4 @@ BENCHMARK(BM_FirstBidder_Eager);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_lazy.json")

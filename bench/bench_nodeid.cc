@@ -108,4 +108,4 @@ BENCHMARK(BM_Query_ValuesOnly);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_nodeid.json")

@@ -123,4 +123,4 @@ BENCHMARK(BM_ExecuteBatchParallel)
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_parallel.json")

@@ -101,4 +101,4 @@ BENCHMARK(BM_RepetitiveDoc)->Arg(1)->Arg(0);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_pooling.json")

@@ -79,4 +79,4 @@ BENCHMARK(BM_Profile_FullProfile)->Args({20, 0})->Args({20, 1})
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_profile.json")

@@ -168,4 +168,4 @@ BENCHMARK(BM_Memoization_Miss);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_rewrites.json")

@@ -130,4 +130,4 @@ BENCHMARK(BM_MemoryFootprint)->Arg(50)->Arg(200);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_storage.json")

@@ -120,4 +120,4 @@ BENCHMARK(BM_FirstAnswer_FromText)->Arg(50)->Arg(200);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_streaming.json")

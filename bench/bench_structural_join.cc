@@ -179,4 +179,4 @@ BENCHMARK(BM_TagIndexBuild)->Arg(50)->Arg(200)->Arg(500);
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_structural_join.json")

@@ -134,4 +134,4 @@ BENCHMARK(BM_EngineEquivalent)
 }  // namespace
 }  // namespace xqp
 
-BENCHMARK_MAIN();
+XQP_BENCH_JSON_MAIN("BENCH_twig.json")

@@ -22,6 +22,8 @@ namespace fault {
 ///                    fork/join region still completes; the submitting
 ///                    query observes the failure at its next poll)
 ///   "iterators.next" root result drain (lazy) / Interpreter::Eval (eager)
+///   "vm.compile"     vm::CompileProgram entry (bytecode backend; a failed
+///                    compile is cached and the query falls back to lazy)
 ///
 /// Arm via the scoped test API or the XQP_FAULT environment variable
 /// ("site:nth" or "site:nth:code" with code in {cancelled, exhausted,

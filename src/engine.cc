@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <mutex>
 #include <string_view>
+#include <unordered_map>
 
 #include "base/fault.h"
 #include "index/index_planner.h"
@@ -17,8 +18,22 @@
 #include "opt/static_types.h"
 #include "query/normalize.h"
 #include "query/parser.h"
+#include "vm/compiler.h"
+#include "vm/vm.h"
 
 namespace xqp {
+
+const char* ExecBackendName(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kLazy:
+      return "lazy";
+    case ExecBackend::kEager:
+      return "eager";
+    case ExecBackend::kVm:
+      return "vm";
+  }
+  return "lazy";
+}
 
 XQueryEngine::XQueryEngine(const EngineOptions& options)
     : options_(options), cancel_token_(std::make_shared<CancelToken>()) {
@@ -44,6 +59,18 @@ XQueryEngine::XQueryEngine(const EngineOptions& options)
     } else if (v == "numeric") {
       options_.enable_indexes = true;
       options_.index_value_kinds = kIndexValueNumeric;
+    }
+  }
+  // XQP_BACKEND overrides the default execution backend. Unrecognized
+  // values are ignored.
+  if (const char* env = std::getenv("XQP_BACKEND")) {
+    std::string_view v(env);
+    if (v == "lazy") {
+      options_.backend = ExecBackend::kLazy;
+    } else if (v == "eager") {
+      options_.backend = ExecBackend::kEager;
+    } else if (v == "vm") {
+      options_.backend = ExecBackend::kVm;
     }
   }
   fault::ArmFromEnv();
@@ -385,6 +412,50 @@ std::shared_ptr<CancelToken> CompiledQuery::EngineToken() const {
   return engine_ == nullptr ? nullptr : engine_->current_cancel_token();
 }
 
+ExecBackend CompiledQuery::ResolvedBackend(const ExecOptions& options) const {
+  if (options.backend.has_value()) return *options.backend;
+  if (!options.use_lazy_engine) return ExecBackend::kEager;
+  return engine_ != nullptr ? engine_->options().backend : ExecBackend::kLazy;
+}
+
+Result<std::shared_ptr<const vm::Program>> CompiledQuery::VmProgram() const {
+  std::call_once(vm_once_, [this] {
+    Result<std::shared_ptr<const vm::Program>> compiled =
+        vm::CompileProgram(*module_);
+    if (compiled.ok()) {
+      vm_program_ = std::move(compiled.value());
+    } else {
+      vm_status_ = compiled.status();
+    }
+  });
+  if (!vm_status_.ok()) return vm_status_;
+  return vm_program_;
+}
+
+std::string CompiledQuery::ExplainTree() const {
+  return RenderExplainTree(*module_->body);
+}
+
+std::string CompiledQuery::ExplainTree(const ExecOptions& options) const {
+  if (ResolvedBackend(options) != ExecBackend::kVm) {
+    return RenderExplainTree(*module_->body);
+  }
+  Result<std::shared_ptr<const vm::Program>> prog = VmProgram();
+  if (!prog.ok()) return RenderExplainTree(*module_->body);
+  const vm::Program& p = *prog.value();
+  std::unordered_map<const Expr*, const std::string*> thunk_reasons;
+  for (const vm::Program::Thunk& t : p.thunks) {
+    thunk_reasons.emplace(t.expr, &t.reason);
+  }
+  ExplainAnnotator annotate = [&](const Expr& e) -> std::string {
+    auto it = thunk_reasons.find(&e);
+    if (it != thunk_reasons.end()) return " [bailout: " + *it->second + "]";
+    if (&e == p.root && !p.trivial_bailout) return " [vm]";
+    return "";
+  };
+  return RenderExplainTree(*module_->body, annotate);
+}
+
 Status CompiledQuery::SetupContext(const ExecOptions& options,
                                    DynamicContext* ctx) const {
   ctx->module = module_.get();
@@ -425,19 +496,46 @@ Result<Sequence> CompiledQuery::Execute(const ExecOptions& options) const {
   DynamicContext ctx;
   ctx.governor = &governor;
   XQP_RETURN_NOT_OK(SetupContext(options, &ctx));
-  if (options.use_lazy_engine) {
-    return DrainGoverned(module_->body.get(), &ctx);
+  switch (ResolvedBackend(options)) {
+    case ExecBackend::kLazy:
+      return DrainGoverned(module_->body.get(), &ctx);
+    case ExecBackend::kEager: {
+      XQP_ASSIGN_OR_RETURN(Sequence result,
+                           EvalExpr(module_->body.get(), &ctx));
+      XQP_RETURN_NOT_OK(governor.ChargeResultItems(result.size()));
+      return result;
+    }
+    case ExecBackend::kVm: {
+      Result<std::shared_ptr<const vm::Program>> prog = VmProgram();
+      if (prog.ok() && !prog.value()->trivial_bailout) {
+        XQP_RETURN_NOT_OK(
+            governor.ChargeBytes(prog.value()->const_pool_bytes));
+        XQP_ASSIGN_OR_RETURN(Sequence result,
+                             vm::RunProgram(*prog.value(), &ctx));
+        XQP_RETURN_NOT_OK(governor.ChargeResultItems(result.size()));
+        return result;
+      }
+      // Whole-plan fallback: the root is uncompilable (or compilation
+      // failed under fault injection) — run the lazy path, bit-identical
+      // to backend=lazy including fault sites and drain accounting.
+      if (metrics::Enabled()) {
+        static metrics::Counter* fallbacks =
+            metrics::MetricsRegistry::Global().counter("vm.fallbacks");
+        fallbacks->Add(1);
+      }
+      return DrainGoverned(module_->body.get(), &ctx);
+    }
   }
-  XQP_ASSIGN_OR_RETURN(Sequence result, EvalExpr(module_->body.get(), &ctx));
-  XQP_RETURN_NOT_OK(governor.ChargeResultItems(result.size()));
-  return result;
+  return Status::Internal("unknown execution backend");
 }
 
 Result<ProfileReport> CompiledQuery::Profile(const ExecOptions& options) const {
   ProfileReport report;
   report.module = module_.get();
   report.rewrites = rewrite_stats_;
-  report.used_lazy_engine = options.use_lazy_engine;
+  const ExecBackend backend = ResolvedBackend(options);
+  report.backend = backend;
+  report.used_lazy_engine = backend == ExecBackend::kLazy;
 
   // Force the global registry on for the run so kernel counters and
   // dispatch decisions are captured, restoring the caller's setting after.
@@ -453,14 +551,50 @@ Result<ProfileReport> CompiledQuery::Profile(const ExecOptions& options) const {
   ctx.profile = &report.ops;
   Status setup = SetupContext(options, &ctx);
   Result<Sequence> result = Sequence{};
+  bool vm_ran = false;
   const auto start = std::chrono::steady_clock::now();
   if (setup.ok()) {
-    result = options.use_lazy_engine ? DrainGoverned(module_->body.get(), &ctx)
-                                     : EvalExpr(module_->body.get(), &ctx);
+    switch (backend) {
+      case ExecBackend::kLazy:
+        result = DrainGoverned(module_->body.get(), &ctx);
+        break;
+      case ExecBackend::kEager:
+        result = EvalExpr(module_->body.get(), &ctx);
+        break;
+      case ExecBackend::kVm: {
+        Result<std::shared_ptr<const vm::Program>> prog = VmProgram();
+        if (prog.ok() && !prog.value()->trivial_bailout) {
+          vm_ran = true;
+          Status charged =
+              governor.ChargeBytes(prog.value()->const_pool_bytes);
+          result = charged.ok()
+                       ? vm::RunProgram(*prog.value(), &ctx)
+                       : Result<Sequence>(charged);
+          if (result.ok()) {
+            Status counted =
+                governor.ChargeResultItems(result.value().size());
+            if (!counted.ok()) result = counted;
+          }
+        } else {
+          result = DrainGoverned(module_->body.get(), &ctx);
+        }
+        break;
+      }
+    }
   }
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+  // The VM does not profile per compiled operator (the whole point is that
+  // compiled subtrees have no per-operator boundaries); bailout thunks
+  // profile normally via the lazy engine. Account the run to the plan root
+  // so root-based invariants (items == result cardinality) hold.
+  if (vm_ran && result.ok()) {
+    OpStats* root = report.ops.StatsFor(module_->body.get());
+    root->next_calls += 1;
+    root->items += result.value().size();
+    root->wall_ns += ns < 0 ? 0 : uint64_t(ns);
+  }
 
   report.engine_metrics = registry.Snapshot().Delta(before);
   registry.set_enabled(was_enabled);
@@ -478,8 +612,17 @@ const OpStats* ProfileReport::RootStats() const {
 
 std::string ProfileReport::ToText() const {
   std::string out = "engine: ";
-  out += used_lazy_engine ? "lazy (streaming iterators)\n"
-                          : "eager (reference interpreter)\n";
+  switch (backend) {
+    case ExecBackend::kLazy:
+      out += "lazy (streaming iterators)\n";
+      break;
+    case ExecBackend::kEager:
+      out += "eager (reference interpreter)\n";
+      break;
+    case ExecBackend::kVm:
+      out += "vm (bytecode)\n";
+      break;
+  }
   out += "result items: " + std::to_string(result.size()) + "\n";
   out += "total wall ns: " + std::to_string(total_wall_ns) + "\n\n";
   if (module != nullptr) {
@@ -507,7 +650,7 @@ std::string ProfileReport::ToText() const {
 
 std::string ProfileReport::ToJson() const {
   std::string out = "{\"engine\":\"";
-  out += used_lazy_engine ? "lazy" : "eager";
+  out += ExecBackendName(backend);
   out += "\",\"result_items\":" + std::to_string(result.size());
   out += ",\"total_wall_ns\":" + std::to_string(total_wall_ns);
   out += ",\"plan\":";

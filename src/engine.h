@@ -4,6 +4,8 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -26,6 +28,20 @@
 namespace xqp {
 
 class CompiledQuery;
+
+namespace vm {
+struct Program;
+}  // namespace vm
+
+/// Which execution backend runs a compiled query. kLazy is the streaming
+/// iterator engine (default), kEager the materializing reference
+/// interpreter, kVm the bytecode compiler + dispatch-loop VM (compiled
+/// subtrees run as flat bytecode; uncompilable subtrees bail out to the
+/// lazy engine per-thunk, so results are identical across backends).
+enum class ExecBackend : uint8_t { kLazy, kEager, kVm };
+
+/// "lazy" / "eager" / "vm".
+const char* ExecBackendName(ExecBackend backend);
 
 /// Engine-wide tuning knobs.
 struct EngineOptions {
@@ -65,6 +81,12 @@ struct EngineOptions {
   /// path synopsis is always built when enable_indexes is set; value
   /// predicates whose family is off fall back to normal evaluation.
   uint32_t index_value_kinds = kIndexValueAll;
+
+  /// Default execution backend for queries compiled by this engine.
+  /// Per-call ExecOptions::backend overrides. The XQP_BACKEND environment
+  /// knob ("lazy" / "eager" / "vm") overrides this default; unrecognized
+  /// values are ignored.
+  ExecBackend backend = ExecBackend::kLazy;
 };
 
 /// The public facade: an in-memory XML store plus the XQuery compiler and
@@ -245,6 +267,9 @@ struct ProfileReport {
   XQueryEngine::CacheStats cache;
   metrics::MetricsSnapshot engine_metrics;
   uint64_t total_wall_ns = 0;
+  /// Backend that produced the run; used_lazy_engine mirrors it for
+  /// source compatibility (true iff backend == kLazy).
+  ExecBackend backend = ExecBackend::kLazy;
   bool used_lazy_engine = true;
   const ParsedModule* module = nullptr;
 
@@ -294,8 +319,14 @@ class CompiledQuery {
     bool has_context_item = false;
     Item context_item;
     /// Engine selection: the lazy streaming iterator engine (default) or
-    /// the eager materializing interpreter.
+    /// the eager materializing interpreter. Superseded by `backend`, kept
+    /// for source compatibility: false means kEager unless `backend` is
+    /// set.
     bool use_lazy_engine = true;
+
+    /// Execution backend for this call. Unset: `use_lazy_engine` (when
+    /// false -> kEager), else the engine's EngineOptions::backend.
+    std::optional<ExecBackend> backend;
 
     /// Per-call resource limits; non-zero fields override the engine's
     /// default_limits. A `cancel` token here is watched *in addition to*
@@ -342,8 +373,16 @@ class CompiledQuery {
   std::string Explain() const { return module_->body->ToString(); }
 
   /// Deterministic indented operator tree for the optimized plan — the
-  /// EXPLAIN rendering (no runtime numbers; stable across runs).
-  std::string ExplainTree() const { return RenderExplainTree(*module_->body); }
+  /// EXPLAIN rendering (no runtime numbers; stable across runs). The
+  /// ExecOptions overload annotates for the backend the options select:
+  /// under kVm, compiled subtree roots render " [vm]" and bailout thunk
+  /// roots " [bailout: <reason>]".
+  std::string ExplainTree() const;
+  std::string ExplainTree(const ExecOptions& options) const;
+
+  /// The backend Execute(options) would use: options.backend if set, else
+  /// kEager when use_lazy_engine is false, else the engine's default.
+  ExecBackend ResolvedBackend(const ExecOptions& options) const;
 
   /// Executes the query with per-operator profiling: every iterator pull /
   /// interpreter evaluation is counted and timed, and the global metrics
@@ -369,9 +408,19 @@ class CompiledQuery {
   /// Snapshot of the engine's CancelAll() token (null without an engine).
   std::shared_ptr<CancelToken> EngineToken() const;
 
+  /// Bytecode program for this query, compiled once on first use and
+  /// cached (compilation failure — only possible via the "vm.compile"
+  /// fault site — is cached too; the query then permanently falls back to
+  /// the lazy engine). Returns the cached program or the cached error.
+  Result<std::shared_ptr<const vm::Program>> VmProgram() const;
+
   std::unique_ptr<ParsedModule> module_;
   XQueryEngine* engine_ = nullptr;
   RewriteStats rewrite_stats_;
+
+  mutable std::once_flag vm_once_;
+  mutable std::shared_ptr<const vm::Program> vm_program_;
+  mutable Status vm_status_ = Status::OK();
 };
 
 /// Serializes a result sequence: nodes as XML, atomics as lexical values

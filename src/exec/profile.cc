@@ -80,15 +80,17 @@ struct Line {
 };
 
 void CollectLines(const Expr& e, int depth, const std::string& prefix,
-                  std::vector<Line>* out) {
+                  std::vector<Line>* out,
+                  const ExplainAnnotator* annotate = nullptr) {
   Line line;
   line.label.assign(size_t(depth) * 2, ' ');
   line.label += prefix;
   line.label += OperatorLabel(e);
+  if (annotate != nullptr) line.label += (*annotate)(e);
   line.e = &e;
   out->push_back(std::move(line));
   for (size_t i = 0; i < e.NumChildren(); ++i) {
-    CollectLines(*e.child(i), depth + 1, ChildPrefix(e, i), out);
+    CollectLines(*e.child(i), depth + 1, ChildPrefix(e, i), out, annotate);
   }
 }
 
@@ -200,6 +202,18 @@ std::string OperatorLabel(const Expr& e) {
 std::string RenderExplainTree(const Expr& root) {
   std::vector<Line> lines;
   CollectLines(root, 0, "", &lines);
+  std::string out;
+  for (const Line& line : lines) {
+    out += line.label;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderExplainTree(const Expr& root,
+                              const ExplainAnnotator& annotate) {
+  std::vector<Line> lines;
+  CollectLines(root, 0, "", &lines, annotate ? &annotate : nullptr);
   std::string out;
   for (const Line& line : lines) {
     out += line.label;

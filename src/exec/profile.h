@@ -2,6 +2,7 @@
 #define XQP_EXEC_PROFILE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -50,6 +51,15 @@ std::string OperatorLabel(const Expr& e);
 /// Deterministic indented operator tree with no runtime numbers (EXPLAIN).
 /// Stable across runs for a given compiled query; tests golden-match it.
 std::string RenderExplainTree(const Expr& root);
+
+/// Per-node suffix hook for EXPLAIN: the returned string (may be empty) is
+/// appended verbatim after the operator label. Used by the bytecode backend
+/// to mark compiled subtrees ("[vm]") and bailout thunks.
+using ExplainAnnotator = std::function<std::string(const Expr&)>;
+
+/// RenderExplainTree with a per-node annotation suffix.
+std::string RenderExplainTree(const Expr& root,
+                              const ExplainAnnotator& annotate);
 
 /// The same tree annotated with per-operator stats columns (PROFILE).
 std::string RenderProfileText(const Expr& root, const QueryProfile& profile);

@@ -1,0 +1,118 @@
+#ifndef XQP_VM_BYTECODE_H_
+#define XQP_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/item.h"
+#include "query/expr.h"
+
+namespace xqp {
+namespace vm {
+
+/// The instruction set of the bytecode backend: a register/stack hybrid
+/// scoped to the profitable core of the language — FLWOR tuple iteration,
+/// arithmetic, comparisons, boolean logic, variable refs, literals,
+/// sequence construction, builtin calls. Everything else compiles to a
+/// kBailout referencing a thunk that runs the subtree on the lazy engine.
+///
+/// Value model: every stack cell and local register holds a full Sequence.
+/// Stack cells are preallocated and assigned into (never pushed/popped as
+/// vector elements), so the hot loop reuses their capacity and runs
+/// allocation-free for typical numeric work.
+enum class Op : uint8_t {
+  kPushConst,        // a = const-pool index; push a copy of the pool entry.
+  kPushEmpty,        // Push the empty sequence.
+  kPushContextItem,  // Push the initial context item (error when absent).
+  kLoadLocal,        // a = slot; push a copy of local register `a`.
+  kLoadGlobal,       // a = global slot; materialize and push ctx->globals[a].
+  kStoreLocal,       // a = slot; pop into register `a`. flag&1: also mirror
+                     //   into ctx->slots[a] for bailout thunks.
+  kConcat,           // a = n; pop n sequences, push their concatenation.
+  kRange,            // Pop hi, lo; push the integer range (governed).
+  kArith,            // flag = ArithOp; pop rhs, lhs; push the result.
+  kUnary,            // flag = negate; pop operand; push the result.
+  kValueCmp,         // flag = CompOp; pop rhs, lhs; push () or boolean.
+  kGeneralCmp,       // flag = CompOp; pop rhs, lhs; push boolean.
+  kNodeCmp,          // flag = CompOp; pop rhs, lhs; push () or boolean.
+  kEbv,              // Pop; push the effective boolean value as a singleton.
+  kJump,             // a = target pc.
+  kJumpIfFalse,      // a = target pc; pop, branch when EBV is false.
+  kJumpIfTrue,       // a = target pc; pop, branch when EBV is true.
+  kIterNew,          // a = iterator register; pop the domain sequence.
+  kIterNext,         // a = iterator register, b = exit pc, c = var slot
+                     //   (-1: none). Advances the iterator; at end jumps to
+                     //   b, else binds the item into register c. flag&1:
+                     //   mirror the binding into ctx->slots[c]. Polls the
+                     //   governor (every loop back-edge lands here).
+  kBindPos,          // a = iterator register, b = pos slot; bind the 1-based
+                     //   position ("at $p"). flag&1: mirror.
+  kAccumNew,         // Open a result accumulator.
+  kAccumAdd,         // Pop; append to the innermost accumulator.
+  kAccumEnd,         // Close the innermost accumulator; push its contents.
+  kCallBuiltin,      // a = Builtin id, b = argc; pop argc args, push result.
+  kBailout,          // a = thunk index; run the referenced expression on the
+                     //   lazy engine and push its result.
+  kPop,              // Pop and discard.
+  kHalt,             // Pop the final result and stop.
+};
+
+std::string_view OpName(Op op);
+
+/// One instruction. `flag` carries the sub-operation (ArithOp / CompOp /
+/// negate) or the dual-store bit; a/b/c are pool indexes, pc targets, and
+/// register numbers as documented per opcode.
+struct Insn {
+  Op op;
+  uint8_t flag = 0;
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t c = 0;
+};
+
+/// A compiled query body: flat code, the constant pool, and the bailout
+/// thunk table. Immutable after compilation and shared across concurrent
+/// executions; all mutable run state lives in the Vm.
+struct Program {
+  std::vector<Insn> code;
+
+  /// Literal values referenced by kPushConst. Entries 0 and 1 are always
+  /// the canonical singleton false/true sequences.
+  std::vector<Sequence> const_pool;
+  /// Estimated heap footprint of the pool, charged to the memory budget at
+  /// the start of every run.
+  uint64_t const_pool_bytes = 0;
+
+  /// An uncompiled subtree: executed on the lazy engine when its kBailout
+  /// is reached. `reason` names the construct that stopped compilation
+  /// (surfaced in EXPLAIN).
+  struct Thunk {
+    const Expr* expr = nullptr;
+    std::string reason;
+  };
+  std::vector<Thunk> thunks;
+
+  /// Register-file sizing: module frame slots, FLWOR/quantifier iterator
+  /// registers (allocated by loop nesting depth), and operand stack cells.
+  int num_slots = 0;
+  int num_iters = 0;
+  int max_stack = 0;
+
+  /// True when the plan root itself is uncompilable — the whole program is
+  /// one kBailout and the engine runs the lazy path directly instead.
+  bool trivial_bailout = false;
+
+  /// The compiled root (for the EXPLAIN [vm] marker), null when
+  /// trivial_bailout.
+  const Expr* root = nullptr;
+};
+
+constexpr int kConstFalse = 0;
+constexpr int kConstTrue = 1;
+
+}  // namespace vm
+}  // namespace xqp
+
+#endif  // XQP_VM_BYTECODE_H_

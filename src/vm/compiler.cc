@@ -1,0 +1,499 @@
+#include "vm/compiler.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/fault.h"
+#include "base/metrics.h"
+#include "opt/const_fold.h"
+#include "opt/properties.h"
+#include "query/expr.h"
+
+namespace xqp {
+namespace vm {
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kPushConst: return "push-const";
+    case Op::kPushEmpty: return "push-empty";
+    case Op::kPushContextItem: return "push-context-item";
+    case Op::kLoadLocal: return "load-local";
+    case Op::kLoadGlobal: return "load-global";
+    case Op::kStoreLocal: return "store-local";
+    case Op::kConcat: return "concat";
+    case Op::kRange: return "range";
+    case Op::kArith: return "arith";
+    case Op::kUnary: return "unary";
+    case Op::kValueCmp: return "value-cmp";
+    case Op::kGeneralCmp: return "general-cmp";
+    case Op::kNodeCmp: return "node-cmp";
+    case Op::kEbv: return "ebv";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump-if-false";
+    case Op::kJumpIfTrue: return "jump-if-true";
+    case Op::kIterNew: return "iter-new";
+    case Op::kIterNext: return "iter-next";
+    case Op::kBindPos: return "bind-pos";
+    case Op::kAccumNew: return "accum-new";
+    case Op::kAccumAdd: return "accum-add";
+    case Op::kAccumEnd: return "accum-end";
+    case Op::kCallBuiltin: return "call-builtin";
+    case Op::kBailout: return "bailout";
+    case Op::kPop: return "pop";
+    case Op::kHalt: return "halt";
+  }
+  return "?";
+}
+
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(const ParsedModule& module)
+      : module_(module), p_(std::make_shared<Program>()) {}
+
+  std::shared_ptr<const Program> Run() {
+    p_->num_slots = module_.num_slots;
+    // Pool entries 0/1: the canonical booleans (kConstFalse / kConstTrue).
+    p_->const_pool.push_back(Sequence{Item(AtomicValue::Boolean(false))});
+    p_->const_pool.push_back(Sequence{Item(AtomicValue::Boolean(true))});
+
+    const Expr* body = module_.body.get();
+    if (const char* reason = Uncompilable(*body)) {
+      // The whole plan is one bailout: the engine skips the VM and runs
+      // the lazy path directly (the thunk is kept for EXPLAIN).
+      p_->trivial_bailout = true;
+      p_->thunks.push_back({body, reason});
+    } else {
+      p_->root = body;
+      Compile(*body);
+      Emit(Op::kHalt);
+      PatchMirrors();
+    }
+
+    p_->max_stack = std::max(max_depth_, 1);
+    uint64_t bytes = 0;
+    for (const Sequence& s : p_->const_pool) {
+      bytes += sizeof(Sequence) + s.size() * (sizeof(Item) + 16);
+    }
+    p_->const_pool_bytes = bytes;
+    return p_;
+  }
+
+ private:
+  // ---- emission helpers ----
+
+  int Emit(Op op, uint8_t flag = 0, int32_t a = 0, int32_t b = 0,
+           int32_t c = 0) {
+    p_->code.push_back(Insn{op, flag, a, b, c});
+    return static_cast<int>(p_->code.size()) - 1;
+  }
+
+  int Here() const { return static_cast<int>(p_->code.size()); }
+  void PatchTarget(int pc, int target) { p_->code[size_t(pc)].a = target; }
+
+  /// Operand-stack accounting. Linear over the emitted code; the two
+  /// branchy constructs (if/logical/quantified early exits) correct the
+  /// depth manually where paths merge, so `depth_` is exact at every merge
+  /// point and `max_depth_` is (at worst conservatively) correct.
+  void Push(int n = 1) {
+    depth_ += n;
+    max_depth_ = std::max(max_depth_, depth_);
+  }
+  void Pop(int n = 1) { depth_ -= n; }
+
+  int AddConst(Sequence s) {
+    if (s.size() == 1 && s[0].IsAtomic() &&
+        s[0].AsAtomic().type() == XsType::kBoolean) {
+      return s[0].AsAtomic().AsBool() ? kConstTrue : kConstFalse;
+    }
+    p_->const_pool.push_back(std::move(s));
+    return static_cast<int>(p_->const_pool.size()) - 1;
+  }
+
+  void EmitPushConst(int idx) {
+    Emit(Op::kPushConst, 0, idx);
+    Push();
+  }
+
+  void EmitBailout(const Expr& e, const char* reason) {
+    int idx = static_cast<int>(p_->thunks.size());
+    p_->thunks.push_back({&e, reason});
+    Emit(Op::kBailout, 0, idx);
+    Push();
+  }
+
+  /// Shared with the rewriter: pure literal arithmetic/comparison subtrees
+  /// become pool constants even in unoptimized plans.
+  bool TryFold(const Expr& e) {
+    std::optional<Sequence> folded = TryFoldLiteralNode(e);
+    if (!folded.has_value()) return false;
+    EmitPushConst(AddConst(std::move(*folded)));
+    return true;
+  }
+
+  bool IsBound(int slot) const {
+    return std::find(bound_.begin(), bound_.end(), slot) != bound_.end();
+  }
+
+  // ---- compilability ----
+
+  /// Null when `e` lowers to bytecode at this point (given the binders
+  /// compiled so far); otherwise the bailout reason shown in EXPLAIN.
+  const char* Uncompilable(const Expr& e) const {
+    switch (e.kind()) {
+      case ExprKind::kLiteral:
+      case ExprKind::kContextItem:
+      case ExprKind::kSequence:
+      case ExprKind::kRange:
+      case ExprKind::kArithmetic:
+      case ExprKind::kUnary:
+      case ExprKind::kComparison:
+      case ExprKind::kLogical:
+      case ExprKind::kIf:
+      case ExprKind::kQuantified:
+        return nullptr;
+      case ExprKind::kVarRef: {
+        const auto& v = static_cast<const VarRefExpr&>(e);
+        if (v.is_global || IsBound(v.slot)) return nullptr;
+        // A local whose binder is not in the compiled region (e.g. bound
+        // inside an enclosing thunk); the lazy engine resolves it against
+        // ctx->slots, reproducing the exact runtime error when unbound.
+        return "free variable";
+      }
+      case ExprKind::kFlwor: {
+        const auto& f = static_cast<const FlworExpr&>(e);
+        for (const auto& c : f.clauses) {
+          if (c.type == FlworExpr::Clause::Type::kOrderSpec) {
+            return "order by";
+          }
+        }
+        return nullptr;
+      }
+      case ExprKind::kFunctionCall:
+        return static_cast<const FunctionCallExpr&>(e).builtin >= 0
+                   ? nullptr
+                   : "user function call";
+      case ExprKind::kRoot: return "root step";
+      case ExprKind::kPath: return "path";
+      case ExprKind::kStep: return "path step";
+      case ExprKind::kFilter: return "filter";
+      case ExprKind::kTypeswitch: return "typeswitch";
+      case ExprKind::kInstanceOf: return "instance of";
+      case ExprKind::kTreatAs: return "treat as";
+      case ExprKind::kCastAs: return "cast";
+      case ExprKind::kCastableAs: return "castable";
+      case ExprKind::kUnion: return "union";
+      case ExprKind::kIntersectExcept: return "intersect/except";
+      case ExprKind::kElementCtor:
+      case ExprKind::kAttributeCtor:
+      case ExprKind::kTextCtor:
+      case ExprKind::kCommentCtor:
+      case ExprKind::kPiCtor:
+      case ExprKind::kDocumentCtor:
+        return "constructor";
+      case ExprKind::kTryCatch: return "try/catch";
+    }
+    return "unknown expression";
+  }
+
+  // ---- lowering ----
+
+  void Compile(const Expr& e) {
+    if (const char* reason = Uncompilable(e)) {
+      EmitBailout(e, reason);
+      return;
+    }
+    switch (e.kind()) {
+      case ExprKind::kLiteral:
+        EmitPushConst(AddConst(
+            Sequence{Item(static_cast<const LiteralExpr&>(e).value)}));
+        return;
+      case ExprKind::kVarRef: {
+        const auto& v = static_cast<const VarRefExpr&>(e);
+        Emit(v.is_global ? Op::kLoadGlobal : Op::kLoadLocal, 0, v.slot);
+        Push();
+        return;
+      }
+      case ExprKind::kContextItem:
+        Emit(Op::kPushContextItem);
+        Push();
+        return;
+      case ExprKind::kSequence: {
+        int n = static_cast<int>(e.NumChildren());
+        if (n == 0) {
+          Emit(Op::kPushEmpty);
+          Push();
+          return;
+        }
+        for (int i = 0; i < n; ++i) Compile(*e.child(size_t(i)));
+        if (n > 1) {
+          Emit(Op::kConcat, 0, n);
+          Pop(n - 1);
+        }
+        return;
+      }
+      case ExprKind::kRange:
+        Compile(*e.child(0));
+        Compile(*e.child(1));
+        Emit(Op::kRange);
+        Pop();
+        return;
+      case ExprKind::kArithmetic: {
+        if (TryFold(e)) return;
+        Compile(*e.child(0));
+        Compile(*e.child(1));
+        Emit(Op::kArith,
+             static_cast<uint8_t>(static_cast<const ArithmeticExpr&>(e).op));
+        Pop();
+        return;
+      }
+      case ExprKind::kUnary: {
+        if (TryFold(e)) return;
+        Compile(*e.child(0));
+        Emit(Op::kUnary,
+             static_cast<const UnaryExpr&>(e).negate ? 1 : 0);
+        return;
+      }
+      case ExprKind::kComparison: {
+        if (TryFold(e)) return;
+        CompOp op = static_cast<const ComparisonExpr&>(e).op;
+        Compile(*e.child(0));
+        Compile(*e.child(1));
+        Op lowered = IsValueComp(op)     ? Op::kValueCmp
+                     : IsGeneralComp(op) ? Op::kGeneralCmp
+                                         : Op::kNodeCmp;
+        Emit(lowered, static_cast<uint8_t>(op));
+        Pop();
+        return;
+      }
+      case ExprKind::kLogical:
+        CompileLogical(static_cast<const LogicalExpr&>(e));
+        return;
+      case ExprKind::kIf:
+        CompileIf(e);
+        return;
+      case ExprKind::kFlwor:
+        CompileFlwor(static_cast<const FlworExpr&>(e));
+        return;
+      case ExprKind::kQuantified:
+        CompileQuantified(static_cast<const QuantifiedExpr&>(e));
+        return;
+      case ExprKind::kFunctionCall: {
+        const auto& fc = static_cast<const FunctionCallExpr&>(e);
+        int argc = static_cast<int>(e.NumChildren());
+        for (int i = 0; i < argc; ++i) Compile(*e.child(size_t(i)));
+        Emit(Op::kCallBuiltin, 0, fc.builtin, argc);
+        Pop(argc);
+        Push();
+        return;
+      }
+      default:
+        // Unreachable: Uncompilable() covered everything else.
+        EmitBailout(e, "unknown expression");
+        return;
+    }
+  }
+
+  void CompileLogical(const LogicalExpr& e) {
+    Compile(*e.child(0));
+    int j_short = Emit(e.is_and ? Op::kJumpIfFalse : Op::kJumpIfTrue);
+    Pop();
+    Compile(*e.child(1));
+    Emit(Op::kEbv);
+    int j_end = Emit(Op::kJump);
+    Pop();  // The rhs path merges with the short-circuit push below.
+    PatchTarget(j_short, Here());
+    EmitPushConst(e.is_and ? kConstFalse : kConstTrue);
+    PatchTarget(j_end, Here());
+  }
+
+  void CompileIf(const Expr& e) {
+    Compile(*e.child(0));
+    int j_else = Emit(Op::kJumpIfFalse);
+    Pop();
+    Compile(*e.child(1));
+    int j_end = Emit(Op::kJump);
+    Pop();  // then/else branches merge.
+    PatchTarget(j_else, Here());
+    Compile(*e.child(2));
+    PatchTarget(j_end, Here());
+  }
+
+  /// Tuple-at-a-time FLWOR loop nest. Layout:
+  ///   accum-new
+  ///   <domain 0> iter-new 0
+  ///   L0: iter-next 0 -> exit to END
+  ///     [bind-pos] ... <domain 1> iter-new 1
+  ///     L1: iter-next 1 -> exit to L0      (re-runs outer continue)
+  ///       <let values / where gates -> jump L1>
+  ///       <return> accum-add
+  ///       jump L1
+  ///   END: accum-end
+  /// Jumping to an outer iter-next re-executes its bind-pos and the inner
+  /// domain code, so inner domains are re-evaluated per outer tuple —
+  /// exactly the interpreter's recursive tuple stream.
+  void CompileFlwor(const FlworExpr& e) {
+    Emit(Op::kAccumNew);
+    size_t bound_mark = bound_.size();
+    int iters_entered = 0;
+    std::vector<int> loop_pcs;    // kIterNext pcs, outermost first.
+    std::vector<int> end_patches; // where-fails with no enclosing for.
+    for (size_t ci = 0; ci < e.clauses.size(); ++ci) {
+      const FlworExpr::Clause& c = e.clauses[ci];
+      switch (c.type) {
+        case FlworExpr::Clause::Type::kFor: {
+          Compile(*e.child(ci));
+          int iter = iter_depth_++;
+          ++iters_entered;
+          p_->num_iters = std::max(p_->num_iters, iter_depth_);
+          Emit(Op::kIterNew, 0, iter);
+          Pop();
+          loop_pcs.push_back(Emit(Op::kIterNext, 0, iter, 0, c.var_slot));
+          bound_.push_back(c.var_slot);
+          if (c.pos_slot >= 0) {
+            Emit(Op::kBindPos, 0, iter, c.pos_slot);
+            bound_.push_back(c.pos_slot);
+          }
+          break;
+        }
+        case FlworExpr::Clause::Type::kLet:
+          Compile(*e.child(ci));
+          Emit(Op::kStoreLocal, 0, c.var_slot);
+          Pop();
+          bound_.push_back(c.var_slot);
+          break;
+        case FlworExpr::Clause::Type::kWhere: {
+          Compile(*e.child(ci));
+          int j = Emit(Op::kJumpIfFalse);
+          Pop();
+          if (loop_pcs.empty()) {
+            end_patches.push_back(j);  // No tuple loop: skip to accum-end.
+          } else {
+            PatchTarget(j, loop_pcs.back());
+          }
+          break;
+        }
+        case FlworExpr::Clause::Type::kOrderSpec:
+          break;  // Unreachable: Uncompilable() rejects order-by FLWORs.
+      }
+    }
+    Compile(*e.return_expr());
+    Emit(Op::kAccumAdd);
+    Pop();
+    if (!loop_pcs.empty()) {
+      Emit(Op::kJump, 0, loop_pcs.back());
+      // Exit chain: loop i resumes loop i-1; the outermost exits the nest.
+      for (size_t i = loop_pcs.size() - 1; i >= 1; --i) {
+        p_->code[size_t(loop_pcs[i])].b = loop_pcs[i - 1];
+      }
+      p_->code[size_t(loop_pcs[0])].b = Here();
+    }
+    int end_pc = Here();
+    Emit(Op::kAccumEnd);
+    Push();
+    for (int j : end_patches) PatchTarget(j, end_pc);
+    bound_.resize(bound_mark);
+    iter_depth_ -= iters_entered;
+  }
+
+  /// some/every nest with short-circuit exits. A satisfying (some) /
+  /// refuting (every) tuple jumps straight to the result push; exhausting
+  /// the outermost binding lands on the default (false for some, true for
+  /// every) — the interpreter's `if (b != is_every) return b` loop.
+  void CompileQuantified(const QuantifiedExpr& e) {
+    const Expr& satisfies = *e.child(e.NumChildren() - 1);
+    if (e.bindings.empty()) {  // Degenerate; the parser never emits it.
+      Compile(satisfies);
+      Emit(Op::kEbv);
+      return;
+    }
+    size_t bound_mark = bound_.size();
+    std::vector<int> loop_pcs;
+    for (size_t bi = 0; bi < e.bindings.size(); ++bi) {
+      Compile(*e.child(bi));
+      int iter = iter_depth_++;
+      p_->num_iters = std::max(p_->num_iters, iter_depth_);
+      Emit(Op::kIterNew, 0, iter);
+      Pop();
+      loop_pcs.push_back(
+          Emit(Op::kIterNext, 0, iter, 0, e.bindings[bi].var_slot));
+      bound_.push_back(e.bindings[bi].var_slot);
+    }
+    Compile(satisfies);
+    Emit(e.is_every ? Op::kJumpIfTrue : Op::kJumpIfFalse, 0,
+         loop_pcs.back());
+    Pop();
+    EmitPushConst(e.is_every ? kConstFalse : kConstTrue);
+    int j_end = Emit(Op::kJump);
+    Pop();  // Early-exit path merges with the default push below.
+    for (size_t i = loop_pcs.size() - 1; i >= 1; --i) {
+      p_->code[size_t(loop_pcs[i])].b = loop_pcs[i - 1];
+    }
+    p_->code[size_t(loop_pcs[0])].b = Here();
+    EmitPushConst(e.is_every ? kConstTrue : kConstFalse);
+    PatchTarget(j_end, Here());
+    bound_.resize(bound_mark);
+    iter_depth_ -= static_cast<int>(e.bindings.size());
+  }
+
+  // ---- dual-store patching ----
+
+  /// Compiled bindings live in VM registers only; slots that some bailout
+  /// thunk reads are additionally mirrored into ctx->slots at binding time
+  /// (flag bit 0 on kStoreLocal / kIterNext / kBindPos). Mirroring every
+  /// slot a thunk mentions — including ones the thunk rebinds internally —
+  /// is deliberate: slot reuse across disjoint scopes makes subtracting
+  /// thunk-internal binders unsafe, and over-mirroring is harmless.
+  void PatchMirrors() {
+    std::vector<int> used;
+    for (const Program::Thunk& t : p_->thunks) {
+      CollectUsedSlots(t.expr, &used);
+    }
+    if (used.empty()) return;
+    std::unordered_set<int> mirror(used.begin(), used.end());
+    for (Insn& insn : p_->code) {
+      switch (insn.op) {
+        case Op::kStoreLocal:
+          if (mirror.count(insn.a) != 0) insn.flag |= 1;
+          break;
+        case Op::kIterNext:
+          if (insn.c >= 0 && mirror.count(insn.c) != 0) insn.flag |= 1;
+          break;
+        case Op::kBindPos:
+          if (mirror.count(insn.b) != 0) insn.flag |= 1;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  const ParsedModule& module_;
+  std::shared_ptr<Program> p_;
+  std::vector<int> bound_;  // Local slots bound by compiled binders.
+  int iter_depth_ = 0;      // Live loop nesting; iter registers index by it.
+  int depth_ = 0;           // Current operand-stack depth.
+  int max_depth_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const Program>> CompileProgram(
+    const ParsedModule& module) {
+  if (fault::Armed()) XQP_RETURN_NOT_OK(fault::MaybeInject("vm.compile"));
+  Compiler compiler(module);
+  std::shared_ptr<const Program> program = compiler.Run();
+  if (metrics::Enabled()) {
+    static metrics::Counter* compiles =
+        metrics::MetricsRegistry::Global().counter("vm.compiles");
+    compiles->Increment();
+  }
+  return program;
+}
+
+}  // namespace vm
+}  // namespace xqp

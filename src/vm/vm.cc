@@ -1,0 +1,576 @@
+#include "vm/vm.h"
+
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "base/limits.h"
+#include "base/metrics.h"
+#include "exec/arithmetic.h"
+#include "exec/builtins.h"
+#include "exec/compare.h"
+#include "exec/item.h"
+#include "exec/iterators.h"
+
+// Dispatch strategy: jump-threaded computed goto on GCC/Clang (each handler
+// ends with its own indirect branch, so the CPU predicts per-opcode-pair),
+// plain switch-in-a-loop elsewhere. Handler bodies are written once; the
+// macros below select the surrounding control flow.
+#if defined(__GNUC__) || defined(__clang__)
+#define XQP_VM_COMPUTED_GOTO 1
+#else
+#define XQP_VM_COMPUTED_GOTO 0
+#endif
+
+namespace xqp {
+namespace vm {
+namespace {
+
+/// Relation test shared by the integer fast paths of value and general
+/// comparisons (for two singleton xs:integers the two families agree).
+bool IntCmp(CompOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case CompOp::kValueEq: case CompOp::kGenEq: return a == b;
+    case CompOp::kValueNe: case CompOp::kGenNe: return a != b;
+    case CompOp::kValueLt: case CompOp::kGenLt: return a < b;
+    case CompOp::kValueLe: case CompOp::kGenLe: return a <= b;
+    case CompOp::kValueGt: case CompOp::kGenGt: return a > b;
+    case CompOp::kValueGe: case CompOp::kGenGe: return a >= b;
+    default: return false;  // Node comparisons never reach this.
+  }
+}
+
+/// The interpreter atomizes comparison/arithmetic operands with a full
+/// copy; sequences that are already all-atomic (the common case in
+/// compiled code) are passed through without one.
+const Sequence& AtomizeView(const Sequence& in, Sequence* scratch) {
+  for (const Item& item : in) {
+    if (item.IsNode()) {
+      *scratch = Atomize(in);
+      return *scratch;
+    }
+  }
+  return in;
+}
+
+bool IsSingletonBool(const Sequence& s) {
+  return s.size() == 1 && s[0].IsAtomic() &&
+         s[0].AsAtomic().type() == XsType::kBoolean;
+}
+
+class Vm {
+ public:
+  Vm(const Program& p, DynamicContext* ctx)
+      : p_(p), ctx_(ctx), gov_(ctx->governor) {}
+
+  Result<Sequence> Run();
+
+  uint64_t retired() const { return retired_; }
+  uint64_t bailouts() const { return bailouts_; }
+
+ private:
+  /// Runs bailout thunk `idx` on the lazy engine. Unprofiled runs compile
+  /// the thunk's iterator once and Reset+Drain per hit; profiled runs go
+  /// through ExecuteLazy so every hit lands in the profile decorators.
+  Result<Sequence> RunThunk(size_t idx) {
+    ++bailouts_;
+    const Program::Thunk& t = p_.thunks[idx];
+    if (ctx_->profile != nullptr) return ExecuteLazy(t.expr, ctx_);
+    if (thunk_iters_.empty()) thunk_iters_.resize(p_.thunks.size());
+    if (thunk_iters_[idx] == nullptr) {
+      XQP_ASSIGN_OR_RETURN(thunk_iters_[idx],
+                           CompileIterator(t.expr, nullptr));
+    }
+    XQP_RETURN_NOT_OK(thunk_iters_[idx]->Reset(ctx_));
+    return lazy_internal::Drain(thunk_iters_[idx].get());
+  }
+
+  /// The run-level focus, mirroring Interpreter::CurrentFocusInfo with an
+  /// empty focus stack. Compiled code never establishes a new focus
+  /// (paths and filters bail out), so this is constant for the whole run.
+  Status InitFocus() {
+    if (ctx_->initial_context == nullptr) return Status::OK();
+    XQP_ASSIGN_OR_RETURN(const Item* item, ctx_->initial_context->Get(0));
+    if (item == nullptr) return Status::OK();
+    focus_.has_focus = true;
+    focus_.item = *item;
+    focus_.position = 1;
+    focus_.size = 1;
+    return Status::OK();
+  }
+
+  struct IterState {
+    Sequence domain;
+    size_t pos = 0;
+  };
+
+  const Program& p_;
+  DynamicContext* ctx_;
+  ResourceGovernor* gov_;
+  FocusInfo focus_;
+  std::vector<Sequence> stack_;
+  std::vector<Sequence> regs_;
+  std::vector<IterState> iters_;
+  std::vector<Sequence> accums_;
+  size_t asize_ = 0;
+  std::vector<Sequence> args_;
+  std::vector<std::unique_ptr<ItemIterator>> thunk_iters_;
+  uint64_t retired_ = 0;
+  uint64_t bailouts_ = 0;
+};
+
+#if XQP_VM_COMPUTED_GOTO
+#define VM_CASE(name) lbl_##name
+#define VM_DISPATCH() goto* kDispatch[static_cast<size_t>(ip->op)]
+#define VM_BEGIN() VM_DISPATCH();
+#define VM_END() return Status::Internal("vm: invalid opcode");
+#else
+#define VM_CASE(name) case Op::name
+#define VM_DISPATCH() goto dispatch
+#define VM_BEGIN() \
+  dispatch:        \
+  switch (ip->op) {
+#define VM_END() \
+  }              \
+  return Status::Internal("vm: invalid opcode");
+#endif
+
+#define VM_NEXT()    \
+  do {               \
+    ++retired;       \
+    ++ip;            \
+    VM_DISPATCH();   \
+  } while (0)
+
+#define VM_GOTO(target)    \
+  do {                     \
+    ++retired;             \
+    ip = code + (target);  \
+    VM_DISPATCH();         \
+  } while (0)
+
+Result<Sequence> Vm::Run() {
+  if (p_.code.empty()) {
+    return Status::Internal("vm: program has no code (trivial bailout?)");
+  }
+  stack_.resize(size_t(p_.max_stack));
+  regs_.resize(size_t(p_.num_slots));
+  iters_.resize(size_t(p_.num_iters));
+  XQP_RETURN_NOT_OK(InitFocus());
+
+  const Insn* code = p_.code.data();
+  const Insn* ip = code;
+  Sequence* stack = stack_.data();
+  Sequence* regs = regs_.data();
+  IterState* iters = iters_.data();
+  size_t sp = 0;
+  uint64_t retired = 0;
+
+#if XQP_VM_COMPUTED_GOTO
+  // Must match the Op enum order exactly.
+  static const void* kDispatch[] = {
+      &&lbl_kPushConst,   &&lbl_kPushEmpty,   &&lbl_kPushContextItem,
+      &&lbl_kLoadLocal,   &&lbl_kLoadGlobal,  &&lbl_kStoreLocal,
+      &&lbl_kConcat,      &&lbl_kRange,       &&lbl_kArith,
+      &&lbl_kUnary,       &&lbl_kValueCmp,    &&lbl_kGeneralCmp,
+      &&lbl_kNodeCmp,     &&lbl_kEbv,         &&lbl_kJump,
+      &&lbl_kJumpIfFalse, &&lbl_kJumpIfTrue,  &&lbl_kIterNew,
+      &&lbl_kIterNext,    &&lbl_kBindPos,     &&lbl_kAccumNew,
+      &&lbl_kAccumAdd,    &&lbl_kAccumEnd,    &&lbl_kCallBuiltin,
+      &&lbl_kBailout,     &&lbl_kPop,         &&lbl_kHalt,
+  };
+#endif
+
+  VM_BEGIN()
+
+  VM_CASE(kPushConst) : {
+    stack[sp++] = p_.const_pool[size_t(ip->a)];
+    VM_NEXT();
+  }
+
+  VM_CASE(kPushEmpty) : {
+    stack[sp++].clear();
+    VM_NEXT();
+  }
+
+  VM_CASE(kPushContextItem) : {
+    if (!focus_.has_focus) {
+      return Status::DynamicError("context item is not defined");
+    }
+    Sequence& s = stack[sp++];
+    s.clear();
+    s.push_back(focus_.item);
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoadLocal) : {
+    stack[sp++] = regs[size_t(ip->a)];
+    VM_NEXT();
+  }
+
+  VM_CASE(kLoadGlobal) : {
+    const LazySeqPtr& g = ctx_->globals[size_t(ip->a)];
+    if (g == nullptr) {
+      return Status::DynamicError("unbound variable");  // Unreachable.
+    }
+    XQP_ASSIGN_OR_RETURN(const Sequence* items, g->Materialize());
+    stack[sp++] = *items;
+    VM_NEXT();
+  }
+
+  VM_CASE(kStoreLocal) : {
+    Sequence& reg = regs[size_t(ip->a)];
+    reg = stack[--sp];  // Copy: both cells keep their capacity for reuse.
+    if (ip->flag & 1) {
+      ctx_->slots[size_t(ip->a)] = LazySeq::FromVector(reg);
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kConcat) : {
+    size_t n = size_t(ip->a);
+    Sequence& dst = stack[sp - n];
+    for (size_t i = 1; i < n; ++i) {
+      Sequence& src = stack[sp - n + i];
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
+    }
+    sp -= n - 1;
+    VM_NEXT();
+  }
+
+  VM_CASE(kRange) : {
+    Sequence& lo_s = stack[sp - 2];
+    Sequence& hi_s = stack[sp - 1];
+    if (lo_s.empty() || hi_s.empty()) {
+      --sp;
+      stack[sp - 1].clear();
+      VM_NEXT();
+    }
+    if (lo_s.size() != 1 || hi_s.size() != 1) {
+      return Status::TypeError("range operands must be singletons");
+    }
+    XQP_ASSIGN_OR_RETURN(AtomicValue lo,
+                         lo_s[0].Atomized().CastTo(XsType::kInteger));
+    XQP_ASSIGN_OR_RETURN(AtomicValue hi,
+                         hi_s[0].Atomized().CastTo(XsType::kInteger));
+    Sequence out;
+    for (int64_t v = lo.AsInt(); v <= hi.AsInt(); ++v) {
+      if (gov_ != nullptr && (out.size() & 1023) == 0) {
+        XQP_RETURN_NOT_OK(gov_->Poll());
+        XQP_RETURN_NOT_OK(gov_->ChargeBytes(1024 * sizeof(Item)));
+      }
+      out.push_back(Item(AtomicValue::Integer(v)));
+    }
+    --sp;
+    stack[sp - 1] = std::move(out);
+    VM_NEXT();
+  }
+
+  VM_CASE(kArith) : {
+    Sequence& lhs = stack[sp - 2];
+    Sequence& rhs = stack[sp - 1];
+    ArithOp op = static_cast<ArithOp>(ip->flag);
+    if (lhs.size() == 1 && rhs.size() == 1 && lhs[0].IsAtomic() &&
+        rhs[0].IsAtomic()) {
+      const AtomicValue& a = lhs[0].AsAtomic();
+      const AtomicValue& b = rhs[0].AsAtomic();
+      // Integer fast path (div excepted: int div yields a decimal).
+      if (a.type() == XsType::kInteger && b.type() == XsType::kInteger &&
+          op != ArithOp::kDiv) {
+        int64_t x = a.AsInt();
+        int64_t y = b.AsInt();
+        int64_t r = 0;
+        switch (op) {
+          case ArithOp::kAdd:
+            if (__builtin_add_overflow(x, y, &r)) {
+              return Status::DynamicError(
+                  "err:FOAR0002: integer overflow in addition");
+            }
+            break;
+          case ArithOp::kSub:
+            if (__builtin_sub_overflow(x, y, &r)) {
+              return Status::DynamicError(
+                  "err:FOAR0002: integer overflow in subtraction");
+            }
+            break;
+          case ArithOp::kMul:
+            if (__builtin_mul_overflow(x, y, &r)) {
+              return Status::DynamicError(
+                  "err:FOAR0002: integer overflow in multiplication");
+            }
+            break;
+          case ArithOp::kMod:
+            if (y == 0) return Status::DynamicError("modulus by zero");
+            r = (y == -1) ? 0 : x % y;  // INT64_MIN % -1 traps on x86.
+            break;
+          case ArithOp::kIDiv:
+            if (y == 0) {
+              return Status::DynamicError("integer division by zero");
+            }
+            if (x == INT64_MIN && y == -1) {
+              return Status::DynamicError(
+                  "err:FOAR0002: integer overflow in idiv");
+            }
+            r = x / y;
+            break;
+          case ArithOp::kDiv:
+            break;  // Unreachable (guarded above).
+        }
+        lhs[0] = Item(AtomicValue::Integer(r));
+        --sp;
+        VM_NEXT();
+      }
+      // Double fast path (idiv excepted: NaN/INF and range checks).
+      if (a.type() == XsType::kDouble && b.type() == XsType::kDouble &&
+          op != ArithOp::kIDiv) {
+        double x = a.AsRawDouble();
+        double y = b.AsRawDouble();
+        double r = 0;
+        switch (op) {
+          case ArithOp::kAdd: r = x + y; break;
+          case ArithOp::kSub: r = x - y; break;
+          case ArithOp::kMul: r = x * y; break;
+          case ArithOp::kDiv: r = x / y; break;
+          case ArithOp::kMod: r = std::fmod(x, y); break;
+          case ArithOp::kIDiv: break;  // Unreachable (guarded above).
+        }
+        lhs[0] = Item(AtomicValue::Double(r));
+        --sp;
+        VM_NEXT();
+      }
+    }
+    Sequence s1, s2;
+    auto r = EvalArithmetic(op, AtomizeView(lhs, &s1), AtomizeView(rhs, &s2));
+    if (!r.ok()) return r.status();
+    --sp;
+    stack[sp - 1] = std::move(r).value();
+    VM_NEXT();
+  }
+
+  VM_CASE(kUnary) : {
+    Sequence& s = stack[sp - 1];
+    Sequence scratch;
+    auto r = EvalUnary(ip->flag != 0, AtomizeView(s, &scratch));
+    if (!r.ok()) return r.status();
+    stack[sp - 1] = std::move(r).value();
+    VM_NEXT();
+  }
+
+  VM_CASE(kValueCmp) : {
+    Sequence& lhs = stack[sp - 2];
+    Sequence& rhs = stack[sp - 1];
+    CompOp op = static_cast<CompOp>(ip->flag);
+    if (lhs.size() == 1 && rhs.size() == 1 && lhs[0].IsAtomic() &&
+        rhs[0].IsAtomic() &&
+        lhs[0].AsAtomic().type() == XsType::kInteger &&
+        rhs[0].AsAtomic().type() == XsType::kInteger) {
+      bool b = IntCmp(op, lhs[0].AsAtomic().AsInt(),
+                      rhs[0].AsAtomic().AsInt());
+      lhs[0] = Item(AtomicValue::Boolean(b));
+      --sp;
+      VM_NEXT();
+    }
+    Sequence s1, s2;
+    auto r =
+        EvalValueComparison(op, AtomizeView(lhs, &s1), AtomizeView(rhs, &s2));
+    if (!r.ok()) return r.status();
+    --sp;
+    stack[sp - 1] = std::move(r).value();
+    VM_NEXT();
+  }
+
+  VM_CASE(kGeneralCmp) : {
+    Sequence& lhs = stack[sp - 2];
+    Sequence& rhs = stack[sp - 1];
+    CompOp op = static_cast<CompOp>(ip->flag);
+    bool b = false;
+    if (lhs.size() == 1 && rhs.size() == 1 && lhs[0].IsAtomic() &&
+        rhs[0].IsAtomic() &&
+        lhs[0].AsAtomic().type() == XsType::kInteger &&
+        rhs[0].AsAtomic().type() == XsType::kInteger) {
+      b = IntCmp(op, lhs[0].AsAtomic().AsInt(), rhs[0].AsAtomic().AsInt());
+    } else {
+      Sequence s1, s2;
+      auto r = EvalGeneralComparison(op, AtomizeView(lhs, &s1),
+                                     AtomizeView(rhs, &s2));
+      if (!r.ok()) return r.status();
+      b = r.value();
+    }
+    --sp;
+    Sequence& dst = stack[sp - 1];
+    dst.clear();
+    dst.push_back(Item(AtomicValue::Boolean(b)));
+    VM_NEXT();
+  }
+
+  VM_CASE(kNodeCmp) : {
+    Sequence& lhs = stack[sp - 2];
+    Sequence& rhs = stack[sp - 1];
+    // Node comparisons take the raw (non-atomized) operands.
+    auto r = EvalNodeComparison(static_cast<CompOp>(ip->flag), lhs, rhs);
+    if (!r.ok()) return r.status();
+    --sp;
+    stack[sp - 1] = std::move(r).value();
+    VM_NEXT();
+  }
+
+  VM_CASE(kEbv) : {
+    Sequence& s = stack[sp - 1];
+    if (!IsSingletonBool(s)) {
+      auto r = EffectiveBooleanValue(s);
+      if (!r.ok()) return r.status();
+      s.clear();
+      s.push_back(Item(AtomicValue::Boolean(r.value())));
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kJump) : { VM_GOTO(ip->a); }
+
+  VM_CASE(kJumpIfFalse) : {
+    Sequence& s = stack[--sp];
+    bool b = false;
+    if (IsSingletonBool(s)) {
+      b = s[0].AsAtomic().AsBool();
+    } else {
+      auto r = EffectiveBooleanValue(s);
+      if (!r.ok()) return r.status();
+      b = r.value();
+    }
+    if (!b) VM_GOTO(ip->a);
+    VM_NEXT();
+  }
+
+  VM_CASE(kJumpIfTrue) : {
+    Sequence& s = stack[--sp];
+    bool b = false;
+    if (IsSingletonBool(s)) {
+      b = s[0].AsAtomic().AsBool();
+    } else {
+      auto r = EffectiveBooleanValue(s);
+      if (!r.ok()) return r.status();
+      b = r.value();
+    }
+    if (b) VM_GOTO(ip->a);
+    VM_NEXT();
+  }
+
+  VM_CASE(kIterNew) : {
+    IterState& it = iters[size_t(ip->a)];
+    it.domain = std::move(stack[--sp]);
+    it.pos = 0;
+    VM_NEXT();
+  }
+
+  VM_CASE(kIterNext) : {
+    // Every loop back-edge lands here: the cooperative cancellation point.
+    if (gov_ != nullptr) XQP_RETURN_NOT_OK(gov_->Poll());
+    IterState& it = iters[size_t(ip->a)];
+    if (it.pos >= it.domain.size()) VM_GOTO(ip->b);
+    const Item& item = it.domain[it.pos++];
+    if (ip->c >= 0) {
+      Sequence& reg = regs[size_t(ip->c)];
+      reg.clear();
+      reg.push_back(item);
+      if (ip->flag & 1) {
+        ctx_->slots[size_t(ip->c)] = LazySeq::FromItem(item);
+      }
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kBindPos) : {
+    IterState& it = iters[size_t(ip->a)];
+    Item pos_item(AtomicValue::Integer(int64_t(it.pos)));  // 1-based.
+    Sequence& reg = regs[size_t(ip->b)];
+    reg.clear();
+    reg.push_back(pos_item);
+    if (ip->flag & 1) {
+      ctx_->slots[size_t(ip->b)] = LazySeq::FromItem(std::move(pos_item));
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kAccumNew) : {
+    if (asize_ == accums_.size()) accums_.emplace_back();
+    accums_[asize_].clear();
+    ++asize_;
+    VM_NEXT();
+  }
+
+  VM_CASE(kAccumAdd) : {
+    Sequence& s = stack[--sp];
+    Sequence& acc = accums_[asize_ - 1];
+    acc.insert(acc.end(), std::make_move_iterator(s.begin()),
+               std::make_move_iterator(s.end()));
+    VM_NEXT();
+  }
+
+  VM_CASE(kAccumEnd) : {
+    --asize_;
+    stack[sp++] = std::move(accums_[asize_]);
+    VM_NEXT();
+  }
+
+  VM_CASE(kCallBuiltin) : {
+    size_t argc = size_t(ip->b);
+    args_.clear();
+    for (size_t i = 0; i < argc; ++i) {
+      args_.push_back(std::move(stack[sp - argc + i]));
+    }
+    sp -= argc;
+    auto r = CallBuiltin(static_cast<Builtin>(ip->a), args_, ctx_, focus_);
+    if (!r.ok()) return r.status();
+    stack[sp++] = std::move(r).value();
+    VM_NEXT();
+  }
+
+  VM_CASE(kBailout) : {
+    auto r = RunThunk(size_t(ip->a));
+    if (!r.ok()) return r.status();
+    stack[sp++] = std::move(r).value();
+    VM_NEXT();
+  }
+
+  VM_CASE(kPop) : {
+    --sp;
+    VM_NEXT();
+  }
+
+  VM_CASE(kHalt) : {
+    retired_ = retired + 1;
+    return std::move(stack[--sp]);
+  }
+
+  VM_END()
+}
+
+#undef VM_CASE
+#undef VM_DISPATCH
+#undef VM_BEGIN
+#undef VM_END
+#undef VM_NEXT
+#undef VM_GOTO
+
+}  // namespace
+
+Result<Sequence> RunProgram(const Program& program, DynamicContext* ctx) {
+  Vm vm(program, ctx);
+  Result<Sequence> out = vm.Run();
+  if (metrics::Enabled()) {
+    static metrics::Counter* instructions =
+        metrics::MetricsRegistry::Global().counter("vm.instructions");
+    static metrics::Counter* bailouts =
+        metrics::MetricsRegistry::Global().counter("vm.bailouts");
+    if (vm.retired() != 0) instructions->Add(vm.retired());
+    if (vm.bailouts() != 0) bailouts->Add(vm.bailouts());
+  }
+  return out;
+}
+
+}  // namespace vm
+}  // namespace xqp

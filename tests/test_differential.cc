@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/fault.h"
 #include "engine.h"
 #include "tests/test_util.h"
 #include "xmark/generator.h"
@@ -204,6 +205,8 @@ TEST_P(XMarkDifferentialTest, EnginesBatchAndProfileAgree) {
   eager.use_lazy_engine = false;
   CompiledQuery::ExecOptions lazy;
   lazy.use_lazy_engine = true;
+  CompiledQuery::ExecOptions vmexec;
+  vmexec.backend = ExecBackend::kVm;
 
   std::vector<std::string> queries;
   std::vector<std::string> expected;
@@ -219,13 +222,45 @@ TEST_P(XMarkDifferentialTest, EnginesBatchAndProfileAgree) {
     EXPECT_EQ(reference.value()->ExecuteToXml(lazy).ValueOrDie(), want)
         << query;
 
-    // Optimized plan, both engines.
+    // Optimized plan, all three backends. The vm twin pins the bytecode
+    // compiler + VM (and its per-subtree bailouts) bit-identical to lazy.
     auto optimized = engine.Compile(query);
     ASSERT_TRUE(optimized.ok()) << query;
     EXPECT_EQ(optimized.value()->ExecuteToXml(eager).ValueOrDie(), want)
         << query;
     EXPECT_EQ(optimized.value()->ExecuteToXml(lazy).ValueOrDie(), want)
         << query;
+    EXPECT_EQ(optimized.value()->ExecuteToXml(vmexec).ValueOrDie(), want)
+        << query;
+
+    // Fault injection at the bytecode compiler: the query must fall back
+    // to the lazy engine transparently, still bit-identical.
+    {
+      fault::ScopedFault vm_fault("vm.compile", 1);
+      auto faulted = engine.Compile(query);
+      ASSERT_TRUE(faulted.ok()) << query;
+      EXPECT_EQ(faulted.value()->ExecuteToXml(vmexec).ValueOrDie(), want)
+          << query << " (vm.compile fault)";
+    }
+
+    // Resource-limit parity: with a tight result cap the vm backend trips
+    // the same governor error as lazy, or both succeed with equal results.
+    {
+      CompiledQuery::ExecOptions capped_lazy = lazy;
+      capped_lazy.limits.max_result_items = 3;
+      CompiledQuery::ExecOptions capped_vm = vmexec;
+      capped_vm.limits.max_result_items = 3;
+      auto lazy_r = optimized.value()->Execute(capped_lazy);
+      auto vm_r = optimized.value()->Execute(capped_vm);
+      ASSERT_EQ(lazy_r.ok(), vm_r.ok()) << query;
+      if (lazy_r.ok()) {
+        EXPECT_EQ(SerializeSequence(vm_r.value()).ValueOrDie(),
+                  SerializeSequence(lazy_r.value()).ValueOrDie())
+            << query;
+      } else {
+        EXPECT_EQ(vm_r.status().code(), lazy_r.status().code()) << query;
+      }
+    }
 
     // Optimized plan with indexes disabled engine-wide.
     auto plain = unindexed.Compile(query);
@@ -235,7 +270,7 @@ TEST_P(XMarkDifferentialTest, EnginesBatchAndProfileAgree) {
     // Profile invariant on the optimized plan, both engines: the root
     // operator's item count is the result cardinality and the profiled
     // result is the reference result.
-    for (const auto& exec : {lazy, eager}) {
+    for (const auto& exec : {lazy, eager, vmexec}) {
       auto report = optimized.value()->Profile(exec);
       ASSERT_TRUE(report.ok()) << query << ": "
                                << report.status().ToString();

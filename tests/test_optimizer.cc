@@ -31,7 +31,9 @@ int RuleCount(const RewriteStats& stats, const std::string& rule) {
 TEST(ConstantFolding, FoldsArithmetic) {
   auto [stats, dump] = Optimize("1 + 2 * 3", {});
   EXPECT_EQ(dump, "7");
-  EXPECT_GE(RuleCount(stats, "constant-folding"), 1);
+  // Literal-operand arithmetic is claimed by the cheap const_fold rule
+  // (shared with the bytecode compiler) before the general evaluator fold.
+  EXPECT_GE(RuleCount(stats, "const_fold"), 1);
 }
 
 TEST(ConstantFolding, FoldsComparisonsAndLogic) {

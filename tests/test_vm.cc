@@ -1,0 +1,411 @@
+// Bytecode VM backend: opcode-level semantics, the bailout matrix (every
+// uncompilable construct must fall back to the lazy engine with identical
+// results), governor trips at loop back-edges, fault-injected compiles,
+// metrics, the XQP_BACKEND knob, and concurrent execution of one shared
+// Program (the tsan lane re-runs this binary under ThreadSanitizer).
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/fault.h"
+#include "engine.h"
+#include "tests/test_util.h"
+#include "vm/bytecode.h"
+#include "vm/compiler.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RunQuery;
+
+CompiledQuery::ExecOptions VmExec() {
+  CompiledQuery::ExecOptions exec;
+  exec.backend = ExecBackend::kVm;
+  return exec;
+}
+
+/// Runs `query` on the lazy engine and the vm backend and asserts the
+/// serialized results (or error statuses) are identical; returns the
+/// common serialization.
+std::string RunBoth(const std::string& query, const std::string& doc_xml = "") {
+  XQueryEngine engine;
+  if (!doc_xml.empty()) {
+    auto doc = engine.ParseAndRegister("doc.xml", doc_xml);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  }
+  auto compiled = engine.Compile(query);
+  EXPECT_TRUE(compiled.ok()) << query << ": " << compiled.status().ToString();
+  if (!compiled.ok()) return "COMPILE-ERROR";
+  auto lazy = compiled.value()->ExecuteToXml();
+  auto vm = compiled.value()->ExecuteToXml(VmExec());
+  EXPECT_EQ(lazy.ok(), vm.ok()) << query;
+  if (!lazy.ok()) {
+    EXPECT_EQ(vm.status().code(), lazy.status().code()) << query;
+    EXPECT_EQ(vm.status().message(), lazy.status().message()) << query;
+    return "ERROR: " + std::string(lazy.status().message());
+  }
+  EXPECT_EQ(vm.value(), lazy.value()) << query;
+  return lazy.value();
+}
+
+// --- Opcode-level semantics ------------------------------------------------
+
+TEST(VmOpcodes, LiteralsAndArithmetic) {
+  // const_fold collapses pure-literal trees; mix in an external-free FLWOR
+  // variable so the arithmetic actually executes as bytecode.
+  EXPECT_EQ(RunBoth("for $i in (5) return $i + 2"), "7");
+  EXPECT_EQ(RunBoth("for $i in (7) return $i - 10"), "-3");
+  EXPECT_EQ(RunBoth("for $i in (6) return $i * 7"), "42");
+  EXPECT_EQ(RunBoth("for $i in (7) return $i idiv 2"), "3");
+  EXPECT_EQ(RunBoth("for $i in (7) return $i mod 3"), "1");
+  EXPECT_EQ(RunBoth("for $i in (7.5) return $i + 0.25"), "7.75");
+  EXPECT_EQ(RunBoth("for $i in (1) return $i div 4"), "0.25");
+  EXPECT_EQ(RunBoth("for $i in (5) return -$i"), "-5");
+  EXPECT_EQ(RunBoth("for $i in (()) return $i + 1"), "");
+}
+
+TEST(VmOpcodes, ArithmeticErrors) {
+  EXPECT_EQ(RunBoth("for $i in (1) return $i idiv 0"),
+            "ERROR: integer division by zero");
+  EXPECT_EQ(RunBoth("for $i in (1) return $i mod 0"),
+            "ERROR: modulus by zero");
+  EXPECT_EQ(RunBoth("for $i in (9223372036854775807) return $i + 1"),
+            "ERROR: err:FOAR0002: integer overflow in addition");
+  EXPECT_EQ(RunBoth("for $i in (9223372036854775807) return $i * 2"),
+            "ERROR: err:FOAR0002: integer overflow in multiplication");
+  EXPECT_EQ(RunBoth("for $i in (-9223372036854775807) return ($i - 1) - 1"),
+            "ERROR: err:FOAR0002: integer overflow in subtraction");
+}
+
+TEST(VmOpcodes, Comparisons) {
+  EXPECT_EQ(RunBoth("for $i in (5) return $i eq 5"), "true");
+  EXPECT_EQ(RunBoth("for $i in (5) return $i lt 5"), "false");
+  EXPECT_EQ(RunBoth("for $i in (5) return $i le 5"), "true");
+  EXPECT_EQ(RunBoth("for $i in (5) return $i ne 4"), "true");
+  EXPECT_EQ(RunBoth("for $i in (()) return $i eq 5"), "");
+  EXPECT_EQ(RunBoth("for $i in (3) return ($i, 9) = 9"), "true");
+  EXPECT_EQ(RunBoth("for $i in (3) return ($i, 9) > 10"), "false");
+  EXPECT_EQ(RunBoth("for $i in ('b') return $i > 'a'"), "true");
+}
+
+TEST(VmOpcodes, BooleanLogicAndIf) {
+  EXPECT_EQ(RunBoth("for $i in (1) return $i = 1 and $i < 2"), "true");
+  EXPECT_EQ(RunBoth("for $i in (1) return $i = 2 or $i = 1"), "true");
+  EXPECT_EQ(RunBoth("for $i in (1) return if ($i > 0) then 'p' else 'n'"),
+            "p");
+  EXPECT_EQ(RunBoth("for $i in (-1) return if ($i > 0) then 'p' else 'n'"),
+            "n");
+  // Short-circuit: the right operand would raise if evaluated.
+  EXPECT_EQ(RunBoth("for $i in (0) return $i != 0 and (1 idiv $i) = 1"),
+            "false");
+}
+
+TEST(VmOpcodes, RangeAndSequence) {
+  EXPECT_EQ(RunBoth("for $i in (3) return (1 to $i, 10)"), "1 2 3 10");
+  EXPECT_EQ(RunBoth("for $i in (3) return ($i to 1)"), "");
+  EXPECT_EQ(RunBoth("for $i in (4) return count(1 to $i)"), "4");
+  EXPECT_EQ(RunBoth("let $x := (1,2) return ($x to 3)"),
+            "ERROR: range operands must be singletons");
+}
+
+TEST(VmOpcodes, FlworShapes) {
+  EXPECT_EQ(RunBoth("for $i in 1 to 5 return $i * $i"), "1 4 9 16 25");
+  EXPECT_EQ(RunBoth("for $i in 1 to 10 where ($i mod 3) = 0 return $i"),
+            "3 6 9");
+  EXPECT_EQ(RunBoth("for $i in 1 to 3, $j in 1 to $i return 10 * $i + $j"),
+            "11 21 22 31 32 33");
+  EXPECT_EQ(RunBoth("for $i at $p in ('a','b','c') return $p"), "1 2 3");
+  EXPECT_EQ(RunBoth("for $i in 1 to 3 let $d := $i * 2 return $d"), "2 4 6");
+  EXPECT_EQ(RunBoth("let $x := 5 let $y := $x + 1 return $x * $y"), "30");
+  EXPECT_EQ(RunBoth("sum(for $i in 1 to 100 return $i)"), "5050");
+}
+
+TEST(VmOpcodes, Quantified) {
+  EXPECT_EQ(RunBoth("every $x in 1 to 9 satisfies $x < 10"), "true");
+  EXPECT_EQ(RunBoth("every $x in 1 to 9 satisfies $x < 5"), "false");
+  EXPECT_EQ(RunBoth("some $x in 1 to 9 satisfies $x = 7"), "true");
+  EXPECT_EQ(RunBoth("some $x in () satisfies $x = 1"), "false");
+  EXPECT_EQ(RunBoth("every $x in () satisfies $x = 1"), "true");
+  EXPECT_EQ(RunBoth("some $x in 1 to 3, $y in 1 to 3 satisfies $x + $y = 6"),
+            "true");
+}
+
+TEST(VmOpcodes, BuiltinsAndContextItem) {
+  EXPECT_EQ(RunBoth("for $s in ('hello') return string-length($s)"), "5");
+  EXPECT_EQ(RunBoth("for $s in ('a') return concat($s, 'b', 'c')"), "abc");
+  EXPECT_EQ(RunBoth("for $i in (2) return abs(-3 * $i)"), "6");
+  // Context item without a binding is a dynamic error on both backends.
+  EXPECT_EQ(RunBoth("for $i in (1) return $i + ."),
+            "ERROR: context item is not defined");
+}
+
+TEST(VmOpcodes, ContextItemBound) {
+  XQueryEngine engine;
+  auto compiled = engine.Compile("for $i in (1) return $i + .");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions exec = VmExec();
+  exec.has_context_item = true;
+  exec.context_item = Item(AtomicValue::Integer(41));
+  XQP_ASSERT_OK_AND_ASSIGN(std::string got,
+                           compiled.value()->ExecuteToXml(exec));
+  EXPECT_EQ(got, "42");
+}
+
+TEST(VmOpcodes, ExternalVariablesUseGlobalSlots) {
+  XQueryEngine engine;
+  auto compiled = engine.Compile(
+      "declare variable $n external; for $i in 1 to 3 return $i * $n");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions exec = VmExec();
+  exec.variables["n"] = Sequence{Item(AtomicValue::Integer(10))};
+  XQP_ASSERT_OK_AND_ASSIGN(std::string got,
+                           compiled.value()->ExecuteToXml(exec));
+  EXPECT_EQ(got, "10 20 30");
+}
+
+// --- Bailout matrix --------------------------------------------------------
+
+// Every construct outside the ISA must compile to a bailout thunk and run
+// on the lazy engine with bit-identical results. Each query keeps a
+// compilable shell (arithmetic / FLWOR / builtin call) around the
+// uncompilable subtree so the program is not a trivial whole-plan bailout.
+TEST(VmBailouts, UncompilableConstructsFallBackCleanly) {
+  const std::string doc = "<r><a>1</a><a>2</a><b>3</b></r>";
+  const char* queries[] = {
+      // Path / step / root / filter.
+      "1 + count(doc('doc.xml')//a)",
+      "for $n in doc('doc.xml')//a return 1",
+      "count((1,2,3)[. > 1]) + 0",
+      // Order-by FLWOR (kOrderSpec clause).
+      "(0, for $x in (3,1,2) order by $x return $x)",
+      // Constructors.
+      "count(for $i in 1 to 3 return <a>{$i}</a>)",
+      "string(for $i in (1) return attribute id {$i}) != ''",
+      // Typeswitch / type operators.
+      "(1, typeswitch (42) case xs:string return 's' default return 'd')",
+      "(42 instance of xs:integer) and (1 = 1)",
+      "(5 treat as xs:integer) + 1",
+      "xs:integer('42') + 1",
+      "('42' castable as xs:integer) or false()",
+      // Set operations.
+      "count(doc('doc.xml')//a union doc('doc.xml')//b) * 1",
+      "count(doc('doc.xml')//* intersect doc('doc.xml')//a) * 1",
+      // Try/catch.
+      "(1, try { 1 idiv 0 } catch { 'saved' })",
+      // Recursive user function (never inlined).
+      "declare function local:fact($n as xs:integer) as xs:integer { "
+      "if ($n le 1) then 1 else $n * local:fact($n - 1) }; "
+      "local:fact(5) + 0",
+  };
+  for (const char* q : queries) {
+    RunBoth(q, doc);
+  }
+}
+
+TEST(VmBailouts, ExplainMarksThunksAndCompiledRoot) {
+  XQueryEngine engine;
+  XQP_ASSERT_OK(
+      engine.ParseAndRegister("doc.xml", "<r><a/></r>").status());
+  auto compiled = engine.Compile("1 + count(doc('doc.xml')//a)");
+  XQP_ASSERT_OK(compiled.status());
+  std::string tree = compiled.value()->ExplainTree(VmExec());
+  EXPECT_NE(tree.find(" [vm]"), std::string::npos) << tree;
+  EXPECT_NE(tree.find(" [bailout: "), std::string::npos) << tree;
+  // The default rendering is unannotated (golden stability).
+  std::string plain = compiled.value()->ExplainTree();
+  EXPECT_EQ(plain.find(" [vm]"), std::string::npos) << plain;
+
+  // A path root is a trivial whole-plan bailout: annotated at the root,
+  // no [vm] marker anywhere.
+  auto path = engine.Compile("doc('doc.xml')//a");
+  XQP_ASSERT_OK(path.status());
+  std::string path_tree = path.value()->ExplainTree(VmExec());
+  EXPECT_NE(path_tree.find(" [bailout: "), std::string::npos) << path_tree;
+  EXPECT_EQ(path_tree.find(" [vm]"), std::string::npos) << path_tree;
+}
+
+TEST(VmBailouts, ThunksSeeLoopVariables) {
+  // The bailout thunk references the FLWOR binding, so the dual-store
+  // mirror must publish every iteration's value to the lazy context.
+  EXPECT_EQ(RunBoth("for $i in 1 to 3 return <v>{$i * 10}</v>",
+                    "<r/>"),
+            "<v>10</v><v>20</v><v>30</v>");
+  EXPECT_EQ(RunBoth("for $i at $p in ('a','b') return <v>{$p}</v>"),
+            "<v>1</v><v>2</v>");
+  EXPECT_EQ(RunBoth("let $x := 7 return (<v>{$x}</v>, $x)"), "<v>7</v>7");
+}
+
+// --- Governor --------------------------------------------------------------
+
+TEST(VmGovernor, CancelTripsAtBackEdge) {
+  XQueryEngine engine;
+  auto compiled =
+      engine.Compile("sum(for $i in 1 to 100000000 return $i mod 7)");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions exec = VmExec();
+  exec.limits.cancel = std::make_shared<CancelToken>();
+  exec.limits.cancel->Cancel();
+  auto result = compiled.value()->Execute(exec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(VmGovernor, ResultCapMatchesLazy) {
+  XQueryEngine engine;
+  auto compiled = engine.Compile("for $i in 1 to 100 return $i");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions vm = VmExec();
+  vm.limits.max_result_items = 10;
+  CompiledQuery::ExecOptions lazy;
+  lazy.limits.max_result_items = 10;
+  auto vm_r = compiled.value()->Execute(vm);
+  auto lazy_r = compiled.value()->Execute(lazy);
+  ASSERT_FALSE(vm_r.ok());
+  ASSERT_FALSE(lazy_r.ok());
+  EXPECT_EQ(vm_r.status().code(), lazy_r.status().code());
+  EXPECT_EQ(vm_r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VmGovernor, PoolBytesCharged) {
+  XQueryEngine engine;
+  auto compiled = engine.Compile("for $i in (1) return $i + 123456");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions exec = VmExec();
+  exec.limits.memory_budget_bytes = 1;  // Pool charge must trip it.
+  auto result = compiled.value()->Execute(exec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Fault injection -------------------------------------------------------
+
+TEST(VmFault, CompileFaultFallsBackToLazy) {
+  XQueryEngine engine;
+  auto compiled = engine.Compile("sum(for $i in 1 to 50 return $i)");
+  XQP_ASSERT_OK(compiled.status());
+  {
+    fault::ScopedFault f("vm.compile", 1);
+    XQP_ASSERT_OK_AND_ASSIGN(std::string got,
+                             compiled.value()->ExecuteToXml(VmExec()));
+    EXPECT_EQ(got, "1275");
+  }
+  // The failed compile is cached: later runs keep falling back (and keep
+  // producing correct results) without re-hitting the fault site.
+  XQP_ASSERT_OK_AND_ASSIGN(std::string again,
+                           compiled.value()->ExecuteToXml(VmExec()));
+  EXPECT_EQ(again, "1275");
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+TEST(VmMetrics, CountersAdvance) {
+  XQueryEngine engine;
+  auto compiled =
+      engine.Compile("sum(for $i in 1 to 10 where $i > 2 return $i * 2)");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions exec = VmExec();
+  XQP_ASSERT_OK_AND_ASSIGN(ProfileReport report,
+                           compiled.value()->Profile(exec));
+  EXPECT_EQ(report.backend, ExecBackend::kVm);
+  EXPECT_GE(report.engine_metrics.counters["vm.compiles"], 1u);
+  EXPECT_GT(report.engine_metrics.counters["vm.instructions"], 10u);
+  EXPECT_EQ(SerializeSequence(report.result).ValueOrDie(), "104");
+  // Root accounting holds under the vm backend (xqp_profile --check).
+  const OpStats* root = report.RootStats();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->items, report.result.size());
+
+  // A query with an uncompiled subtree retires bailouts.
+  XQP_ASSERT_OK(
+      engine.ParseAndRegister("doc.xml", "<r><a/><a/></r>").status());
+  auto mixed = engine.Compile("1 + count(doc('doc.xml')//a)");
+  XQP_ASSERT_OK(mixed.status());
+  XQP_ASSERT_OK_AND_ASSIGN(ProfileReport mixed_report,
+                           mixed.value()->Profile(exec));
+  EXPECT_GE(mixed_report.engine_metrics.counters["vm.bailouts"], 1u);
+  EXPECT_EQ(SerializeSequence(mixed_report.result).ValueOrDie(), "3");
+}
+
+// --- Backend selection -----------------------------------------------------
+
+TEST(VmBackend, EnvKnobSelectsVm) {
+  ::setenv("XQP_BACKEND", "vm", 1);
+  XQueryEngine engine;
+  ::unsetenv("XQP_BACKEND");
+  EXPECT_EQ(engine.options().backend, ExecBackend::kVm);
+  auto compiled = engine.Compile("sum(for $i in 1 to 10 return $i)");
+  XQP_ASSERT_OK(compiled.status());
+  // Default ExecOptions now resolve to the vm backend.
+  EXPECT_EQ(compiled.value()->ResolvedBackend(CompiledQuery::ExecOptions()),
+            ExecBackend::kVm);
+  XQP_ASSERT_OK_AND_ASSIGN(ProfileReport report, compiled.value()->Profile());
+  EXPECT_EQ(report.backend, ExecBackend::kVm);
+  EXPECT_NE(report.ToText().find("engine: vm (bytecode)"), std::string::npos);
+  EXPECT_NE(report.ToJson().find("\"engine\":\"vm\""), std::string::npos);
+}
+
+TEST(VmBackend, PerCallOverrideWinsOverEngineDefault) {
+  EngineOptions options;
+  options.backend = ExecBackend::kVm;
+  XQueryEngine engine(options);
+  auto compiled = engine.Compile("1 + 1");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions eager;
+  eager.backend = ExecBackend::kEager;
+  EXPECT_EQ(compiled.value()->ResolvedBackend(eager), ExecBackend::kEager);
+  CompiledQuery::ExecOptions legacy;
+  legacy.use_lazy_engine = false;
+  EXPECT_EQ(compiled.value()->ResolvedBackend(legacy), ExecBackend::kEager);
+  EXPECT_EQ(compiled.value()->ResolvedBackend(CompiledQuery::ExecOptions()),
+            ExecBackend::kVm);
+}
+
+// --- Compiler-level checks -------------------------------------------------
+
+TEST(VmCompiler, ProgramShape) {
+  XQueryEngine engine;
+  auto compiled =
+      engine.Compile("sum(for $i in 1 to 10 where $i > 2 return $i * 2)");
+  XQP_ASSERT_OK(compiled.status());
+  XQP_ASSERT_OK_AND_ASSIGN(std::shared_ptr<const vm::Program> program,
+                           vm::CompileProgram(compiled.value()->module()));
+  EXPECT_FALSE(program->trivial_bailout);
+  EXPECT_TRUE(program->thunks.empty());
+  EXPECT_GT(program->code.size(), 5u);
+  EXPECT_EQ(program->code.back().op, vm::Op::kHalt);
+  EXPECT_GT(program->max_stack, 0);
+  EXPECT_GT(program->num_iters, 0);
+  // Pool entries 0/1 are the canonical booleans.
+  ASSERT_GE(program->const_pool.size(), 2u);
+  EXPECT_GT(program->const_pool_bytes, 0u);
+}
+
+// --- Concurrency (tsan lane) -----------------------------------------------
+
+TEST(VmConcurrency, SharedProgramRunsFromManyThreads) {
+  XQueryEngine engine;
+  auto compiled = engine.Compile(
+      "sum(for $i in 1 to 2000 return $i * 3 + ($i mod 5))");
+  XQP_ASSERT_OK(compiled.status());
+  XQP_ASSERT_OK_AND_ASSIGN(std::string want,
+                           compiled.value()->ExecuteToXml());
+  const CompiledQuery* query = compiled.value().get();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([query, &want] {
+      for (int i = 0; i < 8; ++i) {
+        auto got = query->ExecuteToXml(VmExec());
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_EQ(got.value(), want);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace xqp

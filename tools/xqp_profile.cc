@@ -13,9 +13,12 @@
 //                     matching the benchmark suite's Arg(n) convention
 //                     (default 20)
 //   --json            emit the profile as one JSON object instead of text
-//   --explain-only    print the optimized operator tree and exit (no run)
+//   --explain-only    print the optimized operator tree (annotated for the
+//                     selected backend) and exit (no run)
 //   --eager           profile the eager reference interpreter instead of
-//                     the lazy streaming engine
+//                     the lazy streaming engine (same as --backend eager)
+//   --backend B       execution backend: lazy, eager, or vm (overrides
+//                     XQP_BACKEND; default lazy)
 //   --threads N       worker threads for parallel kernels (0 = default)
 //   --check           exit non-zero unless the plan root's item count
 //                     equals the result cardinality (CI self-test)
@@ -48,7 +51,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: xqp_profile (--query ID | --text QUERY) [--scale N]\n"
                "                   [--json] [--explain-only] [--eager]\n"
-               "                   [--threads N] [--check]\n");
+               "                   [--backend lazy|eager|vm] [--threads N]\n"
+               "                   [--check]\n");
   return 2;
 }
 
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
   bool eager = false;
   bool check = false;
   int threads = 0;
+  std::optional<xqp::ExecBackend> backend;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -88,6 +93,17 @@ int main(int argc, char** argv) {
       explain_only = true;
     } else if (arg == "--eager") {
       eager = true;
+    } else if (arg == "--backend" && i + 1 < argc) {
+      std::string name = argv[++i];
+      if (name == "lazy") {
+        backend = xqp::ExecBackend::kLazy;
+      } else if (name == "eager") {
+        backend = xqp::ExecBackend::kEager;
+      } else if (name == "vm") {
+        backend = xqp::ExecBackend::kVm;
+      } else {
+        return Usage();
+      }
     } else if (arg == "--check") {
       check = true;
     } else {
@@ -127,8 +143,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  xqp::CompiledQuery::ExecOptions exec;
+  exec.use_lazy_engine = !eager;
+  exec.backend = backend;
+
   if (explain_only) {
-    std::fputs(compiled.value()->ExplainTree().c_str(), stdout);
+    std::printf("backend: %s\n", xqp::ExecBackendName(
+                                     compiled.value()->ResolvedBackend(exec)));
+    std::fputs(compiled.value()->ExplainTree(exec).c_str(), stdout);
     const xqp::Expr* body = compiled.value()->module().body.get();
     const xqp::PathExpr* marked =
         body == nullptr ? nullptr : FindIndexedPath(*body);
@@ -144,8 +166,6 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  xqp::CompiledQuery::ExecOptions exec;
-  exec.use_lazy_engine = !eager;
   auto report = compiled.value()->Profile(exec);
   if (!report.ok()) {
     std::fprintf(stderr, "execution error: %s\n",
