@@ -1,0 +1,111 @@
+// Experiment E19 — cost-based access-path selection: the same descendant
+// query executed with each strategy forced (index answer vs binary
+// structural join) and with the selector left in automatic mode, swept
+// over path diversity D. The corpus holds D distinct rooted label paths
+// p0..p{D-1}, each containing the same total number of <k> leaves, so the
+// answer cardinality is constant across the sweep while the index
+// strategy's merge frontier grows with D: at D=1 the direct index answer
+// is one pre-sorted posting list (it should win), at large D it pays an
+// N log N merge across D synopsis nodes while the structural join streams
+// one cached per-tag list (it should win). The `auto` lane should track
+// whichever forced lane is cheaper at both ends — that crossover is the
+// point of the cost model (src/opt/cost.cc).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace xqp {
+namespace {
+
+// Total <k> leaves across all paths; per-path count is kLeaves / D.
+constexpr int kLeaves = 4096;
+
+/// D distinct parent tags, each holding kLeaves/D <k> children:
+/// <r><p0><k>v</k>...</p0><p1>...</p1>...</r>
+std::string DiversityXml(int diversity) {
+  int per_path = kLeaves / diversity;
+  std::string xml = "<r>";
+  for (int d = 0; d < diversity; ++d) {
+    std::string tag = "p" + std::to_string(d);
+    xml += "<" + tag + ">";
+    for (int i = 0; i < per_path; ++i) xml += "<k>v</k>";
+    xml += "</" + tag + ">";
+  }
+  xml += "</r>";
+  return xml;
+}
+
+std::unique_ptr<XQueryEngine> MakeEngine(int diversity, AccessPath force) {
+  EngineOptions options;
+  options.force_access_path = force;
+  auto engine = std::make_unique<XQueryEngine>(options);
+  auto doc = engine->ParseAndRegister("div.xml", DiversityXml(diversity));
+  if (!doc.ok()) std::abort();
+  return engine;
+}
+
+void RunForcedLoop(benchmark::State& state, AccessPath force) {
+  int diversity = static_cast<int>(state.range(0));
+  auto engine = MakeEngine(diversity, force);
+  auto compiled = bench::MustCompile(engine.get(), "doc('div.xml')//k");
+  // Warm index / tag-index caches outside the timed region: E19 measures
+  // the steady-state strategy cost, not the one-time build.
+  size_t items = compiled->Execute().ValueOrDie().size();
+  if (items != kLeaves) {
+    state.SkipWithError("unexpected cardinality");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = compiled->Execute();
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["items"] = static_cast<double>(items);
+  state.counters["diversity"] = static_cast<double>(diversity);
+}
+
+void BM_AutoExecute(benchmark::State& state) {
+  RunForcedLoop(state, AccessPath::kAuto);
+}
+BENCHMARK(BM_AutoExecute)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ForcedIndex(benchmark::State& state) {
+  RunForcedLoop(state, AccessPath::kIndex);
+}
+BENCHMARK(BM_ForcedIndex)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ForcedSJoin(benchmark::State& state) {
+  RunForcedLoop(state, AccessPath::kSJoin);
+}
+BENCHMARK(BM_ForcedSJoin)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ForcedTwig(benchmark::State& state) {
+  // //k is a one-step chain, below the twig executor's two-element
+  // minimum, so the forced-twig lane measures the graceful degradation to
+  // navigation that the differential suite relies on.
+  RunForcedLoop(state, AccessPath::kTwig);
+}
+BENCHMARK(BM_ForcedTwig)->Arg(1)->Arg(64);
+
+/// Compile-time cost of the selector itself (annotation + costing against
+/// warm indexes); should stay trivially small next to execution.
+void BM_ChooseOverhead(benchmark::State& state) {
+  int diversity = static_cast<int>(state.range(0));
+  auto engine = MakeEngine(diversity, AccessPath::kAuto);
+  if (!engine->GetDocumentIndexes("div.xml").ok()) {
+    state.SkipWithError("index build failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto compiled = engine->Compile("doc('div.xml')//k");
+    if (!compiled.ok()) state.SkipWithError("compile failed");
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_ChooseOverhead)->Arg(1)->Arg(256);
+
+}  // namespace
+}  // namespace xqp
+
+XQP_BENCH_JSON_MAIN("BENCH_planner.json")

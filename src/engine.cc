@@ -14,6 +14,7 @@
 #include "exec/iterators.h"
 #include "join/twig.h"
 #include "join/twig_planner.h"
+#include "opt/access_path.h"
 #include "opt/properties.h"
 #include "opt/static_types.h"
 #include "query/normalize.h"
@@ -71,6 +72,14 @@ XQueryEngine::XQueryEngine(const EngineOptions& options)
       options_.backend = ExecBackend::kEager;
     } else if (v == "vm") {
       options_.backend = ExecBackend::kVm;
+    }
+  }
+  // XQP_ACCESS_PATH forces one access-path strategy for every chain it can
+  // answer (auto / nav / sjoin / twig / index). Unrecognized values are
+  // ignored.
+  if (const char* env = std::getenv("XQP_ACCESS_PATH")) {
+    if (std::optional<AccessPath> forced = ParseAccessPath(env)) {
+      options_.force_access_path = *forced;
     }
   }
   fault::ArmFromEnv();
@@ -344,6 +353,26 @@ Result<std::unique_ptr<CompiledQuery>> XQueryEngine::Compile(
     if (g.init != nullptr) AnalyzeExpr(g.init.get(), m);
   }
   AnalyzeExpr(m->body.get(), m);
+  // Annotate the chosen access path on index-candidate chains for EXPLAIN.
+  // Peek-only: compiling a query must neither build indexes (no governor
+  // charge, no fault-site hits) nor block on a build; a cold cache leaves
+  // the annotation at kAuto and ExplainTree refreshes it later.
+  if (options_.enable_indexes) {
+    IndexPeek peek = [this](const std::string& uri) {
+      return index_manager_.Peek(uri);
+    };
+    for (UserFunction& fn : m->functions) {
+      if (fn.body != nullptr) {
+        AnnotateAccessPaths(fn.body.get(), peek, options_.force_access_path);
+      }
+    }
+    for (GlobalVariable& g : m->globals) {
+      if (g.init != nullptr) {
+        AnnotateAccessPaths(g.init.get(), peek, options_.force_access_path);
+      }
+    }
+    AnnotateAccessPaths(m->body.get(), peek, options_.force_access_path);
+  }
   compiled->engine_ = this;
   return compiled;
 }
@@ -432,11 +461,29 @@ Result<std::shared_ptr<const vm::Program>> CompiledQuery::VmProgram() const {
   return vm_program_;
 }
 
+void CompiledQuery::AnnotateForExplain() const {
+  if (engine_ == nullptr || !engine_->options().enable_indexes) return;
+  IndexPeek peek = [this](const std::string& uri) {
+    return engine_->PeekDocumentIndexes(uri);
+  };
+  AccessPath force = engine_->options().force_access_path;
+  ParsedModule* m = module_.get();
+  for (UserFunction& fn : m->functions) {
+    if (fn.body != nullptr) AnnotateAccessPaths(fn.body.get(), peek, force);
+  }
+  for (GlobalVariable& g : m->globals) {
+    if (g.init != nullptr) AnnotateAccessPaths(g.init.get(), peek, force);
+  }
+  AnnotateAccessPaths(m->body.get(), peek, force);
+}
+
 std::string CompiledQuery::ExplainTree() const {
+  AnnotateForExplain();
   return RenderExplainTree(*module_->body);
 }
 
 std::string CompiledQuery::ExplainTree(const ExecOptions& options) const {
+  AnnotateForExplain();
   if (ResolvedBackend(options) != ExecBackend::kVm) {
     return RenderExplainTree(*module_->body);
   }
@@ -463,6 +510,7 @@ Status CompiledQuery::SetupContext(const ExecOptions& options,
   if (engine_ != nullptr) {
     ctx->parallel_threshold = engine_->options().parallel_threshold;
     ctx->num_threads = engine_->options().num_threads;
+    ctx->force_access_path = engine_->options().force_access_path;
   }
   if (options.has_context_item) {
     ctx->initial_context = LazySeq::FromItem(options.context_item);
@@ -774,7 +822,19 @@ Result<Sequence> CompiledQuery::ExecuteViaTwigJoin() const {
   const EngineOptions& opts = engine_->options();
   std::vector<NodeIndex> matches;
   bool answered = false;
-  if (opts.enable_indexes) {
+  // A forced access path reroutes the twig executor the same way it does
+  // the navigational engines: nav runs the recursive-probing baseline,
+  // sjoin the binary structural-join pipeline, twig skips the synopsis
+  // substitution so the holistic join runs over full per-tag lists.
+  if (opts.force_access_path == AccessPath::kNav) {
+    XQP_ASSIGN_OR_RETURN(matches, NavigationMatch(index->doc(), pattern));
+    answered = true;
+  } else if (opts.force_access_path == AccessPath::kSJoin) {
+    XQP_ASSIGN_OR_RETURN(matches, BinaryJoinMatch(*index, pattern));
+    answered = true;
+  }
+  if (!answered && opts.enable_indexes &&
+      opts.force_access_path != AccessPath::kTwig) {
     // Index-aware planning: resolve each pattern node's root chain against
     // the path synopsis. A linear pattern whose output is the leaf is a
     // complete synopsis answer (no join at all); otherwise the synopsis-

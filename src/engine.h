@@ -87,6 +87,15 @@ struct EngineOptions {
   /// knob ("lazy" / "eager" / "vm") overrides this default; unrecognized
   /// values are ignored.
   ExecBackend backend = ExecBackend::kLazy;
+
+  /// Access-path override for doc()-anchored chains: kAuto (default) lets
+  /// the cost model (opt/cost.h) choose per chain; kNav / kSJoin / kTwig /
+  /// kIndex force that strategy wherever it can answer (degrading to
+  /// navigation elsewhere — results are bit-identical for every setting).
+  /// The XQP_ACCESS_PATH environment knob ("auto" / "nav" / "sjoin" /
+  /// "twig" / "index") overrides this default; unrecognized values are
+  /// ignored.
+  AccessPath force_access_path = AccessPath::kAuto;
 };
 
 /// The public facade: an in-memory XML store plus the XQuery compiler and
@@ -153,6 +162,14 @@ class XQueryEngine : public DocumentProvider {
   Result<std::shared_ptr<const DocumentIndexes>> GetDocumentIndexes(
       const std::string& uri) override;
 
+  /// Already-built indexes for `uri`, or null — never builds. EXPLAIN's
+  /// access-path annotation peeks so that rendering a plan can neither
+  /// charge an index build nor trip injected build faults.
+  std::shared_ptr<const DocumentIndexes> PeekDocumentIndexes(
+      const std::string& uri) const {
+    return options_.enable_indexes ? index_manager_.Peek(uri) : nullptr;
+  }
+
   struct CompileOptions {
     /// Run the rewrite-rule optimizer (SQ5/optimization step).
     bool optimize = true;
@@ -208,8 +225,10 @@ class XQueryEngine : public DocumentProvider {
   CacheStats cache_stats() const;
 
   /// Tag index for a registered document, built on first use and cached
-  /// (substrate for the structural/twig join execution strategy).
-  Result<std::shared_ptr<const TagIndex>> GetTagIndex(const std::string& uri);
+  /// (substrate for the structural/twig join execution strategy and the
+  /// sjoin/twig access paths).
+  Result<std::shared_ptr<const TagIndex>> GetTagIndex(
+      const std::string& uri) override;
 
  private:
   /// Clears derived caches and bumps the epoch. Caller must hold mu_
@@ -401,6 +420,12 @@ class CompiledQuery {
 
   /// Binds globals and prepares a dynamic context for one run.
   Status SetupContext(const ExecOptions& options, DynamicContext* ctx) const;
+
+  /// Refreshes PathExpr access-path annotations against the engine's
+  /// *currently cached* indexes (peek-only) before an EXPLAIN rendering —
+  /// a plan explained after a warm-up run shows the decision execution
+  /// would make.
+  void AnnotateForExplain() const;
 
   /// Engine default_limits overridden by the per-call limits.
   QueryLimits EffectiveLimits(const ExecOptions& options) const;

@@ -9,12 +9,14 @@
 #include "base/limits.h"
 #include "base/parallel.h"
 #include "exec/lazy_seq.h"
+#include "query/expr.h"
 #include "query/static_context.h"
 
 namespace xqp {
 
 class QueryProfile;
 class DocumentIndexes;
+class TagIndex;
 
 /// Supplies documents and collections to fn:doc / fn:collection ("available
 /// documents and collections" of the paper's dynamic context). The engine
@@ -33,6 +35,15 @@ class DocumentProvider {
       const std::string& uri) {
     (void)uri;
     return std::shared_ptr<const DocumentIndexes>();
+  }
+  /// Per-tag element posting lists for `uri` (join/tag_index.h), or nullptr
+  /// when the provider does not maintain them — the structural-join access
+  /// paths then decline to navigation. The engine overrides this with its
+  /// cached, build-once entry.
+  virtual Result<std::shared_ptr<const TagIndex>> GetTagIndex(
+      const std::string& uri) {
+    (void)uri;
+    return std::shared_ptr<const TagIndex>();
   }
 };
 
@@ -83,6 +94,12 @@ class DynamicContext {
   /// in a profiling decorator and the eager interpreter times every Eval;
   /// when null, neither engine pays more than a pointer test.
   QueryProfile* profile = nullptr;
+
+  /// Access-path override for doc()-anchored chains, copied from
+  /// EngineOptions at context setup. kAuto lets the cost model choose; a
+  /// forced strategy that cannot answer a given chain degrades to
+  /// navigation (results stay bit-identical across all settings).
+  AccessPath force_access_path = AccessPath::kAuto;
 
   /// Counters the experiments report (node-id elision, buffer usage).
   struct Stats {

@@ -13,6 +13,7 @@
 #include "exec/constructor.h"
 #include "exec/type_match.h"
 #include "index/index_planner.h"
+#include "opt/access_path.h"
 
 namespace xqp {
 
@@ -363,7 +364,7 @@ Result<Sequence> Interpreter::EvalDispatch(const Expr* e) {
 Result<Sequence> Interpreter::EvalPath(const PathExpr* e) {
   if (e->index_candidate) {
     XQP_ASSIGN_OR_RETURN(std::optional<Sequence> answered,
-                         TryAnswerPathFromIndex(e, ctx_));
+                         TryExecuteAccessPath(e, ctx_));
     if (answered.has_value()) return std::move(*answered);
   }
   XQP_ASSIGN_OR_RETURN(Sequence input, Eval(e->child(0)));

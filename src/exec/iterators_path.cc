@@ -4,6 +4,7 @@
 #include "exec/axes.h"
 #include "exec/iterators.h"
 #include "index/index_planner.h"
+#include "opt/access_path.h"
 
 namespace xqp {
 namespace lazy_internal {
@@ -347,11 +348,13 @@ class FilterIt : public ItemIterator {
 };
 
 /// Decorator over a marked path (PathExpr::index_candidate): Reset() first
-/// offers the path to the document's synopsis / value index — the context
-/// (and with it the provider and governor) only arrives here, so the
-/// attempt cannot happen at compile time. An index answer is served from
-/// the materialized buffer; a decline delegates every call to the wrapped
-/// PathIt, which was compiled unconditionally.
+/// offers the path to the access-path selector (opt/access_path.h), which
+/// costs the synopsis/value-index answer against the join strategies and
+/// plain navigation — the context (and with it the provider and governor)
+/// only arrives here, so the attempt cannot happen at compile time. A
+/// selected answer is served from the materialized buffer; a decline (or a
+/// nav decision) delegates every call to the wrapped PathIt, which was
+/// compiled unconditionally.
 class IndexPathIt : public ItemIterator {
  public:
   IndexPathIt(const PathExpr* e, std::unique_ptr<ItemIterator> inner)
@@ -360,7 +363,7 @@ class IndexPathIt : public ItemIterator {
   Status Reset(DynamicContext* ctx) override {
     buffer_.reset();
     pos_ = 0;
-    XQP_ASSIGN_OR_RETURN(buffer_, TryAnswerPathFromIndex(e_, ctx));
+    XQP_ASSIGN_OR_RETURN(buffer_, TryExecuteAccessPath(e_, ctx));
     if (buffer_.has_value()) return Status::OK();
     return inner_->Reset(ctx);
   }

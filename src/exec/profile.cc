@@ -12,8 +12,17 @@ std::string FlagSuffix(const PathExpr& p) {
   if (p.needs_sort) flags += "sort";
   if (p.needs_dedup) flags += flags.empty() ? "dedup" : " dedup";
   if (p.index_candidate) flags += flags.empty() ? "index" : " index";
-  if (flags.empty()) return "";
-  return " [" + flags + "]";
+  std::string out;
+  if (!flags.empty()) out = " [" + flags + "]";
+  // Access-path annotation (kAuto means "not decided": cold index cache or
+  // not a candidate) — kept as a separate bracket so the "[index]" marker
+  // above stays stable for plans compiled with indexes enabled.
+  if (p.access_path != AccessPath::kAuto) {
+    out += " [access: ";
+    out += AccessPathName(p.access_path);
+    out += ", est=" + std::to_string(p.access_est) + "]";
+  }
+  return out;
 }
 
 /// Clause/role annotation for child `i` of `parent`, e.g. "for $x in: ".

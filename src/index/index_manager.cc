@@ -49,6 +49,13 @@ Result<std::shared_ptr<const DocumentIndexes>> IndexManager::GetOrBuild(
   return built;
 }
 
+std::shared_ptr<const DocumentIndexes> IndexManager::Peek(
+    const std::string& uri) const {
+  std::shared_lock lock(mu_);
+  auto it = cache_.find(uri);
+  return it == cache_.end() ? nullptr : it->second;
+}
+
 void IndexManager::Invalidate() {
   std::unique_lock lock(mu_);
   cache_.clear();

@@ -27,6 +27,12 @@ class IndexManager {
       const std::string& uri, std::shared_ptr<const Document> doc,
       uint32_t value_kinds);
 
+  /// Shared-lock probe of the cache: the entry for `uri` or null, never
+  /// building. Compile-time access-path annotation peeks so that compiling
+  /// a query can neither charge an index build to a governor nor trip
+  /// injected build faults — those belong to the first executing query.
+  std::shared_ptr<const DocumentIndexes> Peek(const std::string& uri) const;
+
   /// Drops every cached index (document re-registration, engine epoch bump).
   void Invalidate();
 

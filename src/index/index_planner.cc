@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <unordered_map>
 
 #include "base/metrics.h"
 
@@ -55,9 +57,19 @@ CompOp FlipOp(CompOp op) {
 }
 
 /// Parses one predicate expression into an IndexPredicate, or nullopt when
-/// it is outside the fragment (positional, non-comparison, non-literal
-/// operand, boolean literal, value comparison, ...).
+/// it is outside the fragment (non-comparison, non-literal operand, boolean
+/// literal, value comparison, ...). A bare numeric literal becomes a
+/// positional predicate (position() == value semantics, exactly as the
+/// filter iterators special-case it).
 std::optional<IndexPredicate> PlanPredicate(const Expr* p) {
+  if (p->kind() == ExprKind::kLiteral) {
+    const AtomicValue& v = static_cast<const LiteralExpr*>(p)->value;
+    if (!v.IsNumeric()) return std::nullopt;
+    IndexPredicate pred;
+    pred.positional = true;
+    pred.operand = v;
+    return pred;
+  }
   if (p->kind() != ExprKind::kComparison) return std::nullopt;
   const auto* cmp = static_cast<const ComparisonExpr*>(p);
   if (!IsGeneralComp(cmp->op)) return std::nullopt;
@@ -95,6 +107,20 @@ std::optional<IndexPredicate> PlanPredicate(const Expr* p) {
   pred.op = flipped ? FlipOp(cmp->op) : cmp->op;
   pred.operand = v;
   return pred;
+}
+
+/// Flattens an `and`-chain into its conjuncts (any other expression is its
+/// own single conjunct).
+void FlattenAnd(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind() == ExprKind::kLogical) {
+    const auto* l = static_cast<const LogicalExpr*>(e);
+    if (l->is_and) {
+      FlattenAnd(l->child(0), out);
+      FlattenAnd(l->child(1), out);
+      return;
+    }
+  }
+  out->push_back(e);
 }
 
 /// Attribute children of the synopsis subtree rooted at `s`, inclusive of
@@ -270,6 +296,26 @@ std::optional<std::vector<NodeIndex>> ApplyPredicate(
   return bases;
 }
 
+/// Positional selection: the k-th node per parent, in document order. The
+/// pool is doc-ordered, so the k-th occurrence under a parent is its k-th
+/// qualifying child. Non-integral, non-positive, NaN, or out-of-range
+/// positions match nothing (position() == value semantics).
+std::vector<NodeIndex> SelectKthPerParent(const Document& doc,
+                                          const std::vector<NodeIndex>& pool,
+                                          double k) {
+  std::vector<NodeIndex> out;
+  if (!(k >= 1.0) || k != std::floor(k) ||
+      k > static_cast<double>(pool.size())) {
+    return out;
+  }
+  const uint64_t kk = static_cast<uint64_t>(k);
+  std::unordered_map<NodeIndex, uint64_t> seen;
+  for (NodeIndex n : pool) {
+    if (++seen[doc.node(n).parent] == kk) out.push_back(n);
+  }
+  return out;
+}
+
 /// Navigates one step from materialized nodes (the steps after a mid-chain
 /// predicate). Output is doc-order distinct.
 std::vector<NodeIndex> NavigateStep(const Document& doc,
@@ -362,12 +408,44 @@ std::optional<IndexQuery> PlanIndexPath(const Expr& e) {
     pending_descendant = false;
     q.steps.push_back(std::move(st));
     if (filter != nullptr) {
-      if (q.predicate.has_value()) return std::nullopt;  // One predicate.
-      if (filter->NumChildren() != 2) return std::nullopt;
-      std::optional<IndexPredicate> pred = PlanPredicate(filter->child(1));
-      if (!pred) return std::nullopt;
-      pred->step = q.steps.size() - 1;
-      q.predicate = std::move(pred);
+      // All predicates must sit on a single step — the point where the
+      // answer materializes and later steps switch to navigation.
+      if (!q.predicates.empty()) return std::nullopt;
+      bool has_positional = false;
+      for (size_t pi = 1; pi < filter->NumChildren(); ++pi) {
+        const Expr* bracket = filter->child(pi);
+        std::optional<IndexPredicate> direct = PlanPredicate(bracket);
+        if (direct.has_value() && direct->positional) {
+          // Positional semantics are per parent context, which only holds
+          // for child-axis steps: a merged "//" connector keeps child
+          // semantics per descendant-or-self node (still grouped by the
+          // node's parent), but a genuine descendant:: axis counts per
+          // ancestor and attribute order is not positional. One position,
+          // applied after any value predicates (later brackets see the
+          // positionally filtered sequence, which we cannot reproduce).
+          if (has_positional || step->axis != Axis::kChild) {
+            return std::nullopt;
+          }
+          has_positional = true;
+          direct->step = q.steps.size() - 1;
+          q.predicates.push_back(std::move(*direct));
+          continue;
+        }
+        if (has_positional) return std::nullopt;
+        // A conjunction of value predicates: intersect the base sets. A
+        // bare numeric literal inside `and` takes EBV semantics, not
+        // positional ones — PlanPredicate would mis-classify it, so any
+        // positional conjunct declines the whole path.
+        std::vector<const Expr*> conjuncts;
+        FlattenAnd(bracket, &conjuncts);
+        for (const Expr* c : conjuncts) {
+          std::optional<IndexPredicate> pred = PlanPredicate(c);
+          if (!pred || pred->positional) return std::nullopt;
+          pred->step = q.steps.size() - 1;
+          q.predicates.push_back(std::move(*pred));
+        }
+      }
+      if (q.predicates.empty()) return std::nullopt;
     }
   }
   if (pending_descendant || q.steps.empty()) return std::nullopt;
@@ -388,10 +466,35 @@ std::optional<std::vector<NodeIndex>> AnswerIndexQuery(
     }
     frontier = ResolveStep(idx, frontier, st,
                            doc.FindNameId(st.uri, st.local));
-    if (q.predicate.has_value() && q.predicate->step == si) {
-      std::optional<std::vector<NodeIndex>> filtered =
-          ApplyPredicate(idx, frontier, *q.predicate);
-      if (!filtered.has_value()) return std::nullopt;  // Fall back.
+    if (q.HasPredicates() && q.PredicateStep() == si) {
+      std::optional<std::vector<NodeIndex>> filtered;
+      const IndexPredicate* positional = nullptr;
+      for (const IndexPredicate& pred : q.predicates) {
+        if (pred.positional) {
+          positional = &pred;  // Always last (planner invariant).
+          continue;
+        }
+        std::optional<std::vector<NodeIndex>> part =
+            ApplyPredicate(idx, frontier, pred);
+        if (!part.has_value()) return std::nullopt;  // Fall back.
+        if (!filtered.has_value()) {
+          filtered = std::move(part);
+        } else {
+          // Conjunction: both sets are sorted and duplicate-free.
+          std::vector<NodeIndex> both;
+          std::set_intersection(filtered->begin(), filtered->end(),
+                                part->begin(), part->end(),
+                                std::back_inserter(both));
+          *filtered = std::move(both);
+        }
+      }
+      if (positional != nullptr) {
+        std::vector<NodeIndex> pool = filtered.has_value()
+                                          ? std::move(*filtered)
+                                          : MergedPostings(idx, frontier);
+        filtered = SelectKthPerParent(doc, pool,
+                                      positional->operand.NumericAsDouble());
+      }
       bases = std::move(*filtered);
       materialized = true;
     }
@@ -435,7 +538,7 @@ Result<std::optional<Sequence>> TryAnswerPathFromIndex(const PathExpr* e,
     return declined;
   }
   if (metrics::Enabled()) {
-    (plan->predicate.has_value() ? value_hits : synopsis_hits)->Add(1);
+    (plan->HasPredicates() ? value_hits : synopsis_hits)->Add(1);
   }
   Sequence out;
   out.reserve(nodes->size());
@@ -479,6 +582,97 @@ std::optional<std::vector<std::vector<NodeIndex>>> SynopsisPostingsForPattern(
   std::vector<std::vector<NodeIndex>> lists(n);
   for (size_t i = 0; i < n; ++i) lists[i] = MergedPostings(idx, syn[i]);
   return lists;
+}
+
+std::vector<int32_t> ResolveSynopsisStep(const DocumentIndexes& idx,
+                                         const std::vector<int32_t>& frontier,
+                                         const IndexStep& st) {
+  return ResolveStep(idx, frontier, st, idx.doc().FindNameId(st.uri, st.local));
+}
+
+size_t CountSynopsisPostings(const DocumentIndexes& idx,
+                             const std::vector<int32_t>& syn) {
+  size_t total = 0;
+  for (int32_t s : syn) total += idx.postings(s).size();
+  return total;
+}
+
+std::vector<NodeIndex> MergedSynopsisPostings(const DocumentIndexes& idx,
+                                              const std::vector<int32_t>& syn) {
+  return MergedPostings(idx, syn);
+}
+
+std::vector<NodeIndex> NavigateMaterializedStep(
+    const Document& doc, const std::vector<NodeIndex>& base,
+    const IndexStep& st) {
+  return NavigateStep(doc, base, st);
+}
+
+std::optional<size_t> CountPredicateMatches(
+    const DocumentIndexes& idx, const std::vector<int32_t>& frontier,
+    const IndexPredicate& pred) {
+  if (pred.positional) return std::nullopt;
+  const Document& doc = idx.doc();
+  bool numeric = pred.operand.IsNumeric();
+  if (numeric && !(idx.value_kinds() & kIndexValueNumeric)) return std::nullopt;
+  if (!numeric && !(idx.value_kinds() & kIndexValueString)) return std::nullopt;
+  uint32_t tname = doc.FindNameId(pred.target.uri, pred.target.local);
+  if (tname == kNoName) return size_t{0};  // Never satisfied.
+  NodeKind tkind =
+      pred.target.attribute ? NodeKind::kAttribute : NodeKind::kElement;
+  std::string sval = numeric ? std::string() : pred.operand.AsString();
+  double dval = numeric ? pred.operand.NumericAsDouble() : 0.0;
+  size_t total = 0;
+  for (int32_t s : frontier) {
+    int32_t t = idx.FindChild(s, tkind, tname);
+    if (t < 0) continue;
+    const DocumentIndexes::ValuePostings* vp = idx.values(t);
+    if (vp == nullptr || !vp->indexable) return std::nullopt;
+    if (numeric) {
+      if (!vp->all_numeric) return std::nullopt;
+      const auto& v = vp->by_number;
+      auto nan_begin = std::partition_point(
+          v.begin(), v.end(),
+          [](const auto& p) { return !std::isnan(p.first); });
+      if (std::isnan(dval)) {
+        if (pred.op == CompOp::kGenNe) total += v.size();
+        continue;
+      }
+      auto lo = std::lower_bound(
+          v.begin(), nan_begin, dval,
+          [](const auto& p, double d) { return p.first < d; });
+      auto hi = std::upper_bound(
+          v.begin(), nan_begin, dval,
+          [](double d, const auto& p) { return d < p.first; });
+      switch (pred.op) {
+        case CompOp::kGenEq: total += hi - lo; break;
+        case CompOp::kGenNe: total += v.size() - (hi - lo); break;
+        case CompOp::kGenLt: total += lo - v.begin(); break;
+        case CompOp::kGenLe: total += hi - v.begin(); break;
+        case CompOp::kGenGt: total += nan_begin - hi; break;
+        case CompOp::kGenGe: total += nan_begin - lo; break;
+        default: break;
+      }
+    } else {
+      const auto& v = vp->by_string;
+      auto lo = std::lower_bound(
+          v.begin(), v.end(), sval,
+          [](const auto& p, const std::string& s) { return p.first < s; });
+      auto hi = std::upper_bound(
+          v.begin(), v.end(), sval,
+          [](const std::string& s, const auto& p) { return s < p.first; });
+      switch (pred.op) {
+        case CompOp::kGenEq: total += hi - lo; break;
+        case CompOp::kGenNe: total += v.size() - (hi - lo); break;
+        case CompOp::kGenLt: total += lo - v.begin(); break;
+        case CompOp::kGenLe: total += hi - v.begin(); break;
+        case CompOp::kGenGt: total += v.end() - hi; break;
+        case CompOp::kGenGe: total += v.end() - lo; break;
+        default: break;
+      }
+    }
+  }
+  return total;
 }
 
 }  // namespace xqp

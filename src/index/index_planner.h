@@ -22,10 +22,16 @@ struct IndexStep {
   bool attribute = false;
 };
 
-/// A single value predicate [target op literal] carried by one step.
+/// One predicate [.. op literal] or [position] carried by one step.
 struct IndexPredicate {
-  /// Position in IndexQuery::steps of the step the predicate filters.
+  /// Position in IndexQuery::steps of the step the predicate filters. All
+  /// predicates of one IndexQuery share the same step (the materialization
+  /// point); later steps are navigated from the filtered node set.
   size_t step = 0;
+  /// True for a positional predicate `[n]` (numeric literal): the operand
+  /// is the position, matched per context node — i.e. the n-th qualifying
+  /// step node among those sharing a parent. The target step is unused.
+  bool positional = false;
   /// The compared step: a child element or attribute of the filtered step.
   IndexStep target;
   /// Normalized so the node side is on the left (flipped when the query
@@ -36,11 +42,19 @@ struct IndexPredicate {
 };
 
 /// The index-answerable query fragment: a doc('uri')-anchored chain of
-/// named child/descendant/attribute steps with at most one value predicate.
+/// named child/descendant/attribute steps where one step may carry a
+/// conjunction of value predicates (stacked brackets or `and`-chains, all
+/// intersected) optionally followed by one positional predicate.
 struct IndexQuery {
   std::string doc_uri;
   std::vector<IndexStep> steps;
-  std::optional<IndexPredicate> predicate;
+  std::vector<IndexPredicate> predicates;
+
+  bool HasPredicates() const { return !predicates.empty(); }
+  /// The step carrying the predicates (meaningless when there are none).
+  size_t PredicateStep() const {
+    return predicates.empty() ? 0 : predicates.front().step;
+  }
 };
 
 /// Recognizes the index-answerable fragment, mirroring (and extending with
@@ -75,6 +89,39 @@ Result<std::optional<Sequence>> TryAnswerPathFromIndex(const PathExpr* e,
 /// TwigStackMatchWithLists over them returns exactly the TwigStack answer.
 std::optional<std::vector<std::vector<NodeIndex>>> SynopsisPostingsForPattern(
     const DocumentIndexes& idx, const TwigPattern& pattern);
+
+/// Advances a synopsis frontier (sorted, duplicate-free synopsis-node set)
+/// across one chain step. Exported for the cost model (opt/cost.h), which
+/// resolves chains exactly the way AnswerIndexQuery does.
+std::vector<int32_t> ResolveSynopsisStep(const DocumentIndexes& idx,
+                                         const std::vector<int32_t>& frontier,
+                                         const IndexStep& st);
+
+/// Total posting count of a synopsis set — the exact number of document
+/// nodes on those paths (lists are pairwise disjoint).
+size_t CountSynopsisPostings(const DocumentIndexes& idx,
+                             const std::vector<int32_t>& syn);
+
+/// Concatenate-and-sort of a synopsis set's posting lists: the document-
+/// order distinct node set on those paths.
+std::vector<NodeIndex> MergedSynopsisPostings(const DocumentIndexes& idx,
+                                              const std::vector<int32_t>& syn);
+
+/// Counts the target entries a value predicate's range probe would match
+/// over `frontier` without materializing them — the selectivity input of
+/// the cost model. nullopt exactly when ApplyPredicate would decline
+/// (disabled family, unindexable path, non-numeric path under a numeric
+/// operand), so a countable predicate is also an answerable one.
+std::optional<size_t> CountPredicateMatches(const DocumentIndexes& idx,
+                                            const std::vector<int32_t>& frontier,
+                                            const IndexPredicate& pred);
+
+/// Navigates one chain step from an already-materialized doc-order node
+/// set (the continuation steps after a predicate, or a trailing attribute
+/// step after a join strategy). Output is doc-order distinct.
+std::vector<NodeIndex> NavigateMaterializedStep(const Document& doc,
+                                                const std::vector<NodeIndex>& base,
+                                                const IndexStep& st);
 
 }  // namespace xqp
 

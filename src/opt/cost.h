@@ -1,0 +1,67 @@
+#ifndef XQP_OPT_COST_H_
+#define XQP_OPT_COST_H_
+
+#include <cstdint>
+
+#include "index/document_indexes.h"
+#include "index/index_planner.h"
+
+namespace xqp {
+
+/// Cardinality estimate for an index-answerable chain. Pure structural
+/// chains are *exact*: the synopsis stores the true per-path node counts,
+/// so the estimate is the answer's cardinality. Predicates make it a
+/// statistical estimate (`exact == false`): value selectivities come from
+/// counting range probes of the sorted value families, conjunctions
+/// multiply under an independence assumption, positional predicates keep
+/// at most one node per candidate parent, and steps after the predicate
+/// scale by the synopsis fan-out ratio.
+struct CardEstimate {
+  uint64_t rows = 0;
+  bool exact = false;
+};
+
+/// Scored candidate strategies for one chain, in abstract "node touches"
+/// (list entries scanned + sort comparisons + output rows — see DESIGN.md
+/// "Cost model & access-path selection" for the formulas). A strategy with
+/// `*_applicable == false` cannot answer this shape (predicates rule out
+/// the join strategies; a disabled value family rules out the index) and
+/// its cost is meaningless.
+struct AccessPathCosts {
+  double nav = 0;
+  double sjoin = 0;
+  double twig = 0;
+  double index = 0;
+  bool sjoin_applicable = false;
+  bool twig_applicable = false;
+  bool index_applicable = false;
+};
+
+/// Join-strategy applicability of a chain: the join executors (and the
+/// cost model scoring them) accept predicate-free element chains with at
+/// most one trailing non-descendant attribute step.
+struct JoinChainShape {
+  bool joinable = false;
+  /// Number of leading element steps (k or k-1 with a trailing attribute).
+  size_t elem_steps = 0;
+  bool trailing_attr = false;
+};
+
+JoinChainShape ClassifyJoinChain(const IndexQuery& q);
+
+/// Estimates the result cardinality of `q` from the document's synopsis
+/// and value index. Never touches posting contents — only counts and
+/// logarithmic range probes.
+CardEstimate EstimateCardinality(const DocumentIndexes& idx,
+                                 const IndexQuery& q);
+
+/// Scores all four strategies for `q`. `card_out`, when non-null, receives
+/// the cardinality estimate the scoring derived (same value as
+/// EstimateCardinality — computed in the same walk).
+AccessPathCosts EstimateAccessPathCosts(const DocumentIndexes& idx,
+                                        const IndexQuery& q,
+                                        CardEstimate* card_out = nullptr);
+
+}  // namespace xqp
+
+#endif  // XQP_OPT_COST_H_

@@ -312,11 +312,33 @@ std::string LogicalExpr::ToString() const {
   return std::string(is_and ? "(and" : "(or") + ChildrenToString() + ")";
 }
 
+const char* AccessPathName(AccessPath p) {
+  switch (p) {
+    case AccessPath::kAuto: return "auto";
+    case AccessPath::kNav: return "nav";
+    case AccessPath::kSJoin: return "sjoin";
+    case AccessPath::kTwig: return "twig";
+    case AccessPath::kIndex: return "index";
+  }
+  return "auto";
+}
+
+std::optional<AccessPath> ParseAccessPath(std::string_view name) {
+  if (name == "auto") return AccessPath::kAuto;
+  if (name == "nav") return AccessPath::kNav;
+  if (name == "sjoin") return AccessPath::kSJoin;
+  if (name == "twig") return AccessPath::kTwig;
+  if (name == "index") return AccessPath::kIndex;
+  return std::nullopt;
+}
+
 std::unique_ptr<Expr> PathExpr::Clone() const {
   auto e = std::make_unique<PathExpr>(child(0)->Clone(), child(1)->Clone());
   e->needs_sort = needs_sort;
   e->needs_dedup = needs_dedup;
   e->index_candidate = index_candidate;
+  e->access_path = access_path;
+  e->access_est = access_est;
   return e;
 }
 

@@ -2,7 +2,9 @@
 #define XQP_QUERY_EXPR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "query/sequence_type.h"
@@ -312,6 +314,21 @@ std::string_view CompOpName(CompOp op);
 bool IsGeneralComp(CompOp op);
 bool IsValueComp(CompOp op);
 
+/// Access-path strategy for a doc()-anchored path/twig shape. kAuto means
+/// "undecided" (the cost-based planner chooses at execution time); the
+/// others pin one strategy — pure navigation, a cascade of binary
+/// structural semi-joins, a holistic twig join over per-tag postings, or a
+/// direct synopsis / value-index answer. A pinned strategy that turns out
+/// inapplicable for a given shape degrades to navigation, so results stay
+/// bit-identical (see opt/access_path.h).
+enum class AccessPath : uint8_t { kAuto, kNav, kSJoin, kTwig, kIndex };
+
+/// "auto" / "nav" / "sjoin" / "twig" / "index".
+const char* AccessPathName(AccessPath p);
+
+/// Inverse of AccessPathName; nullopt for unrecognized spellings.
+std::optional<AccessPath> ParseAccessPath(std::string_view name);
+
 class ComparisonExpr : public Expr {
  public:
   ComparisonExpr(CompOp op, ExprPtr lhs, ExprPtr rhs)
@@ -361,6 +378,13 @@ class PathExpr : public Expr {
   /// then offers the path to the document's synopsis / value index first
   /// and falls back to normal evaluation when the index declines.
   bool index_candidate = false;
+  /// EXPLAIN annotation filled in by the cost-based access-path selector
+  /// (opt/access_path.h) when the document's indexes are warm at explain
+  /// time: the strategy the selector would choose and its cardinality
+  /// estimate. Purely informational — execution re-derives the decision
+  /// from live indexes, so these can never go stale.
+  AccessPath access_path = AccessPath::kAuto;
+  uint64_t access_est = 0;
 };
 
 /// E[p1][p2]...: child 0 is the base, children 1..N the predicates.

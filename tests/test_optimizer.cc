@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine.h"
 #include "opt/properties.h"
 #include "query/normalize.h"
 #include "query/parser.h"
@@ -277,6 +278,133 @@ TEST(Properties, VarUseCounting) {
   bool in_loop = false;
   EXPECT_EQ(CountVarUses(flwor->return_expr(), x_slot, &in_loop), 2);
   EXPECT_EQ(CountVarUses(flwor->return_expr(), y_slot, &in_loop), 1);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN goldens for the cost-based access-path selector.  Each test locks
+// down the "[access: <strategy>, est=N]" annotation ExplainTree renders for a
+// canonical query shape against a small fixed document whose cardinalities
+// are known by inspection:
+//
+//   <r>
+//     <a><b>x</b><b>y</b><c k="1">z</c></a>
+//     <a><b>x</b></a>
+//     <d><e><f>1</f></e><e><f>2</f></e></d>
+//   </r>
+//
+// so count(//b)=3, count(/r/a)=2, count(//e/f)=2, count(//c[@k='1'])=1.
+// ---------------------------------------------------------------------------
+
+constexpr char kExplainDoc[] =
+    "<r><a><b>x</b><b>y</b><c k=\"1\">z</c></a><a><b>x</b></a>"
+    "<d><e><f>1</f></e><e><f>2</f></e></d></r>";
+
+/// Registers kExplainDoc as doc('d.xml'), warms its indexes so EXPLAIN's
+/// peek-only annotation sees the decision execution would make, and returns
+/// the rendered tree.
+std::string ExplainWarm(XQueryEngine& engine, const std::string& query) {
+  auto compiled = engine.Compile(query);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  if (!compiled.ok()) return "";
+  return compiled.value()->ExplainTree();
+}
+
+class AccessPathExplain : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.ParseAndRegister("d.xml", kExplainDoc).ok());
+    ASSERT_TRUE(engine_.GetDocumentIndexes("d.xml").ok());
+  }
+  XQueryEngine engine_;
+};
+
+TEST_F(AccessPathExplain, DescendantSingleStep) {
+  EXPECT_NE(ExplainWarm(engine_, "doc('d.xml')//b")
+                .find("path [index] [access: index, est=3]"),
+            std::string::npos);
+}
+
+TEST_F(AccessPathExplain, ChildChainAnnotatesEveryPrefix) {
+  std::string tree = ExplainWarm(engine_, "doc('d.xml')/r/a/b");
+  // Every doc()-anchored prefix is itself a candidate and carries its own
+  // exact synopsis count: /r -> 1, /r/a -> 2, /r/a/b -> 3.
+  EXPECT_NE(tree.find("[access: index, est=3]"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("[access: index, est=2]"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("[access: index, est=1]"), std::string::npos) << tree;
+}
+
+TEST_F(AccessPathExplain, MixedDescendantChildChain) {
+  EXPECT_NE(ExplainWarm(engine_, "doc('d.xml')//e/f")
+                .find("[access: index, est=2]"),
+            std::string::npos);
+}
+
+TEST_F(AccessPathExplain, AttributeValuePredicate) {
+  EXPECT_NE(ExplainWarm(engine_, "doc('d.xml')//c[@k = '1']")
+                .find("[access: index, est=1]"),
+            std::string::npos);
+}
+
+TEST_F(AccessPathExplain, PositionalPredicate) {
+  // //b[2] normalizes to a per-parent positional filter; the synopsis-based
+  // estimate halves the per-parent population for position > 1.
+  EXPECT_NE(ExplainWarm(engine_, "doc('d.xml')//b[2]")
+                .find("[access: index, est=1]"),
+            std::string::npos);
+}
+
+TEST_F(AccessPathExplain, AbsentTagEstimatesZero) {
+  EXPECT_NE(ExplainWarm(engine_, "doc('d.xml')//zzz")
+                .find("[access: index, est=0]"),
+            std::string::npos);
+}
+
+TEST_F(AccessPathExplain, TrailingAttributeStep) {
+  EXPECT_NE(ExplainWarm(engine_, "doc('d.xml')//c/@k")
+                .find("[access: index, est="),
+            std::string::npos);
+}
+
+TEST(AccessPathExplainForced, ForcedStrategyWinsAnnotation) {
+  EngineOptions options;
+  options.force_access_path = AccessPath::kSJoin;
+  XQueryEngine engine(options);
+  ASSERT_TRUE(engine.ParseAndRegister("d.xml", kExplainDoc).ok());
+  ASSERT_TRUE(engine.GetDocumentIndexes("d.xml").ok());
+  EXPECT_NE(ExplainWarm(engine, "doc('d.xml')//b").find("[access: sjoin"),
+            std::string::npos);
+}
+
+TEST(AccessPathExplainForced, ForcedNavAnnotates) {
+  EngineOptions options;
+  options.force_access_path = AccessPath::kNav;
+  XQueryEngine engine(options);
+  ASSERT_TRUE(engine.ParseAndRegister("d.xml", kExplainDoc).ok());
+  ASSERT_TRUE(engine.GetDocumentIndexes("d.xml").ok());
+  EXPECT_NE(ExplainWarm(engine, "doc('d.xml')//b").find("[access: nav"),
+            std::string::npos);
+}
+
+TEST(AccessPathExplainForced, ColdCacheRendersNoDecision) {
+  // Annotation only peeks at already-built indexes; before the first
+  // execution or GetDocumentIndexes call there is nothing to cost against.
+  XQueryEngine engine;
+  ASSERT_TRUE(engine.ParseAndRegister("d.xml", kExplainDoc).ok());
+  auto compiled = engine.Compile("doc('d.xml')//b");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled.value()->ExplainTree().find("[access:"),
+            std::string::npos);
+}
+
+TEST(AccessPathExplainForced, DisabledIndexesRenderNoDecision) {
+  EngineOptions options;
+  options.enable_indexes = false;
+  XQueryEngine engine(options);
+  ASSERT_TRUE(engine.ParseAndRegister("d.xml", kExplainDoc).ok());
+  auto compiled = engine.Compile("doc('d.xml')//b");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled.value()->ExplainTree().find("[access:"),
+            std::string::npos);
 }
 
 }  // namespace

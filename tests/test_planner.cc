@@ -1,0 +1,539 @@
+// Cost-based access-path selection tests: randomized plan equivalence
+// (every forced strategy × every backend must be bit-identical to the
+// unindexed reference), cardinality-estimator accuracy on XMark and
+// adversarial documents, cost-model crossover sanity on skewed corpora,
+// and forced-path robustness under fault injection and resource limits.
+
+#include "opt/access_path.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/fault.h"
+#include "engine.h"
+#include "index/index_planner.h"
+#include "opt/cost.h"
+#include "tests/test_util.h"
+#include "xmark/generator.h"
+
+namespace xqp {
+namespace {
+
+using testing_util::RandomXml;
+
+std::string XMarkXml(double scale) {
+  XMarkOptions options;
+  options.scale = scale;
+  return GenerateXMarkXml(options);
+}
+
+constexpr AccessPath kAllForces[] = {AccessPath::kAuto, AccessPath::kNav,
+                                     AccessPath::kSJoin, AccessPath::kTwig,
+                                     AccessPath::kIndex};
+
+constexpr ExecBackend kAllBackends[] = {ExecBackend::kLazy,
+                                        ExecBackend::kEager, ExecBackend::kVm};
+
+/// Serialized result of `query` on `engine` with the given backend;
+/// errors are folded into the returned string so differential checks also
+/// compare error behavior.
+std::string RunWith(XQueryEngine& engine, const std::string& query,
+                    ExecBackend backend) {
+  auto compiled = engine.Compile(query);
+  if (!compiled.ok()) return "COMPILE-ERROR: " + compiled.status().ToString();
+  CompiledQuery::ExecOptions exec;
+  exec.backend = backend;
+  auto result = compiled.value()->ExecuteToXml(exec);
+  return result.ok() ? result.value()
+                     : "ERROR: " + result.status().ToString();
+}
+
+/// The harness core: for one document, every query must serialize
+/// identically on (a) an unindexed engine and (b) an indexed engine under
+/// every forced access path, on all three backends.
+void ExpectPlanEquivalence(const std::string& uri, const std::string& xml,
+                           const std::vector<std::string>& queries) {
+  EngineOptions plain_options;
+  plain_options.enable_indexes = false;
+  XQueryEngine plain(plain_options);
+  XQP_ASSERT_OK(plain.ParseAndRegister(uri, xml).status());
+
+  std::vector<std::unique_ptr<XQueryEngine>> forced;
+  for (AccessPath force : kAllForces) {
+    EngineOptions options;
+    options.force_access_path = force;
+    forced.push_back(std::make_unique<XQueryEngine>(options));
+    XQP_ASSERT_OK(forced.back()->ParseAndRegister(uri, xml).status());
+  }
+
+  for (const std::string& query : queries) {
+    const std::string want = RunWith(plain, query, ExecBackend::kLazy);
+    for (size_t f = 0; f < forced.size(); ++f) {
+      for (ExecBackend backend : kAllBackends) {
+        EXPECT_EQ(RunWith(*forced[f], query, backend), want)
+            << query << " force=" << AccessPathName(kAllForces[f])
+            << " backend=" << ExecBackendName(backend);
+      }
+    }
+  }
+}
+
+/// The first index-candidate path in pre-order, or null.
+const PathExpr* FindMarkedPath(const Expr& e) {
+  if (e.kind() == ExprKind::kPath) {
+    const auto* p = static_cast<const PathExpr*>(&e);
+    if (p->index_candidate) return p;
+  }
+  for (size_t i = 0; i < e.NumChildren(); ++i) {
+    if (const PathExpr* hit = FindMarkedPath(*e.child(i))) return hit;
+  }
+  return nullptr;
+}
+
+/// Plans `query` on `engine` and returns the cardinality estimate from the
+/// document's (built) indexes. Asserts the query is index-plannable.
+CardEstimate EstimateFor(XQueryEngine& engine, const std::string& uri,
+                         const std::string& query) {
+  auto compiled = engine.Compile(query);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const PathExpr* marked =
+      FindMarkedPath(*compiled.value()->module().body);
+  EXPECT_NE(marked, nullptr) << query;
+  if (marked == nullptr) return {};
+  std::optional<IndexQuery> plan = PlanIndexPath(*marked);
+  EXPECT_TRUE(plan.has_value()) << query;
+  if (!plan.has_value()) return {};
+  auto indexes = engine.GetDocumentIndexes(uri);
+  EXPECT_TRUE(indexes.ok() && indexes.value() != nullptr);
+  return EstimateCardinality(*indexes.value(), *plan);
+}
+
+/// True result cardinality via the engine itself.
+uint64_t TrueCount(XQueryEngine& engine, const std::string& query) {
+  auto result = engine.Execute(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result.value().size() : 0;
+}
+
+/// Path-diversity corpus for the cost crossover: `diversity` distinct
+/// parent tags, each holding `per_path` <k> leaves. //k merges `diversity`
+/// synopsis posting lists (the direct index answer pays a full sort for
+/// diversity > 1) while the per-tag list the structural join consumes is
+/// one pre-sorted run.
+std::string DiversityXml(size_t diversity, size_t per_path) {
+  std::string out = "<r>";
+  for (size_t d = 0; d < diversity; ++d) {
+    out += "<p" + std::to_string(d) + ">";
+    for (size_t j = 0; j < per_path; ++j) out += "<k>v</k>";
+    out += "</p" + std::to_string(d) + ">";
+  }
+  out += "</r>";
+  return out;
+}
+
+/// ChooseAccessPath for `query` against `engine`'s built indexes.
+AccessPathDecision DecisionFor(XQueryEngine& engine, const std::string& uri,
+                               const std::string& query,
+                               AccessPath force = AccessPath::kAuto) {
+  auto compiled = engine.Compile(query);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const PathExpr* marked = FindMarkedPath(*compiled.value()->module().body);
+  EXPECT_NE(marked, nullptr) << query;
+  std::optional<IndexQuery> plan = PlanIndexPath(*marked);
+  EXPECT_TRUE(plan.has_value()) << query;
+  auto indexes = engine.GetDocumentIndexes(uri);
+  EXPECT_TRUE(indexes.ok() && indexes.value() != nullptr);
+  return ChooseAccessPath(*indexes.value(), *plan, force);
+}
+
+// ---------------------------------------------------------------------
+// Plan equivalence: forced strategies × backends, bit-identical.
+
+TEST(PlanEquivalence, XMarkShapes) {
+  ExpectPlanEquivalence(
+      "xmark.xml", XMarkXml(0.02),
+      {
+          "doc('xmark.xml')/site/people/person",
+          "doc('xmark.xml')/site/people/person/name",
+          "doc('xmark.xml')//keyword",
+          "doc('xmark.xml')//open_auction/bidder/increase",
+          "doc('xmark.xml')//person/@id",
+          "doc('xmark.xml')/site/regions//item/location",
+          "doc('xmark.xml')//person[@id = 'person0']",
+          "doc('xmark.xml')//item[quantity = 1]",
+          "doc('xmark.xml')//open_auction/bidder[1]",
+          "doc('xmark.xml')//item[location = 'United States'][quantity = 1]",
+          "doc('xmark.xml')//item[location = 'United States'"
+          " and quantity = 1]/name",
+          "doc('xmark.xml')//nonexistent_tag",
+      });
+}
+
+TEST(PlanEquivalence, RandomCorpora) {
+  const std::vector<std::string> shapes = {
+      "doc('r.xml')//a",
+      "doc('r.xml')/r/a",
+      "doc('r.xml')//a/b",
+      "doc('r.xml')//a//c",
+      "doc('r.xml')//b/@k",
+      "doc('r.xml')//a[@k = '3']",
+      "doc('r.xml')//a/b[2]",
+      "doc('r.xml')//d[@k = '1']/a",
+      "doc('r.xml')//a[@k = '2'][b]",
+  };
+  for (uint64_t seed : {7u, 21u, 443u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ExpectPlanEquivalence("r.xml", RandomXml(seed, 300), shapes);
+  }
+}
+
+// Skewed corpora: heavily duplicated paths vs wide path diversity — the
+// shapes where the strategies' costs actually diverge.
+TEST(PlanEquivalence, SkewedCorpora) {
+  const std::vector<std::string> shapes = {
+      "doc('s.xml')//k",
+      "doc('s.xml')/r/p0/k",
+      "doc('s.xml')//p1//k",
+  };
+  ExpectPlanEquivalence("s.xml", DiversityXml(1, 400), shapes);
+  ExpectPlanEquivalence("s.xml", DiversityXml(48, 9), shapes);
+}
+
+// ---------------------------------------------------------------------
+// Cardinality estimator.
+
+TEST(CardEstimator, StructuralChainsAreExactOnXMark) {
+  for (double scale : {0.02, 0.2}) {
+    SCOPED_TRACE("scale=" + std::to_string(scale));
+    XQueryEngine engine;
+    XQP_ASSERT_OK(
+        engine.ParseAndRegister("xmark.xml", XMarkXml(scale)).status());
+    for (const char* query : {
+             "doc('xmark.xml')/site/people/person",
+             "doc('xmark.xml')/site/people/person/name",
+             "doc('xmark.xml')//keyword",
+             "doc('xmark.xml')//open_auction/bidder/increase",
+             "doc('xmark.xml')//person/@id",
+             "doc('xmark.xml')/site/regions//item",
+             "doc('xmark.xml')//nonexistent_tag",
+         }) {
+      CardEstimate est = EstimateFor(engine, "xmark.xml", query);
+      EXPECT_TRUE(est.exact) << query;
+      EXPECT_EQ(est.rows, TrueCount(engine, query)) << query;
+    }
+  }
+}
+
+TEST(CardEstimator, PredicateEstimatesBoundedError) {
+  // Predicate selectivities come from exact counting range probes over the
+  // value families; the only estimation error is the matched-entries →
+  // surviving-parents mapping (and independence across conjuncts). On
+  // XMark's 1:1 child layout the estimate must stay within a factor of 2
+  // plus small absolute slack of the truth.
+  for (double scale : {0.02, 0.2}) {
+    SCOPED_TRACE("scale=" + std::to_string(scale));
+    XQueryEngine engine;
+    XQP_ASSERT_OK(
+        engine.ParseAndRegister("xmark.xml", XMarkXml(scale)).status());
+    for (const char* query : {
+             "doc('xmark.xml')//person[@id = 'person0']",
+             "doc('xmark.xml')//item[quantity = 1]",
+             "doc('xmark.xml')//item[quantity = 1]/name",
+         }) {
+      CardEstimate est = EstimateFor(engine, "xmark.xml", query);
+      uint64_t truth = TrueCount(engine, query);
+      EXPECT_FALSE(est.exact) << query;
+      EXPECT_LE(est.rows, 2 * truth + 8) << query << " truth=" << truth;
+      EXPECT_LE(truth, 2 * est.rows + 8) << query << " est=" << est.rows;
+    }
+  }
+}
+
+TEST(CardEstimator, EmptyAndAdversarialDocs) {
+  XQueryEngine engine;
+  XQP_ASSERT_OK(
+      engine.ParseAndRegister("e.xml", "<r><a/><a/></r>").status());
+  // Absent tag: exact zero.
+  CardEstimate est = EstimateFor(engine, "e.xml", "doc('e.xml')//zzz");
+  EXPECT_TRUE(est.exact);
+  EXPECT_EQ(est.rows, 0u);
+  // Empty continuation below an existing path: exact zero too.
+  est = EstimateFor(engine, "e.xml", "doc('e.xml')/r/a/b");
+  EXPECT_TRUE(est.exact);
+  EXPECT_EQ(est.rows, 0u);
+}
+
+TEST(CardEstimator, PoisonedValueIndexDisablesIndexPath) {
+  // Mixed-type content under one path self-poisons the numeric family:
+  // a numeric predicate there is unprovable, so the index strategy must
+  // be inapplicable — and the chain still answers correctly everywhere.
+  const std::string xml =
+      "<r><i><v>abc</v></i><i><v>123</v></i><i><v>7</v></i>"
+      "<i><v>xy</v></i></r>";
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("p.xml", xml).status());
+  AccessPathDecision d =
+      DecisionFor(engine, "p.xml", "doc('p.xml')/r/i[v = 7]");
+  EXPECT_FALSE(d.costs.index_applicable);
+  EXPECT_NE(d.chosen, AccessPath::kIndex);
+  // The string family is not poisoned by mixed content; the same chain
+  // with a string operand stays index-answerable.
+  AccessPathDecision ds =
+      DecisionFor(engine, "p.xml", "doc('p.xml')/r/i[v = 'abc']");
+  EXPECT_TRUE(ds.costs.index_applicable);
+  ExpectPlanEquivalence("p.xml", xml,
+                        {"doc('p.xml')/r/i[v = 7]",
+                         "doc('p.xml')/r/i[v = 'abc']",
+                         "doc('p.xml')//i[v = 123]"});
+}
+
+// ---------------------------------------------------------------------
+// Cost model: crossover on skewed corpora.
+
+TEST(CostModel, DiversityCrossoverFlipsStrategy) {
+  // One hot path: the direct index answer returns a single pre-sorted
+  // posting list — nothing can beat it.
+  {
+    XQueryEngine engine;
+    XQP_ASSERT_OK(
+        engine.ParseAndRegister("s.xml", DiversityXml(1, 512)).status());
+    AccessPathDecision d = DecisionFor(engine, "s.xml", "doc('s.xml')//k");
+    EXPECT_EQ(d.chosen, AccessPath::kIndex);
+    EXPECT_TRUE(d.card.exact);
+    EXPECT_EQ(d.card.rows, 512u);
+  }
+  // Wide diversity: the merged answer pays a full concat-and-sort while
+  // the structural join consumes the one cached per-tag run — the model
+  // must flip away from the direct index answer.
+  {
+    XQueryEngine engine;
+    XQP_ASSERT_OK(
+        engine.ParseAndRegister("s.xml", DiversityXml(64, 64)).status());
+    AccessPathDecision d = DecisionFor(engine, "s.xml", "doc('s.xml')//k");
+    EXPECT_EQ(d.chosen, AccessPath::kSJoin);
+    EXPECT_TRUE(d.card.exact);
+    EXPECT_EQ(d.card.rows, 64u * 64u);
+  }
+}
+
+TEST(CostModel, ForcedDecisionReportsForced) {
+  XQueryEngine engine;
+  XQP_ASSERT_OK(
+      engine.ParseAndRegister("s.xml", DiversityXml(4, 16)).status());
+  AccessPathDecision d =
+      DecisionFor(engine, "s.xml", "doc('s.xml')//k", AccessPath::kTwig);
+  EXPECT_TRUE(d.forced);
+  EXPECT_EQ(d.chosen, AccessPath::kTwig);
+}
+
+TEST(CostModel, AutoMatchesCheapestObservedWhenSpreadIsLarge) {
+  // Tolerant timing cross-check: run the two contested strategies under
+  // force and compare wall clock (best of 3). Only when the observed
+  // spread is decisive (>= 3x) do we require the cost model to have
+  // picked the faster side — small spreads prove nothing on shared CI
+  // hardware.
+  struct Corpus {
+    size_t diversity;
+    size_t per_path;
+  };
+  for (Corpus c : {Corpus{1, 20000}, Corpus{256, 40}}) {
+    SCOPED_TRACE("diversity=" + std::to_string(c.diversity));
+    const std::string xml = DiversityXml(c.diversity, c.per_path);
+    const std::string query = "doc('s.xml')//k";
+
+    auto measure = [&](AccessPath force) {
+      EngineOptions options;
+      options.force_access_path = force;
+      XQueryEngine engine(options);
+      EXPECT_TRUE(engine.ParseAndRegister("s.xml", xml).ok());
+      auto compiled = engine.Compile(query);
+      EXPECT_TRUE(compiled.ok());
+      // Warm caches (index + tag-index builds) outside the timed runs.
+      EXPECT_TRUE(compiled.value()->Execute().ok());
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = compiled.value()->Execute();
+        auto t1 = std::chrono::steady_clock::now();
+        EXPECT_TRUE(r.ok());
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+      }
+      return best;
+    };
+
+    double t_index = measure(AccessPath::kIndex);
+    double t_sjoin = measure(AccessPath::kSJoin);
+
+    XQueryEngine engine;
+    XQP_ASSERT_OK(engine.ParseAndRegister("s.xml", xml).status());
+    AccessPathDecision d = DecisionFor(engine, "s.xml", query);
+    if (t_index * 3 < t_sjoin) {
+      EXPECT_EQ(d.chosen, AccessPath::kIndex)
+          << "index " << t_index << "s vs sjoin " << t_sjoin << "s";
+    } else if (t_sjoin * 3 < t_index) {
+      EXPECT_EQ(d.chosen, AccessPath::kSJoin)
+          << "index " << t_index << "s vs sjoin " << t_sjoin << "s";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Extended planner features: positional and conjunctive predicates.
+
+TEST(PlannerFeatures, PositionalPredicatePlansAndAnswers) {
+  const std::string xml =
+      "<r><p><b>1</b><b>2</b><b>3</b></p><p><b>4</b></p><q><b>5</b></q></r>";
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("d.xml", xml).status());
+  auto compiled = engine.Compile("doc('d.xml')//b[2]");
+  XQP_ASSERT_OK(compiled.status());
+  const PathExpr* marked = FindMarkedPath(*compiled.value()->module().body);
+  ASSERT_NE(marked, nullptr);
+  std::optional<IndexQuery> plan = PlanIndexPath(*marked);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->predicates.size(), 1u);
+  EXPECT_TRUE(plan->predicates[0].positional);
+  // Per-parent second <b>: only the first <p> qualifies.
+  XQP_ASSERT_OK_AND_ASSIGN(auto indexes,
+                           engine.GetDocumentIndexes("d.xml"));
+  ASSERT_NE(indexes, nullptr);
+  std::optional<std::vector<NodeIndex>> answer =
+      AnswerIndexQuery(*indexes, *plan);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->size(), 1u);
+  ExpectPlanEquivalence("d.xml", xml,
+                        {"doc('d.xml')//b[2]", "doc('d.xml')/r/p/b[3]",
+                         "doc('d.xml')//p/b[1]", "doc('d.xml')//b[9]"});
+}
+
+TEST(PlannerFeatures, GenuineDescendantPositionalDeclines) {
+  // descendant::b[2] counts per *ancestor*, not per parent — the planner
+  // must refuse it (and plain evaluation still answers it everywhere).
+  const std::string xml = "<r><p><b>1</b><b>2</b></p></r>";
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("d.xml", xml).status());
+  auto compiled = engine.Compile("doc('d.xml')/descendant::b[2]");
+  XQP_ASSERT_OK(compiled.status());
+  const PathExpr* marked = FindMarkedPath(*compiled.value()->module().body);
+  if (marked != nullptr) {
+    EXPECT_FALSE(PlanIndexPath(*marked).has_value());
+  }
+  ExpectPlanEquivalence("d.xml", xml, {"doc('d.xml')/descendant::b[2]"});
+}
+
+TEST(PlannerFeatures, ConjunctivePredicatesIntersect) {
+  const std::string xml =
+      "<r>"
+      "<i><loc>US</loc><qty>1</qty></i>"
+      "<i><loc>US</loc><qty>2</qty></i>"
+      "<i><loc>DE</loc><qty>1</qty></i>"
+      "</r>";
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("d.xml", xml).status());
+  auto compiled = engine.Compile("doc('d.xml')//i[loc = 'US'][qty = 1]");
+  XQP_ASSERT_OK(compiled.status());
+  const PathExpr* marked = FindMarkedPath(*compiled.value()->module().body);
+  ASSERT_NE(marked, nullptr);
+  std::optional<IndexQuery> plan = PlanIndexPath(*marked);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->predicates.size(), 2u);
+  XQP_ASSERT_OK_AND_ASSIGN(auto indexes,
+                           engine.GetDocumentIndexes("d.xml"));
+  ASSERT_NE(indexes, nullptr);
+  std::optional<std::vector<NodeIndex>> answer =
+      AnswerIndexQuery(*indexes, *plan);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->size(), 1u);
+  ExpectPlanEquivalence(
+      "d.xml", xml,
+      {"doc('d.xml')//i[loc = 'US'][qty = 1]",
+       "doc('d.xml')//i[loc = 'US' and qty = 1]",
+       "doc('d.xml')//i[loc = 'US'][qty = 1][1]"});
+}
+
+// ---------------------------------------------------------------------
+// Robustness: forced paths under fault injection and resource limits.
+
+TEST(PlannerRobustness, ForcedPathsUnderFaultInjection) {
+  for (AccessPath force :
+       {AccessPath::kSJoin, AccessPath::kTwig, AccessPath::kIndex}) {
+    SCOPED_TRACE(AccessPathName(force));
+    EngineOptions options;
+    options.force_access_path = force;
+    XQueryEngine engine(options);
+    XQP_ASSERT_OK(
+        engine.ParseAndRegister("d.xml", XMarkXml(0.02)).status());
+    // Armed after registration: the first "alloc" hit lands in the index
+    // build triggered by execution, and must fail that query.
+    fault::ScopedFault fault("alloc", 1);
+    auto r = engine.Execute("doc('d.xml')/site/people/person/name");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+    fault::Disarm();
+    XQP_ASSERT_OK(
+        engine.Execute("doc('d.xml')/site/people/person/name").status());
+  }
+}
+
+TEST(PlannerRobustness, ForcedPathsHonorResultItemCap) {
+  const std::string xml = DiversityXml(8, 32);
+  for (AccessPath force : kAllForces) {
+    SCOPED_TRACE(AccessPathName(force));
+    EngineOptions options;
+    options.force_access_path = force;
+    options.default_limits.max_result_items = 5;
+    XQueryEngine engine(options);
+    XQP_ASSERT_OK(engine.ParseAndRegister("d.xml", xml).status());
+    for (ExecBackend backend : kAllBackends) {
+      auto compiled = engine.Compile("doc('d.xml')//k");
+      XQP_ASSERT_OK(compiled.status());
+      CompiledQuery::ExecOptions exec;
+      exec.backend = backend;
+      auto r = compiled.value()->Execute(exec);
+      ASSERT_FALSE(r.ok()) << ExecBackendName(backend);
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+          << ExecBackendName(backend);
+    }
+  }
+}
+
+TEST(PlannerRobustness, ForcedPathsHonorCancellation) {
+  const std::string xml = DiversityXml(4, 16);
+  for (AccessPath force : kAllForces) {
+    SCOPED_TRACE(AccessPathName(force));
+    EngineOptions options;
+    options.force_access_path = force;
+    XQueryEngine engine(options);
+    XQP_ASSERT_OK(engine.ParseAndRegister("d.xml", xml).status());
+    auto compiled = engine.Compile("doc('d.xml')//k");
+    XQP_ASSERT_OK(compiled.status());
+    CompiledQuery::ExecOptions exec;
+    exec.limits.cancel = std::make_shared<CancelToken>();
+    exec.limits.cancel->Cancel();  // Pre-cancelled: fails at first poll.
+    auto r = compiled.value()->Execute(exec);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+}
+
+// The XQP_ACCESS_PATH env knob reaches the engine constructor.
+TEST(PlannerRobustness, EnvKnobParsesAndApplies) {
+  ::setenv("XQP_ACCESS_PATH", "sjoin", 1);
+  XQueryEngine engine;
+  ::unsetenv("XQP_ACCESS_PATH");
+  EXPECT_EQ(engine.options().force_access_path, AccessPath::kSJoin);
+  ::setenv("XQP_ACCESS_PATH", "bogus", 1);
+  XQueryEngine engine2;
+  ::unsetenv("XQP_ACCESS_PATH");
+  EXPECT_EQ(engine2.options().force_access_path, AccessPath::kAuto);
+}
+
+}  // namespace
+}  // namespace xqp

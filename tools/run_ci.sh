@@ -24,11 +24,11 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "=== Release bench smoke (ingest fast path + index access paths + vm) ==="
-# A short-min-time pass over the ingest, index, and vm benchmarks keeps the
-# fast-path numbers honest on every CI run; BENCH_ingest.json /
-# BENCH_parse.json / BENCH_index.json / BENCH_vm.json land in the release
-# build dir for the perf dashboard to pick up.
+echo "=== Release bench smoke (ingest fast path + index access paths + vm + planner) ==="
+# A short-min-time pass over the ingest, index, vm, and planner benchmarks
+# keeps the fast-path numbers honest on every CI run; BENCH_ingest.json /
+# BENCH_parse.json / BENCH_index.json / BENCH_vm.json / BENCH_planner.json
+# land in the release build dir for the perf dashboard to pick up.
 (cd "$BUILD_DIR" && \
   ./bench/bench_ingest --json --benchmark_min_time=0.1 && \
   ./bench/bench_parse --json --benchmark_min_time=0.1 \
@@ -36,7 +36,9 @@ echo "=== Release bench smoke (ingest fast path + index access paths + vm) ==="
   ./bench/bench_index --json --benchmark_min_time=0.1 \
     --benchmark_filter='/100/' && \
   ./bench/bench_vm --json --benchmark_min_time=0.1 \
-    --benchmark_filter='/10000')
+    --benchmark_filter='/10000' && \
+  ./bench/bench_planner --json --benchmark_min_time=0.1 \
+    --benchmark_filter='/(1|64)$')
 
 echo "=== ThreadSanitizer build + tsan-labelled tests ==="
 cmake -B "$TSAN_DIR" -S . \
@@ -44,6 +46,7 @@ cmake -B "$TSAN_DIR" -S . \
   -DXQP_SANITIZE=thread
 cmake --build "$TSAN_DIR" \
   --target test_parallel test_metrics test_ingest test_index test_vm \
+  test_planner \
   -j"$(nproc)"
 
 export XQP_THREADS=4
@@ -60,13 +63,13 @@ cmake -B "$ASAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DXQP_SANITIZE=address,undefined
 cmake --build "$ASAN_DIR" \
-  --target test_robustness test_ingest test_index test_vm \
+  --target test_robustness test_ingest test_index test_vm test_planner \
   fuzz_pull_parser fuzz_query_parser \
   -j"$(nproc)"
 
 export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 ctest --test-dir "$ASAN_DIR" --output-on-failure \
-  -R 'test_robustness|test_ingest|test_index|test_vm|tool_fuzz_smoke'
+  -R 'test_robustness|test_ingest|test_index|test_vm|test_planner|tool_fuzz_smoke'
 
 echo "CI run clean."

@@ -30,6 +30,7 @@
 
 #include "engine.h"
 #include "index/index_planner.h"
+#include "opt/access_path.h"
 #include "xmark/generator.h"
 #include "xmark/queries.h"
 
@@ -150,6 +151,10 @@ int main(int argc, char** argv) {
   if (explain_only) {
     std::printf("backend: %s\n", xqp::ExecBackendName(
                                      compiled.value()->ResolvedBackend(exec)));
+    // Warm the document's indexes first: EXPLAIN's access-path annotation
+    // peeks at already-built indexes only, so the rendering below shows
+    // the decision execution would make.
+    auto indexes = engine.GetDocumentIndexes("xmark.xml");
     std::fputs(compiled.value()->ExplainTree(exec).c_str(), stdout);
     const xqp::Expr* body = compiled.value()->module().body.get();
     const xqp::PathExpr* marked =
@@ -158,8 +163,17 @@ int main(int argc, char** argv) {
     if (marked != nullptr) plan = xqp::PlanIndexPath(*marked);
     if (plan.has_value()) {
       std::printf("access path: %s on doc('%s')\n",
-                  plan->predicate.has_value() ? "value index" : "path synopsis",
+                  plan->HasPredicates() ? "value index" : "path synopsis",
                   plan->doc_uri.c_str());
+      if (indexes.ok() && indexes.value() != nullptr) {
+        xqp::AccessPathDecision d = xqp::ChooseAccessPath(
+            *indexes.value(), *plan, engine.options().force_access_path);
+        std::printf("chosen strategy: %s%s, est=%llu rows%s\n",
+                    xqp::AccessPathName(d.chosen),
+                    d.forced ? " (forced)" : "",
+                    static_cast<unsigned long long>(d.card.rows),
+                    d.card.exact ? " (exact)" : "");
+      }
     } else {
       std::fputs("access path: twig / navigation fallback\n", stdout);
     }
