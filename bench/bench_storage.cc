@@ -1,10 +1,20 @@
 // Experiment E3 — XML storage modes (paper: "Possible XML Storage Modes"):
 // plain text vs. tree/node-table vs. token array. We measure build time and
 // bytes-per-node for each representation over XMark data.
+//
+// Experiment E20 — persistent snapshots: cold-start cost of mmap-opening a
+// saved snapshot (document + indexes, full validation) vs. re-parsing the
+// XML and rebuilding the indexes from scratch. The ratio is the payoff of
+// the storage subsystem's O(1) reopen path.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <sys/stat.h>
+
 #include "bench/bench_util.h"
+#include "index/document_indexes.h"
+#include "storage/snapshot.h"
 #include "tokens/token_iterator.h"
 #include "tokens/token_stream.h"
 
@@ -126,6 +136,89 @@ void BM_MemoryFootprint(benchmark::State& state) {
       static_cast<double>(ts_no_ids.MemoryUsage());
 }
 BENCHMARK(BM_MemoryFootprint)->Arg(50)->Arg(200);
+
+// --- E20: persistent-snapshot cold start ------------------------------------
+
+/// A saved snapshot (document + path/value indexes) for the given scale,
+/// written once per process into the working directory.
+const std::string& SnapshotPath(double scale) {
+  static auto* cache = new std::map<double, std::string>();
+  auto it = cache->find(scale);
+  if (it == cache->end()) {
+    std::string path =
+        "bench_snapshot_" + std::to_string(int(scale * 1000)) + ".xqps";
+    auto doc = bench::XMarkDoc(scale);
+    auto indexes = DocumentIndexes::Build(doc, kIndexValueAll).ValueOrDie();
+    storage::SnapshotInput input;
+    input.doc = doc.get();
+    input.indexes = indexes.get();
+    Status st = storage::WriteSnapshotFile(path, input);
+    if (!st.ok()) std::abort();
+    it = cache->emplace(scale, std::move(path)).first;
+  }
+  return it->second;
+}
+
+/// Cold start via storage: mmap + full validation (header, section CRCs,
+/// node-table replay, index adoption). No parse, no index build.
+void BM_ColdStart_SnapshotOpen(benchmark::State& state) {
+  double scale = bench::ScaleFromArg(state.range(0));
+  const std::string& path = SnapshotPath(scale);
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto loaded = storage::OpenSnapshot(path);
+    if (!loaded.ok()) std::abort();
+    bytes = loaded.value().mapped_bytes;
+    benchmark::DoNotOptimize(loaded.value().document->NumNodes());
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+}
+BENCHMARK(BM_ColdStart_SnapshotOpen)->Arg(50)->Arg(200);
+
+/// The path the snapshot replaces: parse the XML text and rebuild both
+/// index families.
+void BM_ColdStart_ReparseReindex(benchmark::State& state) {
+  double scale = bench::ScaleFromArg(state.range(0));
+  const std::string& xml = bench::XMarkXml(scale);
+  for (auto _ : state) {
+    auto doc = Document::Parse(xml);
+    if (!doc.ok()) std::abort();
+    auto indexes = DocumentIndexes::Build(
+        std::shared_ptr<const Document>(std::move(doc.value())),
+        kIndexValueAll);
+    if (!indexes.ok()) std::abort();
+    benchmark::DoNotOptimize(indexes.value()->NumSynopsisNodes());
+  }
+  state.counters["xml_bytes"] = static_cast<double>(xml.size());
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ColdStart_ReparseReindex)->Arg(50)->Arg(200);
+
+/// End-to-end engine cold start with a warm snapshot directory: the
+/// ParseAndRegister fast path (hash check + mmap + adoption).
+void BM_ColdStart_EngineWithSnapshotDir(benchmark::State& state) {
+  double scale = bench::ScaleFromArg(state.range(0));
+  const std::string& xml = bench::XMarkXml(scale);
+  std::string dir = "bench_snapdir";
+  ::mkdir(dir.c_str(), 0755);
+  EngineOptions options;
+  options.snapshot_dir = dir;
+  {
+    XQueryEngine warmup(options);  // First ingest saves the snapshot.
+    if (!warmup.ParseAndRegister("xmark.xml", xml).ok()) std::abort();
+  }
+  for (auto _ : state) {
+    XQueryEngine engine(options);
+    auto doc = engine.ParseAndRegister("xmark.xml", xml);
+    if (!doc.ok()) std::abort();
+    benchmark::DoNotOptimize(doc.value()->NumNodes());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(xml.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ColdStart_EngineWithSnapshotDir)->Arg(50)->Arg(200);
 
 }  // namespace
 }  // namespace xqp

@@ -1,9 +1,11 @@
 #include "base/fault.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "base/metrics.h"
 
@@ -61,22 +63,60 @@ void Disarm() {
   hits = 0;
 }
 
-void ArmFromEnv() {
-  const char* env = std::getenv("XQP_FAULT");
-  if (env == nullptr || *env == '\0') return;
-  std::string spec(env);
+namespace {
+
+/// Every site MaybeInject is called with anywhere in the tree. A spec
+/// naming anything else is a typo that would run the test unfaulted, so
+/// spec parsing rejects it (the programmatic Arm() stays unrestricted for
+/// ad-hoc sites in unit tests).
+constexpr std::string_view kKnownSites[] = {
+    "alloc",         "parse.next",  "pool.submit",
+    "iterators.next", "vm.compile", "storage.write",
+    "storage.map",   "storage.crc",
+};
+
+std::string KnownSiteList() {
+  std::string out;
+  for (std::string_view s : kKnownSites) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ArmFromSpec(std::string_view spec) {
+  auto bad = [&spec](std::string why) {
+    return Status::InvalidArgument(
+        "bad fault spec \"" + std::string(spec) + "\": " + why +
+        " (expected site:nth[:code], code in {cancelled, exhausted, io, "
+        "internal})");
+  };
   size_t c1 = spec.find(':');
-  if (c1 == std::string::npos || c1 == 0) return;
+  if (c1 == std::string_view::npos || c1 == 0) {
+    return bad("missing \"site:\" prefix");
+  }
+  std::string_view site = spec.substr(0, c1);
+  bool known = false;
+  for (std::string_view s : kKnownSites) known = known || s == site;
+  if (!known) {
+    return bad("unknown site \"" + std::string(site) + "\" (known sites: " +
+               KnownSiteList() + ")");
+  }
   size_t c2 = spec.find(':', c1 + 1);
-  std::string site = spec.substr(0, c1);
-  std::string nth_str = spec.substr(
-      c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+  std::string nth_str(spec.substr(
+      c1 + 1, c2 == std::string_view::npos ? std::string_view::npos
+                                           : c2 - c1 - 1));
   char* end = nullptr;
   unsigned long long nth = std::strtoull(nth_str.c_str(), &end, 10);
-  if (end == nth_str.c_str() || *end != '\0' || nth == 0) return;
+  if (nth_str.empty() || end == nth_str.c_str() || *end != '\0') {
+    return bad("nth \"" + nth_str + "\" is not a number");
+  }
+  if (nth == 0) return bad("nth must be >= 1");
   StatusCode code = StatusCode::kInternal;
-  if (c2 != std::string::npos) {
-    std::string name = spec.substr(c2 + 1);
+  if (c2 != std::string_view::npos) {
+    std::string_view name = spec.substr(c2 + 1);
     if (name == "cancelled") {
       code = StatusCode::kCancelled;
     } else if (name == "exhausted") {
@@ -84,10 +124,21 @@ void ArmFromEnv() {
     } else if (name == "io") {
       code = StatusCode::kIoError;
     } else if (name != "internal") {
-      return;
+      return bad("unknown code \"" + std::string(name) + "\"");
     }
   }
   Arm(site, nth, code);
+  return Status::OK();
+}
+
+void ArmFromEnv() {
+  const char* env = std::getenv("XQP_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  Status st = ArmFromSpec(env);
+  if (!st.ok()) {
+    std::fprintf(stderr, "XQP_FAULT: %s\n", st.ToString().c_str());
+    std::exit(2);
+  }
 }
 
 }  // namespace fault

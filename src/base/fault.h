@@ -24,10 +24,19 @@ namespace fault {
 ///   "iterators.next" root result drain (lazy) / Interpreter::Eval (eager)
 ///   "vm.compile"     vm::CompileProgram entry (bytecode backend; a failed
 ///                    compile is cached and the query falls back to lazy)
+///   "storage.write"  snapshot atomic-write protocol (nth picks the stage:
+///                    1 before the temp file, 2 after write/before fsync,
+///                    3 after fsync/before rename)
+///   "storage.map"    snapshot open, before the file is mapped
+///   "storage.crc"    snapshot checksum verification (nth picks the check:
+///                    1 header, 2 section table, then one per section)
 ///
 /// Arm via the scoped test API or the XQP_FAULT environment variable
 /// ("site:nth" or "site:nth:code" with code in {cancelled, exhausted,
 /// internal, io}); faults fire exactly once and then disarm themselves.
+/// A malformed XQP_FAULT value — unknown site, non-numeric or zero nth,
+/// unknown code — is a startup error (stderr + exit), never a silently
+/// unfaulted run.
 
 /// True when a fault is armed anywhere in the process (one relaxed load).
 bool Armed();
@@ -46,8 +55,15 @@ void Arm(std::string_view site, uint64_t nth,
 /// Disarms whatever is armed and resets the hit counter.
 void Disarm();
 
+/// Parses and arms a "site:nth[:code]" spec. InvalidArgument (with the
+/// reason and the accepted grammar) on malformed input or an unknown site
+/// name — nothing is armed then.
+Status ArmFromSpec(std::string_view spec);
+
 /// Arms from XQP_FAULT if set ("site:nth[:code]"); the engine calls this
-/// at construction. Malformed values are ignored.
+/// at construction. A malformed value prints the ArmFromSpec error to
+/// stderr and exits with status 2: a fault-injection run that would
+/// otherwise silently execute unfaulted must not come up at all.
 void ArmFromEnv();
 
 /// RAII arm/disarm for tests.

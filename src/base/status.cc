@@ -29,6 +29,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kSnapshotCorrupt:
+      return "Snapshot corrupt";
   }
   return "Unknown";
 }

@@ -32,6 +32,9 @@ enum class StatusCode : uint8_t {
   kCancelled,
   // A query limit was exceeded: memory budget, result-count cap, depth.
   kResourceExhausted,
+  // A persistent snapshot failed validation (bad magic/CRC/offsets); the
+  // caller falls back to re-ingesting the original XML.
+  kSnapshotCorrupt,
 };
 
 /// Returns a human-readable name for `code` ("Ok", "Type error", ...).
@@ -87,6 +90,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status SnapshotCorrupt(std::string msg) {
+    return Status(StatusCode::kSnapshotCorrupt, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

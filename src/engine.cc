@@ -1,12 +1,17 @@
 #include "engine.h"
 
+#include <sys/stat.h>
+
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string_view>
 #include <unordered_map>
 
 #include "base/fault.h"
+#include "storage/snapshot.h"
+#include "tokens/token_stream.h"
 #include "index/index_planner.h"
 #include "base/limits.h"
 #include "base/parallel.h"
@@ -82,6 +87,17 @@ XQueryEngine::XQueryEngine(const EngineOptions& options)
       options_.force_access_path = *forced;
     }
   }
+  // XQP_SNAPSHOT points ParseAndRegister at a persistent snapshot
+  // directory (empty value disables, matching the unset default).
+  if (const char* env = std::getenv("XQP_SNAPSHOT")) {
+    options_.snapshot_dir = env;
+  }
+  if (!options_.snapshot_dir.empty()) {
+    // Best effort: a missing directory otherwise just makes every save
+    // fail (loads already degrade to parse), but creating it here lets
+    // XQP_SNAPSHOT=/tmp/fresh-dir work out of the box.
+    ::mkdir(options_.snapshot_dir.c_str(), 0755);
+  }
   fault::ArmFromEnv();
 }
 
@@ -119,8 +135,49 @@ Status XQueryEngine::RegisterDocument(const std::string& uri,
   return Status::OK();
 }
 
+namespace {
+
+/// Storage counters, bumped only when metrics are on (same gate as every
+/// other instrumentation point).
+void CountStorage(const char* which) {
+  if (!metrics::Enabled()) return;
+  metrics::MetricsRegistry::Global().counter(which)->Add(1);
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const Document>> XQueryEngine::ParseAndRegister(
     const std::string& uri, std::string_view xml, const ParseOptions& options) {
+  // Snapshot fast path: a persisted snapshot whose recorded content hash
+  // and length match `xml` is the frozen result of parsing exactly these
+  // bytes — adopt it (O(1) mmap, zero parse, indexes included) instead of
+  // re-parsing. Stale or corrupt snapshots degrade to the parse below; a
+  // merely missing file stays silent (first ingest of this document).
+  const bool persist = !options_.snapshot_dir.empty();
+  const std::string snap_path = persist ? SnapshotPathFor(uri) : std::string();
+  if (persist) {
+    Result<storage::LoadedSnapshot> loaded = storage::OpenSnapshot(snap_path);
+    if (loaded.ok()) {
+      if (loaded.value().content_hash == storage::HashContent(xml) &&
+          loaded.value().content_bytes == xml.size()) {
+        std::shared_ptr<const Document> doc = loaded.value().document;
+        {
+          std::unique_lock lock(mu_);
+          documents_[uri] = doc;
+          InvalidateCachesLocked();
+        }
+        if (options_.enable_indexes && loaded.value().indexes != nullptr &&
+            loaded.value().value_kinds == options_.index_value_kinds) {
+          index_manager_.Adopt(uri, loaded.value().indexes);
+        }
+        CountStorage("storage.loads");
+        return doc;
+      }
+      CountStorage("storage.stale");
+    } else if (loaded.status().code() == StatusCode::kSnapshotCorrupt) {
+      CountStorage("storage.corrupt");
+    }
+  }
   ParseOptions effective = options;
   if (effective.max_parse_depth == 0) {
     effective.max_parse_depth = options_.default_limits.max_parse_depth;
@@ -128,10 +185,102 @@ Result<std::shared_ptr<const Document>> XQueryEngine::ParseAndRegister(
   XQP_ASSIGN_OR_RETURN(std::shared_ptr<Document> doc,
                        Document::Parse(xml, effective));
   doc->set_base_uri(uri);
-  std::unique_lock lock(mu_);
-  documents_[uri] = doc;
-  InvalidateCachesLocked();
-  return std::shared_ptr<const Document>(doc);
+  std::shared_ptr<const Document> registered(doc);
+  {
+    std::unique_lock lock(mu_);
+    documents_[uri] = registered;
+    InvalidateCachesLocked();
+  }
+  if (persist) {
+    // Write-back is best effort: ingestion already succeeded, and the
+    // atomic write protocol guarantees a failed save leaves any previous
+    // snapshot file untouched. Indexes ride along when enabled so the
+    // next cold start skips their build too.
+    std::shared_ptr<const DocumentIndexes> indexes;
+    if (options_.enable_indexes) {
+      Result<std::shared_ptr<const DocumentIndexes>> built =
+          index_manager_.GetOrBuild(uri, registered,
+                                    options_.index_value_kinds);
+      if (built.ok()) indexes = std::move(built.value());
+    }
+    storage::SnapshotInput input;
+    input.doc = registered.get();
+    input.indexes = indexes.get();
+    input.content_hash = storage::HashContent(xml);
+    input.content_bytes = xml.size();
+    if (storage::WriteSnapshotFile(snap_path, input).ok()) {
+      CountStorage("storage.saves");
+    }
+  }
+  return registered;
+}
+
+Status XQueryEngine::SaveSnapshot(const std::string& uri,
+                                  const std::string& path) {
+  XQP_ASSIGN_OR_RETURN(std::shared_ptr<const Document> doc, GetDocument(uri));
+  std::shared_ptr<const DocumentIndexes> indexes;
+  if (options_.enable_indexes) {
+    XQP_ASSIGN_OR_RETURN(
+        indexes,
+        index_manager_.GetOrBuild(uri, doc, options_.index_value_kinds));
+  }
+  // A full token stream rides along so snapshot consumers that replay
+  // tokens (streaming experiments) skip rendering too.
+  TokenStream tokens = TokenStream::FromDocument(*doc);
+  storage::SnapshotInput input;
+  input.doc = doc.get();
+  input.tokens = &tokens;
+  input.indexes = indexes.get();
+  XQP_RETURN_NOT_OK(storage::WriteSnapshotFile(path, input));
+  CountStorage("storage.saves");
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const Document>> XQueryEngine::LoadDocumentSnapshot(
+    const std::string& uri, const std::string& path,
+    std::string_view fallback_xml, const ParseOptions& options) {
+  Result<storage::LoadedSnapshot> loaded = storage::OpenSnapshot(path);
+  if (loaded.ok()) {
+    std::shared_ptr<const Document> doc = loaded.value().document;
+    {
+      std::unique_lock lock(mu_);
+      documents_[uri] = doc;
+      InvalidateCachesLocked();
+    }
+    if (options_.enable_indexes && loaded.value().indexes != nullptr &&
+        loaded.value().value_kinds == options_.index_value_kinds) {
+      index_manager_.Adopt(uri, loaded.value().indexes);
+    }
+    CountStorage("storage.loads");
+    return doc;
+  }
+  if (loaded.status().code() == StatusCode::kSnapshotCorrupt) {
+    CountStorage("storage.corrupt");
+  }
+  if (fallback_xml.empty()) return loaded.status();
+  // Graceful degradation: the snapshot is unusable but the original bytes
+  // are at hand — re-ingest them so the document stays queryable.
+  CountStorage("storage.fallbacks");
+  return ParseAndRegister(uri, fallback_xml, options);
+}
+
+std::string XQueryEngine::SnapshotPathFor(const std::string& uri) const {
+  // Filesystem-safe name: URI with everything outside [A-Za-z0-9._-]
+  // replaced, capped, plus the full URI's hash so distinct URIs that
+  // sanitize identically never collide.
+  std::string name;
+  name.reserve(uri.size());
+  for (char c : uri) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    name.push_back(safe ? c : '_');
+  }
+  if (name.size() > 80) name.resize(80);
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(storage::HashContent(uri)));
+  return options_.snapshot_dir + "/" + name + "-" + hash + ".xqps";
 }
 
 std::vector<Result<std::shared_ptr<const Document>>>

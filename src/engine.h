@@ -88,6 +88,14 @@ struct EngineOptions {
   /// values are ignored.
   ExecBackend backend = ExecBackend::kLazy;
 
+  /// Directory for persistent document snapshots (storage/snapshot.h).
+  /// When set, ParseAndRegister first tries to mmap a previously saved
+  /// snapshot of the document (skipping parse and index build entirely)
+  /// and writes one back after a fresh parse; a corrupt or stale snapshot
+  /// silently degrades to the normal parse path. Empty (default) disables
+  /// persistence. The XQP_SNAPSHOT environment knob overrides.
+  std::string snapshot_dir;
+
   /// Access-path override for doc()-anchored chains: kAuto (default) lets
   /// the cost model (opt/cost.h) choose per chain; kNav / kSJoin / kTwig /
   /// kIndex force that strategy wherever it can answer (degrading to
@@ -134,6 +142,27 @@ class XQueryEngine : public DocumentProvider {
 
   /// Registers a named collection for fn:collection.
   Status RegisterCollection(const std::string& uri, Sequence items);
+
+  /// Freezes the registered document `uri` — node table, string pool, a
+  /// freshly rendered token stream, and its path/value indexes (built now
+  /// if enabled and not yet cached) — into a crash-atomically written
+  /// snapshot file at `path` (storage/snapshot.h).
+  Status SaveSnapshot(const std::string& uri, const std::string& path);
+
+  /// Opens the snapshot at `path` (mmap + full validation) and registers
+  /// its document under `uri`, adopting snapshot-resident indexes so the
+  /// first query skips the build. On any validation failure the snapshot
+  /// is abandoned — `storage.corrupt` is counted and, when `fallback_xml`
+  /// is non-empty, the original XML is re-ingested via ParseAndRegister so
+  /// queries keep working; without a fallback the error is returned.
+  Result<std::shared_ptr<const Document>> LoadDocumentSnapshot(
+      const std::string& uri, const std::string& path,
+      std::string_view fallback_xml = {}, const ParseOptions& options = {});
+
+  /// The snapshot file EngineOptions::snapshot_dir implies for `uri`
+  /// (sanitized URI + hash, ".xqps"). Meaningless when snapshot_dir is
+  /// empty.
+  std::string SnapshotPathFor(const std::string& uri) const;
 
   /// One input of LoadDocumentsParallel. `xml` is borrowed for the duration
   /// of the call only.

@@ -106,6 +106,8 @@ class DocumentIndexes {
   size_t MemoryUsage() const;
 
  private:
+  friend class storage::SnapshotLoader;
+
   DocumentIndexes() = default;
 
   std::shared_ptr<const Document> doc_;

@@ -49,6 +49,13 @@ Result<std::shared_ptr<const DocumentIndexes>> IndexManager::GetOrBuild(
   return built;
 }
 
+void IndexManager::Adopt(const std::string& uri,
+                         std::shared_ptr<const DocumentIndexes> indexes) {
+  if (indexes == nullptr) return;
+  std::unique_lock lock(mu_);
+  cache_[uri] = std::move(indexes);
+}
+
 std::shared_ptr<const DocumentIndexes> IndexManager::Peek(
     const std::string& uri) const {
   std::shared_lock lock(mu_);

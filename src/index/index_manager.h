@@ -27,6 +27,15 @@ class IndexManager {
       const std::string& uri, std::shared_ptr<const Document> doc,
       uint32_t value_kinds);
 
+  /// Installs already-built indexes (a validated snapshot's) as the cache
+  /// entry for `uri`, replacing whatever is there. GetOrBuild then serves
+  /// them without a rebuild as long as the registered document and the
+  /// engine's value-kind mask still match; a mismatch (document replaced,
+  /// knobs changed) falls back to a normal build — adoption can never
+  /// pin stale indexes.
+  void Adopt(const std::string& uri,
+             std::shared_ptr<const DocumentIndexes> indexes);
+
   /// Shared-lock probe of the cache: the entry for `uri` or null, never
   /// building. Compile-time access-path annotation peeks so that compiling
   /// a query can neither charge an index build to a governor nor trip

@@ -47,6 +47,10 @@ class TokenStream {
   const Token& token(size_t i) const { return tokens_[i]; }
 
   const QName& name(const Token& t) const { return names_[t.name_id]; }
+  /// Name-table access by id (snapshot serialization; diagnostics).
+  size_t NumNames() const { return names_.size(); }
+  const QName& name_at(uint32_t name_id) const { return names_[name_id]; }
+  const StringPool& pool() const { return pool_; }
   std::string_view value(const Token& t) const {
     return t.value_id == kNoValue ? std::string_view() : pool_.Get(t.value_id);
   }
@@ -88,6 +92,8 @@ class TokenStream {
   void SealSkipLinks();
 
  private:
+  friend class storage::SnapshotLoader;
+
   uint32_t InternName(const QName& name);
 
   std::vector<Token> tokens_;

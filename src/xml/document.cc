@@ -35,10 +35,10 @@ std::atomic<uint64_t> g_next_document_id{1};
 Document::Document() : id_(g_next_document_id.fetch_add(1)) {}
 
 NodeIndex Document::root_element() const {
-  if (nodes_.empty()) return kNullNode;
-  for (NodeIndex c = nodes_[0].first_child; c != kNullNode;
-       c = nodes_[c].next_sibling) {
-    if (nodes_[c].kind == NodeKind::kElement) return c;
+  if (nodes_count_ == 0) return kNullNode;
+  for (NodeIndex c = nodes_data_[0].first_child; c != kNullNode;
+       c = nodes_data_[c].next_sibling) {
+    if (nodes_data_[c].kind == NodeKind::kElement) return c;
   }
   return kNullNode;
 }
@@ -51,7 +51,7 @@ uint32_t Document::FindNameId(std::string_view uri,
 }
 
 std::string Document::StringValue(NodeIndex i) const {
-  const NodeRecord& n = nodes_[i];
+  const NodeRecord& n = nodes_data_[i];
   switch (n.kind) {
     case NodeKind::kAttribute:
     case NodeKind::kText:
@@ -62,8 +62,8 @@ std::string Document::StringValue(NodeIndex i) const {
     case NodeKind::kElement: {
       std::string out;
       // All descendants lie in the index range (i, n.end]; collect text.
-      for (NodeIndex d = i + 1; d <= n.end && d < nodes_.size(); ++d) {
-        if (nodes_[d].kind == NodeKind::kText) out.append(value(d));
+      for (NodeIndex d = i + 1; d <= n.end && d < nodes_count_; ++d) {
+        if (nodes_data_[d].kind == NodeKind::kText) out.append(value(d));
       }
       return out;
     }
@@ -78,7 +78,9 @@ const std::vector<Document::NsDecl>* Document::NamespaceDecls(
 }
 
 size_t Document::MemoryUsage() const {
-  size_t bytes = nodes_.capacity() * sizeof(NodeRecord);
+  // Snapshot-loaded documents own no node vector; count the mapped table.
+  size_t bytes =
+      std::max(nodes_.capacity(), nodes_count_) * sizeof(NodeRecord);
   bytes += pool_.MemoryUsage();
   for (const QName& q : names_) {
     bytes += q.uri.capacity() + q.prefix.capacity() + q.local.capacity() +
@@ -158,6 +160,7 @@ DocumentBuilder::DocumentBuilder(const ParseOptions& options)
   doc_->nodes_.push_back(NodeRecord{NodeKind::kDocument, 0, kNoName, kNoValue,
                                     kNullNode, kNullNode, kNullNode, kNullNode,
                                     0});
+  doc_->SyncNodeView();
   stack_.push_back(Open{0});
 }
 
@@ -206,6 +209,7 @@ NodeIndex DocumentBuilder::Append(NodeKind kind, uint32_t name_id,
   rec.first_child = kNullNode;
   rec.end = index;
   doc_->nodes_.push_back(rec);
+  doc_->SyncNodeView();
 
   NodeRecord& parent = doc_->nodes_[top.index];
   if (kind == NodeKind::kAttribute) {

@@ -15,6 +15,10 @@
 
 namespace xqp {
 
+namespace storage {
+class SnapshotLoader;
+}  // namespace storage
+
 /// Node kinds of the XQuery data model. Namespace nodes are represented as
 /// per-element declaration records rather than first-class nodes (the only
 /// consumer is serialization), a simplification documented in DESIGN.md.
@@ -83,16 +87,19 @@ class Document : public std::enable_shared_from_this<Document> {
   /// Process-unique id; used for stable cross-document ordering.
   uint64_t id() const { return id_; }
 
-  size_t NumNodes() const { return nodes_.size(); }
-  const NodeRecord& node(NodeIndex i) const { return nodes_[i]; }
+  size_t NumNodes() const { return nodes_count_; }
+  const NodeRecord& node(NodeIndex i) const { return nodes_data_[i]; }
 
   /// Expanded name of node `i`; valid only when node has a name.
-  const QName& name(NodeIndex i) const { return names_[nodes_[i].name_id]; }
+  const QName& name(NodeIndex i) const {
+    return names_[nodes_data_[i].name_id];
+  }
 
   /// Pooled content string of node `i` (text, attribute value, ...).
   std::string_view value(NodeIndex i) const {
-    return nodes_[i].value_id == kNoValue ? std::string_view()
-                                          : pool_.Get(nodes_[i].value_id);
+    return nodes_data_[i].value_id == kNoValue
+               ? std::string_view()
+               : pool_.Get(nodes_data_[i].value_id);
   }
 
   /// The document node (always index 0 for non-empty documents).
@@ -136,10 +143,27 @@ class Document : public std::enable_shared_from_this<Document> {
 
  private:
   friend class DocumentBuilder;
+  friend class storage::SnapshotLoader;
   Document();
+
+  /// Points node accessors at the current table. The builder calls this
+  /// after every append (nodes_ may have reallocated); the snapshot loader
+  /// instead aims the view straight into an mmap'd file, leaving nodes_
+  /// empty — accessors are branch-free either way.
+  void SyncNodeView() {
+    nodes_data_ = nodes_.data();
+    nodes_count_ = nodes_.size();
+  }
 
   uint64_t id_;
   std::vector<NodeRecord> nodes_;
+  /// Node-table view: (nodes_.data(), nodes_.size()) for built documents,
+  /// a pointer into `backing_` for snapshot-loaded ones.
+  const NodeRecord* nodes_data_ = nullptr;
+  size_t nodes_count_ = 0;
+  /// Keeps a snapshot mapping alive for as long as any view (node table,
+  /// pooled strings) points into it; null for built documents.
+  std::shared_ptr<const void> backing_;
   std::vector<QName> names_;
   std::unordered_map<QName, uint32_t, QNameHash> name_index_;
   StringPool pool_;

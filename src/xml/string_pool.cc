@@ -50,8 +50,19 @@ void StringPool::Reserve(size_t expected_strings) {
   if (pooling_enabled_) index_.reserve(expected_strings);
 }
 
+void StringPool::AdoptFrozen(std::vector<std::string_view> views) {
+  chunks_.clear();
+  chunk_cap_ = 0;
+  chunk_used_ = 0;
+  retired_bytes_ = 0;
+  index_.clear();
+  frozen_bytes_ = 0;
+  for (std::string_view v : views) frozen_bytes_ += v.size();
+  views_ = std::move(views);
+}
+
 size_t StringPool::MemoryUsage() const {
-  size_t bytes = retired_bytes_ + chunk_used_;
+  size_t bytes = retired_bytes_ + chunk_used_ + frozen_bytes_;
   bytes += views_.capacity() * sizeof(std::string_view);
   // Rough estimate of the hash index overhead.
   bytes += index_.size() * (sizeof(void*) * 2 + sizeof(std::string_view) +

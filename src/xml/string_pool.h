@@ -9,6 +9,10 @@
 
 namespace xqp {
 
+namespace storage {
+class SnapshotLoader;
+}  // namespace storage
+
 /// Dictionary-compressing string pool: each distinct string is stored once
 /// and referenced by a dense 32-bit id ("Pooling: store strings only once",
 /// the TokenStream optimization in the paper). Ids are stable for the
@@ -58,6 +62,16 @@ class StringPool {
   bool pooling_enabled() const { return pooling_enabled_; }
 
  private:
+  friend class storage::SnapshotLoader;
+
+  /// Points the id table at strings resident in an mmap'd snapshot (kept
+  /// alive by the owning Document's backing pointer), replacing any
+  /// current contents. The hash index is left empty — Find() on a frozen
+  /// pool reports absent, and the (unused on loaded documents) Intern path
+  /// simply appends to fresh arena chunks without deduplicating against
+  /// the frozen entries.
+  void AdoptFrozen(std::vector<std::string_view> views);
+
   /// Copies `s` to the arena tail and returns the stable stored view.
   std::string_view Append(std::string_view s);
 
@@ -70,6 +84,7 @@ class StringPool {
   std::vector<std::string_view> views_;
   std::unordered_map<std::string_view, Id> index_;
   bool pooling_enabled_ = true;
+  size_t frozen_bytes_ = 0;  // Mapped bytes referenced by frozen views.
 };
 
 }  // namespace xqp

@@ -14,6 +14,7 @@
 
 #include "base/fault.h"
 #include "engine.h"
+#include "storage/snapshot.h"
 #include "tests/test_util.h"
 #include "xmark/generator.h"
 
@@ -105,6 +106,24 @@ std::shared_ptr<const Document> SharedXMarkDoc() {
     return Document::Parse(GenerateXMarkXml(options)).ValueOrDie();
   }());
   return *doc;
+}
+
+/// The shared XMark document frozen through the storage subsystem, indexes
+/// included — the snapshot twin below reopens it via mmap, so every
+/// generated query also cross-checks parsed-vs-snapshot-loaded execution.
+const std::string& SharedXMarkSnapshotPath() {
+  static auto* path = new std::string([] {
+    std::string p = ::testing::TempDir() + "/xqp_diff_xmark.xqps";
+    std::shared_ptr<const Document> doc = SharedXMarkDoc();
+    auto indexes = DocumentIndexes::Build(doc, kIndexValueAll).ValueOrDie();
+    storage::SnapshotInput input;
+    input.doc = doc.get();
+    input.indexes = indexes.get();
+    Status st = storage::WriteSnapshotFile(p, input);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return p;
+  }());
+  return *path;
 }
 
 /// Random queries over the real XMark vocabulary: anchored descendant
@@ -199,6 +218,16 @@ TEST_P(XMarkDifferentialTest, EnginesBatchAndProfileAgree) {
   XQueryEngine unindexed(unindexed_options);
   XQP_ASSERT_OK(unindexed.RegisterDocument("xmark.xml", SharedXMarkDoc()));
 
+  // Snapshot twin: the same document persisted and reopened through the
+  // storage subsystem — zero-copy mmap'd node table, adopted
+  // snapshot-resident indexes. Results must be bit-identical to the
+  // parsed original on every backend.
+  XQueryEngine snapped;
+  XQP_ASSERT_OK(
+      snapped.LoadDocumentSnapshot("xmark.xml", SharedXMarkSnapshotPath())
+          .status());
+  ASSERT_NE(snapped.PeekDocumentIndexes("xmark.xml"), nullptr);
+
   XQueryEngine::CompileOptions no_opt;
   no_opt.optimize = false;
   CompiledQuery::ExecOptions eager;
@@ -266,6 +295,16 @@ TEST_P(XMarkDifferentialTest, EnginesBatchAndProfileAgree) {
     auto plain = unindexed.Compile(query);
     ASSERT_TRUE(plain.ok()) << query;
     EXPECT_EQ(plain.value()->ExecuteToXml(lazy).ValueOrDie(), want) << query;
+
+    // Snapshot twin, all three backends.
+    auto snap = snapped.Compile(query);
+    ASSERT_TRUE(snap.ok()) << query;
+    EXPECT_EQ(snap.value()->ExecuteToXml(lazy).ValueOrDie(), want)
+        << query << " (snapshot twin, lazy)";
+    EXPECT_EQ(snap.value()->ExecuteToXml(eager).ValueOrDie(), want)
+        << query << " (snapshot twin, eager)";
+    EXPECT_EQ(snap.value()->ExecuteToXml(vmexec).ValueOrDie(), want)
+        << query << " (snapshot twin, vm)";
 
     // Profile invariant on the optimized plan, both engines: the root
     // operator's item count is the result cardinality and the profiled

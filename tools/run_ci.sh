@@ -38,7 +38,9 @@ echo "=== Release bench smoke (ingest fast path + index access paths + vm + plan
   ./bench/bench_vm --json --benchmark_min_time=0.1 \
     --benchmark_filter='/10000' && \
   ./bench/bench_planner --json --benchmark_min_time=0.1 \
-    --benchmark_filter='/(1|64)$')
+    --benchmark_filter='/(1|64)$' && \
+  ./bench/bench_storage --json --benchmark_min_time=0.1 \
+    --benchmark_filter='BM_ColdStart.*/50')
 
 echo "=== ThreadSanitizer build + tsan-labelled tests ==="
 cmake -B "$TSAN_DIR" -S . \
@@ -46,7 +48,7 @@ cmake -B "$TSAN_DIR" -S . \
   -DXQP_SANITIZE=thread
 cmake --build "$TSAN_DIR" \
   --target test_parallel test_metrics test_ingest test_index test_vm \
-  test_planner \
+  test_planner test_storage \
   -j"$(nproc)"
 
 export XQP_THREADS=4
@@ -64,12 +66,12 @@ cmake -B "$ASAN_DIR" -S . \
   -DXQP_SANITIZE=address,undefined
 cmake --build "$ASAN_DIR" \
   --target test_robustness test_ingest test_index test_vm test_planner \
-  fuzz_pull_parser fuzz_query_parser \
+  test_storage fuzz_pull_parser fuzz_query_parser fuzz_snapshot \
   -j"$(nproc)"
 
 export ASAN_OPTIONS="detect_leaks=1 halt_on_error=1"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
 ctest --test-dir "$ASAN_DIR" --output-on-failure \
-  -R 'test_robustness|test_ingest|test_index|test_vm|test_planner|tool_fuzz_smoke'
+  -R 'test_robustness|test_ingest|test_index|test_vm|test_planner|test_storage|tool_fuzz_smoke'
 
 echo "CI run clean."

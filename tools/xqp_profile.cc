@@ -20,6 +20,11 @@
 //   --backend B       execution backend: lazy, eager, or vm (overrides
 //                     XQP_BACKEND; default lazy)
 //   --threads N       worker threads for parallel kernels (0 = default)
+//   --snapshot DIR    persist/reuse the XMark document as a snapshot in
+//                     DIR (EngineOptions::snapshot_dir): the first run
+//                     parses and saves, later runs mmap the snapshot —
+//                     profiles then measure pure query cost over the
+//                     storage-loaded document
 //   --check           exit non-zero unless the plan root's item count
 //                     equals the result cardinality (CI self-test)
 
@@ -53,7 +58,7 @@ int Usage() {
                "usage: xqp_profile (--query ID | --text QUERY) [--scale N]\n"
                "                   [--json] [--explain-only] [--eager]\n"
                "                   [--backend lazy|eager|vm] [--threads N]\n"
-               "                   [--check]\n");
+               "                   [--snapshot DIR] [--check]\n");
   return 2;
 }
 
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
   bool eager = false;
   bool check = false;
   int threads = 0;
+  std::string snapshot_dir;
   std::optional<xqp::ExecBackend> backend;
 
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +94,8 @@ int main(int argc, char** argv) {
       scale_permille = std::atoi(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      snapshot_dir = argv[++i];
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--explain-only") {
@@ -126,6 +134,7 @@ int main(int argc, char** argv) {
   xqp::EngineOptions options;
   options.collect_stats = true;
   options.num_threads = threads;
+  options.snapshot_dir = snapshot_dir;
   xqp::XQueryEngine engine(options);
 
   xqp::XMarkOptions xmark;
