@@ -1,7 +1,8 @@
 // E18 — bytecode VM backend vs the lazy and eager engines on the
 // arithmetic/FLWOR-heavy shapes the VM targets (bailout-free inner loops),
-// plus a mixed XMark query whose path domain bails out to the lazy engine
-// while the per-tuple arithmetic runs as bytecode.
+// plus mixed XMark queries whose path domain lowers to the VM's path
+// opcodes (kNavStep/kAccessExec) alongside per-tuple bytecode arithmetic.
+// Path-shape sweeps proper are E21 (bench_vm_paths).
 //
 //   bench_vm                      # human-readable
 //   bench_vm --json               # emit BENCH_vm.json (CI bench-smoke lane)
@@ -82,9 +83,9 @@ BENCHMARK(BM_FilterFlwor_Vm)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_FilterFlwor_Lazy)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_FilterFlwor_Eager)->Arg(10000)->Arg(100000);
 
-/// Mixed query over XMark: the //quantity domain is a bailout thunk (lazy
-/// path machinery) but the per-tuple arithmetic compiles — measures the
-/// hybrid compile-what-pays-off contract on real document data.
+/// Mixed query over XMark: the //quantity domain lowers to path opcodes
+/// and the per-tuple arithmetic compiles — measures the whole-query
+/// bytecode contract on real document data.
 void RunXMarkShape(benchmark::State& state, ExecBackend backend) {
   auto engine = MakeXMarkEngine(ScaleFromArg(state.range(0)));
   auto compiled = MustCompile(
@@ -114,9 +115,10 @@ BENCHMARK(BM_XMarkQuantity_Vm)->Arg(20);
 BENCHMARK(BM_XMarkQuantity_Lazy)->Arg(20);
 BENCHMARK(BM_XMarkQuantity_Eager)->Arg(20);
 
-/// FLWOR-heavy XMark aggregate: one //quantity scan (bailout), then a
-/// nested compiled loop doing 60 arithmetic ops per matched node — the
-/// report-generation shape where per-tuple arithmetic dominates the scan.
+/// FLWOR-heavy XMark aggregate: one //quantity scan (compiled path
+/// opcodes), then a nested compiled loop doing 60 arithmetic ops per
+/// matched node — the report-generation shape where per-tuple arithmetic
+/// dominates the scan.
 void RunXMarkAggregate(benchmark::State& state, ExecBackend backend) {
   auto engine = MakeXMarkEngine(ScaleFromArg(state.range(0)));
   auto compiled = MustCompile(

@@ -20,6 +20,7 @@
 #include "join/twig.h"
 #include "join/twig_planner.h"
 #include "opt/access_path.h"
+#include "opt/inline_functions.h"
 #include "opt/properties.h"
 #include "opt/static_types.h"
 #include "query/normalize.h"
@@ -491,6 +492,15 @@ Result<std::unique_ptr<CompiledQuery>> XQueryEngine::Compile(
     XQP_ASSIGN_OR_RETURN(
         compiled->rewrite_stats_,
         OptimizeModule(compiled->module_.get(), rewriter));
+    // Pre-lowering inline fixpoint: the rewriter inlines at most
+    // max_passes layers of user-function calls; finishing the job here
+    // means call chains of any depth reach the bytecode compiler as plain
+    // FLWORs instead of per-evaluation bailout thunks.
+    if (rewriter.function_inlining) {
+      XQP_RETURN_NOT_OK(InlineSmallFunctions(compiled->module_.get(),
+                                             rewriter.inline_size_limit)
+                            .status());
+    }
   }
   // Final analysis pass: the lazy compiler consults properties (uses_last
   // and friends) even when optimization is disabled.

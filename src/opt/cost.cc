@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +44,106 @@ uint64_t TagTotal(const DocumentIndexes& idx, uint32_t name_id,
   }
   (*memo)[name_id] = total;
   return total;
+}
+
+/// Number of equi-width buckets for the fallback selectivity histogram.
+constexpr size_t kHistBuckets = 32;
+/// A point (eq) query is assumed to match this share of its bucket.
+constexpr double kHistPointShare = 0.125;
+
+/// Fallback selectivity for predicates CountPredicateMatches cannot answer
+/// exactly (typically a numeric comparison over mixed-type content, where
+/// the numeric family stays unbuilt): estimate from a cheap equi-width
+/// histogram over the numeric interpretation of the sorted value family.
+/// Unparseable entries count toward the population but can never satisfy a
+/// numeric comparison. nullopt when no family data exists at all — the
+/// caller keeps its flat default.
+std::optional<double> HistogramSelectivity(const DocumentIndexes& idx,
+                                           const std::vector<int32_t>& frontier,
+                                           const IndexPredicate& pred) {
+  if (pred.positional || !pred.operand.IsNumeric()) return std::nullopt;
+  const Document& doc = idx.doc();
+  uint32_t tname = doc.FindNameId(pred.target.uri, pred.target.local);
+  if (tname == kNoName) return 0.0;  // Never satisfied.
+  NodeKind tkind =
+      pred.target.attribute ? NodeKind::kAttribute : NodeKind::kElement;
+
+  std::vector<double> vals;
+  size_t population = 0;
+  bool any_family = false;
+  for (int32_t s : frontier) {
+    int32_t t = idx.FindChild(s, tkind, tname);
+    if (t < 0) continue;
+    const DocumentIndexes::ValuePostings* vp = idx.values(t);
+    if (vp == nullptr) continue;
+    if (!vp->by_number.empty()) {
+      any_family = true;
+      population += vp->by_number.size();
+      for (const auto& [d, n] : vp->by_number) {
+        if (!std::isnan(d)) vals.push_back(d);
+      }
+    } else if (!vp->by_string.empty()) {
+      any_family = true;
+      population += vp->by_string.size();
+      for (const auto& [sv, n] : vp->by_string) {
+        const char* begin = sv.c_str();
+        char* end = nullptr;
+        double d = std::strtod(begin, &end);
+        if (end != begin && *end == '\0' && !std::isnan(d)) {
+          vals.push_back(d);
+        }
+      }
+    }
+  }
+  if (!any_family) return std::nullopt;
+  if (population == 0) return 0.0;
+  if (vals.empty()) return 0.0;  // Nothing numeric: a match is impossible.
+
+  auto [lo_it, hi_it] = std::minmax_element(vals.begin(), vals.end());
+  double lo = *lo_it;
+  double hi = *hi_it;
+  double v = pred.operand.NumericAsDouble();
+  if (std::isnan(v)) return pred.op == CompOp::kGenNe ? 1.0 : 0.0;
+
+  double n = static_cast<double>(vals.size());
+  double eq = 0;
+  double below = 0;  // Strictly-less estimate.
+  if (hi <= lo) {
+    // Degenerate single-value family: the comparison is decidable.
+    eq = v == lo ? n : 0;
+    below = v > lo ? n : 0;
+  } else {
+    double width = (hi - lo) / static_cast<double>(kHistBuckets);
+    std::vector<double> hist(kHistBuckets, 0);
+    for (double d : vals) {
+      auto b = static_cast<size_t>((d - lo) / width);
+      hist[std::min(b, kHistBuckets - 1)] += 1.0;
+    }
+    if (v < lo) {
+      below = 0;
+    } else if (v > hi) {
+      below = n;
+    } else {
+      auto b = std::min(static_cast<size_t>((v - lo) / width),
+                        kHistBuckets - 1);
+      for (size_t i = 0; i < b; ++i) below += hist[i];
+      double frac = (v - (lo + static_cast<double>(b) * width)) / width;
+      below += hist[b] * std::clamp(frac, 0.0, 1.0);
+      eq = hist[b] * kHistPointShare;
+    }
+  }
+
+  double matched = 0;
+  switch (pred.op) {
+    case CompOp::kGenEq: matched = eq; break;
+    case CompOp::kGenNe: matched = n - eq; break;
+    case CompOp::kGenLt: matched = below; break;
+    case CompOp::kGenLe: matched = below + eq; break;
+    case CompOp::kGenGt: matched = n - below - eq; break;
+    case CompOp::kGenGe: matched = n - below; break;
+    default: return std::nullopt;
+  }
+  return std::clamp(matched / static_cast<double>(population), 0.0, 1.0);
 }
 
 /// Shared chain walk: synopsis frontiers, exact per-step populations, and
@@ -94,10 +195,14 @@ ChainWalk WalkChain(const DocumentIndexes& idx, const IndexQuery& q) {
         std::optional<size_t> m =
             CountPredicateMatches(idx, w.frontier[i + 1], pred);
         if (!m.has_value()) {
-          // Unprovable predicate: the index cannot answer this chain; keep
-          // a default selectivity so nav/join costs stay comparable.
+          // Unprovable predicate: the index cannot answer this chain, but
+          // the cardinality estimate should still be data-driven when the
+          // value family has entries — the equi-width histogram replaces
+          // the old flat 0.25 default (kept only when there is no family
+          // data to estimate from).
           w.index_applicable = false;
-          rows *= 0.25;
+          rows *= HistogramSelectivity(idx, w.frontier[i + 1], pred)
+                      .value_or(0.25);
           continue;
         }
         double sel = w.population[i + 1] > 0

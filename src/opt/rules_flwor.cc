@@ -1,5 +1,4 @@
-#include <unordered_map>
-
+#include "opt/inline_functions.h"
 #include "opt/properties.h"
 #include "opt/rewriter.h"
 #include "query/expr.h"
@@ -8,12 +7,6 @@ namespace xqp {
 namespace opt_internal {
 
 namespace {
-
-size_t CountNodes(const Expr* e) {
-  size_t n = 1;
-  for (size_t i = 0; i < e->NumChildren(); ++i) n += CountNodes(e->child(i));
-  return n;
-}
 
 /// LET clause folding and dead-let elimination (paper: fold when the
 /// expression never creates new nodes, or when the variable is used once
@@ -169,136 +162,6 @@ void MinimizeFor(ExprPtr& e, RuleContext* ctx) {
   ctx->Count("for-minimization");
 }
 
-/// Function inlining: non-recursive user functions below the size limit
-/// expand at the call site as let-bound parameters + a slot-remapped body
-/// clone (the paper's caveats about namespaces and implicit operations are
-/// satisfied: names were resolved at parse time and argument types are
-/// checked by the generated lets... the engine checks them dynamically).
-class Inliner {
- public:
-  explicit Inliner(RuleContext* ctx) : ctx_(ctx) {}
-
-  Status Run(ExprPtr& e) {
-    for (size_t i = 0; i < e->NumChildren(); ++i) {
-      XQP_RETURN_NOT_OK(Run(e->child_slot(i)));
-    }
-    if (e->kind() != ExprKind::kFunctionCall) return Status::OK();
-    auto* call = static_cast<FunctionCallExpr*>(e.get());
-    if (call->user_index < 0) return Status::OK();
-    const UserFunction& fn = ctx_->module->functions[call->user_index];
-    if (fn.body == nullptr || fn.recursive) return Status::OK();
-    if (CountNodes(fn.body.get()) >
-        static_cast<size_t>(ctx_->options->inline_size_limit)) {
-      return Status::OK();
-    }
-
-    // Clone and remap the body into the caller's frame.
-    ExprPtr body = fn.body->Clone();
-    std::unordered_map<int, int> remap;
-    for (size_t i = 0; i < fn.param_slots.size(); ++i) {
-      remap[fn.param_slots[i]] = (*ctx_->next_slot)++;
-    }
-    CollectAndRemapBindings(body.get(), &remap);
-    RemapVarRefs(body.get(), remap);
-
-    if (call->NumChildren() == 0) {
-      e = std::move(body);
-    } else {
-      auto flwor = std::make_unique<FlworExpr>();
-      for (size_t i = 0; i < fn.params.size(); ++i) {
-        FlworExpr::Clause clause;
-        clause.type = FlworExpr::Clause::Type::kLet;
-        clause.var = fn.params[i];
-        clause.var_slot = remap[fn.param_slots[i]];
-        flwor->clauses.push_back(clause);
-        ExprPtr arg = call->TakeChild(i);
-        // Declared parameter types keep their dynamic check as treat-as.
-        const SequenceType& t = fn.param_types[i];
-        bool is_any = !t.empty_sequence &&
-                      t.item.kind == ItemTypeTest::Kind::kItem &&
-                      t.occurrence == Occurrence::kStar;
-        if (!is_any) {
-          arg = std::make_unique<TreatExpr>(std::move(arg), t);
-        }
-        flwor->AddChild(std::move(arg));
-      }
-      flwor->AddChild(std::move(body));
-      e = std::move(flwor);
-    }
-    ctx_->Count("function-inlining");
-    return Status::OK();
-  }
-
- private:
-  void CollectAndRemapBindings(Expr* e, std::unordered_map<int, int>* remap) {
-    switch (e->kind()) {
-      case ExprKind::kFlwor: {
-        auto* flwor = static_cast<FlworExpr*>(e);
-        for (auto& c : flwor->clauses) {
-          if (c.var_slot >= 0) {
-            int fresh = (*ctx_->next_slot)++;
-            (*remap)[c.var_slot] = fresh;
-            c.var_slot = fresh;
-          }
-          if (c.pos_slot >= 0) {
-            int fresh = (*ctx_->next_slot)++;
-            (*remap)[c.pos_slot] = fresh;
-            c.pos_slot = fresh;
-          }
-        }
-        break;
-      }
-      case ExprKind::kQuantified: {
-        auto* q = static_cast<QuantifiedExpr*>(e);
-        for (auto& b : q->bindings) {
-          if (b.var_slot >= 0) {
-            int fresh = (*ctx_->next_slot)++;
-            (*remap)[b.var_slot] = fresh;
-            b.var_slot = fresh;
-          }
-        }
-        break;
-      }
-      case ExprKind::kTypeswitch: {
-        auto* ts = static_cast<TypeswitchExpr*>(e);
-        for (auto& c : ts->cases) {
-          if (c.var_slot >= 0) {
-            int fresh = (*ctx_->next_slot)++;
-            (*remap)[c.var_slot] = fresh;
-            c.var_slot = fresh;
-          }
-        }
-        if (ts->default_var_slot >= 0) {
-          int fresh = (*ctx_->next_slot)++;
-          (*remap)[ts->default_var_slot] = fresh;
-          ts->default_var_slot = fresh;
-        }
-        break;
-      }
-      default:
-        break;
-    }
-    for (size_t i = 0; i < e->NumChildren(); ++i) {
-      CollectAndRemapBindings(e->child(i), remap);
-    }
-  }
-
-  void RemapVarRefs(Expr* e, const std::unordered_map<int, int>& remap) {
-    if (e->kind() == ExprKind::kVarRef) {
-      auto* var = static_cast<VarRefExpr*>(e);
-      if (!var->is_global) {
-        auto it = remap.find(var->slot);
-        if (it != remap.end()) var->slot = it->second;
-      }
-    }
-    for (size_t i = 0; i < e->NumChildren(); ++i) {
-      RemapVarRefs(e->child(i), remap);
-    }
-  }
-
-  RuleContext* ctx_;
-};
-
 }  // namespace
 
 Status ApplyFlworRules(ExprPtr& e, RuleContext* ctx) {
@@ -323,8 +186,13 @@ Status ApplyFlworRules(ExprPtr& e, RuleContext* ctx) {
     }
   }
   if (e->kind() == ExprKind::kFunctionCall && ctx->options->function_inlining) {
-    Inliner inliner(ctx);
-    XQP_RETURN_NOT_OK(inliner.Run(e));
+    // The mechanism lives in opt/inline_functions.cc, shared with the
+    // engine's pre-lowering fixpoint pass.
+    XQP_ASSIGN_OR_RETURN(
+        int inlined,
+        InlineFunctionCalls(e, *ctx->module,
+                            ctx->options->inline_size_limit, ctx->next_slot));
+    for (int i = 0; i < inlined; ++i) ctx->Count("function-inlining");
   }
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #define XQP_VM_BYTECODE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +54,19 @@ enum class Op : uint8_t {
   kAccumAdd,         // Pop; append to the innermost accumulator.
   kAccumEnd,         // Close the innermost accumulator; push its contents.
   kCallBuiltin,      // a = Builtin id, b = argc; pop argc args, push result.
+  kNavStep,          // a = path-plan index; pop the origin sequence, walk the
+                     //   plan's axis/name-test over each node, push the step
+                     //   output (doc-order sorted/deduped per the PathExpr's
+                     //   needs_sort/needs_dedup flags). Polls the governor per
+                     //   origin item; charges bytes only for blocking levels,
+                     //   mirroring the lazy PathIt.
+  kIndexProbe,       // a = path-plan index, b = join pc. Offer the chain to
+                     //   the value-index/synopsis executor; when it answers,
+                     //   push the result and jump to b, else fall through to
+                     //   the navigation code. Emitted for predicate chains.
+  kAccessExec,       // Same operands/behavior as kIndexProbe, emitted for
+                     //   predicate-free chains where the full strategy
+                     //   dispatch (nav/sjoin/twig/index) applies.
   kBailout,          // a = thunk index; run the referenced expression on the
                      //   lazy engine and push its result.
   kPop,              // Pop and discard.
@@ -93,6 +107,22 @@ struct Program {
     std::string reason;
   };
   std::vector<Thunk> thunks;
+
+  /// A lowered path level referenced by kNavStep / kIndexProbe /
+  /// kAccessExec. `path` carries the ordering flags and (for the probe
+  /// ops) the chain handed to TryExecuteAccessPath; `step` is the axis +
+  /// name test kNavStep walks (null for probe-only entries).
+  struct PathPlan {
+    const PathExpr* path = nullptr;
+    const StepExpr* step = nullptr;
+  };
+  std::vector<PathPlan> paths;
+
+  /// Expressions synthesized during lowering (e.g. the navigation twin of
+  /// an index-probed predicate chain, run as a thunk when the probe
+  /// declines). Thunk/PathPlan pointers may refer here; kept alive for the
+  /// Program's lifetime.
+  std::vector<std::unique_ptr<Expr>> owned_exprs;
 
   /// Register-file sizing: module frame slots, FLWOR/quantifier iterator
   /// registers (allocated by loop nesting depth), and operand stack cells.

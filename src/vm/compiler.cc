@@ -8,6 +8,7 @@
 
 #include "base/fault.h"
 #include "base/metrics.h"
+#include "index/index_planner.h"
 #include "opt/const_fold.h"
 #include "opt/properties.h"
 #include "query/expr.h"
@@ -41,6 +42,9 @@ std::string_view OpName(Op op) {
     case Op::kAccumAdd: return "accum-add";
     case Op::kAccumEnd: return "accum-end";
     case Op::kCallBuiltin: return "call-builtin";
+    case Op::kNavStep: return "nav-step";
+    case Op::kIndexProbe: return "index-probe";
+    case Op::kAccessExec: return "access-exec";
     case Op::kBailout: return "bailout";
     case Op::kPop: return "pop";
     case Op::kHalt: return "halt";
@@ -178,7 +182,20 @@ class Compiler {
                    ? nullptr
                    : "user function call";
       case ExprKind::kRoot: return "root step";
-      case ExprKind::kPath: return "path";
+      case ExprKind::kPath: {
+        // A path lowers when the index planner can probe it (the runtime
+        // navigation twin becomes a cold fallback thunk) or when its step
+        // is a bare axis walk (kNavStep; the lhs compiles recursively,
+        // worst case as its own thunk). Everything else — filter or step
+        // combinators the ISA has no opcode for — still bails out whole.
+        const auto& p = static_cast<const PathExpr&>(e);
+        if (p.index_candidate) return nullptr;
+        if (p.NumChildren() == 2 &&
+            p.child(1)->kind() == ExprKind::kStep) {
+          return nullptr;
+        }
+        return "path";
+      }
       case ExprKind::kStep: return "path step";
       case ExprKind::kFilter: return "filter";
       case ExprKind::kTypeswitch: return "typeswitch";
@@ -276,6 +293,9 @@ class Compiler {
       case ExprKind::kIf:
         CompileIf(e);
         return;
+      case ExprKind::kPath:
+        CompilePath(static_cast<const PathExpr&>(e));
+        return;
       case ExprKind::kFlwor:
         CompileFlwor(static_cast<const FlworExpr&>(e));
         return;
@@ -321,6 +341,54 @@ class Compiler {
     PatchTarget(j_else, Here());
     Compile(*e.child(2));
     PatchTarget(j_end, Here());
+  }
+
+  int AddPathPlan(const PathExpr* path, const StepExpr* step) {
+    p_->paths.push_back({path, step});
+    return static_cast<int>(p_->paths.size()) - 1;
+  }
+
+  /// Path lowering. Layout for an index-marked chain:
+  ///   index-probe/access-exec  --answered--> JOIN
+  ///   <lhs>                (only reached when the probe declines)
+  ///   nav-step             (or a navigation thunk for filtered chains)
+  ///   JOIN:
+  /// The probe jumps over the lhs entirely when the index answers, so —
+  /// exactly like the lazy IndexPathIt — doc() is never evaluated on the
+  /// indexed fast path. Each PathExpr level probes at most once per
+  /// execution: the navigation thunk is a Clone with the top-level
+  /// index_candidate cleared (inner levels keep their marks, matching the
+  /// lazy engine's per-level IndexPathIt nesting).
+  void CompilePath(const PathExpr& e) {
+    const StepExpr* step =
+        e.NumChildren() == 2 && e.child(1)->kind() == ExprKind::kStep
+            ? static_cast<const StepExpr*>(e.child(1))
+            : nullptr;
+    int probe_pc = -1;
+    if (e.index_candidate) {
+      std::optional<IndexQuery> q = PlanIndexPath(e);
+      Op op = q.has_value() && q->HasPredicates() ? Op::kIndexProbe
+                                                  : Op::kAccessExec;
+      probe_pc = Emit(op, 0, AddPathPlan(&e, nullptr));
+      Push();  // The answered edge pushes the result and jumps to JOIN.
+      Pop();   // The fall-through edge pushes nothing.
+    }
+    if (step != nullptr) {
+      Compile(*e.child(0));
+      Emit(Op::kNavStep, 0, AddPathPlan(&e, step));
+      // Net stack effect 0: pops the origin, pushes the step output.
+    } else {
+      // Filtered chain: navigation falls back to the lazy path machinery,
+      // minus the probe this level already attempted.
+      auto clone = e.Clone();
+      static_cast<PathExpr*>(clone.get())->index_candidate = false;
+      int idx = static_cast<int>(p_->thunks.size());
+      p_->thunks.push_back({clone.get(), "path"});
+      p_->owned_exprs.push_back(std::move(clone));
+      Emit(Op::kBailout, 0, idx);
+      Push();
+    }
+    if (probe_pc >= 0) p_->code[size_t(probe_pc)].b = Here();
   }
 
   /// Tuple-at-a-time FLWOR loop nest. Layout:

@@ -10,10 +10,12 @@
 #include "base/limits.h"
 #include "base/metrics.h"
 #include "exec/arithmetic.h"
+#include "exec/axes.h"
 #include "exec/builtins.h"
 #include "exec/compare.h"
 #include "exec/item.h"
 #include "exec/iterators.h"
+#include "opt/access_path.h"
 
 // Dispatch strategy: jump-threaded computed goto on GCC/Clang (each handler
 // ends with its own indirect branch, so the CPU predicts per-opcode-pair),
@@ -70,6 +72,9 @@ class Vm {
 
   uint64_t retired() const { return retired_; }
   uint64_t bailouts() const { return bailouts_; }
+  /// Per-thunk hit counts (empty when no thunk ever ran); indexes match
+  /// Program::thunks, so callers can attribute hits to bailout reasons.
+  const std::vector<uint64_t>& thunk_hits() const { return thunk_hits_; }
 
  private:
   /// Runs bailout thunk `idx` on the lazy engine. Unprofiled runs compile
@@ -77,6 +82,8 @@ class Vm {
   /// through ExecuteLazy so every hit lands in the profile decorators.
   Result<Sequence> RunThunk(size_t idx) {
     ++bailouts_;
+    if (thunk_hits_.empty()) thunk_hits_.resize(p_.thunks.size(), 0);
+    ++thunk_hits_[idx];
     const Program::Thunk& t = p_.thunks[idx];
     if (ctx_->profile != nullptr) return ExecuteLazy(t.expr, ctx_);
     if (thunk_iters_.empty()) thunk_iters_.resize(p_.thunks.size());
@@ -118,6 +125,7 @@ class Vm {
   size_t asize_ = 0;
   std::vector<Sequence> args_;
   std::vector<std::unique_ptr<ItemIterator>> thunk_iters_;
+  std::vector<uint64_t> thunk_hits_;
   uint64_t retired_ = 0;
   uint64_t bailouts_ = 0;
 };
@@ -180,6 +188,7 @@ Result<Sequence> Vm::Run() {
       &&lbl_kJumpIfFalse, &&lbl_kJumpIfTrue,  &&lbl_kIterNew,
       &&lbl_kIterNext,    &&lbl_kBindPos,     &&lbl_kAccumNew,
       &&lbl_kAccumAdd,    &&lbl_kAccumEnd,    &&lbl_kCallBuiltin,
+      &&lbl_kNavStep,     &&lbl_kIndexProbe,  &&lbl_kAccessExec,
       &&lbl_kBailout,     &&lbl_kPop,         &&lbl_kHalt,
   };
 #endif
@@ -529,6 +538,58 @@ Result<Sequence> Vm::Run() {
     VM_NEXT();
   }
 
+  VM_CASE(kNavStep) : {
+    // One axis walk over the whole origin sequence: the compiled twin of
+    // the lazy PathIt + StepIt pair for a bare-step rhs. Governor parity:
+    // one cooperative poll per origin item (plus the trailing exhaustion
+    // poll), and byte charges only at blocking (materialization) levels —
+    // streaming-elided levels never buffer in the lazy engine and charge
+    // nothing, so budget trips stay deterministic across backends.
+    const Program::PathPlan& plan = p_.paths[size_t(ip->a)];
+    const bool blocking = plan.path->needs_sort || plan.path->needs_dedup;
+    Sequence& in = stack[sp - 1];
+    Sequence out;
+    for (const Item& origin : in) {
+      if (gov_ != nullptr) XQP_RETURN_NOT_OK(gov_->Poll());
+      if (!origin.IsNode()) {
+        return Status::TypeError("axis step requires a node context item");
+      }
+      size_t before = out.size();
+      CollectAxis(origin.AsNode(), plan.step->axis, plan.step->test, &out);
+      if (blocking && gov_ != nullptr) {
+        XQP_RETURN_NOT_OK(
+            gov_->ChargeBytes((out.size() - before) * sizeof(Item)));
+      }
+    }
+    if (gov_ != nullptr) XQP_RETURN_NOT_OK(gov_->Poll());
+    if (!out.empty()) {
+      if (plan.path->needs_sort) {
+        XQP_RETURN_NOT_OK(SortDocOrderDistinct(
+            &out, ctx_->parallel_threshold, ctx_->num_threads));
+      } else if (plan.path->needs_dedup) {
+        XQP_RETURN_NOT_OK(DedupNodesPreservingOrder(&out));
+      }
+    }
+    stack[sp - 1] = std::move(out);
+    VM_NEXT();
+  }
+
+  VM_CASE(kIndexProbe) : VM_CASE(kAccessExec) : {
+    // Offer the marked chain to the access-path selector (synopsis /
+    // value-index / structural-join strategies). An answer skips the
+    // navigation code entirely — like the lazy IndexPathIt, the lhs
+    // (including doc()) is never evaluated on the indexed fast path. A
+    // decline falls through to the navigation instructions.
+    const Program::PathPlan& plan = p_.paths[size_t(ip->a)];
+    auto r = TryExecuteAccessPath(plan.path, ctx_);
+    if (!r.ok()) return r.status();
+    if (r.value().has_value()) {
+      stack[sp++] = std::move(*r.value());
+      VM_GOTO(ip->b);
+    }
+    VM_NEXT();
+  }
+
   VM_CASE(kBailout) : {
     auto r = RunThunk(size_t(ip->a));
     if (!r.ok()) return r.status();
@@ -556,6 +617,17 @@ Result<Sequence> Vm::Run() {
 #undef VM_NEXT
 #undef VM_GOTO
 
+/// "vm.bailout.<reason>" with the EXPLAIN reason string kebab-cased
+/// ("user function call" -> "vm.bailout.user-function-call"); the reason
+/// set is exactly the set of [bailout: ...] annotations.
+std::string BailoutMetricName(const std::string& reason) {
+  std::string name = "vm.bailout.";
+  for (char c : reason) {
+    name.push_back((c == ' ' || c == '/') ? '-' : c);
+  }
+  return name;
+}
+
 }  // namespace
 
 Result<Sequence> RunProgram(const Program& program, DynamicContext* ctx) {
@@ -567,7 +639,17 @@ Result<Sequence> RunProgram(const Program& program, DynamicContext* ctx) {
     static metrics::Counter* bailouts =
         metrics::MetricsRegistry::Global().counter("vm.bailouts");
     if (vm.retired() != 0) instructions->Add(vm.retired());
-    if (vm.bailouts() != 0) bailouts->Add(vm.bailouts());
+    if (vm.bailouts() != 0) {
+      bailouts->Add(vm.bailouts());
+      // Per-reason breakdown: thunk hit counts keyed by the thunk table.
+      const std::vector<uint64_t>& hits = vm.thunk_hits();
+      for (size_t i = 0; i < hits.size(); ++i) {
+        if (hits[i] == 0) continue;
+        metrics::MetricsRegistry::Global()
+            .counter(BailoutMetricName(program.thunks[i].reason))
+            ->Add(hits[i]);
+      }
+    }
   }
   return out;
 }

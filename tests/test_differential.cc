@@ -158,7 +158,7 @@ std::string RandomXMarkQuery(SplitMix64* rng) {
     }
   };
   auto step = [&](bool first) -> std::string {
-    switch (rng->Below(8)) {
+    switch (rng->Below(10)) {
       case 0:
         return "//" + tag();
       case 1:
@@ -173,6 +173,11 @@ std::string RandomXMarkQuery(SplitMix64* rng) {
         return "//item" + value_pred();
       case 6:
         return "//" + tag() + value_pred();
+      case 7:
+        // Pure child segments lower to the vm's kNavStep fast path.
+        return (first ? "/site/" : "/") + tag();
+      case 8:
+        return first ? "//item/@id" : "/@id";
       default:
         return "//" + tag() + "[.//" + tag() + "]";
     }

@@ -1,8 +1,10 @@
-// Bytecode VM backend: opcode-level semantics, the bailout matrix (every
-// uncompilable construct must fall back to the lazy engine with identical
-// results), governor trips at loop back-edges, fault-injected compiles,
-// metrics, the XQP_BACKEND knob, and concurrent execution of one shared
-// Program (the tsan lane re-runs this binary under ThreadSanitizer).
+// Bytecode VM backend: opcode-level semantics, the path opcodes
+// (kNavStep/kIndexProbe/kAccessExec across axes, name tests, and forced
+// access-path strategies), the bailout matrix (every uncompilable
+// construct must fall back to the lazy engine with identical results),
+// governor trips at loop back-edges, fault-injected compiles, metrics,
+// the XQP_BACKEND knob, and concurrent execution of one shared Program
+// (the tsan lane re-runs this binary under ThreadSanitizer).
 
 #include <cstdlib>
 #include <string>
@@ -13,6 +15,7 @@
 
 #include "base/fault.h"
 #include "engine.h"
+#include "opt/access_path.h"
 #include "tests/test_util.h"
 #include "vm/bytecode.h"
 #include "vm/compiler.h"
@@ -176,9 +179,11 @@ TEST(VmOpcodes, ExternalVariablesUseGlobalSlots) {
 TEST(VmBailouts, UncompilableConstructsFallBackCleanly) {
   const std::string doc = "<r><a>1</a><a>2</a><b>3</b></r>";
   const char* queries[] = {
-      // Path / step / root / filter.
-      "1 + count(doc('doc.xml')//a)",
-      "for $n in doc('doc.xml')//a return 1",
+      // Filtered path chains (the ISA has no filter opcode) and filters
+      // on non-path sequences. Bare doc()-anchored chains compile now —
+      // they are covered by the VmPaths suite below.
+      "1 + count(doc('doc.xml')//a[1])",
+      "for $n in doc('doc.xml')//a[. = '2'][1] return 1",
       "count((1,2,3)[. > 1]) + 0",
       // Order-by FLWOR (kOrderSpec clause).
       "(0, for $x in (3,1,2) order by $x return $x)",
@@ -210,22 +215,24 @@ TEST(VmBailouts, ExplainMarksThunksAndCompiledRoot) {
   XQueryEngine engine;
   XQP_ASSERT_OK(
       engine.ParseAndRegister("doc.xml", "<r><a/></r>").status());
-  auto compiled = engine.Compile("1 + count(doc('doc.xml')//a)");
+  auto compiled = engine.Compile("1 + count(for $i in 1 to 2 return <a/>)");
   XQP_ASSERT_OK(compiled.status());
   std::string tree = compiled.value()->ExplainTree(VmExec());
   EXPECT_NE(tree.find(" [vm]"), std::string::npos) << tree;
-  EXPECT_NE(tree.find(" [bailout: "), std::string::npos) << tree;
+  EXPECT_NE(tree.find(" [bailout: constructor]"), std::string::npos) << tree;
   // The default rendering is unannotated (golden stability).
   std::string plain = compiled.value()->ExplainTree();
   EXPECT_EQ(plain.find(" [vm]"), std::string::npos) << plain;
 
-  // A path root is a trivial whole-plan bailout: annotated at the root,
-  // no [vm] marker anywhere.
-  auto path = engine.Compile("doc('doc.xml')//a");
-  XQP_ASSERT_OK(path.status());
-  std::string path_tree = path.value()->ExplainTree(VmExec());
-  EXPECT_NE(path_tree.find(" [bailout: "), std::string::npos) << path_tree;
-  EXPECT_EQ(path_tree.find(" [vm]"), std::string::npos) << path_tree;
+  // doc()-anchored chains lower to path opcodes: the plan carries the
+  // [vm] root marker and no bailout annotation anywhere.
+  for (const char* q : {"doc('doc.xml')//a", "1 + count(doc('doc.xml')//a)"}) {
+    auto path = engine.Compile(q);
+    XQP_ASSERT_OK(path.status());
+    std::string path_tree = path.value()->ExplainTree(VmExec());
+    EXPECT_NE(path_tree.find(" [vm]"), std::string::npos) << path_tree;
+    EXPECT_EQ(path_tree.find(" [bailout: "), std::string::npos) << path_tree;
+  }
 }
 
 TEST(VmBailouts, ThunksSeeLoopVariables) {
@@ -237,6 +244,181 @@ TEST(VmBailouts, ThunksSeeLoopVariables) {
   EXPECT_EQ(RunBoth("for $i at $p in ('a','b') return <v>{$p}</v>"),
             "<v>1</v><v>2</v>");
   EXPECT_EQ(RunBoth("let $x := 7 return (<v>{$x}</v>, $x)"), "<v>7</v>7");
+}
+
+// --- Path opcodes (kNavStep / kIndexProbe / kAccessExec) -------------------
+
+/// Compiles `query`, runs it on the vm backend under Profile, asserts the
+/// run retired ZERO bailouts (the chain lowered to path opcodes, not
+/// thunks), and asserts the result is bit-identical to the lazy engine.
+/// Returns the common serialization.
+std::string RunCompiledPath(XQueryEngine& engine, const std::string& query) {
+  auto compiled = engine.Compile(query);
+  EXPECT_TRUE(compiled.ok()) << query << ": " << compiled.status().ToString();
+  if (!compiled.ok()) return "COMPILE-ERROR";
+  auto report = compiled.value()->Profile(VmExec());
+  EXPECT_TRUE(report.ok()) << query << ": " << report.status().ToString();
+  if (!report.ok()) return "RUN-ERROR";
+  EXPECT_EQ(report.value().backend, ExecBackend::kVm) << query;
+  EXPECT_EQ(report.value().engine_metrics.counters["vm.bailouts"], 0u)
+      << query;
+  std::string vm_xml = SerializeSequence(report.value().result).ValueOrDie();
+  auto lazy = compiled.value()->ExecuteToXml();
+  EXPECT_TRUE(lazy.ok()) << query << ": " << lazy.status().ToString();
+  if (lazy.ok()) {
+    EXPECT_EQ(vm_xml, lazy.value()) << query;
+  }
+  return vm_xml;
+}
+
+constexpr char kPathDoc[] =
+    "<r><a id='1'><b>x</b><b>y</b></a>"
+    "<a id='2'><c>z</c></a><b>top</b></r>";
+
+TEST(VmPaths, AxisAndNameTestMatrix) {
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("doc.xml", kPathDoc).status());
+  // Forward axes with name tests, wildcards, and kind tests; reverse
+  // axes (needs_sort paths); attribute steps. Every query must lower to
+  // kNavStep / probe opcodes — zero bailouts — and match lazy exactly.
+  EXPECT_EQ(RunCompiledPath(engine, "doc('doc.xml')/r/a"),
+            "<a id=\"1\"><b>x</b><b>y</b></a><a id=\"2\"><c>z</c></a>");
+  EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')/r/*)"), "3");
+  EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')//b)"), "3");
+  EXPECT_EQ(RunCompiledPath(engine, "string-join(doc('doc.xml')//text(), '')"),
+            "xyztop");
+  EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')/r/node())"), "3");
+  EXPECT_EQ(RunCompiledPath(engine, "doc('doc.xml')//a/@id"),
+            "id=\"1\"id=\"2\"");
+  EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')//b/parent::a)"),
+            "1");
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "count(doc('doc.xml')//c/ancestor-or-self::*)"),
+            "3");
+  EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')//b/self::b)"), "3");
+  EXPECT_EQ(RunCompiledPath(
+                engine, "count(doc('doc.xml')//b/following-sibling::*)"),
+            "1");
+  EXPECT_EQ(RunCompiledPath(
+                engine, "count(doc('doc.xml')//b/preceding-sibling::*)"),
+            "3");
+  EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')//c/following::*)"),
+            "1");
+  EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')//c/preceding::*)"),
+            "3");
+  EXPECT_EQ(RunCompiledPath(engine, "doc('doc.xml')//b/ancestor::r/b"),
+            "<b>top</b>");
+}
+
+TEST(VmPaths, ForcedStrategiesAreBitIdentical) {
+  // Every access-path force must execute through the vm's probe/exec
+  // opcodes with zero bailouts and stay bit-identical to lazy.
+  for (AccessPath force : {AccessPath::kAuto, AccessPath::kNav,
+                           AccessPath::kSJoin, AccessPath::kTwig,
+                           AccessPath::kIndex}) {
+    SCOPED_TRACE(AccessPathName(force));
+    EngineOptions options;
+    options.force_access_path = force;
+    XQueryEngine engine(options);
+    XQP_ASSERT_OK(engine.ParseAndRegister("doc.xml", kPathDoc).status());
+    EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')/r/a/b)"), "2");
+    EXPECT_EQ(RunCompiledPath(engine, "string(doc('doc.xml')//a/c)"), "z");
+    EXPECT_EQ(RunCompiledPath(engine, "doc('doc.xml')/r/b"), "<b>top</b>");
+  }
+}
+
+TEST(VmPaths, PredicateChainCompilesToIndexProbe) {
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("doc.xml", kPathDoc).status());
+  // A value-predicate chain lowers to kIndexProbe with the navigation
+  // twin behind it; either edge must produce the lazy result.
+  EXPECT_EQ(RunCompiledPath(engine, "doc('doc.xml')/r/a[@id = '2']"),
+            "<a id=\"2\"><c>z</c></a>");
+  EXPECT_EQ(RunCompiledPath(engine, "count(doc('doc.xml')/r/a[b = 'y'])"),
+            "1");
+
+  // Compiler shape: the predicate chain's program carries a probe opcode.
+  auto compiled = engine.Compile("doc('doc.xml')/r/a[@id = '2']");
+  XQP_ASSERT_OK(compiled.status());
+  XQP_ASSERT_OK_AND_ASSIGN(std::shared_ptr<const vm::Program> program,
+                           vm::CompileProgram(compiled.value()->module()));
+  bool has_probe = false;
+  for (const vm::Insn& insn : program->code) {
+    if (insn.op == vm::Op::kIndexProbe || insn.op == vm::Op::kAccessExec) {
+      has_probe = true;
+    }
+  }
+  EXPECT_TRUE(has_probe);
+  EXPECT_FALSE(program->trivial_bailout);
+}
+
+TEST(VmPaths, FilteredChainStillCompiles) {
+  // Positional filters have no dedicated opcode, but a marked chain's
+  // probe dispatches into the access-path executor — the same call the
+  // lazy IndexPathIt makes — which answers filtered chains via its
+  // navigation strategy. Zero bailouts, identical results.
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("doc.xml", kPathDoc).status());
+  EXPECT_EQ(RunCompiledPath(engine, "doc('doc.xml')//a[1]/b"),
+            "<b>x</b><b>y</b>");
+}
+
+TEST(VmPaths, UnplannableChainFallsBackWithParity) {
+  // A step combinator the ISA has no opcode for (a union rhs) keeps the
+  // whole chain on the lazy engine as a thunk: bailouts retire under the
+  // per-reason "path" counter and the result stays identical.
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("doc.xml", kPathDoc).status());
+  auto compiled = engine.Compile("count(doc('doc.xml')//a/(b | c))");
+  XQP_ASSERT_OK(compiled.status());
+  XQP_ASSERT_OK_AND_ASSIGN(ProfileReport report,
+                           compiled.value()->Profile(VmExec()));
+  EXPECT_GE(report.engine_metrics.counters["vm.bailouts"], 1u);
+  EXPECT_GE(report.engine_metrics.counters["vm.bailout.path"], 1u);
+  EXPECT_EQ(SerializeSequence(report.result).ValueOrDie(), "3");
+  XQP_ASSERT_OK_AND_ASSIGN(std::string lazy,
+                           compiled.value()->ExecuteToXml());
+  EXPECT_EQ(lazy, "3");
+}
+
+TEST(VmPaths, ResultCapParity) {
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("doc.xml", kPathDoc).status());
+  auto compiled = engine.Compile("doc('doc.xml')//b");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions vm = VmExec();
+  vm.limits.max_result_items = 1;
+  CompiledQuery::ExecOptions lazy;
+  lazy.limits.max_result_items = 1;
+  auto vm_r = compiled.value()->Execute(vm);
+  auto lazy_r = compiled.value()->Execute(lazy);
+  ASSERT_FALSE(vm_r.ok());
+  ASSERT_FALSE(lazy_r.ok());
+  EXPECT_EQ(vm_r.status().code(), lazy_r.status().code());
+  EXPECT_EQ(vm_r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VmPaths, IndexBuildFaultMatchesLazy) {
+  // An allocation fault inside the index build triggered by the probe
+  // opcode must surface the same status on both backends. Fresh engine
+  // per run: the build is what hits the fault site.
+  auto run = [](CompiledQuery::ExecOptions exec) {
+    EngineOptions options;
+    options.force_access_path = AccessPath::kIndex;
+    XQueryEngine engine(options);
+    auto doc = engine.ParseAndRegister("doc.xml", kPathDoc);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+    auto compiled = engine.Compile("doc('doc.xml')/r/a/b");
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    fault::ScopedFault fault("alloc", 1);
+    return compiled.value()->Execute(exec);
+  };
+  auto lazy_r = run(CompiledQuery::ExecOptions());
+  auto vm_r = run(VmExec());
+  ASSERT_FALSE(lazy_r.ok());
+  ASSERT_FALSE(vm_r.ok());
+  EXPECT_EQ(vm_r.status().code(), lazy_r.status().code());
+  EXPECT_EQ(vm_r.status().message(), lazy_r.status().message());
 }
 
 // --- Governor --------------------------------------------------------------
@@ -319,15 +501,43 @@ TEST(VmMetrics, CountersAdvance) {
   ASSERT_NE(root, nullptr);
   EXPECT_EQ(root->items, report.result.size());
 
-  // A query with an uncompiled subtree retires bailouts.
-  XQP_ASSERT_OK(
-      engine.ParseAndRegister("doc.xml", "<r><a/><a/></r>").status());
-  auto mixed = engine.Compile("1 + count(doc('doc.xml')//a)");
+  // A query with an uncompiled subtree retires bailouts, attributed to
+  // the thunk's reason as a per-reason counter (satellite of EXPLAIN's
+  // [bailout: reason] annotations).
+  auto mixed = engine.Compile("1 + count(for $i in 1 to 3 return <v/>)");
   XQP_ASSERT_OK(mixed.status());
   XQP_ASSERT_OK_AND_ASSIGN(ProfileReport mixed_report,
                            mixed.value()->Profile(exec));
   EXPECT_GE(mixed_report.engine_metrics.counters["vm.bailouts"], 1u);
-  EXPECT_EQ(SerializeSequence(mixed_report.result).ValueOrDie(), "3");
+  EXPECT_GE(mixed_report.engine_metrics.counters["vm.bailout.constructor"],
+            1u);
+  EXPECT_EQ(SerializeSequence(mixed_report.result).ValueOrDie(), "4");
+
+  // Compiled paths retire zero bailouts.
+  XQP_ASSERT_OK(
+      engine.ParseAndRegister("doc.xml", "<r><a/><a/></r>").status());
+  auto path = engine.Compile("1 + count(doc('doc.xml')//a)");
+  XQP_ASSERT_OK(path.status());
+  XQP_ASSERT_OK_AND_ASSIGN(ProfileReport path_report,
+                           path.value()->Profile(exec));
+  EXPECT_EQ(path_report.engine_metrics.counters["vm.bailouts"], 0u);
+  EXPECT_EQ(SerializeSequence(path_report.result).ValueOrDie(), "3");
+}
+
+TEST(VmMetrics, PerReasonBailoutCountersKebabCaseTheReason) {
+  XQueryEngine engine;
+  // "user function call" => vm.bailout.user-function-call (recursive
+  // functions are never inlined, so the call survives to the compiler).
+  auto compiled = engine.Compile(
+      "declare function local:f($n as xs:integer) as xs:integer { "
+      "if ($n le 1) then 1 else $n * local:f($n - 1) }; "
+      "local:f(4) + 0");
+  XQP_ASSERT_OK(compiled.status());
+  XQP_ASSERT_OK_AND_ASSIGN(ProfileReport report,
+                           compiled.value()->Profile(VmExec()));
+  EXPECT_GE(
+      report.engine_metrics.counters["vm.bailout.user-function-call"], 1u);
+  EXPECT_EQ(SerializeSequence(report.result).ValueOrDie(), "24");
 }
 
 // --- Backend selection -----------------------------------------------------

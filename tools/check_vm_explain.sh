@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI gate: the canonical XMark path shapes must lower entirely to the
+# VM's path opcodes — any `[bailout:` annotation in the vm EXPLAIN tree
+# is a regression in the bytecode compiler's path lowering.
+#
+# Usage: tools/check_vm_explain.sh <path-to-xqp_profile>
+set -euo pipefail
+
+PROFILE="${1:?usage: check_vm_explain.sh <path-to-xqp_profile>}"
+
+QUERY_IDS=(Q06 Q07)
+TEXT_SHAPES=(
+  "doc('xmark.xml')/site/people/person[@id = 'person0']/name"
+  "doc('xmark.xml')/site/people/person/name"
+  "doc('xmark.xml')//item/name"
+  "doc('xmark.xml')//item[quantity < 2]"
+  "doc('xmark.xml')//person[@id = 'person0']"
+  "doc('xmark.xml')//open_auction/bidder/increase"
+  "sum(for \$q in doc('xmark.xml')//quantity, \$i in 1 to 60 return \$q * \$i + (\$q idiv 2) - (\$i mod 7))"
+)
+
+fail=0
+check() {
+  local label="$1"; shift
+  local out
+  out="$("$PROFILE" "$@" --scale 10 --backend vm --explain-only)"
+  if grep -q '\[bailout:' <<<"$out"; then
+    echo "FAIL: vm bailout in compiled path plan for ${label}:" >&2
+    grep '\[bailout:' <<<"$out" >&2
+    fail=1
+  else
+    echo "ok: ${label}"
+  fi
+}
+
+for id in "${QUERY_IDS[@]}"; do
+  check "$id" --query "$id"
+done
+for text in "${TEXT_SHAPES[@]}"; do
+  check "$text" --text "$text"
+done
+
+exit "$fail"

@@ -27,8 +27,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 echo "=== Release bench smoke (ingest fast path + index access paths + vm + planner) ==="
 # A short-min-time pass over the ingest, index, vm, and planner benchmarks
 # keeps the fast-path numbers honest on every CI run; BENCH_ingest.json /
-# BENCH_parse.json / BENCH_index.json / BENCH_vm.json / BENCH_planner.json
-# land in the release build dir for the perf dashboard to pick up.
+# BENCH_parse.json / BENCH_index.json / BENCH_vm.json / BENCH_planner.json /
+# BENCH_vm_paths.json land in the release build dir for the perf dashboard
+# to pick up.
 (cd "$BUILD_DIR" && \
   ./bench/bench_ingest --json --benchmark_min_time=0.1 && \
   ./bench/bench_parse --json --benchmark_min_time=0.1 \
@@ -37,6 +38,7 @@ echo "=== Release bench smoke (ingest fast path + index access paths + vm + plan
     --benchmark_filter='/100/' && \
   ./bench/bench_vm --json --benchmark_min_time=0.1 \
     --benchmark_filter='/10000' && \
+  ./bench/bench_vm_paths --json --benchmark_min_time=0.1 && \
   ./bench/bench_planner --json --benchmark_min_time=0.1 \
     --benchmark_filter='/(1|64)$' && \
   ./bench/bench_storage --json --benchmark_min_time=0.1 \
