@@ -1,0 +1,96 @@
+// E22 — compiled node construction and order-by in the bytecode VM vs
+// the lazy engine: a constructor-heavy return clause (kConstructElem with
+// attribute value templates), a computed-constructor variant, an order-by
+// sort over a materialized tuple stream (kSortOpen/kSortKey/kSortTuples),
+// and the combined XMark Q19-style transform (sort + construct). Every
+// shape runs on both backends from one CompiledQuery, so the sweep
+// doubles as a parity-or-better check for the new lowering.
+//
+//   bench_vm_construct            # human-readable
+//   bench_vm_construct --json     # emit BENCH_vm_construct.json (CI lane)
+//
+// Arg(n): XMark permille scale.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "engine.h"
+
+namespace xqp {
+namespace {
+
+using bench::MakeXMarkEngine;
+using bench::MustCompile;
+using bench::ScaleFromArg;
+
+void RunConstructShape(benchmark::State& state, const std::string& query,
+                       ExecBackend backend) {
+  auto engine = MakeXMarkEngine(ScaleFromArg(state.range(0)));
+  auto compiled = MustCompile(engine.get(), query);
+  CompiledQuery::ExecOptions exec;
+  exec.backend = backend;
+  // Warm the document indexes outside the timed region (both backends
+  // probe the same engine-level cache).
+  {
+    auto warm = compiled->Execute(exec);
+    if (!warm.ok()) state.SkipWithError(warm.status().ToString().c_str());
+  }
+  size_t items = 0;
+  for (auto _ : state) {
+    auto result = compiled->Execute(exec);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    items = result.value().size();
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.counters["items"] = static_cast<double>(items);
+}
+
+/// Constructor-heavy return clause: one direct element per item, with an
+/// attribute value template and nested child construction.
+const char kDirectConstruct[] =
+    "for $i in doc('xmark.xml')//item "
+    "return <item id=\"{$i/@id}\"><n>{string($i/name[1])}</n>"
+    "<k>{count($i/*)}</k></item>";
+
+/// Computed constructors: element + attribute + text with computed names.
+const char kComputedConstruct[] =
+    "for $p in doc('xmark.xml')/site/people/person "
+    "return element {name($p)} {attribute src {string($p/@id)}, "
+    "text {string($p/name[1])}}";
+
+/// Order-by sort over the full person set — the materialize + stable-sort
+/// path with a single string key.
+const char kOrderBySort[] =
+    "for $p in doc('xmark.xml')/site/people/person "
+    "order by string($p/name[1]) return string($p/@id)";
+
+/// Combined transform: multi-key sort feeding a constructor-heavy return
+/// clause (descending numeric + ascending string keys).
+const char kSortedTransform[] =
+    "for $i in doc('xmark.xml')//item "
+    "order by count($i/*) descending, string($i/name[1]) "
+    "return <hit rank=\"{count($i/*)}\">{string($i/name[1])}</hit>";
+
+#define XQP_CONSTRUCT_SHAPE(name, query)                  \
+  void BM_##name##_Vm(benchmark::State& state) {          \
+    RunConstructShape(state, query, ExecBackend::kVm);    \
+  }                                                       \
+  void BM_##name##_Lazy(benchmark::State& state) {        \
+    RunConstructShape(state, query, ExecBackend::kLazy);  \
+  }                                                       \
+  BENCHMARK(BM_##name##_Vm)->Arg(20);                     \
+  BENCHMARK(BM_##name##_Lazy)->Arg(20)
+
+XQP_CONSTRUCT_SHAPE(DirectConstruct, kDirectConstruct);
+XQP_CONSTRUCT_SHAPE(ComputedConstruct, kComputedConstruct);
+XQP_CONSTRUCT_SHAPE(OrderBySort, kOrderBySort);
+XQP_CONSTRUCT_SHAPE(SortedTransform, kSortedTransform);
+
+#undef XQP_CONSTRUCT_SHAPE
+
+}  // namespace
+}  // namespace xqp
+
+XQP_BENCH_JSON_MAIN("BENCH_vm_construct.json")

@@ -889,6 +889,19 @@ std::string ProfileReport::ToJson() const {
     AppendJsonEscaped(name, &out);
     out += "\":" + std::to_string(value);
   }
+  // Per-reason bailout counters, broken out of the flat counter map so CI
+  // can diff the VM's compiled coverage directly. MetricsSnapshot's
+  // counters are an ordered map, so the key order is deterministic.
+  out += "},\"vm_bailouts\":{";
+  first = true;
+  for (const auto& [name, value] : engine_metrics.counters) {
+    if (value == 0 || name.rfind("vm.bailout.", 0) != 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":" + std::to_string(value);
+  }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : engine_metrics.histograms) {

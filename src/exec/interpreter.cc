@@ -11,6 +11,7 @@
 #include "exec/axes.h"
 #include "exec/compare.h"
 #include "exec/constructor.h"
+#include "exec/order_by.h"
 #include "exec/type_match.h"
 #include "index/index_planner.h"
 #include "opt/access_path.h"
@@ -433,10 +434,7 @@ Result<Sequence> Interpreter::EvalFilter(const FilterExpr* e) {
 }
 
 Result<Sequence> Interpreter::EvalFlwor(const FlworExpr* e) {
-  struct Tuple {
-    std::vector<std::pair<bool, AtomicValue>> keys;  // (present, value).
-    Sequence result;
-  };
+  using Tuple = flwor::OrderedTuple;
   std::vector<Tuple> tuples;
   bool has_order = false;
   for (const auto& c : e->clauses) {
@@ -486,19 +484,8 @@ Result<Sequence> Interpreter::EvalFlwor(const FlworExpr* e) {
       }
       case FlworExpr::Clause::Type::kOrderSpec: {
         XQP_ASSIGN_OR_RETURN(Sequence key, Eval(e->child(ci)));
-        Sequence atomized = Atomize(key);
-        if (atomized.size() > 1) {
-          return Status::TypeError("order-by key must be () or a single item");
-        }
-        if (atomized.empty()) {
-          tuple->keys.emplace_back(false, AtomicValue());
-        } else {
-          AtomicValue v = atomized[0].AsAtomic();
-          if (v.type() == XsType::kUntypedAtomic) {
-            v = AtomicValue::String(v.AsString());
-          }
-          tuple->keys.emplace_back(true, std::move(v));
-        }
+        XQP_ASSIGN_OR_RETURN(flwor::OrderKey cell, flwor::MakeOrderKey(key));
+        tuple->keys.push_back(std::move(cell));
         Status st = run(ci + 1, tuple);
         tuple->keys.pop_back();
         return st;
@@ -512,39 +499,14 @@ Result<Sequence> Interpreter::EvalFlwor(const FlworExpr* e) {
 
   if (!has_order) return out;
 
-  // Sort tuples by their order keys.
-  std::vector<const FlworExpr::Clause*> specs;
+  // Sort tuples by their order keys (shared with the VM's kSortTuples).
+  std::vector<flwor::OrderSpecFlags> specs;
   for (const auto& c : e->clauses) {
-    if (c.type == FlworExpr::Clause::Type::kOrderSpec) specs.push_back(&c);
+    if (c.type == FlworExpr::Clause::Type::kOrderSpec) {
+      specs.push_back({c.descending, c.empty_least});
+    }
   }
-  Status sort_error;
-  std::stable_sort(
-      tuples.begin(), tuples.end(), [&](const Tuple& a, const Tuple& b) {
-        for (size_t k = 0; k < specs.size(); ++k) {
-          const auto& [a_has, a_val] = a.keys[k];
-          const auto& [b_has, b_val] = b.keys[k];
-          int c;
-          if (!a_has && !b_has) {
-            c = 0;
-          } else if (!a_has) {
-            c = specs[k]->empty_least ? -1 : 1;
-          } else if (!b_has) {
-            c = specs[k]->empty_least ? 1 : -1;
-          } else {
-            auto r = CompareForOrdering(a_val, b_val);
-            if (!r.ok()) {
-              if (sort_error.ok()) sort_error = r.status();
-              return false;
-            }
-            c = r.value() == CmpResult::kUnordered ? 0
-                                                   : static_cast<int>(r.value());
-          }
-          if (specs[k]->descending) c = -c;
-          if (c != 0) return c < 0;
-        }
-        return false;
-      });
-  XQP_RETURN_NOT_OK(sort_error);
+  XQP_RETURN_NOT_OK(flwor::SortTuples(&tuples, specs));
   for (Tuple& t : tuples) {
     out.insert(out.end(), std::make_move_iterator(t.result.begin()),
                std::make_move_iterator(t.result.end()));

@@ -1,0 +1,62 @@
+#include "exec/order_by.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/compare.h"
+
+namespace xqp {
+namespace flwor {
+
+Result<OrderKey> MakeOrderKey(const Sequence& raw) {
+  Sequence atomized = Atomize(raw);
+  if (atomized.size() > 1) {
+    return Status::TypeError("order-by key must be () or a single item");
+  }
+  OrderKey key;
+  if (atomized.empty()) return key;
+  AtomicValue v = atomized[0].AsAtomic();
+  if (v.type() == XsType::kUntypedAtomic) {
+    v = AtomicValue::String(v.AsString());
+  }
+  key.present = true;
+  key.value = std::move(v);
+  return key;
+}
+
+Status SortTuples(std::vector<OrderedTuple>* tuples,
+                  const std::vector<OrderSpecFlags>& specs) {
+  Status sort_error;
+  std::stable_sort(
+      tuples->begin(), tuples->end(),
+      [&](const OrderedTuple& a, const OrderedTuple& b) {
+        for (size_t k = 0; k < specs.size(); ++k) {
+          const OrderKey& ka = a.keys[k];
+          const OrderKey& kb = b.keys[k];
+          int c;
+          if (!ka.present && !kb.present) {
+            c = 0;
+          } else if (!ka.present) {
+            c = specs[k].empty_least ? -1 : 1;
+          } else if (!kb.present) {
+            c = specs[k].empty_least ? 1 : -1;
+          } else {
+            auto r = CompareForOrdering(ka.value, kb.value);
+            if (!r.ok()) {
+              if (sort_error.ok()) sort_error = r.status();
+              return false;
+            }
+            c = r.value() == CmpResult::kUnordered
+                    ? 0
+                    : static_cast<int>(r.value());
+          }
+          if (specs[k].descending) c = -c;
+          if (c != 0) return c < 0;
+        }
+        return false;
+      });
+  return sort_error;
+}
+
+}  // namespace flwor
+}  // namespace xqp

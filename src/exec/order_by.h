@@ -1,0 +1,51 @@
+#ifndef XQP_EXEC_ORDER_BY_H_
+#define XQP_EXEC_ORDER_BY_H_
+
+#include <vector>
+
+#include "exec/item.h"
+
+namespace xqp {
+
+/// Shared FLWOR order-by semantics, used by both the eager interpreter's
+/// tuple stream and the VM's kSortTuples opcode so the two backends sort
+/// with literally the same comparator (typed comparison, untyped-to-string
+/// cast, empty greatest/least, error capture) and stay bit-identical.
+namespace flwor {
+
+/// One evaluated order-spec key: absent for the empty sequence, otherwise
+/// the single atomized value (untypedAtomic already cast to xs:string).
+struct OrderKey {
+  bool present = false;
+  AtomicValue value;
+};
+
+/// The static modifiers of one order spec, in clause order.
+struct OrderSpecFlags {
+  bool descending = false;
+  bool empty_least = true;
+};
+
+/// One FLWOR tuple awaiting the sort: its keys (one per order spec, in
+/// clause order) and the evaluated return value.
+struct OrderedTuple {
+  std::vector<OrderKey> keys;
+  Sequence result;
+};
+
+/// Atomizes a raw order-by key sequence into its key cell. More than one
+/// item is a type error; untypedAtomic compares as xs:string.
+Result<OrderKey> MakeOrderKey(const Sequence& raw);
+
+/// Stable-sorts `tuples` by their keys under `specs`. Key pairs the typed
+/// comparison cannot order (NaN, kUnordered) compare equal; the first
+/// comparison error encountered is returned after the sort finishes, the
+/// interpreter's historical behavior.
+Status SortTuples(std::vector<OrderedTuple>* tuples,
+                  const std::vector<OrderSpecFlags>& specs);
+
+}  // namespace flwor
+
+}  // namespace xqp
+
+#endif  // XQP_EXEC_ORDER_BY_H_

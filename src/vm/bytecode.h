@@ -8,15 +8,17 @@
 #include <vector>
 
 #include "exec/item.h"
+#include "exec/order_by.h"
 #include "query/expr.h"
 
 namespace xqp {
 namespace vm {
 
 /// The instruction set of the bytecode backend: a register/stack hybrid
-/// scoped to the profitable core of the language — FLWOR tuple iteration,
-/// arithmetic, comparisons, boolean logic, variable refs, literals,
-/// sequence construction, builtin calls. Everything else compiles to a
+/// scoped to the profitable core of the language — FLWOR tuple iteration
+/// (including order-by), arithmetic, comparisons, boolean logic, variable
+/// refs, literals, sequence construction, builtin calls, path navigation
+/// and index probes, and node construction. Everything else compiles to a
 /// kBailout referencing a thunk that runs the subtree on the lazy engine.
 ///
 /// Value model: every stack cell and local register holds a full Sequence.
@@ -67,6 +69,36 @@ enum class Op : uint8_t {
   kAccessExec,       // Same operands/behavior as kIndexProbe, emitted for
                      //   predicate-free chains where the full strategy
                      //   dispatch (nav/sjoin/twig/index) applies.
+  kConstructElem,    // a = ctor-plan index, b = evaluated child count. Pop b
+                     //   sequences (the computed name first when the plan's
+                     //   expression has one, then the content parts in
+                     //   order), assemble the element in a scratch
+                     //   DocumentBuilder via the shared construct::Element
+                     //   (identical namespace handling, whitespace joining,
+                     //   governor byte charges, and error strings in every
+                     //   backend), push the singleton node.
+  kConstructAttr,    // Same layout as kConstructElem for a parentless
+                     //   attribute node (construct::Attribute).
+  kConstructText,    // Pop the content sequence, push construct::Text of it
+                     //   (the empty sequence when the content is empty).
+  kConstructNode,    // flag = 0 comment / 1 pi / 2 document; a = ctor-plan
+                     //   index (the pi target; unused otherwise). Pop the
+                     //   content sequence, push the constructed node.
+  kPushRoot,         // Push the root of the context item ("/"); the
+                     //   interpreter's exact absent-context and non-node
+                     //   errors.
+  kSortOpen,         // a = sort-plan index; open an order-by buffer with one
+                     //   key cell per order spec.
+  kSortKey,          // a = spec index; pop the raw key sequence, atomize and
+                     //   validate it (untypedAtomic compares as xs:string),
+                     //   assign key cell a of the innermost open sort.
+  kSortAdd,          // Pop the return value; append (current keys, value) to
+                     //   the innermost sort buffer. Polls the governor — one
+                     //   cooperative check per materialized tuple.
+  kSortTuples,       // a = sort-plan index; stable-sort the innermost buffer
+                     //   by its typed keys (ascending/descending, empty
+                     //   greatest/least) and push the concatenated results
+                     //   in sorted tuple order.
   kBailout,          // a = thunk index; run the referenced expression on the
                      //   lazy engine and push its result.
   kPop,              // Pop and discard.
@@ -117,6 +149,21 @@ struct Program {
     const StepExpr* step = nullptr;
   };
   std::vector<PathPlan> paths;
+
+  /// A constructor lowered to kConstructElem/kConstructAttr/kConstructNode:
+  /// the expression carries the static name, namespace declarations, and
+  /// pi target the opcode needs at run time.
+  struct CtorPlan {
+    const Expr* expr = nullptr;
+  };
+  std::vector<CtorPlan> ctors;
+
+  /// The order-spec modifiers of one order-by FLWOR, in clause order;
+  /// referenced by kSortOpen / kSortTuples.
+  struct SortPlan {
+    std::vector<flwor::OrderSpecFlags> specs;
+  };
+  std::vector<SortPlan> sorts;
 
   /// Expressions synthesized during lowering (e.g. the navigation twin of
   /// an index-probed predicate chain, run as a thunk when the probe

@@ -45,6 +45,15 @@ std::string_view OpName(Op op) {
     case Op::kNavStep: return "nav-step";
     case Op::kIndexProbe: return "index-probe";
     case Op::kAccessExec: return "access-exec";
+    case Op::kConstructElem: return "construct-elem";
+    case Op::kConstructAttr: return "construct-attr";
+    case Op::kConstructText: return "construct-text";
+    case Op::kConstructNode: return "construct-node";
+    case Op::kPushRoot: return "push-root";
+    case Op::kSortOpen: return "sort-open";
+    case Op::kSortKey: return "sort-key";
+    case Op::kSortAdd: return "sort-add";
+    case Op::kSortTuples: return "sort-tuples";
     case Op::kBailout: return "bailout";
     case Op::kPop: return "pop";
     case Op::kHalt: return "halt";
@@ -168,20 +177,13 @@ class Compiler {
         // ctx->slots, reproducing the exact runtime error when unbound.
         return "free variable";
       }
-      case ExprKind::kFlwor: {
-        const auto& f = static_cast<const FlworExpr&>(e);
-        for (const auto& c : f.clauses) {
-          if (c.type == FlworExpr::Clause::Type::kOrderSpec) {
-            return "order by";
-          }
-        }
+      case ExprKind::kFlwor:
+      case ExprKind::kRoot:
         return nullptr;
-      }
       case ExprKind::kFunctionCall:
         return static_cast<const FunctionCallExpr&>(e).builtin >= 0
                    ? nullptr
                    : "user function call";
-      case ExprKind::kRoot: return "root step";
       case ExprKind::kPath: {
         // A path lowers when the index planner can probe it (the runtime
         // navigation twin becomes a cold fallback thunk) or when its step
@@ -211,7 +213,7 @@ class Compiler {
       case ExprKind::kCommentCtor:
       case ExprKind::kPiCtor:
       case ExprKind::kDocumentCtor:
-        return "constructor";
+        return nullptr;
       case ExprKind::kTryCatch: return "try/catch";
     }
     return "unknown expression";
@@ -237,6 +239,10 @@ class Compiler {
       }
       case ExprKind::kContextItem:
         Emit(Op::kPushContextItem);
+        Push();
+        return;
+      case ExprKind::kRoot:
+        Emit(Op::kPushRoot);
         Push();
         return;
       case ExprKind::kSequence: {
@@ -311,6 +317,14 @@ class Compiler {
         Push();
         return;
       }
+      case ExprKind::kElementCtor:
+      case ExprKind::kAttributeCtor:
+      case ExprKind::kTextCtor:
+      case ExprKind::kCommentCtor:
+      case ExprKind::kPiCtor:
+      case ExprKind::kDocumentCtor:
+        CompileCtor(e);
+        return;
       default:
         // Unreachable: Uncompilable() covered everything else.
         EmitBailout(e, "unknown expression");
@@ -391,6 +405,46 @@ class Compiler {
     if (probe_pc >= 0) p_->code[size_t(probe_pc)].b = Here();
   }
 
+  int AddCtorPlan(const Expr* e) {
+    p_->ctors.push_back({e});
+    return static_cast<int>(p_->ctors.size()) - 1;
+  }
+
+  /// Constructor lowering: the children (computed name first when present,
+  /// then the content parts) evaluate onto the stack in order, then one
+  /// construct opcode pops them all and pushes the built node. Assembly
+  /// itself is the shared construct:: path, so namespace handling,
+  /// whitespace joining, governor byte charges, and error strings are the
+  /// interpreter's own.
+  void CompileCtor(const Expr& e) {
+    int n = static_cast<int>(e.NumChildren());
+    for (int i = 0; i < n; ++i) Compile(*e.child(size_t(i)));
+    switch (e.kind()) {
+      case ExprKind::kElementCtor:
+        Emit(Op::kConstructElem, 0, AddCtorPlan(&e), n);
+        break;
+      case ExprKind::kAttributeCtor:
+        Emit(Op::kConstructAttr, 0, AddCtorPlan(&e), n);
+        break;
+      case ExprKind::kTextCtor:
+        Emit(Op::kConstructText);
+        break;
+      case ExprKind::kCommentCtor:
+        Emit(Op::kConstructNode, 0);
+        break;
+      case ExprKind::kPiCtor:
+        Emit(Op::kConstructNode, 1, AddCtorPlan(&e));
+        break;
+      case ExprKind::kDocumentCtor:
+        Emit(Op::kConstructNode, 2);
+        break;
+      default:
+        break;  // Unreachable: only ctor kinds are dispatched here.
+    }
+    Pop(n);
+    Push();
+  }
+
   /// Tuple-at-a-time FLWOR loop nest. Layout:
   ///   accum-new
   ///   <domain 0> iter-new 0
@@ -404,10 +458,33 @@ class Compiler {
   /// Jumping to an outer iter-next re-executes its bind-pos and the inner
   /// domain code, so inner domains are re-evaluated per outer tuple —
   /// exactly the interpreter's recursive tuple stream.
+  ///
+  /// With order-by clauses the accumulator becomes a sort buffer: sort-open
+  /// replaces accum-new, each order-spec clause compiles its key expression
+  /// at clause position followed by sort-key (positional assignment, so
+  /// re-entering an outer loop refreshes exactly the keys whose clauses
+  /// re-run), the return value lands via sort-add, and END stable-sorts the
+  /// buffered tuples and pushes the concatenation (sort-tuples).
   void CompileFlwor(const FlworExpr& e) {
-    Emit(Op::kAccumNew);
+    int sort_plan = -1;
+    for (const FlworExpr::Clause& c : e.clauses) {
+      if (c.type != FlworExpr::Clause::Type::kOrderSpec) continue;
+      if (sort_plan < 0) {
+        p_->sorts.emplace_back();
+        sort_plan = static_cast<int>(p_->sorts.size()) - 1;
+      }
+      p_->sorts[size_t(sort_plan)].specs.push_back(
+          {c.descending, c.empty_least});
+    }
+    const bool has_order = sort_plan >= 0;
+    if (has_order) {
+      Emit(Op::kSortOpen, 0, sort_plan);
+    } else {
+      Emit(Op::kAccumNew);
+    }
     size_t bound_mark = bound_.size();
     int iters_entered = 0;
+    int key_index = 0;
     std::vector<int> loop_pcs;    // kIterNext pcs, outermost first.
     std::vector<int> end_patches; // where-fails with no enclosing for.
     for (size_t ci = 0; ci < e.clauses.size(); ++ci) {
@@ -439,18 +516,21 @@ class Compiler {
           int j = Emit(Op::kJumpIfFalse);
           Pop();
           if (loop_pcs.empty()) {
-            end_patches.push_back(j);  // No tuple loop: skip to accum-end.
+            end_patches.push_back(j);  // No tuple loop: skip to the end.
           } else {
             PatchTarget(j, loop_pcs.back());
           }
           break;
         }
         case FlworExpr::Clause::Type::kOrderSpec:
-          break;  // Unreachable: Uncompilable() rejects order-by FLWORs.
+          Compile(*e.child(ci));
+          Emit(Op::kSortKey, 0, key_index++);
+          Pop();
+          break;
       }
     }
     Compile(*e.return_expr());
-    Emit(Op::kAccumAdd);
+    Emit(has_order ? Op::kSortAdd : Op::kAccumAdd);
     Pop();
     if (!loop_pcs.empty()) {
       Emit(Op::kJump, 0, loop_pcs.back());
@@ -461,7 +541,11 @@ class Compiler {
       p_->code[size_t(loop_pcs[0])].b = Here();
     }
     int end_pc = Here();
-    Emit(Op::kAccumEnd);
+    if (has_order) {
+      Emit(Op::kSortTuples, 0, sort_plan);
+    } else {
+      Emit(Op::kAccumEnd);
+    }
     Push();
     for (int j : end_patches) PatchTarget(j, end_pc);
     bound_.resize(bound_mark);

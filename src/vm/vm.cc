@@ -13,8 +13,11 @@
 #include "exec/axes.h"
 #include "exec/builtins.h"
 #include "exec/compare.h"
+#include "exec/constructor.h"
+#include "exec/interpreter.h"
 #include "exec/item.h"
 #include "exec/iterators.h"
+#include "exec/order_by.h"
 #include "opt/access_path.h"
 
 // Dispatch strategy: jump-threaded computed goto on GCC/Clang (each handler
@@ -114,6 +117,14 @@ class Vm {
     size_t pos = 0;
   };
 
+  /// One open order-by buffer: the tuples gathered so far and the current
+  /// key cells (one per order spec, positionally assigned by kSortKey).
+  /// Nested order-by FLWORs stack these like the accumulators.
+  struct SortState {
+    std::vector<flwor::OrderedTuple> tuples;
+    std::vector<flwor::OrderKey> keys;
+  };
+
   const Program& p_;
   DynamicContext* ctx_;
   ResourceGovernor* gov_;
@@ -123,7 +134,10 @@ class Vm {
   std::vector<IterState> iters_;
   std::vector<Sequence> accums_;
   size_t asize_ = 0;
+  std::vector<SortState> sorts_;
+  size_t ssize_ = 0;
   std::vector<Sequence> args_;
+  std::vector<Sequence> parts_;  // Scratch for the construct opcodes.
   std::vector<std::unique_ptr<ItemIterator>> thunk_iters_;
   std::vector<uint64_t> thunk_hits_;
   uint64_t retired_ = 0;
@@ -189,6 +203,9 @@ Result<Sequence> Vm::Run() {
       &&lbl_kIterNext,    &&lbl_kBindPos,     &&lbl_kAccumNew,
       &&lbl_kAccumAdd,    &&lbl_kAccumEnd,    &&lbl_kCallBuiltin,
       &&lbl_kNavStep,     &&lbl_kIndexProbe,  &&lbl_kAccessExec,
+      &&lbl_kConstructElem, &&lbl_kConstructAttr, &&lbl_kConstructText,
+      &&lbl_kConstructNode, &&lbl_kPushRoot,  &&lbl_kSortOpen,
+      &&lbl_kSortKey,     &&lbl_kSortAdd,     &&lbl_kSortTuples,
       &&lbl_kBailout,     &&lbl_kPop,         &&lbl_kHalt,
   };
 #endif
@@ -587,6 +604,133 @@ Result<Sequence> Vm::Run() {
       stack[sp++] = std::move(*r.value());
       VM_GOTO(ip->b);
     }
+    VM_NEXT();
+  }
+
+  VM_CASE(kConstructElem) : VM_CASE(kConstructAttr) : {
+    // Assemble the constructor from its already-evaluated children: the
+    // computed name (when present) sits below the content parts. Building
+    // goes through the shared construct:: path, so the scratch
+    // DocumentBuilder's byte charges (ChargeNode via the thread-local
+    // governor), whitespace joining, namespace handling, and error strings
+    // are identical to both interpreters.
+    const bool is_elem = ip->op == Op::kConstructElem;
+    const Expr* ce = p_.ctors[size_t(ip->a)].expr;
+    size_t n = size_t(ip->b);
+    Sequence* children = stack + (sp - n);
+    const bool computed = is_elem
+        ? static_cast<const ElementCtorExpr*>(ce)->computed_name
+        : static_cast<const AttributeCtorExpr*>(ce)->computed_name;
+    QName name = is_elem ? static_cast<const ElementCtorExpr*>(ce)->name
+                         : static_cast<const AttributeCtorExpr*>(ce)->name;
+    size_t start = 0;
+    if (computed) {
+      auto named = ComputedName(children[0]);
+      if (!named.ok()) return named.status();
+      name = std::move(named).value();
+      start = 1;
+    }
+    parts_.clear();
+    for (size_t i = start; i < n; ++i) {
+      parts_.push_back(std::move(children[i]));
+    }
+    auto built = is_elem
+        ? construct::Element(
+              name, static_cast<const ElementCtorExpr*>(ce)->ns_decls,
+              parts_, ctx_)
+        : construct::Attribute(name, parts_, ctx_);
+    if (!built.ok()) return built.status();
+    sp -= n;
+    Sequence& dst = stack[sp++];
+    dst.clear();
+    dst.push_back(std::move(built).value());
+    VM_NEXT();
+  }
+
+  VM_CASE(kConstructText) : {
+    auto r = construct::Text(stack[sp - 1], ctx_);
+    if (!r.ok()) return r.status();
+    stack[sp - 1] = std::move(r).value();
+    VM_NEXT();
+  }
+
+  VM_CASE(kConstructNode) : {
+    Sequence& content = stack[sp - 1];
+    auto built = [&]() -> Result<Item> {
+      switch (ip->flag) {
+        case 0:
+          return construct::Comment(content, ctx_);
+        case 1:
+          return construct::Pi(
+              static_cast<const PiCtorExpr*>(p_.ctors[size_t(ip->a)].expr)
+                  ->target,
+              content, ctx_);
+        default: {
+          parts_.clear();
+          parts_.push_back(std::move(content));
+          return construct::DocumentNode(parts_, ctx_);
+        }
+      }
+    }();
+    if (!built.ok()) return built.status();
+    Sequence& dst = stack[sp - 1];
+    dst.clear();
+    dst.push_back(std::move(built).value());
+    VM_NEXT();
+  }
+
+  VM_CASE(kPushRoot) : {
+    if (!focus_.has_focus) {
+      return Status::DynamicError("context item is not defined");
+    }
+    if (!focus_.item.IsNode()) {
+      return Status::TypeError("leading '/' requires a node context item");
+    }
+    Sequence& s = stack[sp++];
+    s.clear();
+    s.push_back(Item(focus_.item.AsNode().Root()));
+    VM_NEXT();
+  }
+
+  VM_CASE(kSortOpen) : {
+    if (ssize_ == sorts_.size()) sorts_.emplace_back();
+    SortState& st = sorts_[ssize_++];
+    st.tuples.clear();
+    st.keys.assign(p_.sorts[size_t(ip->a)].specs.size(), flwor::OrderKey{});
+    VM_NEXT();
+  }
+
+  VM_CASE(kSortKey) : {
+    Sequence& raw = stack[--sp];
+    auto key = flwor::MakeOrderKey(raw);
+    if (!key.ok()) return key.status();
+    sorts_[ssize_ - 1].keys[size_t(ip->a)] = std::move(key).value();
+    VM_NEXT();
+  }
+
+  VM_CASE(kSortAdd) : {
+    // One buffered tuple per hit: keep huge tuple streams cancelable. The
+    // buffer itself is uncharged, matching the interpreter's tuple vector.
+    if (gov_ != nullptr) XQP_RETURN_NOT_OK(gov_->Poll());
+    SortState& st = sorts_[ssize_ - 1];
+    flwor::OrderedTuple t;
+    t.keys = st.keys;
+    t.result = std::move(stack[--sp]);
+    st.tuples.push_back(std::move(t));
+    VM_NEXT();
+  }
+
+  VM_CASE(kSortTuples) : {
+    SortState& st = sorts_[ssize_ - 1];
+    XQP_RETURN_NOT_OK(
+        flwor::SortTuples(&st.tuples, p_.sorts[size_t(ip->a)].specs));
+    Sequence out;
+    for (flwor::OrderedTuple& t : st.tuples) {
+      out.insert(out.end(), std::make_move_iterator(t.result.begin()),
+                 std::make_move_iterator(t.result.end()));
+    }
+    --ssize_;
+    stack[sp++] = std::move(out);
     VM_NEXT();
   }
 

@@ -49,7 +49,7 @@ std::string RandomQuery(SplitMix64* rng) {
   size_t steps = 1 + rng->Below(4);
   for (size_t i = 0; i < steps; ++i) path += step();
 
-  switch (rng->Below(9)) {
+  switch (rng->Below(12)) {
     case 0:
       return "count(" + path + ")";
     case 1:
@@ -68,6 +68,21 @@ std::string RandomQuery(SplitMix64* rng) {
              "count($n/ancestor::*) > 0";
     case 7:
       return "sum(for $n in " + path + " return string-length(name($n)))";
+    case 8:
+      // Direct constructor with an attribute value template — the vm's
+      // kConstructElem path, serialized as the result.
+      return "for $n in " + path +
+             " return <v n=\"{name($n)}\">{count($n/*)}</v>";
+    case 9:
+      // Computed element + attribute constructors with computed names.
+      return "for $n in " + path + " return element {concat(name($n), '-', "
+             "count($n/*) mod 3)} {attribute k {string($n/@k)}, name($n)}";
+    case 10:
+      // Multi-key order-by with modifiers (kSortOpen/kSortKey/kSortTuples):
+      // possibly-empty first key exercises empty greatest/least.
+      return "string-join(for $n in " + path +
+             " order by $n/@k empty greatest, "
+             "count($n/*) descending, name($n) return name($n), ',')";
     default:
       return "string-join(for $n in " + path +
              " order by string($n/@k) return name($n), '')";
@@ -186,7 +201,7 @@ std::string RandomXMarkQuery(SplitMix64* rng) {
   size_t steps = 1 + rng->Below(3);
   for (size_t i = 0; i < steps; ++i) path += step(i == 0);
 
-  switch (rng->Below(8)) {
+  switch (rng->Below(11)) {
     case 0:
       return "count(" + path + ")";
     case 1:
@@ -203,6 +218,22 @@ std::string RandomXMarkQuery(SplitMix64* rng) {
     case 6:
       return "for $n in " + path +
              " order by string($n/name[1]) return name($n)";
+    case 7:
+      // Direct constructor return clause — the XMark Q13-style transform
+      // the vm now compiles via kConstructElem.
+      return "for $n in " + path +
+             " return <hit tag=\"{name($n)}\">{string-length($n)}</hit>";
+    case 8:
+      // Computed element/attribute/text constructors with a computed name.
+      return "for $n in " + path + " return element {concat('e', "
+             "string-length(name($n)) mod 4)} {attribute src {name($n)}, "
+             "text {count($n/*)}}";
+    case 9:
+      // Multi-key order-by with modifiers; the @id key is empty for
+      // attribute-valued $n, exercising empty least.
+      return "string-join(for $n in " + path +
+             " order by string-length(name($n)) descending, "
+             "$n/@id empty least return name($n), '.')";
     default:
       return "count(" + path + " union doc('xmark.xml')//keyword)";
   }

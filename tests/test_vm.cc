@@ -185,11 +185,6 @@ TEST(VmBailouts, UncompilableConstructsFallBackCleanly) {
       "1 + count(doc('doc.xml')//a[1])",
       "for $n in doc('doc.xml')//a[. = '2'][1] return 1",
       "count((1,2,3)[. > 1]) + 0",
-      // Order-by FLWOR (kOrderSpec clause).
-      "(0, for $x in (3,1,2) order by $x return $x)",
-      // Constructors.
-      "count(for $i in 1 to 3 return <a>{$i}</a>)",
-      "string(for $i in (1) return attribute id {$i}) != ''",
       // Typeswitch / type operators.
       "(1, typeswitch (42) case xs:string return 's' default return 'd')",
       "(42 instance of xs:integer) and (1 = 1)",
@@ -215,18 +210,22 @@ TEST(VmBailouts, ExplainMarksThunksAndCompiledRoot) {
   XQueryEngine engine;
   XQP_ASSERT_OK(
       engine.ParseAndRegister("doc.xml", "<r><a/></r>").status());
-  auto compiled = engine.Compile("1 + count(for $i in 1 to 2 return <a/>)");
+  auto compiled =
+      engine.Compile("1 + count(for $i in 1 to 2 return $i treat as item())");
   XQP_ASSERT_OK(compiled.status());
   std::string tree = compiled.value()->ExplainTree(VmExec());
   EXPECT_NE(tree.find(" [vm]"), std::string::npos) << tree;
-  EXPECT_NE(tree.find(" [bailout: constructor]"), std::string::npos) << tree;
+  EXPECT_NE(tree.find(" [bailout: treat as]"), std::string::npos) << tree;
   // The default rendering is unannotated (golden stability).
   std::string plain = compiled.value()->ExplainTree();
   EXPECT_EQ(plain.find(" [vm]"), std::string::npos) << plain;
 
-  // doc()-anchored chains lower to path opcodes: the plan carries the
-  // [vm] root marker and no bailout annotation anywhere.
-  for (const char* q : {"doc('doc.xml')//a", "1 + count(doc('doc.xml')//a)"}) {
+  // doc()-anchored chains, constructors, and order-by lower to their own
+  // opcodes: the plan carries the [vm] root marker and no bailout
+  // annotation anywhere.
+  for (const char* q : {"doc('doc.xml')//a", "1 + count(doc('doc.xml')//a)",
+                        "1 + count(for $i in 1 to 2 return <a/>)",
+                        "for $x in (2,1) order by $x return <v>{$x}</v>"}) {
     auto path = engine.Compile(q);
     XQP_ASSERT_OK(path.status());
     std::string path_tree = path.value()->ExplainTree(VmExec());
@@ -236,14 +235,13 @@ TEST(VmBailouts, ExplainMarksThunksAndCompiledRoot) {
 }
 
 TEST(VmBailouts, ThunksSeeLoopVariables) {
-  // The bailout thunk references the FLWOR binding, so the dual-store
-  // mirror must publish every iteration's value to the lazy context.
-  EXPECT_EQ(RunBoth("for $i in 1 to 3 return <v>{$i * 10}</v>",
-                    "<r/>"),
-            "<v>10</v><v>20</v><v>30</v>");
-  EXPECT_EQ(RunBoth("for $i at $p in ('a','b') return <v>{$p}</v>"),
-            "<v>1</v><v>2</v>");
-  EXPECT_EQ(RunBoth("let $x := 7 return (<v>{$x}</v>, $x)"), "<v>7</v>7");
+  // The bailout thunk (a filter, which still has no opcode) references the
+  // FLWOR binding, so the dual-store mirror must publish every iteration's
+  // value to the lazy context.
+  EXPECT_EQ(RunBoth("for $i in 1 to 3 return (10,20,30)[$i]"), "10 20 30");
+  EXPECT_EQ(RunBoth("for $i at $p in ('a','b') return ('x','y','z')[$p]"),
+            "x y");
+  EXPECT_EQ(RunBoth("let $x := 2 return ((5,6,7)[$x], $x)"), "6 2");
 }
 
 // --- Path opcodes (kNavStep / kIndexProbe / kAccessExec) -------------------
@@ -421,6 +419,213 @@ TEST(VmPaths, IndexBuildFaultMatchesLazy) {
   EXPECT_EQ(vm_r.status().message(), lazy_r.status().message());
 }
 
+// --- Construct & order-by opcodes ------------------------------------------
+
+TEST(VmConstruct, DirectConstructorsCompileWithZeroBailouts) {
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("doc.xml", kPathDoc).status());
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $i in 1 to 2 return <v n=\"{$i}\">{$i * 10}"
+                            "</v>"),
+            "<v n=\"1\">10</v><v n=\"2\">20</v>");
+  // Nested constructors and constructor content pulling from a compiled
+  // path chain (adjacent atomics join with spaces; nodes deep-copy).
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "<r c=\"{count(doc('doc.xml')//b)}\">{"
+                            "for $i in 1 to 2 return <x>{$i, $i * 2}</x>"
+                            "}</r>"),
+            "<r c=\"3\"><x>1 2</x><x>2 4</x></r>");
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "<ns xmlns:p=\"urn:x\"><p:q/></ns>"),
+            "<ns xmlns:p=\"urn:x\"><p:q/></ns>");
+  EXPECT_EQ(RunCompiledPath(engine, "<out>{doc('doc.xml')//c}</out>"),
+            "<out><c>z</c></out>");
+}
+
+TEST(VmConstruct, ComputedConstructorsCompileWithZeroBailouts) {
+  XQueryEngine engine;
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $i in (1) return element {concat('e', $i)} "
+                            "{attribute {concat('a', $i)} {$i}, 'body'}"),
+            "<e1 a1=\"1\">body</e1>");
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $i in (1) return (text {concat('t', $i)}, "
+                            "comment {'c'}, processing-instruction tgt "
+                            "{'pi'})"),
+            "t1<!--c--><?tgt pi?>");
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "count(document {<a/>, <b/>}/*)"),
+            "2");
+}
+
+TEST(VmConstruct, ConstructorErrorStringsMatchLazy) {
+  // The shared construct:: path means the error strings are the lazy
+  // engine's own; RunBoth asserts code and message equality.
+  EXPECT_EQ(RunBoth("for $i in (1) return element {'1bad'} {$i}"),
+            "ERROR: invalid computed name: 1bad");
+  EXPECT_EQ(RunBoth("for $i in (1,2) return element {('a','b')} {$i}"),
+            "ERROR: computed constructor name must be a single item");
+  EXPECT_EQ(RunBoth("for $i in (1) return comment {'a--b'}"),
+            "ERROR: comment content may not contain \"--\"");
+  EXPECT_EQ(RunBoth(
+                "for $i in (1) return <v>{attribute a {$i}, 'x'}</v>",
+                "<r/>"),
+            "<v a=\"1\">x</v>");
+  EXPECT_EQ(RunBoth("for $i in (1) return <v>{'x', attribute a {$i}}</v>"),
+            "ERROR: attribute \"a\" constructed after non-attribute content "
+            "of element");
+}
+
+TEST(VmConstruct, MemoryBudgetTripsIdentically) {
+  // DocumentBuilder::ChargeNode runs under the same thread-local governor
+  // in every backend, so a budget that dies mid-construction dies with the
+  // same status on both.
+  XQueryEngine engine;
+  auto compiled = engine.Compile(
+      "count(for $i in 1 to 100000 return <v a=\"{$i}\">{$i}</v>)");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions vm = VmExec();
+  vm.limits.memory_budget_bytes = 64 * 1024;
+  CompiledQuery::ExecOptions lazy;
+  lazy.limits.memory_budget_bytes = 64 * 1024;
+  auto vm_r = compiled.value()->Execute(vm);
+  auto lazy_r = compiled.value()->Execute(lazy);
+  ASSERT_FALSE(vm_r.ok());
+  ASSERT_FALSE(lazy_r.ok());
+  EXPECT_EQ(vm_r.status().code(), lazy_r.status().code());
+  EXPECT_EQ(vm_r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VmOrderBy, SingleAndMultiKeySortsCompile) {
+  XQueryEngine engine;
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $x in (3,1,2) order by $x return $x"),
+            "1 2 3");
+  EXPECT_EQ(RunCompiledPath(
+                engine, "for $x in (3,1,2) order by $x descending return $x"),
+            "3 2 1");
+  // Multi-key: primary descending, secondary ascending breaks ties; the
+  // sort is stable for fully-equal keys.
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $x in (1,2,3,4,5,6) order by $x mod 2 "
+                            "descending, $x idiv 3 return $x"),
+            "1 3 5 2 4 6");
+  // Nested order-by FLWORs stack sort buffers.
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $a in (2,1) order by $a return "
+                            "(for $b in (20,10) order by $b return $a + $b)"),
+            "11 21 12 22");
+  // Where gates run at clause position; filtered tuples never buffer.
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $x in (5,3,4,1,2) where $x mod 2 = 1 "
+                            "order by $x descending return $x"),
+            "5 3 1");
+}
+
+TEST(VmOrderBy, EmptyAndUntypedKeyRules) {
+  XQueryEngine engine;
+  // empty least (default) vs. empty greatest.
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $x in (2, 0, 1) order by "
+                            "(if ($x = 0) then () else $x) return $x"),
+            "0 1 2");
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $x in (2, 0, 1) order by "
+                            "(if ($x = 0) then () else $x) empty greatest "
+                            "return $x"),
+            "1 2 0");
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $x in (2, 0, 1) order by "
+                            "(if ($x = 0) then () else $x) descending "
+                            "empty least return $x"),
+            "2 1 0");
+  // Untyped node keys cast to xs:string: "10" < "2" < "9".
+  XQP_ASSERT_OK(engine
+                    .ParseAndRegister("nums.xml",
+                                      "<r><n>9</n><n>10</n><n>2</n></r>")
+                    .status());
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $n in doc('nums.xml')//n order by "
+                            "string($n) return string($n)"),
+            "10 2 9");
+  // number() keys compare numerically instead.
+  EXPECT_EQ(RunCompiledPath(engine,
+                            "for $n in doc('nums.xml')//n order by "
+                            "number($n) return string($n)"),
+            "2 9 10");
+}
+
+TEST(VmOrderBy, KeyErrorsMatchLazy) {
+  EXPECT_EQ(RunBoth("for $x in (1,2) order by ($x, $x) return $x"),
+            "ERROR: order-by key must be () or a single item");
+  // Incomparable key types across tuples surface the comparator's error
+  // after the sort finishes — the interpreter's historical behavior.
+  EXPECT_EQ(RunBoth("for $x in (1, 'a') order by $x return $x"),
+            RunBoth("for $x in (1, 'a') order by $x return $x"));
+  // Order-by under a cancelled governor trips at the sort-add poll.
+  XQueryEngine engine;
+  auto compiled = engine.Compile(
+      "for $i in 1 to 100000000 order by -$i return $i");
+  XQP_ASSERT_OK(compiled.status());
+  CompiledQuery::ExecOptions exec = VmExec();
+  exec.limits.cancel = std::make_shared<CancelToken>();
+  exec.limits.cancel->Cancel();
+  auto result = compiled.value()->Execute(exec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(VmRootStep, RootAnchoredPathsCompile) {
+  XQueryEngine engine;
+  XQP_ASSERT_OK(engine.ParseAndRegister("doc.xml", kPathDoc).status());
+  // A '/'-anchored relative path compiles through kPushRoot + kNavStep
+  // when a context item is bound.
+  auto compiled = engine.Compile("count(/r/a/b)");
+  XQP_ASSERT_OK(compiled.status());
+  XQP_ASSERT_OK_AND_ASSIGN(std::shared_ptr<const vm::Program> program,
+                           vm::CompileProgram(compiled.value()->module()));
+  EXPECT_FALSE(program->trivial_bailout);
+  bool has_root = false;
+  for (const vm::Insn& insn : program->code) {
+    if (insn.op == vm::Op::kPushRoot) has_root = true;
+  }
+  EXPECT_TRUE(has_root);
+
+  XQP_ASSERT_OK_AND_ASSIGN(Sequence doc_seq,
+                           engine.Compile("doc('doc.xml')//c")
+                               .value()
+                               ->Execute(CompiledQuery::ExecOptions()));
+  ASSERT_EQ(doc_seq.size(), 1u);
+  CompiledQuery::ExecOptions vm = VmExec();
+  vm.has_context_item = true;
+  vm.context_item = doc_seq[0];  // Any node: '/' rebases to its root.
+  CompiledQuery::ExecOptions lazy;
+  lazy.has_context_item = true;
+  lazy.context_item = doc_seq[0];
+  XQP_ASSERT_OK_AND_ASSIGN(std::string vm_xml,
+                           compiled.value()->ExecuteToXml(vm));
+  XQP_ASSERT_OK_AND_ASSIGN(std::string lazy_xml,
+                           compiled.value()->ExecuteToXml(lazy));
+  EXPECT_EQ(vm_xml, lazy_xml);
+  EXPECT_EQ(vm_xml, "2");
+
+  // Error strings match the interpreter's exactly.
+  EXPECT_EQ(RunBoth("count(/r)"), "ERROR: context item is not defined");
+  XQueryEngine engine2;
+  auto rooted = engine2.Compile("count(/r)");
+  XQP_ASSERT_OK(rooted.status());
+  for (ExecBackend backend : {ExecBackend::kLazy, ExecBackend::kVm}) {
+    CompiledQuery::ExecOptions exec;
+    exec.backend = backend;
+    exec.has_context_item = true;
+    exec.context_item = Item(AtomicValue::Integer(1));
+    auto result = rooted.value()->Execute(exec);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(),
+              "leading '/' requires a node context item");
+  }
+}
+
 // --- Governor --------------------------------------------------------------
 
 TEST(VmGovernor, CancelTripsAtBackEdge) {
@@ -503,15 +708,26 @@ TEST(VmMetrics, CountersAdvance) {
 
   // A query with an uncompiled subtree retires bailouts, attributed to
   // the thunk's reason as a per-reason counter (satellite of EXPLAIN's
-  // [bailout: reason] annotations).
-  auto mixed = engine.Compile("1 + count(for $i in 1 to 3 return <v/>)");
+  // [bailout: reason] annotations). Constructors compile now, so the
+  // uncompiled island here is the filter inside the return clause.
+  auto mixed =
+      engine.Compile("1 + count(for $i in 1 to 3 return ($i to 5)[2])");
   XQP_ASSERT_OK(mixed.status());
   XQP_ASSERT_OK_AND_ASSIGN(ProfileReport mixed_report,
                            mixed.value()->Profile(exec));
   EXPECT_GE(mixed_report.engine_metrics.counters["vm.bailouts"], 1u);
-  EXPECT_GE(mixed_report.engine_metrics.counters["vm.bailout.constructor"],
-            1u);
+  EXPECT_GE(mixed_report.engine_metrics.counters["vm.bailout.filter"], 1u);
   EXPECT_EQ(SerializeSequence(mixed_report.result).ValueOrDie(), "4");
+
+  // Constructor-heavy and order-by loops retire zero bailouts.
+  auto ctor = engine.Compile(
+      "for $i in (3,1,2) order by $i descending return <v>{$i}</v>");
+  XQP_ASSERT_OK(ctor.status());
+  XQP_ASSERT_OK_AND_ASSIGN(ProfileReport ctor_report,
+                           ctor.value()->Profile(exec));
+  EXPECT_EQ(ctor_report.engine_metrics.counters["vm.bailouts"], 0u);
+  EXPECT_EQ(SerializeSequence(ctor_report.result).ValueOrDie(),
+            "<v>3</v><v>2</v><v>1</v>");
 
   // Compiled paths retire zero bailouts.
   XQP_ASSERT_OK(

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: the canonical XMark path shapes must lower entirely to the
-# VM's path opcodes — any `[bailout:` annotation in the vm EXPLAIN tree
-# is a regression in the bytecode compiler's path lowering.
+# CI gate: the canonical XMark path, constructor, and order-by shapes
+# must lower entirely to the VM's opcodes — any `[bailout:` annotation in
+# the vm EXPLAIN tree is a regression in the bytecode compiler's lowering.
 #
 # Usage: tools/check_vm_explain.sh <path-to-xqp_profile>
 set -euo pipefail
@@ -17,6 +17,9 @@ TEXT_SHAPES=(
   "doc('xmark.xml')//person[@id = 'person0']"
   "doc('xmark.xml')//open_auction/bidder/increase"
   "sum(for \$q in doc('xmark.xml')//quantity, \$i in 1 to 60 return \$q * \$i + (\$q idiv 2) - (\$i mod 7))"
+  "for \$p in doc('xmark.xml')/site/people/person return <hit id=\"{\$p/@id}\">{string(\$p/name)}</hit>"
+  "for \$i in doc('xmark.xml')//item return element {name(\$i)} {attribute n {count(\$i/*)}, text {string(\$i/name)}}"
+  "for \$p in doc('xmark.xml')/site/people/person order by string(\$p/name) descending, string(\$p/@id) return string(\$p/@id)"
 )
 
 fail=0

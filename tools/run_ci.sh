@@ -28,8 +28,8 @@ echo "=== Release bench smoke (ingest fast path + index access paths + vm + plan
 # A short-min-time pass over the ingest, index, vm, and planner benchmarks
 # keeps the fast-path numbers honest on every CI run; BENCH_ingest.json /
 # BENCH_parse.json / BENCH_index.json / BENCH_vm.json / BENCH_planner.json /
-# BENCH_vm_paths.json land in the release build dir for the perf dashboard
-# to pick up.
+# BENCH_vm_paths.json / BENCH_vm_construct.json land in the release build
+# dir for the perf dashboard to pick up.
 (cd "$BUILD_DIR" && \
   ./bench/bench_ingest --json --benchmark_min_time=0.1 && \
   ./bench/bench_parse --json --benchmark_min_time=0.1 \
@@ -39,6 +39,7 @@ echo "=== Release bench smoke (ingest fast path + index access paths + vm + plan
   ./bench/bench_vm --json --benchmark_min_time=0.1 \
     --benchmark_filter='/10000' && \
   ./bench/bench_vm_paths --json --benchmark_min_time=0.1 && \
+  ./bench/bench_vm_construct --json --benchmark_min_time=0.1 && \
   ./bench/bench_planner --json --benchmark_min_time=0.1 \
     --benchmark_filter='/(1|64)$' && \
   ./bench/bench_storage --json --benchmark_min_time=0.1 \
